@@ -1,0 +1,77 @@
+// Ablation A4 (§3's model choice): JBBSM vs plain multinomial Naive Bayes
+// on the Figure 2 workload. The paper chose the Joint Beta-Binomial
+// Sampling Model for its burstiness handling and unseen-word mass.
+#include <chrono>
+
+#include "bench_util.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace cqads;
+  using Clock = std::chrono::steady_clock;
+  auto world = bench::BuildPaperWorld();
+  auto questions = eval::GenerateSurveyQuestions(*world, 80, 82, 650);
+
+  struct ModelRun {
+    const char* name;
+    classify::QuestionClassifier::Model model;
+    double train_ms = 0.0;
+    double classify_ms = 0.0;
+    eval::ClassificationResult result;
+  };
+  ModelRun runs[] = {
+      {"JBBSM", classify::QuestionClassifier::Model::kJBBSM, 0, 0, {}},
+      {"multinomial", classify::QuestionClassifier::Model::kMultinomial, 0,
+       0, {}},
+  };
+
+  for (auto& run : runs) {
+    classify::QuestionClassifier::Options opts;
+    opts.model = run.model;
+    classify::QuestionClassifier clf(opts);
+    auto t0 = Clock::now();
+    if (!clf.Train(world->engine().MakeTrainingDocs()).ok()) return 1;
+    auto t1 = Clock::now();
+    run.train_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    eval::MeanAccumulator overall;
+    auto t2 = Clock::now();
+    for (const auto& [domain, qs] : questions) {
+      eval::MeanAccumulator acc;
+      for (const auto& q : qs) {
+        bool ok = clf.Classify(q.text) == domain;
+        acc.Add(ok ? 1.0 : 0.0);
+        overall.Add(ok ? 1.0 : 0.0);
+      }
+      run.result.per_domain_accuracy[domain] = acc.Mean();
+      run.result.total_questions += qs.size();
+    }
+    auto t3 = Clock::now();
+    run.classify_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    run.result.average_accuracy = overall.Mean();
+  }
+
+  bench::PrintHeader("Ablation A4: JBBSM vs multinomial Naive Bayes");
+  std::printf("%-14s %10s %10s %14s\n", "model", "accuracy", "train ms",
+              "classify ms");
+  bench::PrintRule();
+  for (const auto& run : runs) {
+    std::printf("%-14s %9.1f%% %10.1f %14.1f\n", run.name,
+                run.result.average_accuracy * 100.0, run.train_ms,
+                run.classify_ms);
+  }
+  bench::PrintRule();
+  std::printf("%-16s %10s %12s\n", "domain", "JBBSM", "multinomial");
+  bench::PrintRule();
+  for (const auto& [domain, acc] : runs[0].result.per_domain_accuracy) {
+    std::printf("%-16s %9.1f%% %11.1f%%\n", domain.c_str(), acc * 100.0,
+                runs[1].result.per_domain_accuracy.at(domain) * 100.0);
+  }
+  bench::PrintRule();
+  std::printf("(on short questions over clean ads text the two models tie "
+              "in accuracy;\n JBBSM's advantage in the paper comes from "
+              "burstier, longer documents)\n");
+  return 0;
+}

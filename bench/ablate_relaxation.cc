@@ -1,0 +1,119 @@
+// Ablation A3 (§4.3.1's design discussion): N-1 vs N-2 condition
+// relaxation. The paper argues deeper relaxation costs more processing time
+// and returns results less likely to satisfy the user; this bench measures
+// both effects with the appraiser model.
+#include <chrono>
+
+#include "bench_util.h"
+#include "baselines/ranker.h"
+#include "db/executor.h"
+#include "eval/appraiser.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace cqads;
+  using Clock = std::chrono::steady_clock;
+  auto world = bench::BuildPaperWorld();
+
+  struct Tally {
+    double ms = 0.0;
+    std::size_t results = 0;
+    std::size_t related = 0;
+    std::size_t questions = 0;
+  };
+  Tally n1, n2;
+
+  Rng rng(733);
+  for (const auto& domain : world->domains()) {
+    const auto* spec = world->spec(domain);
+    const auto* table = world->table(domain);
+    datagen::QuestionGenOptions opts;
+    opts.p_boolean = 0;
+    opts.p_superlative = 0;
+    opts.p_incomplete = 0;
+    opts.p_misspell = 0;
+    opts.p_missing_space = 0;
+    opts.p_shorthand = 0;
+    opts.p_partial_identity = 0;
+    Rng qrng = rng.Fork();
+    auto questions =
+        datagen::GenerateQuestions(*spec, *table, 40, opts, &qrng);
+    eval::Appraiser appraiser(spec, table, eval::AppraiserOptions{});
+    db::Executor exec(table);
+
+    for (const auto& q : questions) {
+      auto parsed = world->engine().Parse(domain, q.text);
+      if (!parsed.ok()) continue;
+      const auto& units = parsed.value().assembled.units;
+      if (units.size() < 3) continue;
+
+      auto run_relaxation = [&](std::size_t drop_count, Tally* tally) {
+        auto t0 = Clock::now();
+        std::vector<db::RowId> found;
+        // Enumerate all subsets of `drop_count` dropped units.
+        std::vector<std::size_t> idx(drop_count);
+        std::function<void(std::size_t, std::size_t)> rec =
+            [&](std::size_t start, std::size_t chosen) {
+              if (chosen == drop_count) {
+                std::vector<db::ExprPtr> parts;
+                for (std::size_t u = 0; u < units.size(); ++u) {
+                  bool dropped = false;
+                  for (std::size_t c = 0; c < drop_count; ++c) {
+                    if (idx[c] == u) dropped = true;
+                  }
+                  if (!dropped) parts.push_back(units[u].expr);
+                }
+                db::Query query;
+                query.where =
+                    parts.empty() ? nullptr : db::Expr::MakeAnd(parts);
+                query.limit = table->num_rows();
+                auto res = exec.Execute(query);
+                if (res.ok()) {
+                  for (auto r : res.value().rows) found.push_back(r);
+                }
+                return;
+              }
+              for (std::size_t u = start; u < units.size(); ++u) {
+                idx[chosen] = u;
+                rec(u + 1, chosen + 1);
+              }
+            };
+        rec(0, 0);
+        std::sort(found.begin(), found.end());
+        found.erase(std::unique(found.begin(), found.end()), found.end());
+        auto t1 = Clock::now();
+        tally->ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        tally->results += found.size();
+        std::size_t sample = std::min<std::size_t>(found.size(), 30);
+        for (std::size_t s = 0; s < sample; ++s) {
+          if (appraiser.IsRelatedTruth(q, found[s])) ++tally->related;
+        }
+        ++tally->questions;
+      };
+
+      run_relaxation(1, &n1);
+      run_relaxation(2, &n2);
+    }
+  }
+
+  bench::PrintHeader("Ablation A3: N-1 vs N-2 condition relaxation");
+  std::printf("%-10s %10s %12s %14s %16s\n", "strategy", "questions",
+              "avg ms", "avg results", "related@30");
+  bench::PrintRule();
+  auto row = [](const char* name, const Tally& t) {
+    double denom = std::max<std::size_t>(1, t.questions);
+    std::printf("%-10s %10zu %12.3f %14.1f %15.1f%%\n", name, t.questions,
+                t.ms / denom, t.results / denom,
+                100.0 * t.related /
+                    std::max<std::size_t>(1, std::min<std::size_t>(
+                                                 t.results,
+                                                 30 * t.questions)));
+  };
+  row("N-1", n1);
+  row("N-2", n2);
+  bench::PrintRule();
+  std::printf("(paper: more dropped conditions -> longer processing and "
+              "results less likely to satisfy the user)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the bench binaries: the paper-scale world (500 ads per
+// domain, §4.1.4) and table-formatted printing.
+#ifndef CQADS_BENCH_BENCH_UTIL_H_
+#define CQADS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "datagen/world.h"
+
+namespace cqads::bench {
+
+/// The evaluation world used by every figure/table bench: eight domains,
+/// 500 ads each, deterministic seed.
+inline std::unique_ptr<datagen::World> BuildPaperWorld() {
+  datagen::WorldOptions options;
+  options.seed = 20111130;
+  options.ads_per_domain = 500;
+  options.sessions_per_domain = 1500;
+  options.corpus_docs_per_domain = 150;
+  auto world = datagen::World::Build(options);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world build failed: %s\n",
+                 world.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(world).value();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("---------------------------------------------------------------\n");
+}
+
+}  // namespace cqads::bench
+
+#endif  // CQADS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+// Figure 5: P@1, P@5, and MRR of the five ranking approaches over 40 test
+// questions (5 per domain) judged by simulated appraisers (~886 responses).
+// Paper: CQAds best on all three metrics; FAQFinder lowest except Random;
+// CS-jobs is CQAds' weakest domain (appraisers judged by personal
+// expertise).
+#include "bench_util.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace cqads;
+  auto world = bench::BuildPaperWorld();
+  // 5 questions per domain x 8 domains; ~22 appraiser responses per
+  // question (886 / 40).
+  auto result = eval::RunRanking(*world, 5, 22, 886);
+
+  bench::PrintHeader("Figure 5: ranking quality of partially-matched answers");
+  std::printf("questions used: %zu; appraiser responses: %zu\n",
+              result.questions_used, result.appraiser_responses);
+  bench::PrintRule();
+  std::printf("%-12s %8s %8s %8s\n", "approach", "P@1", "P@5", "MRR");
+  bench::PrintRule();
+  const char* order[] = {"CQAds", "AIMQ", "Cosine", "FAQFinder", "Random"};
+  for (const char* name : order) {
+    auto it = result.scores.find(name);
+    if (it == result.scores.end()) continue;
+    std::printf("%-12s %8.3f %8.3f %8.3f\n", name, it->second.p_at_1,
+                it->second.p_at_5, it->second.mrr);
+  }
+  bench::PrintRule();
+  std::printf("(paper's shape: CQAds > AIMQ > Cosine > FAQFinder > Random "
+              "on all three metrics)\n");
+
+  std::printf("\nCQAds per domain (§5.5.3: CS-jobs weakest — appraisers "
+              "judge by personal expertise):\n");
+  std::printf("%-16s %8s %8s %8s\n", "domain", "P@1", "P@5", "MRR");
+  bench::PrintRule();
+  for (const auto& [domain, s] : result.cqads_per_domain) {
+    std::printf("%-16s %8.3f %8.3f %8.3f\n", domain.c_str(), s.p_at_1,
+                s.p_at_5, s.mrr);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 6: average query processing time of CQAds and the four compared
+// ranking approaches over the 650 survey questions. Paper: Random is
+// fastest (no similarity computation); CQAds is faster than AIMQ, cosine,
+// and FAQFinder because it retrieves exact matches first and only ranks
+// partial answers when needed.
+#include "bench_util.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace cqads;
+  auto world = bench::BuildPaperWorld();
+  auto questions = eval::GenerateSurveyQuestions(*world, 80, 82, 660);
+  auto result = eval::RunEfficiency(*world, questions, 661);
+
+  bench::PrintHeader("Figure 6: average query processing time");
+  std::printf("questions timed per approach: %zu\n", result.questions);
+  bench::PrintRule();
+  std::printf("%-12s %14s\n", "approach", "avg ms/query");
+  bench::PrintRule();
+  const char* order[] = {"Random", "CQAds", "Cosine", "AIMQ", "FAQFinder"};
+  for (const char* name : order) {
+    auto it = result.avg_ms.find(name);
+    if (it == result.avg_ms.end()) continue;
+    std::printf("%-12s %14.3f\n", name, it->second);
+  }
+  bench::PrintRule();
+  std::printf("(paper's shape: Random fastest; CQAds faster than AIMQ, "
+              "cosine similarity, and FAQFinder)\n");
+  return 0;
+}

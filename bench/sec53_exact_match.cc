@@ -1,0 +1,31 @@
+// §5.3: precision / recall / F-measure of exact-match retrieval over the
+// 650 survey questions. Paper: P = 93.8%, R = 92.7%, F = 93.2%; most
+// questions score exactly 0% or 100%.
+#include "bench_util.h"
+#include "eval/experiments.h"
+
+int main() {
+  using namespace cqads;
+  auto world = bench::BuildPaperWorld();
+  auto questions = eval::GenerateSurveyQuestions(*world, 80, 82, 653);
+  auto result = eval::RunExactMatch(*world, questions);
+
+  bench::PrintHeader("Section 5.3: exact-match retrieval quality");
+  std::printf("questions evaluated : %zu\n", result.questions_evaluated);
+  bench::PrintRule();
+  std::printf("%-12s %10s %10s\n", "metric", "measured", "paper");
+  bench::PrintRule();
+  std::printf("%-12s %9.1f%% %10s\n", "precision", result.precision * 100.0,
+              "93.8%");
+  std::printf("%-12s %9.1f%% %10s\n", "recall", result.recall * 100.0,
+              "92.7%");
+  std::printf("%-12s %9.1f%% %10s\n", "f-measure", result.f_measure * 100.0,
+              "93.2%");
+  bench::PrintRule();
+  std::printf("all-or-nothing questions: %zu of %zu (%.1f%%)  (paper: \"most"
+              " ... yield 100%% ... a few yield 0%%\")\n",
+              result.all_or_nothing, result.questions_evaluated,
+              100.0 * result.all_or_nothing /
+                  std::max<std::size_t>(1, result.questions_evaluated));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2: top-5 ranked partially-matched answers to the running-example
+// question "Find Honda Accord blue less than 15,000 dollars", with the
+// similarity measure used for each answer.
+#include "bench_util.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace cqads;
+  auto world = bench::BuildPaperWorld();
+  const std::string question =
+      "Find Honda Accord blue less than 15,000 dollars";
+
+  auto result = world->engine().AskInDomain("cars", question);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ask failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = result.value();
+  const auto* table = world->table("cars");
+
+  bench::PrintHeader("Table 2: top-5 partial answers to \"" + question +
+                     "\"");
+  std::printf("exact matches: %zu; showing the top partially-matched "
+              "answers\n", r.exact_count);
+  std::printf("%-4s %-10s %-12s %-8s %-8s %-9s %s\n", "rank", "make",
+              "model", "price", "color", "Rank_Sim", "similarity measure");
+  bench::PrintRule();
+  int rank = 0;
+  for (const auto& answer : r.answers) {
+    if (answer.exact) continue;
+    ++rank;
+    if (rank > 5) break;
+    std::printf("%-4d %-10s %-12s %-8s %-8s %-9s %s\n", rank,
+                table->cell(answer.row, 0).AsText().c_str(),
+                table->cell(answer.row, 1).AsText().c_str(),
+                table->cell(answer.row, 3).AsText().c_str(),
+                table->cell(answer.row, 5).AsText().c_str(),
+                FormatDouble(answer.rank_sim, 2).c_str(),
+                answer.measure.c_str());
+  }
+  bench::PrintRule();
+  std::printf("(paper's Table 2 mixes TI_Sim-on-Make-and-Model, Num_Sim-on-"
+              "Price and Feat_Sim-on-Color rows;\n the generated inventory "
+              "differs, but the measure mix and (N-1)+sim scoring match)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build the eight-domain ads world, ask CQAds a handful of
+// natural-language questions, and print the SQL, interpretation, and
+// answers. This is the 60-second tour of the public API.
+#include <cstdio>
+
+#include "datagen/world.h"
+
+using cqads::core::CqadsEngine;
+using cqads::datagen::World;
+using cqads::datagen::WorldOptions;
+
+namespace {
+
+void PrintAnswers(const World& world, const CqadsEngine::AskResult& result) {
+  std::printf("  domain:         %s\n", result.domain.c_str());
+  std::printf("  interpretation: %s\n", result.interpretation.c_str());
+  std::printf("  sql:            %s\n", result.sql.c_str());
+  if (result.contradiction) {
+    std::printf("  search retrieved no results (contradictory criteria)\n");
+    return;
+  }
+  std::printf("  answers: %zu (%zu exact)\n", result.answers.size(),
+              result.exact_count);
+  const auto* table = world.table(result.domain);
+  const auto& schema = table->schema();
+  std::size_t shown = 0;
+  for (const auto& answer : result.answers) {
+    if (shown++ >= 5) break;
+    std::string line = answer.exact ? "    [exact]   " : "    [partial] ";
+    for (std::size_t a = 0; a < schema.num_attributes() && a < 6; ++a) {
+      line += schema.attribute(a).name + "=" +
+              table->cell(answer.row, a).AsText() + " ";
+    }
+    if (!answer.exact) {
+      line += "| rank_sim=" + std::to_string(answer.rank_sim) + " (" +
+              answer.measure + ")";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  WorldOptions options;
+  options.ads_per_domain = 400;
+  auto world_result = World::Build(options);
+  if (!world_result.ok()) {
+    std::printf("world build failed: %s\n",
+                world_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& world = *world_result.value();
+
+  const char* questions[] = {
+      "Do you have a 2 door red bmw?",
+      "Cheapest 2dr mazda with automatic transmission",
+      "I want a 4 wheel drive with less than 20k miles",
+      "Find honda accord blue less than 15,000 dollars",
+      "hondaaccord less than $9000",
+      "senior python data scientist in seattle above 120000 dollars",
+      "gold diamond ring under $3000",
+      "Any car priced below $7000 and not less than $2000",
+  };
+
+  for (const char* q : questions) {
+    std::printf("\nQ: %s\n", q);
+    auto result = world.engine().Ask(q);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintAnswers(world, result.value());
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "baselines/aimq_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqads::baselines {
+
+AimqRanker::AimqRanker(const db::Table* table) : table_(table) {
+  const db::Schema& schema = table->schema();
+  for (db::RowId row = 0; row < table->num_rows(); ++row) {
+    // Gather the row's categorical elements once.
+    std::vector<std::pair<std::size_t, std::string>> elements;
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).data_kind == db::DataKind::kNumeric) continue;
+      for (const auto& e : table->CellElements(row, a)) {
+        elements.emplace_back(a, e);
+      }
+    }
+    // Each value's supertuple accumulates the co-occurring values of the
+    // OTHER attributes.
+    for (const auto& [attr, value] : elements) {
+      auto& st = supertuples_[{attr, value}];
+      for (const auto& [other_attr, other_value] : elements) {
+        if (other_attr == attr) continue;
+        st.insert(other_value);
+      }
+    }
+  }
+}
+
+double AimqRanker::VSim(std::size_t attr, const std::string& a,
+                        const std::string& b) const {
+  if (a == b) return 1.0;
+  auto ita = supertuples_.find({attr, a});
+  auto itb = supertuples_.find({attr, b});
+  if (ita == supertuples_.end() || itb == supertuples_.end()) return 0.0;
+  const auto& sa = ita->second;
+  const auto& sb = itb->second;
+  std::size_t inter = 0;
+  for (const auto& v : sa) {
+    if (sb.count(v) > 0) ++inter;
+  }
+  std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+double AimqRanker::Score(const RankInput& input, db::RowId row) const {
+  // Flatten the units into (attr, requested value) pairs.
+  struct QueryAttr {
+    std::size_t attr;
+    bool numeric;
+    std::string value;
+    double number;
+  };
+  std::vector<QueryAttr> query_attrs;
+  const db::Schema& schema = table_->schema();
+  for (const auto& unit : input.units) {
+    for (const auto& c : unit.conds) {
+      std::size_t attr = c.attr == core::kNoAttr ? unit.attr : c.attr;
+      if (attr == core::kNoAttr) continue;
+      QueryAttr qa;
+      qa.attr = attr;
+      qa.numeric = schema.attribute(attr).data_kind == db::DataKind::kNumeric;
+      if (qa.numeric) {
+        qa.number = c.op == db::CompareOp::kBetween ? (c.lo + c.hi) / 2.0
+                                                    : c.lo;
+      } else {
+        qa.value = c.value;
+      }
+      query_attrs.push_back(std::move(qa));
+    }
+  }
+  if (query_attrs.empty()) return 0.0;
+
+  const double weight = 1.0 / static_cast<double>(query_attrs.size());
+  double score = 0.0;
+  for (const auto& qa : query_attrs) {
+    if (qa.numeric) {
+      const db::Value& v = table_->cell(row, qa.attr);
+      if (!v.is_numeric() || qa.number == 0.0) continue;
+      double sim = 1.0 - std::abs(qa.number - v.AsDouble()) /
+                             std::abs(qa.number);
+      score += weight * std::max(0.0, sim);
+    } else {
+      double best = 0.0;
+      for (const auto& e : table_->CellElements(row, qa.attr)) {
+        best = std::max(best, VSim(qa.attr, qa.value, e));
+      }
+      score += weight * best;
+    }
+  }
+  return score;
+}
+
+std::vector<db::RowId> AimqRanker::Rank(const RankInput& input,
+                                        std::size_t k) {
+  std::vector<std::pair<double, db::RowId>> scored;
+  scored.reserve(input.candidates.size());
+  for (db::RowId row : input.candidates) {
+    scored.emplace_back(Score(input, row), row);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<db::RowId> out;
+  for (const auto& [score, row] : scored) {
+    if (out.size() >= k) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cqads::baselines

@@ -1,0 +1,43 @@
+// AIMQ ranking (§5.5.2, Nambiar & Kambhampati, ICDE 2006; Eq. 9-10). Each
+// categorical attribute value owns a *supertuple*: the bag of values that
+// co-occur with it in the other categorical columns across the table.
+// Categorical similarity is the Jaccard coefficient of two supertuples;
+// numeric similarity is 1 - |Q.Ai - A.Ai| / Q.Ai; attribute importance
+// weights are uniform (1/n), matching the paper's implementation.
+#ifndef CQADS_BASELINES_AIMQ_RANKER_H_
+#define CQADS_BASELINES_AIMQ_RANKER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "baselines/ranker.h"
+
+namespace cqads::baselines {
+
+class AimqRanker : public Ranker {
+ public:
+  /// Precomputes supertuples from the table.
+  explicit AimqRanker(const db::Table* table);
+
+  std::string name() const override { return "AIMQ"; }
+
+  std::vector<db::RowId> Rank(const RankInput& input,
+                              std::size_t k) override;
+
+  /// Jaccard similarity of the supertuples of two values of `attr`.
+  double VSim(std::size_t attr, const std::string& a,
+              const std::string& b) const;
+
+  /// Eq. 9 for one candidate row.
+  double Score(const RankInput& input, db::RowId row) const;
+
+ private:
+  using ValueKey = std::pair<std::size_t, std::string>;
+  const db::Table* table_;
+  std::map<ValueKey, std::set<std::string>> supertuples_;
+};
+
+}  // namespace cqads::baselines
+
+#endif  // CQADS_BASELINES_AIMQ_RANKER_H_

@@ -1,0 +1,38 @@
+#include "baselines/cosine_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqads::baselines {
+
+double CosineRanker::Score(const RankInput& input, db::RowId row) {
+  const std::size_t n = input.units.size();
+  if (n == 0) return 0.0;
+  const std::size_t satisfied = SatisfiedUnits(input, row);
+  if (satisfied == 0) return 0.0;
+  return static_cast<double>(satisfied) /
+         (std::sqrt(static_cast<double>(n)) *
+          std::sqrt(static_cast<double>(satisfied)));
+}
+
+std::vector<db::RowId> CosineRanker::Rank(const RankInput& input,
+                                          std::size_t k) {
+  std::vector<std::pair<double, db::RowId>> scored;
+  scored.reserve(input.candidates.size());
+  for (db::RowId row : input.candidates) {
+    scored.emplace_back(Score(input, row), row);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<db::RowId> out;
+  for (const auto& [score, row] : scored) {
+    if (out.size() >= k) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cqads::baselines

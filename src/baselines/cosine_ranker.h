@@ -1,0 +1,26 @@
+// Cosine-similarity ranking (§5.5.2): the vector-space baseline with binary
+// weights. For each selection constraint C of the question, a candidate's
+// vector holds 1 when it satisfies C and 0 otherwise; the question vector is
+// all ones; candidates are ordered by the cosine of the angle between them.
+#ifndef CQADS_BASELINES_COSINE_RANKER_H_
+#define CQADS_BASELINES_COSINE_RANKER_H_
+
+#include "baselines/ranker.h"
+
+namespace cqads::baselines {
+
+class CosineRanker : public Ranker {
+ public:
+  std::string name() const override { return "Cosine"; }
+
+  std::vector<db::RowId> Rank(const RankInput& input,
+                              std::size_t k) override;
+
+  /// Binary-weight cosine between the all-ones question vector and the
+  /// row's satisfaction vector: satisfied / (sqrt(N) * sqrt(satisfied)).
+  static double Score(const RankInput& input, db::RowId row);
+};
+
+}  // namespace cqads::baselines
+
+#endif  // CQADS_BASELINES_COSINE_RANKER_H_

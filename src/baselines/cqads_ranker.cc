@@ -1,0 +1,45 @@
+#include "baselines/cqads_ranker.h"
+
+#include <algorithm>
+
+namespace cqads::baselines {
+
+double CqadsRanker::Score(const RankInput& input, db::RowId row) const {
+  db::Executor exec(input.table);
+  double satisfied = 0.0;
+  double best_unsat_sim = 0.0;
+  bool any_unsat = false;
+  for (const auto& unit : input.units) {
+    if (unit.expr && exec.MatchesExpr(row, *unit.expr)) {
+      satisfied += 1.0;
+    } else {
+      any_unsat = true;
+      best_unsat_sim = std::max(
+          best_unsat_sim,
+          core::UnitSimilarity(*input.table, row, unit, *ctx_));
+    }
+  }
+  return satisfied + (any_unsat ? best_unsat_sim : 0.0);
+}
+
+std::vector<db::RowId> CqadsRanker::Rank(const RankInput& input,
+                                         std::size_t k) {
+  std::vector<std::pair<double, db::RowId>> scored;
+  scored.reserve(input.candidates.size());
+  for (db::RowId row : input.candidates) {
+    scored.emplace_back(Score(input, row), row);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<db::RowId> out;
+  for (const auto& [score, row] : scored) {
+    if (out.size() >= k) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cqads::baselines

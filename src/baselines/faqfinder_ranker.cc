@@ -1,0 +1,108 @@
+#include "baselines/faqfinder_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace cqads::baselines {
+
+namespace {
+
+std::vector<std::string> Terms(const std::string& raw) {
+  std::vector<std::string> out;
+  for (const auto& tok : text::Tokenize(raw)) {
+    if (tok.kind == text::TokenKind::kWord && text::IsStopword(tok.text)) {
+      continue;
+    }
+    out.push_back(tok.kind == text::TokenKind::kWord
+                      ? text::PorterStem(tok.text)
+                      : tok.text);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaqFinderRanker::FaqFinderRanker(const db::Table* table) : table_(table) {
+  const std::size_t n = table->num_rows();
+  std::unordered_map<std::string, std::size_t> doc_freq;
+  std::vector<std::vector<std::string>> docs(n);
+  for (db::RowId row = 0; row < n; ++row) {
+    docs[row] = Terms(table->RowText(row));
+    std::vector<std::string> uniq = docs[row];
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const auto& t : uniq) ++doc_freq[t];
+  }
+  for (const auto& [term, df] : doc_freq) {
+    idf_[term] = std::log((1.0 + static_cast<double>(n)) /
+                          (1.0 + static_cast<double>(df))) +
+                 1.0;
+  }
+  record_vectors_.resize(n);
+  for (db::RowId row = 0; row < n; ++row) {
+    SparseVec& v = record_vectors_[row];
+    for (const auto& t : docs[row]) v[t] += 1.0;
+    for (auto& [term, tf] : v) {
+      auto it = idf_.find(term);
+      tf *= it == idf_.end() ? 1.0 : it->second;
+    }
+  }
+}
+
+FaqFinderRanker::SparseVec FaqFinderRanker::Vectorize(
+    const std::string& raw_text) const {
+  SparseVec v;
+  for (const auto& t : Terms(raw_text)) v[t] += 1.0;
+  for (auto& [term, tf] : v) {
+    auto it = idf_.find(term);
+    tf *= it == idf_.end() ? 1.0 : it->second;
+  }
+  return v;
+}
+
+double FaqFinderRanker::CosineSparse(const SparseVec& a, const SparseVec& b) {
+  const SparseVec& small = a.size() <= b.size() ? a : b;
+  const SparseVec& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, w] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += w * it->second;
+  }
+  if (dot == 0.0) return 0.0;
+  double na = 0.0, nb = 0.0;
+  for (const auto& [t, w] : a) na += w * w;
+  for (const auto& [t, w] : b) nb += w * w;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double FaqFinderRanker::Score(const std::string& question_text,
+                              db::RowId row) const {
+  return CosineSparse(Vectorize(question_text), record_vectors_[row]);
+}
+
+std::vector<db::RowId> FaqFinderRanker::Rank(const RankInput& input,
+                                             std::size_t k) {
+  SparseVec qv = Vectorize(input.question_text);
+  std::vector<std::pair<double, db::RowId>> scored;
+  scored.reserve(input.candidates.size());
+  for (db::RowId row : input.candidates) {
+    scored.emplace_back(CosineSparse(qv, record_vectors_[row]), row);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first != b.first) return a.first > b.first;
+                     return a.second < b.second;
+                   });
+  std::vector<db::RowId> out;
+  for (const auto& [score, row] : scored) {
+    if (out.size() >= k) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace cqads::baselines

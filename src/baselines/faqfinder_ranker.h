@@ -1,0 +1,42 @@
+// FAQFinder ranking (§5.5.2, Burke et al. 1997, as the paper re-implements
+// it): every ads record is treated as a document, the question as a query,
+// and candidates are ordered by TF-IDF cosine similarity. The method does
+// not compare numerical attributes — the weakness the paper observes.
+#ifndef CQADS_BASELINES_FAQFINDER_RANKER_H_
+#define CQADS_BASELINES_FAQFINDER_RANKER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/ranker.h"
+
+namespace cqads::baselines {
+
+class FaqFinderRanker : public Ranker {
+ public:
+  /// Precomputes IDF weights and per-record TF-IDF vectors from the table.
+  explicit FaqFinderRanker(const db::Table* table);
+
+  std::string name() const override { return "FAQFinder"; }
+
+  std::vector<db::RowId> Rank(const RankInput& input,
+                              std::size_t k) override;
+
+  /// TF-IDF cosine of the question text against a record.
+  double Score(const std::string& question_text, db::RowId row) const;
+
+ private:
+  using SparseVec = std::unordered_map<std::string, double>;
+
+  SparseVec Vectorize(const std::string& raw_text) const;
+  static double CosineSparse(const SparseVec& a, const SparseVec& b);
+
+  const db::Table* table_;
+  std::unordered_map<std::string, double> idf_;
+  std::vector<SparseVec> record_vectors_;
+};
+
+}  // namespace cqads::baselines
+
+#endif  // CQADS_BASELINES_FAQFINDER_RANKER_H_

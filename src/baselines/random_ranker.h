@@ -1,0 +1,31 @@
+// Random ranking (§5.5.2, citing Meng et al.): the no-information baseline
+// that presents partially-matched answers in random order.
+#ifndef CQADS_BASELINES_RANDOM_RANKER_H_
+#define CQADS_BASELINES_RANDOM_RANKER_H_
+
+#include "baselines/ranker.h"
+#include "common/rng.h"
+
+namespace cqads::baselines {
+
+class RandomRanker : public Ranker {
+ public:
+  explicit RandomRanker(std::uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+
+  std::vector<db::RowId> Rank(const RankInput& input,
+                              std::size_t k) override {
+    std::vector<db::RowId> out = input.candidates;
+    rng_.Shuffle(&out);
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace cqads::baselines
+
+#endif  // CQADS_BASELINES_RANDOM_RANKER_H_

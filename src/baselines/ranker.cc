@@ -1,0 +1,14 @@
+#include "baselines/ranker.h"
+
+namespace cqads::baselines {
+
+std::size_t SatisfiedUnits(const RankInput& input, db::RowId row) {
+  db::Executor exec(input.table);
+  std::size_t n = 0;
+  for (const auto& unit : input.units) {
+    if (unit.expr && exec.MatchesExpr(row, *unit.expr)) ++n;
+  }
+  return n;
+}
+
+}  // namespace cqads::baselines

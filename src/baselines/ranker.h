@@ -1,0 +1,42 @@
+// Ranker interface for the §5.5 comparison. Every approach receives the SAME
+// inputs — the question text, the parsed condition units, and the candidate
+// pool of partially-matched records — and differs only in how it orders them,
+// mirroring the paper's setup where all five approaches rank the same
+// retrieved partial answers.
+#ifndef CQADS_BASELINES_RANKER_H_
+#define CQADS_BASELINES_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/boolean_assembler.h"
+#include "db/executor.h"
+#include "db/table.h"
+
+namespace cqads::baselines {
+
+struct RankInput {
+  const db::Table* table = nullptr;
+  std::string question_text;
+  /// Parsed condition units (shared across rankers; produced by the CQAds
+  /// parser so no approach gets a parsing advantage).
+  std::vector<core::MatchUnit> units;
+  /// Candidate partially-matched rows to order.
+  std::vector<db::RowId> candidates;
+};
+
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+  virtual std::string name() const = 0;
+  /// Returns the top-k candidates, best first.
+  virtual std::vector<db::RowId> Rank(const RankInput& input,
+                                      std::size_t k) = 0;
+};
+
+/// Number of units of `input` that row satisfies (used by several rankers).
+std::size_t SatisfiedUnits(const RankInput& input, db::RowId row);
+
+}  // namespace cqads::baselines
+
+#endif  // CQADS_BASELINES_RANKER_H_

@@ -1,0 +1,71 @@
+#include "classify/beta_binomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqads::classify {
+
+namespace {
+
+double LogBeta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double LogChoose(std::size_t n, std::size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+constexpr double kMinParam = 1e-4;
+constexpr double kMaxParam = 1e6;
+
+}  // namespace
+
+double BetaBinomialLogPmf(std::size_t k, std::size_t n,
+                          const BetaBinomialParams& params) {
+  if (k > n) return -1e300;
+  const double a = std::clamp(params.alpha, kMinParam, kMaxParam);
+  const double b = std::clamp(params.beta, kMinParam, kMaxParam);
+  return LogChoose(n, k) +
+         LogBeta(static_cast<double>(k) + a,
+                 static_cast<double>(n - k) + b) -
+         LogBeta(a, b);
+}
+
+BetaBinomialParams FitBetaBinomial(
+    const std::vector<std::pair<std::size_t, std::size_t>>& count_and_length,
+    double prior_mean, double fallback_strength) {
+  prior_mean = std::clamp(prior_mean, 1e-9, 1.0 - 1e-9);
+  BetaBinomialParams fallback{prior_mean * fallback_strength,
+                              (1.0 - prior_mean) * fallback_strength};
+
+  // Method of moments over the per-document proportions p_i = k_i / n_i:
+  //   t = m(1-m)/v - 1,  alpha = m t,  beta = (1-m) t
+  // where m and v are the sample mean and variance of the proportions.
+  std::vector<double> props;
+  props.reserve(count_and_length.size());
+  for (auto [k, n] : count_and_length) {
+    if (n == 0) continue;
+    props.push_back(static_cast<double>(k) / static_cast<double>(n));
+  }
+  if (props.size() < 3) return fallback;
+
+  double mean = 0.0;
+  for (double p : props) mean += p;
+  mean /= static_cast<double>(props.size());
+  double var = 0.0;
+  for (double p : props) var += (p - mean) * (p - mean);
+  var /= static_cast<double>(props.size() - 1);
+
+  if (mean <= 0.0 || mean >= 1.0 || var <= 1e-12) return fallback;
+  double t = mean * (1.0 - mean) / var - 1.0;
+  if (t <= 0.0) return fallback;  // over-dispersed beyond the model / degenerate
+
+  BetaBinomialParams out{mean * t, (1.0 - mean) * t};
+  out.alpha = std::clamp(out.alpha, kMinParam, kMaxParam);
+  out.beta = std::clamp(out.beta, kMinParam, kMaxParam);
+  return out;
+}
+
+}  // namespace cqads::classify

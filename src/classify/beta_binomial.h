@@ -1,0 +1,39 @@
+// Beta-binomial distribution: the building block of the Joint Beta-Binomial
+// Sampling Model (Allison 2008) that §3 uses for P(d|c). A word's count in a
+// document is beta-binomially distributed, which — unlike the binomial — is
+// over-dispersed: having seen a word once makes seeing it again more likely
+// ("burstiness").
+#ifndef CQADS_CLASSIFY_BETA_BINOMIAL_H_
+#define CQADS_CLASSIFY_BETA_BINOMIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cqads::classify {
+
+/// Parameters of a beta-binomial distribution (alpha, beta > 0).
+struct BetaBinomialParams {
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  /// Mean success probability alpha / (alpha + beta).
+  double MeanProbability() const { return alpha / (alpha + beta); }
+};
+
+/// log P(X = k | n, alpha, beta) = log [ C(n,k) B(k+a, n-k+b) / B(a,b) ].
+/// Requires 0 <= k <= n and positive parameters.
+double BetaBinomialLogPmf(std::size_t k, std::size_t n,
+                          const BetaBinomialParams& params);
+
+/// Method-of-moments fit from per-document (count, length) observations.
+/// Falls back to a smoothed-binomial-equivalent prior (alpha+beta =
+/// `fallback_strength`) when the data is too sparse or under-dispersed for
+/// the moment equations. `prior_mean` anchors the fallback (typically the
+/// class-level MLE of the word's rate, smoothed).
+BetaBinomialParams FitBetaBinomial(
+    const std::vector<std::pair<std::size_t, std::size_t>>& count_and_length,
+    double prior_mean, double fallback_strength = 2.0);
+
+}  // namespace cqads::classify
+
+#endif  // CQADS_CLASSIFY_BETA_BINOMIAL_H_

@@ -1,0 +1,182 @@
+#include "classify/question_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace cqads::classify {
+
+namespace {
+
+/// Domain-independent operator vocabulary (Table 1 keywords). These words
+/// express question *structure*, not domain content; they are excluded from
+/// classification features. (They are deliberately not stopwords: the
+/// tagger needs them downstream.)
+bool IsOperatorWord(const std::string& w) {
+  static const auto* kSet = new std::set<std::string>{
+      "and",   "or",      "not",     "no",      "without", "except",
+      "less",  "than",    "more",    "above",   "below",   "under",
+      "over",  "between", "within",  "equal",   "equals",  "exactly",
+      "least", "most",    "lowest",  "highest", "max",     "min",
+      "fewer", "greater", "higher",  "lower",   "smaller", "larger",
+  };
+  return kSet->count(w) > 0;
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractFeatures(std::string_view raw_text) {
+  std::vector<std::string> out;
+  for (const auto& tok : text::Tokenize(raw_text)) {
+    if (tok.kind == text::TokenKind::kWord &&
+        (text::IsStopword(tok.text) || IsOperatorWord(tok.text))) {
+      continue;
+    }
+    // Pure numbers carry no domain signal ("2004" occurs in cars and
+    // motorcycles alike); mixed tokens like "2dr" do and are kept.
+    if (tok.kind == text::TokenKind::kNumber) continue;
+    out.push_back(tok.kind == text::TokenKind::kWord
+                      ? text::PorterStem(tok.text)
+                      : tok.text);
+  }
+  return out;
+}
+
+namespace {
+
+std::map<std::string, std::size_t> CountFeatures(
+    const std::vector<std::string>& feats) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& f : feats) ++counts[f];
+  return counts;
+}
+
+}  // namespace
+
+Status QuestionClassifier::Train(const std::vector<LabelledDoc>& docs) {
+  if (docs.empty()) return Status::InvalidArgument("empty training corpus");
+
+  classes_.clear();
+  models_.clear();
+  vocab_.clear();
+
+  // Per class: documents as feature-count maps.
+  std::map<std::string, std::vector<std::map<std::string, std::size_t>>>
+      class_docs;
+  std::map<std::string, std::vector<std::size_t>> class_doc_lengths;
+  for (const auto& doc : docs) {
+    auto feats = ExtractFeatures(doc.text);
+    std::size_t len = feats.size();
+    class_docs[doc.label].push_back(CountFeatures(feats));
+    class_doc_lengths[doc.label].push_back(len);
+    for (const auto& f : feats) vocab_[f] = true;
+  }
+
+  const double total_docs = static_cast<double>(docs.size());
+  const double vocab_size = std::max<double>(1.0, vocab_.size());
+
+  for (auto& [label, doc_counts] : class_docs) {
+    classes_.push_back(label);
+    ClassModel model;
+    model.log_prior =
+        std::log(static_cast<double>(doc_counts.size()) / total_docs);
+
+    // Aggregate token counts for the class.
+    std::unordered_map<std::string, double> word_totals;
+    double class_tokens = 0.0;
+    for (const auto& counts : doc_counts) {
+      for (const auto& [w, k] : counts) {
+        word_totals[w] += static_cast<double>(k);
+        class_tokens += static_cast<double>(k);
+      }
+    }
+    model.total_tokens = class_tokens;
+
+    // Multinomial with Laplace smoothing (always trained: cheap and used as
+    // a tie-breaking fallback for degenerate JBBSM inputs).
+    const double denom = class_tokens + options_.smoothing * vocab_size;
+    for (const auto& [w, k] : word_totals) {
+      model.log_word_prob[w] = std::log((k + options_.smoothing) / denom);
+    }
+    model.log_unseen = std::log(options_.smoothing / denom);
+
+    if (options_.model == Model::kJBBSM) {
+      const auto& lengths = class_doc_lengths[label];
+      for (const auto& [w, total] : word_totals) {
+        std::vector<std::pair<std::size_t, std::size_t>> obs;
+        obs.reserve(doc_counts.size());
+        for (std::size_t d = 0; d < doc_counts.size(); ++d) {
+          auto it = doc_counts[d].find(w);
+          obs.emplace_back(it == doc_counts[d].end() ? 0 : it->second,
+                           lengths[d]);
+        }
+        double prior_mean =
+            (total + options_.smoothing) /
+            (class_tokens + options_.smoothing * vocab_size);
+        model.word_params[w] =
+            FitBetaBinomial(obs, prior_mean, options_.smoothing * 2.0);
+      }
+      // Unseen words: a background beta-binomial whose mean reserves
+      // `unseen_mass` of probability ("JBBSM accounts for unseen words").
+      model.unseen_params =
+          BetaBinomialParams{options_.unseen_mass * 2.0,
+                             (1.0 - options_.unseen_mass) * 2.0};
+    }
+
+    models_[label] = std::move(model);
+  }
+  std::sort(classes_.begin(), classes_.end());
+  return Status::OK();
+}
+
+double QuestionClassifier::ScoreClass(
+    const ClassModel& model, const std::map<std::string, std::size_t>& counts,
+    std::size_t doc_len) const {
+  double score = model.log_prior;
+  if (options_.model == Model::kMultinomial) {
+    for (const auto& [w, k] : counts) {
+      auto it = model.log_word_prob.find(w);
+      double logp = it == model.log_word_prob.end() ? model.log_unseen
+                                                    : it->second;
+      score += static_cast<double>(k) * logp;
+    }
+    return score;
+  }
+  // JBBSM: product over words of beta-binomial count likelihoods. Words the
+  // question does not contain are omitted (their zero-count factors are
+  // nearly identical across classes and drown the signal in short texts).
+  for (const auto& [w, k] : counts) {
+    auto it = model.word_params.find(w);
+    const BetaBinomialParams& params =
+        it == model.word_params.end() ? model.unseen_params : it->second;
+    score += BetaBinomialLogPmf(k, doc_len, params);
+  }
+  return score;
+}
+
+std::vector<std::pair<std::string, double>> QuestionClassifier::Scores(
+    std::string_view text) const {
+  std::vector<std::pair<std::string, double>> out;
+  if (models_.empty()) return out;
+  auto feats = ExtractFeatures(text);
+  auto counts = CountFeatures(feats);
+  for (const auto& [label, model] : models_) {
+    out.emplace_back(label, ScoreClass(model, counts, feats.size()));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string QuestionClassifier::Classify(std::string_view text) const {
+  auto scores = Scores(text);
+  return scores.empty() ? std::string() : scores.front().first;
+}
+
+}  // namespace cqads::classify

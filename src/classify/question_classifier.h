@@ -1,0 +1,86 @@
+// Ads-domain question classifier (§3): Naive Bayes with Bayes' theorem
+// (Eq. 1-2), choosing the domain c maximizing P(c|d) ∝ P(c) P(d|c).
+// Two class-conditional document models are provided:
+//   * kJBBSM (the paper's choice): each word's in-document count follows a
+//     per-class beta-binomial, capturing burstiness and reserving mass for
+//     unseen words via a background distribution;
+//   * kMultinomial: the classical Laplace-smoothed multinomial baseline
+//     (used by the ablation bench to quantify what JBBSM buys).
+#ifndef CQADS_CLASSIFY_QUESTION_CLASSIFIER_H_
+#define CQADS_CLASSIFY_QUESTION_CLASSIFIER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "classify/beta_binomial.h"
+
+namespace cqads::classify {
+
+/// Tokenize + stopword-drop + Porter-stem, the feature pipeline used for
+/// both training corpora (ads text) and questions.
+std::vector<std::string> ExtractFeatures(std::string_view raw_text);
+
+/// A labelled training document.
+struct LabelledDoc {
+  std::string text;
+  std::string label;
+};
+
+class QuestionClassifier {
+ public:
+  enum class Model { kJBBSM, kMultinomial };
+
+  struct Options {
+    Model model = Model::kJBBSM;
+    /// Laplace pseudo-count for the multinomial model / prior strength for
+    /// the JBBSM fallback fit.
+    double smoothing = 1.0;
+    /// Probability mass reserved for out-of-vocabulary words.
+    double unseen_mass = 1e-4;
+  };
+
+  QuestionClassifier() : QuestionClassifier(Options()) {}
+  explicit QuestionClassifier(Options options) : options_(options) {}
+
+  /// Trains from labelled documents; fails on an empty corpus.
+  Status Train(const std::vector<LabelledDoc>& docs);
+
+  /// Most probable class for the text; empty string when untrained.
+  std::string Classify(std::string_view text) const;
+
+  /// Log-posterior (up to a shared constant) per class, sorted descending.
+  std::vector<std::pair<std::string, double>> Scores(
+      std::string_view text) const;
+
+  const std::vector<std::string>& classes() const { return classes_; }
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  struct ClassModel {
+    double log_prior = 0.0;
+    // Multinomial: log P(w|c) with Laplace smoothing.
+    std::unordered_map<std::string, double> log_word_prob;
+    double log_unseen = 0.0;
+    double total_tokens = 0.0;
+    // JBBSM: per-word beta-binomial parameters.
+    std::unordered_map<std::string, BetaBinomialParams> word_params;
+    BetaBinomialParams unseen_params;
+  };
+
+  double ScoreClass(const ClassModel& model,
+                    const std::map<std::string, std::size_t>& counts,
+                    std::size_t doc_len) const;
+
+  Options options_;
+  std::vector<std::string> classes_;
+  std::map<std::string, ClassModel> models_;
+  std::unordered_map<std::string, bool> vocab_;
+};
+
+}  // namespace cqads::classify
+
+#endif  // CQADS_CLASSIFY_QUESTION_CLASSIFIER_H_

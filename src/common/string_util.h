@@ -1,0 +1,59 @@
+// String helpers shared across the library. All functions are pure and
+// ASCII-oriented: ads text in the reproduction corpus is ASCII, matching the
+// paper's English-language setting.
+#ifndef CQADS_COMMON_STRING_UTIL_H_
+#define CQADS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqads {
+
+/// Lower-cases ASCII letters; other bytes pass through unchanged.
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII letters; other bytes pass through unchanged.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// True if every byte is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// True if every byte is an ASCII letter (and s is non-empty).
+bool IsAlpha(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Formats an integer with thousands separators: 16536 -> "16,536".
+std::string WithThousandsSeparators(long long v);
+
+}  // namespace cqads
+
+#endif  // CQADS_COMMON_STRING_UTIL_H_

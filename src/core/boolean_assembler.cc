@@ -1,0 +1,516 @@
+#include "core/boolean_assembler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace cqads::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+db::Value NumValue(double d) {
+  if (d == std::floor(d) && std::abs(d) < 9e15) {
+    return db::Value::Int(static_cast<std::int64_t>(d));
+  }
+  return db::Value::Real(d);
+}
+
+db::ExprPtr NumPred(std::size_t attr, db::CompareOp op, double lo,
+                    double hi = 0.0) {
+  db::Predicate p;
+  p.attr = attr;
+  p.op = op;
+  p.value = NumValue(lo);
+  if (op == db::CompareOp::kBetween) p.value_hi = NumValue(hi);
+  return db::Expr::MakePredicate(std::move(p));
+}
+
+db::ExprPtr TextPred(std::size_t attr, db::CompareOp op,
+                     const std::string& value) {
+  db::Predicate p;
+  p.attr = attr;
+  p.op = op;
+  p.value = db::Value::Text(value);
+  return db::Expr::MakePredicate(std::move(p));
+}
+
+/// Output of assembling one segment.
+struct SegmentBuild {
+  std::vector<MatchUnit> units;
+  std::vector<db::ExprPtr> fixed;
+  bool contradiction = false;
+
+  db::ExprPtr ToExpr() const {
+    std::vector<db::ExprPtr> parts;
+    for (const auto& u : units) parts.push_back(u.expr);
+    for (const auto& f : fixed) parts.push_back(f);
+    if (parts.empty()) return nullptr;
+    return db::Expr::MakeAnd(std::move(parts));
+  }
+};
+
+/// Applies rules 1-3 within one segment.
+SegmentBuild BuildSegment(const std::vector<Condition>& conds,
+                          const db::Schema& schema,
+                          const AmbiguousResolver& resolver) {
+  SegmentBuild out;
+
+  // --- Type I identity (rule 2b/3b anchor) ---
+  std::map<std::size_t, std::vector<std::string>> identity_values;
+  for (const auto& c : conds) {
+    if (c.kind != Condition::Kind::kTypeI) continue;
+    if (c.negated) {
+      out.fixed.push_back(db::Expr::MakeNot(
+          TextPred(c.attr, db::CompareOp::kEq, c.value)));
+      continue;
+    }
+    identity_values[c.attr].push_back(c.value);
+  }
+  if (!identity_values.empty()) {
+    MatchUnit unit;
+    unit.kind = MatchUnit::Kind::kIdentity;
+    std::vector<db::ExprPtr> attr_parts;
+    std::string joined;
+    for (const auto& [attr, values] : identity_values) {
+      std::vector<db::ExprPtr> eqs;
+      for (const auto& v : values) {
+        eqs.push_back(TextPred(attr, db::CompareOp::kEq, v));
+        if (!joined.empty()) joined += " ";
+        joined += v;
+        Condition c;
+        c.kind = Condition::Kind::kTypeI;
+        c.attr = attr;
+        c.value = v;
+        unit.conds.push_back(std::move(c));
+      }
+      attr_parts.push_back(db::Expr::MakeOr(std::move(eqs)));
+      unit.attr = attr;
+    }
+    unit.expr = db::Expr::MakeAnd(std::move(attr_parts));
+    unit.value = joined;
+    out.units.push_back(std::move(unit));
+  }
+
+  // --- Type II (rule 2a) ---
+  // Group by attribute, preserving first-appearance order.
+  std::vector<std::size_t> t2_order;
+  std::map<std::size_t, std::vector<Condition>> t2_groups;
+  for (const auto& c : conds) {
+    if (c.kind != Condition::Kind::kTypeII) continue;
+    if (t2_groups.find(c.attr) == t2_groups.end()) t2_order.push_back(c.attr);
+    t2_groups[c.attr].push_back(c);
+  }
+  for (std::size_t attr : t2_order) {
+    const bool mutually_exclusive =
+        schema.attribute(attr).data_kind == db::DataKind::kCategorical;
+    std::vector<Condition> positive;
+    for (const auto& c : t2_groups[attr]) {
+      if (c.negated) {
+        // Rule 2a: negated attribute values are ANDed together.
+        out.fixed.push_back(db::Expr::MakeNot(
+            TextPred(c.attr, db::CompareOp::kEq, c.value)));
+      } else {
+        positive.push_back(c);
+      }
+    }
+    if (positive.empty()) continue;
+    if (mutually_exclusive && positive.size() > 1) {
+      // Mutually-exclusive values cannot co-exist: OR them (rule 2a).
+      MatchUnit unit;
+      unit.kind = MatchUnit::Kind::kTypeII;
+      unit.attr = attr;
+      std::vector<db::ExprPtr> eqs;
+      std::string joined;
+      for (const auto& c : positive) {
+        eqs.push_back(TextPred(c.attr, db::CompareOp::kEq, c.value));
+        if (!joined.empty()) joined += " or ";
+        joined += c.value;
+        unit.conds.push_back(c);
+      }
+      unit.expr = db::Expr::MakeOr(std::move(eqs));
+      unit.value = joined;
+      out.units.push_back(std::move(unit));
+    } else {
+      // Compatible values (multi-valued attributes like feature lists, or a
+      // single value): each is its own ANDed unit.
+      for (const auto& c : positive) {
+        MatchUnit unit;
+        unit.kind = MatchUnit::Kind::kTypeII;
+        unit.attr = attr;
+        unit.value = c.value;
+        unit.expr = TextPred(c.attr, db::CompareOp::kEq, c.value);
+        unit.conds.push_back(c);
+        out.units.push_back(std::move(unit));
+      }
+    }
+  }
+
+  // --- Type III (rule 1) ---
+  std::vector<std::size_t> t3_order;
+  std::map<std::size_t, std::vector<Condition>> t3_groups;
+  for (const auto& c : conds) {
+    if (c.kind != Condition::Kind::kTypeIIIBound) continue;
+    if (t3_groups.find(c.attr) == t3_groups.end()) t3_order.push_back(c.attr);
+    t3_groups[c.attr].push_back(c);
+  }
+  for (std::size_t attr : t3_order) {
+    double lower = -kInf, upper = kInf;
+    bool lower_strict = false, upper_strict = false;
+    std::vector<double> eqs;
+    std::vector<Condition> merged_conds;
+    for (const auto& c : t3_groups[attr]) {
+      merged_conds.push_back(c);
+      if (c.negated && c.op == db::CompareOp::kBetween) {
+        // Rule 1a on a range: complement = outside the range.
+        out.fixed.push_back(db::Expr::MakeOr(
+            {NumPred(attr, db::CompareOp::kLt, c.lo),
+             NumPred(attr, db::CompareOp::kGt, c.hi)}));
+        merged_conds.pop_back();
+        continue;
+      }
+      switch (c.op) {
+        case db::CompareOp::kLt:
+        case db::CompareOp::kLe:
+          // Rule 1b: repeated upper bounds retain the lower value.
+          if (c.lo < upper ||
+              (c.lo == upper && c.op == db::CompareOp::kLt)) {
+            upper = c.lo;
+            upper_strict = c.op == db::CompareOp::kLt;
+          }
+          break;
+        case db::CompareOp::kGt:
+        case db::CompareOp::kGe:
+          // Rule 1b: repeated lower bounds retain the higher value.
+          if (c.lo > lower ||
+              (c.lo == lower && c.op == db::CompareOp::kGt)) {
+            lower = c.lo;
+            lower_strict = c.op == db::CompareOp::kGt;
+          }
+          break;
+        case db::CompareOp::kEq:
+          eqs.push_back(c.lo);
+          break;
+        case db::CompareOp::kNe:
+          out.fixed.push_back(db::Expr::MakeNot(
+              NumPred(attr, db::CompareOp::kEq, c.lo)));
+          merged_conds.pop_back();
+          break;
+        case db::CompareOp::kBetween:
+          if (c.lo > lower) {
+            lower = c.lo;
+            lower_strict = false;
+          }
+          if (c.hi < upper) {
+            upper = c.hi;
+            upper_strict = false;
+          }
+          break;
+        case db::CompareOp::kContains:
+          break;  // not produced for numeric attributes
+      }
+    }
+    // Rule 1c: combine a lower and an upper bound; empty ranges are the
+    // paper's "search retrieved no results" case.
+    if (lower > upper ||
+        (lower == upper && (lower_strict || upper_strict))) {
+      out.contradiction = true;
+      return out;
+    }
+    std::vector<db::ExprPtr> parts;
+    if (lower > -kInf) {
+      parts.push_back(NumPred(
+          attr, lower_strict ? db::CompareOp::kGt : db::CompareOp::kGe,
+          lower));
+    }
+    if (upper < kInf) {
+      parts.push_back(NumPred(
+          attr, upper_strict ? db::CompareOp::kLt : db::CompareOp::kLe,
+          upper));
+    }
+    if (!eqs.empty()) {
+      std::vector<db::ExprPtr> eq_parts;
+      for (double v : eqs) {
+        eq_parts.push_back(NumPred(attr, db::CompareOp::kEq, v));
+      }
+      parts.push_back(db::Expr::MakeOr(std::move(eq_parts)));
+    }
+    if (parts.empty()) continue;
+    MatchUnit unit;
+    unit.kind = MatchUnit::Kind::kTypeIII;
+    unit.attr = attr;
+    unit.conds = std::move(merged_conds);
+    unit.expr = db::Expr::MakeAnd(std::move(parts));
+    out.units.push_back(std::move(unit));
+  }
+
+  // --- ambiguous bare numbers (§4.2.2) ---
+  for (const auto& c : conds) {
+    if (c.kind != Condition::Kind::kAmbiguousNumber) continue;
+    std::vector<std::size_t> candidates =
+        resolver ? resolver(c.lo, c.is_money) : std::vector<std::size_t>{};
+    if (candidates.empty()) {
+      // The value fits no Type III attribute's valid range: no record can
+      // satisfy the condition.
+      out.contradiction = true;
+      return out;
+    }
+    std::vector<db::ExprPtr> alts;
+    for (std::size_t attr : candidates) {
+      alts.push_back(NumPred(attr, c.op, c.lo, c.hi));
+    }
+    MatchUnit unit;
+    unit.kind = MatchUnit::Kind::kAmbiguous;
+    unit.attr = candidates.front();
+    unit.conds.push_back(c);
+    unit.expr = db::Expr::MakeOr(std::move(alts));
+    out.units.push_back(std::move(unit));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+Result<AssembledQuery> AssembleQuery(const BuiltConditions& built,
+                                     const db::Schema& schema,
+                                     const AmbiguousResolver& resolver) {
+  AssembledQuery out;
+
+  // Superlatives are applied last (§4.3); the first one in the question wins.
+  std::vector<Condition> selection;
+  for (const auto& c : built.conditions) {
+    if (c.kind == Condition::Kind::kSuperlative) {
+      if (!out.superlative && c.attr != kNoAttr) {
+        out.superlative = db::Superlative{c.attr, c.ascending};
+      }
+      continue;
+    }
+    selection.push_back(c);
+  }
+
+  // OR positions act as segment boundaries (§4.4.2 special case).
+  std::set<std::size_t> or_before;
+  for (const auto& op : built.operators) {
+    if (op.kind == TagKind::kOr) or_before.insert(op.order);
+  }
+
+  // Segmentation with the implicit mutually-exclusive-identity boundary.
+  std::vector<std::vector<Condition>> segments;
+  std::vector<Condition> cur;
+  std::set<std::size_t> cur_anchor_attrs;
+  auto flush = [&]() {
+    if (!cur.empty()) segments.push_back(std::move(cur));
+    cur.clear();
+    cur_anchor_attrs.clear();
+  };
+  // A value directly continuing a run of the same attribute ("focus,
+  // corolla, or civic"; "black or silver") is a mutually-exclusive
+  // alternative: it stays in the segment and rule 2a ORs it, rather than
+  // opening a new subexpression.
+  auto continues_same_attr_run = [&](const Condition& c) {
+    if (cur.empty() || c.negated) return false;
+    const Condition& prev = cur.back();
+    if (prev.negated || prev.attr != c.attr) return false;
+    return (prev.kind == Condition::Kind::kTypeI &&
+            c.kind == Condition::Kind::kTypeI) ||
+           (prev.kind == Condition::Kind::kTypeII &&
+            c.kind == Condition::Kind::kTypeII);
+  };
+  for (const auto& c : selection) {
+    if (or_before.count(c.order) > 0 && !continues_same_attr_run(c)) {
+      flush();
+    }
+    if (c.kind == Condition::Kind::kTypeI && !c.negated &&
+        cur_anchor_attrs.count(c.attr) > 0 && !continues_same_attr_run(c)) {
+      // A second value of an anchored Type I attribute starts a new
+      // subexpression; the descriptive run right before it (which
+      // right-associates per rule 2b) moves along.
+      std::size_t k = cur.size();
+      while (k > 0 && cur[k - 1].kind != Condition::Kind::kTypeI) --k;
+      std::vector<Condition> carried(cur.begin() + static_cast<std::ptrdiff_t>(k),
+                                     cur.end());
+      cur.resize(k);
+      flush();
+      cur = std::move(carried);
+    }
+    if (c.kind == Condition::Kind::kTypeI && !c.negated) {
+      cur_anchor_attrs.insert(c.attr);
+    }
+    cur.push_back(c);
+  }
+  flush();
+
+  // Trailing global descriptors over a bare-identity disjunction.
+  std::vector<Condition> global_conds;
+  if (segments.size() >= 2) {
+    auto& last = segments.back();
+    std::size_t k = last.size();
+    while (k > 0 && last[k - 1].kind != Condition::Kind::kTypeI) --k;
+    if (k < last.size()) {
+      bool others_bare = true;
+      for (std::size_t s = 0; s + 1 < segments.size() && others_bare; ++s) {
+        for (const auto& c : segments[s]) {
+          if (c.kind != Condition::Kind::kTypeI) others_bare = false;
+        }
+      }
+      for (std::size_t j = 0; j < k && others_bare; ++j) {
+        if (last[j].kind != Condition::Kind::kTypeI) others_bare = false;
+      }
+      if (others_bare) {
+        global_conds.assign(last.begin() + static_cast<std::ptrdiff_t>(k),
+                            last.end());
+        last.resize(k);
+        if (last.empty()) segments.pop_back();
+      }
+    }
+  }
+
+  // Build each segment.
+  std::vector<db::ExprPtr> segment_exprs;
+  std::vector<SegmentBuild> builds;
+  for (const auto& seg : segments) {
+    SegmentBuild b = BuildSegment(seg, schema, resolver);
+    if (b.contradiction) {
+      out.contradiction = true;
+      out.interpretation = "search retrieved no results";
+      return out;
+    }
+    db::ExprPtr e = b.ToExpr();
+    if (e) segment_exprs.push_back(e);
+    builds.push_back(std::move(b));
+  }
+
+  db::ExprPtr where;
+  if (!segment_exprs.empty()) {
+    // Rule 4: identity-anchored subexpressions are ORed together.
+    where = db::Expr::MakeOr(std::move(segment_exprs));
+  }
+
+  if (!global_conds.empty()) {
+    SegmentBuild g = BuildSegment(global_conds, schema, resolver);
+    if (g.contradiction) {
+      out.contradiction = true;
+      out.interpretation = "search retrieved no results";
+      return out;
+    }
+    db::ExprPtr ge = g.ToExpr();
+    if (ge) {
+      where = where ? db::Expr::MakeAnd({where, ge}) : ge;
+    }
+  }
+
+  out.where = where;
+
+  // N-1 units only for single-segment (conjunctive) questions.
+  if (builds.size() == 1 && global_conds.empty()) {
+    out.units = builds[0].units;
+    out.fixed = builds[0].fixed;
+  }
+
+  out.interpretation = InterpretationString(schema, out.where);
+  return out;
+}
+
+Result<AssembledQuery> AssembleExplicitPrecedence(
+    const BuiltConditions& built, const db::Schema& schema,
+    const AmbiguousResolver& resolver) {
+  AssembledQuery out;
+
+  // Operands: every selection condition, each assembled individually (rule
+  // 1's per-attribute merging is intentionally NOT applied across operands
+  // — the operators are read literally).
+  std::vector<Condition> selection;
+  for (const auto& c : built.conditions) {
+    if (c.kind == Condition::Kind::kSuperlative) {
+      if (!out.superlative && c.attr != kNoAttr) {
+        out.superlative = db::Superlative{c.attr, c.ascending};
+      }
+      continue;
+    }
+    selection.push_back(c);
+  }
+  if (selection.empty()) {
+    out.interpretation = "";
+    return out;
+  }
+
+  std::set<std::size_t> or_before;
+  for (const auto& op : built.operators) {
+    if (op.kind == TagKind::kOr) or_before.insert(op.order);
+  }
+
+  // Parse with precedence: OR terms are maximal AND-runs of operands.
+  std::vector<db::ExprPtr> or_terms;
+  std::vector<db::ExprPtr> current_and;
+  for (const auto& c : selection) {
+    if (or_before.count(c.order) > 0 && !current_and.empty()) {
+      or_terms.push_back(db::Expr::MakeAnd(current_and));
+      current_and.clear();
+    }
+    SegmentBuild one = BuildSegment({c}, schema, resolver);
+    if (one.contradiction) {
+      out.contradiction = true;
+      out.interpretation = "search retrieved no results";
+      return out;
+    }
+    db::ExprPtr e = one.ToExpr();
+    if (e) current_and.push_back(e);
+  }
+  if (!current_and.empty()) {
+    or_terms.push_back(db::Expr::MakeAnd(current_and));
+  }
+  if (!or_terms.empty()) out.where = db::Expr::MakeOr(std::move(or_terms));
+  out.interpretation = InterpretationString(schema, out.where);
+  return out;
+}
+
+namespace {
+
+std::string RenderInterp(const db::Schema& schema, const db::Expr& expr) {
+  switch (expr.kind()) {
+    case db::Expr::Kind::kPredicate: {
+      const db::Predicate& p = expr.predicate();
+      const std::string& name = schema.attribute(p.attr).name;
+      if (p.op == db::CompareOp::kBetween) {
+        return name + " between " + p.value.AsText() + " and " +
+               p.value_hi.AsText();
+      }
+      std::string rhs = p.value.is_text() ? "'" + p.value.AsText() + "'"
+                                          : p.value.AsText();
+      return name + " " + db::CompareOpToSql(p.op) + " " + rhs;
+    }
+    case db::Expr::Kind::kNot:
+      return "NOT (" + RenderInterp(schema, *expr.children()[0]) + ")";
+    case db::Expr::Kind::kAnd:
+    case db::Expr::Kind::kOr: {
+      const char* joiner = expr.kind() == db::Expr::Kind::kAnd ? " AND "
+                                                               : " OR ";
+      std::string s;
+      for (std::size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) s += joiner;
+        const db::Expr& child = *expr.children()[i];
+        bool parens = child.kind() == db::Expr::Kind::kAnd ||
+                      child.kind() == db::Expr::Kind::kOr;
+        if (parens) s += "(";
+        s += RenderInterp(schema, child);
+        if (parens) s += ")";
+      }
+      return s;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string InterpretationString(const db::Schema& schema,
+                                 const db::ExprPtr& expr) {
+  if (!expr) return "";
+  return RenderInterp(schema, *expr);
+}
+
+}  // namespace cqads::core

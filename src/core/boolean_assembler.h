@@ -1,0 +1,93 @@
+// Boolean question assembly (§4.4). Applies the paper's combination rules to
+// an ordered condition sequence:
+//   Rule 1  per-attribute merging of quantitative conditions (complement
+//           negated quantifiers; intersect repeated less-than/more-than;
+//           combine a lower and an upper bound into a range, detecting
+//           non-overlapping contradictions -> "search retrieved no results");
+//   Rule 2  consecutive Type II values: negated ones AND together, mutually
+//           exclusive non-negated ones OR together;
+//   Rule 2b/3 descriptive runs right-associate with the closest Type I
+//           anchor;
+//   Rule 4  subexpressions anchored by distinct Type I identities OR
+//           together.
+// Explicit Boolean questions (§4.4.2) reuse these rules: ANDs are dropped
+// (conjunction is the default), ORs act as segment boundaries, and a
+// trailing descriptor run after a bare-identity disjunction distributes over
+// the whole disjunction ("Focus, Corolla, or Civic. Show only black and grey
+// cars" -> (Focus OR Corolla OR Civic) AND (black OR grey)).
+#ifndef CQADS_CORE_BOOLEAN_ASSEMBLER_H_
+#define CQADS_CORE_BOOLEAN_ASSEMBLER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/condition_builder.h"
+#include "db/query.h"
+#include "db/schema.h"
+
+namespace cqads::core {
+
+/// Resolves an ambiguous bare number (§4.2.2): returns the numeric
+/// attributes whose observed value range contains `value`. `is_money`
+/// restricts candidates to money-denominated attributes.
+using AmbiguousResolver =
+    std::function<std::vector<std::size_t>(double value, bool is_money)>;
+
+/// A droppable unit for the N-1 partial-match strategy (§4.3.1). The Type I
+/// identity (make+model) counts as ONE unit — Table 2 ranks a Chevy Malibu
+/// against "Honda Accord" by TI_Sim over the whole identity.
+struct MatchUnit {
+  enum class Kind { kIdentity, kTypeII, kTypeIII, kAmbiguous };
+  Kind kind = Kind::kTypeII;
+  std::vector<Condition> conds;  ///< constituent conditions
+  db::ExprPtr expr;              ///< fragment this unit contributes
+  /// Identity: space-joined Type I values in schema order ("honda accord").
+  /// Type II: the value. Type III/ambiguous: unused.
+  std::string value;
+  std::size_t attr = kNoAttr;    ///< representative attribute (not identity)
+};
+
+struct AssembledQuery {
+  db::ExprPtr where;  ///< null means no constraint
+  std::optional<db::Superlative> superlative;
+  /// Rule 1c detected non-overlapping bounds: the paper's CQAds reports
+  /// "search retrieved no results" and stops.
+  bool contradiction = false;
+  /// Units for N-1 relaxation; empty when the question is not a single
+  /// conjunctive segment (multi-identity OR questions are not relaxed).
+  std::vector<MatchUnit> units;
+  /// Always-kept fragments (negated conditions are never dropped by N-1).
+  std::vector<db::ExprPtr> fixed;
+  /// Canonical Boolean interpretation, for the Fig. 4 accuracy experiment.
+  std::string interpretation;
+};
+
+/// Runs rules 1-4. `resolver` may be null when the question can contain no
+/// ambiguous numbers (tests); ambiguous conditions then become
+/// contradictions.
+Result<AssembledQuery> AssembleQuery(const BuiltConditions& built,
+                                     const db::Schema& schema,
+                                     const AmbiguousResolver& resolver);
+
+/// Canonical human-readable rendering of an expression tree (stable across
+/// runs; used to compare interpretations in the Boolean surveys).
+std::string InterpretationString(const db::Schema& schema,
+                                 const db::ExprPtr& expr);
+
+/// EXTENSION (§6 future work #1): a precedence-based evaluator for explicit
+/// Boolean questions. Conditions become operands; adjacency is implicit
+/// AND; explicit AND binds tighter than explicit OR; NOT was already folded
+/// into the conditions. Unlike AssembleQuery it uses no mutual-exclusion or
+/// right-association knowledge — it reads the operators literally. The
+/// ablate_explicit_rules bench compares both on explicit questions; the
+/// paper's §4.4.2 decision (reuse the implicit rules) is borne out.
+Result<AssembledQuery> AssembleExplicitPrecedence(
+    const BuiltConditions& built, const db::Schema& schema,
+    const AmbiguousResolver& resolver);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_BOOLEAN_ASSEMBLER_H_

@@ -1,0 +1,253 @@
+#include "core/condition_builder.h"
+
+#include <optional>
+
+namespace cqads::core {
+
+db::CompareOp ComplementOp(db::CompareOp op) {
+  using Op = db::CompareOp;
+  switch (op) {
+    case Op::kLt:
+      return Op::kGe;
+    case Op::kLe:
+      return Op::kGt;
+    case Op::kGt:
+      return Op::kLe;
+    case Op::kGe:
+      return Op::kLt;
+    case Op::kEq:
+      return Op::kNe;
+    case Op::kNe:
+      return Op::kEq;
+    default:
+      return op;  // kBetween/kContains have no single-op complement
+  }
+}
+
+bool IsMoneyAttribute(const db::Attribute& attr) {
+  for (const auto& unit : attr.unit_keywords) {
+    if (unit == "usd" || unit == "dollars" || unit == "dollar" ||
+        unit == "$" || unit == "bucks") {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Mutable analysis state ("context" in the paper's context-switching).
+struct BuilderState {
+  std::optional<db::CompareOp> pending_op;
+  bool pending_negation = false;
+  std::size_t pending_attr = kNoAttr;   // from kTypeIIIAttr / kUnit / CB
+  std::optional<bool> pending_super;    // direction of a partial superlative
+  // An open BETWEEN waiting for its second operand.
+  bool between_open = false;
+  std::size_t between_cond = 0;  // index into out->conditions
+};
+
+/// The attribute bare money amounts most plausibly quantify: the first
+/// money-unit numeric attribute of the schema.
+std::size_t MoneyAttr(const db::Schema& schema) {
+  for (std::size_t a : schema.NumericAttrs()) {
+    if (IsMoneyAttribute(schema.attribute(a))) return a;
+  }
+  return kNoAttr;
+}
+
+/// Default attribute for a dangling partial superlative: "price" when the
+/// schema has one (the dominant usage in ads questions), else the first
+/// numeric attribute.
+std::size_t DefaultSuperlativeAttr(const db::Schema& schema) {
+  if (auto price = schema.Resolve("price")) return *price;
+  auto numerics = schema.NumericAttrs();
+  return numerics.empty() ? kNoAttr : numerics.front();
+}
+
+}  // namespace
+
+BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
+                                const db::Schema& schema) {
+  BuiltConditions out;
+  BuilderState st;
+
+  auto emit = [&](Condition c) {
+    c.order = out.conditions.size();
+    out.conditions.push_back(std::move(c));
+  };
+
+  auto resolve_super = [&](std::size_t attr, bool ascending) {
+    Condition c;
+    c.kind = Condition::Kind::kSuperlative;
+    c.attr = attr;
+    c.ascending = ascending;
+    emit(std::move(c));
+  };
+
+  // Finalizes a number into a bound (or ambiguous) condition.
+  auto emit_number = [&](const TaggedItem& item) {
+    if (st.between_open) {
+      Condition& open = out.conditions[st.between_cond];
+      open.hi = item.number;
+      if (open.hi < open.lo) std::swap(open.lo, open.hi);
+      st.between_open = false;
+      return;
+    }
+    Condition c;
+    c.lo = item.number;
+    c.is_money = item.is_money;
+    std::size_t attr = st.pending_attr;
+    if (attr == kNoAttr && item.is_money) attr = MoneyAttr(schema);
+
+    if (st.pending_op.has_value() && *st.pending_op == db::CompareOp::kBetween) {
+      c.op = db::CompareOp::kBetween;
+      c.hi = c.lo;  // until the second operand arrives
+      c.kind = attr == kNoAttr ? Condition::Kind::kAmbiguousNumber
+                               : Condition::Kind::kTypeIIIBound;
+      c.attr = attr;
+      if (st.pending_negation) {
+        c.negated = true;  // negated BETWEEN: assembler complements the range
+        st.pending_negation = false;
+      }
+      emit(std::move(c));
+      st.between_open = true;
+      st.between_cond = out.conditions.size() - 1;
+    } else {
+      c.op = st.pending_op.value_or(db::CompareOp::kEq);
+      if (st.pending_negation) {
+        c.op = ComplementOp(c.op);  // rule 1a: complement the quantifier
+        st.pending_negation = false;
+      }
+      c.kind = attr == kNoAttr ? Condition::Kind::kAmbiguousNumber
+                               : Condition::Kind::kTypeIIIBound;
+      c.attr = attr;
+      emit(std::move(c));
+    }
+    st.pending_op.reset();
+    st.pending_attr = kNoAttr;
+  };
+
+  // Attribute mention arriving *after* a number: "20k miles", "2000 dollars".
+  auto try_assign_attr_backward = [&](std::size_t attr,
+                                      std::size_t item_begin) -> bool {
+    if (out.conditions.empty()) return false;
+    Condition& last = out.conditions.back();
+    if (last.kind != Condition::Kind::kAmbiguousNumber) return false;
+    // Adjacency check is positional: the attribute keyword must directly
+    // follow the number's tokens.
+    (void)item_begin;
+    last.kind = Condition::Kind::kTypeIIIBound;
+    last.attr = attr;
+    return true;
+  };
+
+  for (const TaggedItem& item : items) {
+    switch (item.kind) {
+      case TagKind::kTypeIValue:
+      case TagKind::kTypeIIValue: {
+        Condition c;
+        c.kind = item.kind == TagKind::kTypeIValue ? Condition::Kind::kTypeI
+                                                   : Condition::Kind::kTypeII;
+        c.attr = item.attr;
+        c.value = item.value;
+        c.negated = st.pending_negation;
+        st.pending_negation = false;
+        emit(std::move(c));
+        break;
+      }
+
+      case TagKind::kTypeIIIAttr:
+      case TagKind::kUnit: {
+        if (st.pending_super.has_value()) {
+          resolve_super(item.attr, *st.pending_super);
+          st.pending_super.reset();
+          break;
+        }
+        if (try_assign_attr_backward(item.attr, item.token_begin)) break;
+        st.pending_attr = item.attr;
+        break;
+      }
+
+      case TagKind::kOpLess:
+      case TagKind::kOpGreater:
+      case TagKind::kOpEquals: {
+        db::CompareOp op = item.op;
+        if (st.pending_negation) {
+          op = ComplementOp(op);
+          st.pending_negation = false;
+        }
+        st.pending_op = op;
+        break;
+      }
+
+      case TagKind::kOpBetween:
+        st.pending_op = db::CompareOp::kBetween;
+        break;
+
+      case TagKind::kBoundaryComplete: {
+        db::CompareOp op = item.op;
+        if (st.pending_negation) {
+          op = ComplementOp(op);
+          st.pending_negation = false;
+        }
+        st.pending_op = op;
+        st.pending_attr = item.attr;
+        break;
+      }
+
+      case TagKind::kSuperComplete:
+        resolve_super(item.attr, item.ascending);
+        break;
+
+      case TagKind::kSuperPartial:
+        if (st.pending_attr != kNoAttr) {
+          resolve_super(st.pending_attr, item.ascending);
+          st.pending_attr = kNoAttr;
+        } else {
+          st.pending_super = item.ascending;
+        }
+        break;
+
+      case TagKind::kNegation:
+        st.pending_negation = true;
+        break;
+
+      case TagKind::kAnd:
+        // "between 2000 and 5000": the AND separates the two operands.
+        if (st.between_open) break;
+        out.operators.push_back({TagKind::kAnd, out.conditions.size()});
+        out.has_explicit_and = true;
+        break;
+
+      case TagKind::kOr:
+        out.operators.push_back({TagKind::kOr, out.conditions.size()});
+        out.has_explicit_or = true;
+        break;
+
+      case TagKind::kNumber:
+        emit_number(item);
+        break;
+    }
+  }
+
+  // Dangling partial superlative: fall back to the domain's dominant
+  // quantitative attribute ("cheapest"-style intent is by far the most
+  // common in ads questions).
+  if (st.pending_super.has_value()) {
+    std::size_t attr = DefaultSuperlativeAttr(schema);
+    if (attr != kNoAttr) resolve_super(attr, *st.pending_super);
+  }
+
+  // An unfinished BETWEEN ("between 2000"): degrade to >= lo.
+  if (st.between_open) {
+    Condition& open = out.conditions[st.between_cond];
+    if (open.hi == open.lo) {
+      open.op = db::CompareOp::kGe;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace cqads::core

@@ -1,0 +1,45 @@
+// Context-switching analysis (§4.1.2, Table 1): merges tagged items into
+// complete selection conditions. Partial boundaries ("less than") combine
+// with numbers and with the attribute identified by a name, unit keyword, or
+// complete-boundary keyword; partial superlatives ("lowest") combine with a
+// quantitative attribute mention; bare numbers become ambiguous conditions
+// the engine later resolves against table value ranges (§4.2.2).
+#ifndef CQADS_CORE_CONDITION_BUILDER_H_
+#define CQADS_CORE_CONDITION_BUILDER_H_
+
+#include <vector>
+
+#include "core/tags.h"
+#include "db/schema.h"
+
+namespace cqads::core {
+
+/// Position-stamped explicit Boolean operator, kept aside for the Boolean
+/// assembler (§4.4).
+struct OpMarker {
+  TagKind kind = TagKind::kAnd;  ///< kAnd or kOr
+  std::size_t order = 0;  ///< index into the condition sequence *before*
+                          ///< which the operator occurred
+};
+
+struct BuiltConditions {
+  std::vector<Condition> conditions;  ///< question order, `order` stamped
+  std::vector<OpMarker> operators;    ///< explicit ANDs / ORs
+  bool has_explicit_and = false;
+  bool has_explicit_or = false;
+};
+
+/// Runs the condition state machine over tagged items.
+BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
+                                const db::Schema& schema);
+
+/// Complements a comparison under negation (rule 1a): NOT < is >=, etc.
+db::CompareOp ComplementOp(db::CompareOp op);
+
+/// True when the attribute is denominated in money (its unit keywords
+/// include a currency word). Used to bind '$'-marked numbers (§4.2.2).
+bool IsMoneyAttribute(const db::Attribute& attr);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_CONDITION_BUILDER_H_

@@ -1,0 +1,142 @@
+// The CQAds engine: the paper's end-to-end pipeline behind one call.
+//   Ask(question):
+//     1. classify the question's ads domain (Naive Bayes / JBBSM, §3)
+//     2. tag keywords with the domain trie, repairing spelling, missing
+//        spaces, and shorthand notations (§4.1-4.2)
+//     3. build conditions via context-switching analysis (§4.1.2)
+//     4. assemble the (Boolean) query with rules 1-4 (§4.4)
+//     5. render SQL and execute with the §4.3 evaluation order (§4.5)
+//     6. when exact answers are scarce, retrieve N-1 partially-matched
+//        answers and rank them by Rank_Sim (§4.3.1-4.3.2), capping the
+//        total at 30
+#ifndef CQADS_CORE_CQADS_ENGINE_H_
+#define CQADS_CORE_CQADS_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/question_classifier.h"
+#include "common/status.h"
+#include "core/boolean_assembler.h"
+#include "core/domain_lexicon.h"
+#include "core/question_tagger.h"
+#include "core/rank_sim.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "qlog/ti_matrix.h"
+#include "wordsim/ws_matrix.h"
+
+namespace cqads::core {
+
+/// Everything the engine keeps per registered domain.
+struct DomainRuntime {
+  const db::Table* table = nullptr;
+  std::unique_ptr<DomainLexicon> lexicon;
+  std::unique_ptr<QuestionTagger> tagger;
+  std::unique_ptr<db::Executor> executor;
+  qlog::TiMatrix ti_matrix;
+  std::vector<double> attr_ranges;  ///< Eq. 4 normalization
+};
+
+class CqadsEngine {
+ public:
+  struct Options {
+    /// §4.3.1: at most 30 answers per question.
+    std::size_t answer_cap = 30;
+    /// Partial (N-1) answers are fetched when exact answers number fewer
+    /// than this.
+    std::size_t partial_trigger = 30;
+    bool enable_partial = true;
+  };
+
+  CqadsEngine() : CqadsEngine(Options()) {}
+  explicit CqadsEngine(Options options) : options_(options) {}
+
+  // Movable, not copyable.
+  CqadsEngine(CqadsEngine&&) = default;
+  CqadsEngine& operator=(CqadsEngine&&) = default;
+
+  /// Registers a domain: the ads table (indexes built) and its query-log-
+  /// derived TI-matrix. Builds the trie lexicon, tagger, executor, and
+  /// attribute ranges.
+  Status AddDomain(const db::Table* table, qlog::TiMatrix ti_matrix);
+
+  /// Shared word-correlation matrix for Feat_Sim. Must outlive the engine.
+  void SetWordSimilarity(const wordsim::WsMatrix* ws) { ws_ = ws; }
+
+  /// Trains the domain classifier on the registered tables' ad texts.
+  Status TrainClassifier(
+      classify::QuestionClassifier::Options classifier_options = {});
+
+  /// Trains on the registered tables' ad texts plus caller-supplied extra
+  /// documents (e.g. domain-keyword texts real ads would contain).
+  Status TrainClassifierWithExtra(
+      const std::vector<classify::LabelledDoc>& extra_docs,
+      classify::QuestionClassifier::Options classifier_options = {});
+
+  /// Labelled ad texts of every registered domain (exposed so benches can
+  /// train alternative classifiers on identical data).
+  std::vector<classify::LabelledDoc> MakeTrainingDocs() const;
+
+  /// §3: the ads domain of a question. Fails when untrained.
+  Result<std::string> ClassifyDomain(const std::string& question) const;
+
+  /// Full analysis of a question within a known domain.
+  struct ParsedQuestion {
+    TaggingResult tags;
+    BuiltConditions conditions;
+    AssembledQuery assembled;
+    db::Query query;      ///< executable form
+    std::string sql;      ///< §4.5 nested-subquery SQL text
+  };
+  Result<ParsedQuestion> Parse(const std::string& domain,
+                               const std::string& question) const;
+
+  /// One retrieved answer.
+  struct Answer {
+    db::RowId row = 0;
+    bool exact = true;
+    double rank_sim = 0.0;     ///< Eq. 5 (exact answers: number of units)
+    std::string measure;       ///< similarity measure used (partial only)
+  };
+
+  struct AskResult {
+    std::string domain;
+    std::string sql;
+    std::string interpretation;
+    bool contradiction = false;  ///< "search retrieved no results"
+    std::vector<Answer> answers;
+    std::size_t exact_count = 0;
+    db::ExecStats stats;
+  };
+
+  /// Classifies, then answers.
+  Result<AskResult> Ask(const std::string& question) const;
+
+  /// Answers within a known domain (skips classification).
+  Result<AskResult> AskInDomain(const std::string& domain,
+                                const std::string& question) const;
+
+  /// Runtime lookup for tests and benches; nullptr when unregistered.
+  const DomainRuntime* runtime(const std::string& domain) const;
+
+  const classify::QuestionClassifier& classifier() const {
+    return classifier_;
+  }
+  std::vector<std::string> Domains() const;
+
+ private:
+  SimilarityContext MakeSimilarityContext(const DomainRuntime& rt) const;
+
+  Options options_;
+  std::map<std::string, std::unique_ptr<DomainRuntime>> runtimes_;
+  classify::QuestionClassifier classifier_;
+  bool classifier_trained_ = false;
+  const wordsim::WsMatrix* ws_ = nullptr;
+};
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_CQADS_ENGINE_H_

@@ -1,0 +1,69 @@
+// Per-domain lexicon: the domain trie (§4.1.4) plus the side table of tag
+// prototypes its handles point at. Built from the domain's relational schema
+// and the distinct attribute values observed in its ads table, plus the
+// shared identifiers table — exactly the ingredients §4.1.4 lists.
+#ifndef CQADS_CORE_DOMAIN_LEXICON_H_
+#define CQADS_CORE_DOMAIN_LEXICON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tags.h"
+#include "db/table.h"
+#include "text/token.h"
+#include "trie/keyword_trie.h"
+
+namespace cqads::core {
+
+class DomainLexicon {
+ public:
+  /// Builds a lexicon from a table whose indexes are built (distinct
+  /// categorical values are read from the hash indexes, mirroring the
+  /// paper's extraction of attribute values from collected ads).
+  static Result<DomainLexicon> Build(const db::Table* table);
+
+  const db::Schema& schema() const { return *schema_; }
+  const trie::KeywordTrie& trie() const { return trie_; }
+
+  /// Tag prototype behind a trie handle.
+  const TaggedItem& entry(std::int32_t handle) const {
+    return entries_[static_cast<std::size_t>(handle)];
+  }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// Longest multi-token phrase match starting at tokens[i] (phrases are
+  /// stored space-joined in the trie: "less than", "4 wheel drive").
+  struct PhraseMatch {
+    std::size_t token_count = 0;
+    std::vector<std::int32_t> handles;
+  };
+  std::optional<PhraseMatch> LongestPhraseMatch(
+      const text::TokenList& tokens, std::size_t i,
+      std::size_t max_tokens = 5) const;
+
+  /// Shorthand-notation resolution (§4.2.3): finds a categorical value of
+  /// which `token` is a shorthand ("2dr" -> "2 door"). Longest value wins.
+  std::optional<TaggedItem> FindShorthand(const std::string& token) const;
+
+  /// All categorical values of one attribute (sorted), for generators and
+  /// tests.
+  std::vector<std::string> ValuesOf(std::size_t attr) const;
+
+ private:
+  DomainLexicon() = default;
+
+  std::int32_t AddEntry(TaggedItem item);
+  void InsertKeyword(const std::string& keyword, TaggedItem item);
+
+  const db::Schema* schema_ = nullptr;
+  trie::KeywordTrie trie_;
+  std::vector<TaggedItem> entries_;
+  /// (attr, value) pairs of categorical values, for shorthand scans.
+  std::vector<std::pair<std::size_t, std::string>> categorical_values_;
+};
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_DOMAIN_LEXICON_H_

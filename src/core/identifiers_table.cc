@@ -1,0 +1,108 @@
+#include "core/identifiers_table.h"
+
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+
+namespace cqads::core {
+
+const std::vector<IdentifierRule>& BuiltinIdentifierRules() {
+  using K = TagKind;
+  using Op = db::CompareOp;
+  static const auto* kRules = new std::vector<IdentifierRule>{
+      // --- partial boundaries: comparison operators (Table 1 rows 4-7) ---
+      {"less than", K::kOpLess, "", true, Op::kLt},
+      {"lower than", K::kOpLess, "", true, Op::kLt},
+      {"fewer than", K::kOpLess, "", true, Op::kLt},
+      {"smaller than", K::kOpLess, "", true, Op::kLt},
+      {"below", K::kOpLess, "", true, Op::kLt},
+      {"under", K::kOpLess, "", true, Op::kLt},
+      {"at most", K::kOpLess, "", true, Op::kLe},
+      {"no more than", K::kOpLess, "", true, Op::kLe},
+      {"up to", K::kOpLess, "", true, Op::kLe},
+      {"maximum of", K::kOpLess, "", true, Op::kLe},
+      {"more than", K::kOpGreater, "", true, Op::kGt},
+      {"greater than", K::kOpGreater, "", true, Op::kGt},
+      {"higher than", K::kOpGreater, "", true, Op::kGt},
+      {"larger than", K::kOpGreater, "", true, Op::kGt},
+      {"bigger than", K::kOpGreater, "", true, Op::kGt},
+      {"above", K::kOpGreater, "", true, Op::kGt},
+      {"over", K::kOpGreater, "", true, Op::kGt},
+      {"at least", K::kOpGreater, "", true, Op::kGe},
+      {"no less than", K::kOpGreater, "", true, Op::kGe},
+      {"minimum of", K::kOpGreater, "", true, Op::kGe},
+      {"equal", K::kOpEquals, "", true, Op::kEq},
+      {"equals", K::kOpEquals, "", true, Op::kEq},
+      {"equal to", K::kOpEquals, "", true, Op::kEq},
+      {"exactly", K::kOpEquals, "", true, Op::kEq},
+      {"between", K::kOpBetween, "", true, Op::kBetween},
+      {"in the range", K::kOpBetween, "", true, Op::kBetween},
+      {"range", K::kOpBetween, "", true, Op::kBetween},
+      {"within", K::kOpBetween, "", true, Op::kBetween},
+
+      // --- complete boundaries: attribute implied (§4.1.2 "cheaper/less
+      //     expensive than", "newer/older than") ---
+      {"cheaper than", K::kBoundaryComplete, "price", true, Op::kLt},
+      {"cheaper", K::kBoundaryComplete, "price", true, Op::kLt},
+      {"less expensive than", K::kBoundaryComplete, "price", true, Op::kLt},
+      {"more expensive than", K::kBoundaryComplete, "price", true, Op::kGt},
+      {"pricier than", K::kBoundaryComplete, "price", true, Op::kGt},
+      {"newer than", K::kBoundaryComplete, "year", false, Op::kGt},
+      {"older than", K::kBoundaryComplete, "year", true, Op::kLt},
+
+      // --- complete superlatives: attribute + direction implied (Table 1
+      //     rows for newest/oldest/cheapest) ---
+      {"cheapest", K::kSuperComplete, "price", true, Op::kEq},
+      {"most inexpensive", K::kSuperComplete, "price", true, Op::kEq},
+      {"least expensive", K::kSuperComplete, "price", true, Op::kEq},
+      {"most expensive", K::kSuperComplete, "price", false, Op::kEq},
+      {"priciest", K::kSuperComplete, "price", false, Op::kEq},
+      {"newest", K::kSuperComplete, "year", false, Op::kEq},
+      {"latest", K::kSuperComplete, "year", false, Op::kEq},
+      {"oldest", K::kSuperComplete, "year", true, Op::kEq},
+      {"earliest", K::kSuperComplete, "year", true, Op::kEq},
+      {"best paying", K::kSuperComplete, "salary", false, Op::kEq},
+      {"highest paying", K::kSuperComplete, "salary", false, Op::kEq},
+
+      // --- partial superlatives: direction only (§4.1.2 P-superlatives) ---
+      {"lowest", K::kSuperPartial, "", true, Op::kEq},
+      {"least", K::kSuperPartial, "", true, Op::kEq},
+      {"fewest", K::kSuperPartial, "", true, Op::kEq},
+      {"min", K::kSuperPartial, "", true, Op::kEq},
+      {"smallest", K::kSuperPartial, "", true, Op::kEq},
+      {"highest", K::kSuperPartial, "", false, Op::kEq},
+      {"greatest", K::kSuperPartial, "", false, Op::kEq},
+      {"max", K::kSuperPartial, "", false, Op::kEq},
+      {"most", K::kSuperPartial, "", false, Op::kEq},
+      {"largest", K::kSuperPartial, "", false, Op::kEq},
+      {"biggest", K::kSuperPartial, "", false, Op::kEq},
+
+      // --- Boolean operators ---
+      {"and", K::kAnd, "", true, Op::kEq},
+      {"or", K::kOr, "", true, Op::kEq},
+
+      // --- negations (§4.4.1 footnote) ---
+      {"not", K::kNegation, "", true, Op::kEq},
+      {"no", K::kNegation, "", true, Op::kEq},
+      {"without", K::kNegation, "", true, Op::kEq},
+      {"except", K::kNegation, "", true, Op::kEq},
+      {"excluding", K::kNegation, "", true, Op::kEq},
+      {"exclude", K::kNegation, "", true, Op::kEq},
+      {"remove", K::kNegation, "", true, Op::kEq},
+      {"nothing", K::kNegation, "", true, Op::kEq},
+      {"leave out", K::kNegation, "", true, Op::kEq},
+      {"dont want", K::kNegation, "", true, Op::kEq},
+  };
+  return *kRules;
+}
+
+bool IsNegationKeyword(const std::string& word) {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "not", "no", "without", "except", "excluding", "exclude",
+      "remove", "nothing",
+  };
+  if (kSet->count(word) > 0) return true;
+  return kSet->count(text::PorterStem(word)) > 0;
+}
+
+}  // namespace cqads::core

@@ -1,0 +1,39 @@
+// The identifiers table (Table 1): the single manually-created rule table
+// shared by every domain trie. Each rule maps a keyword (possibly a multi-
+// word phrase, stored with single spaces) to the identifier the tagger
+// assigns. Domain-specific attribute bindings use attribute *aliases*
+// ("price", "year") that each DomainLexicon resolves against its schema —
+// rules whose alias is absent from a schema are simply skipped, which is
+// what makes adding a new ads domain schema-plus-lexicon only (§4.6).
+#ifndef CQADS_CORE_IDENTIFIERS_TABLE_H_
+#define CQADS_CORE_IDENTIFIERS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tags.h"
+
+namespace cqads::core {
+
+/// One row of the identifiers table.
+struct IdentifierRule {
+  std::string keyword;   ///< lower-case keyword or space-joined phrase
+  TagKind kind = TagKind::kOpEquals;
+  /// Attribute alias for kBoundaryComplete / kSuperComplete ("" otherwise).
+  std::string attr_alias;
+  /// Direction for superlatives (true = min-seeking) and comparison
+  /// direction for complete boundaries (kOpLess/kOpGreater via `op`).
+  bool ascending = true;
+  db::CompareOp op = db::CompareOp::kEq;
+};
+
+/// The built-in rules. Deterministic order; no duplicates.
+const std::vector<IdentifierRule>& BuiltinIdentifierRules();
+
+/// Negation keywords (§4.4.1 footnote): matched against raw or stemmed
+/// question words.
+bool IsNegationKeyword(const std::string& word);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_IDENTIFIERS_TABLE_H_

@@ -1,0 +1,203 @@
+#include "core/rank_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace cqads::core {
+
+namespace {
+
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty()) out[0] = static_cast<char>(std::toupper(out[0]));
+  return out;
+}
+
+/// Word-level Feat_Sim between two possibly multi-word values: each word of
+/// the requested value is aligned with its best WS match in the record's
+/// value and the alignment scores are averaged, so "2 door" vs "4 door"
+/// scores 0.5, not 1.0. Identical words contribute 1; everything is
+/// normalized by the matrix maximum per Eq. 5.
+double FeatSim(const wordsim::WsMatrix* ws, const std::string& a,
+               const std::string& b) {
+  if (a == b) return 1.0;
+  if (ws == nullptr || ws->MaxSim() <= 0.0) return 0.0;
+  auto ta = text::Tokenize(a);
+  auto tb = text::Tokenize(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  // Conflicting numeric qualifiers are exclusive, not similar: "2 door" and
+  // "4 door" share a word but denote incompatible properties.
+  std::string digits_a, digits_b;
+  for (const auto& t : ta) {
+    if (t.kind == text::TokenKind::kNumber) digits_a += t.text + " ";
+  }
+  for (const auto& t : tb) {
+    if (t.kind == text::TokenKind::kNumber) digits_b += t.text + " ";
+  }
+  if (!digits_a.empty() && !digits_b.empty() && digits_a != digits_b) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& wa : ta) {
+    double best = 0.0;
+    for (const auto& wb : tb) {
+      double s = wa.text == wb.text ? ws->MaxSim() : ws->Sim(wa.text, wb.text);
+      best = std::max(best, s);
+    }
+    sum += best;
+  }
+  double mean = sum / static_cast<double>(ta.size());
+  return std::min(1.0, mean / ws->MaxSim());
+}
+
+/// Identity-level TI_Sim with a part-wise fallback: the combined identity
+/// strings are tried first; unknown pairs fall back to the best similarity
+/// among the individual Type I values.
+double IdentitySim(const qlog::TiMatrix* ti, const db::Table& table,
+                   db::RowId row, const MatchUnit& unit) {
+  if (ti == nullptr || ti->MaxSim() <= 0.0) return 0.0;
+
+  // Record identity: the row's values of the unit's Type I attributes, in
+  // schema order.
+  std::vector<std::size_t> attrs;
+  for (const auto& c : unit.conds) attrs.push_back(c.attr);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  std::string record_identity;
+  std::vector<std::string> record_parts;
+  for (std::size_t a : attrs) {
+    const db::Value& v = table.cell(row, a);
+    if (!v.is_text()) continue;
+    if (!record_identity.empty()) record_identity += " ";
+    record_identity += v.text();
+    record_parts.push_back(v.text());
+  }
+  if (record_identity == unit.value) return 1.0;
+
+  double sim = ti->Sim(unit.value, record_identity);
+  if (sim <= 0.0) {
+    for (const auto& c : unit.conds) {
+      for (const auto& rp : record_parts) {
+        sim = std::max(sim, ti->Sim(c.value, rp));
+      }
+      sim = std::max(sim, ti->Sim(c.value, record_identity));
+      sim = std::max(sim, ti->Sim(unit.value, c.value.empty() ? "" : record_identity));
+    }
+  }
+  return std::min(1.0, sim / ti->MaxSim());
+}
+
+}  // namespace
+
+double NumSim(double t, double v, double range) {
+  if (range <= 0.0) return 0.0;
+  double sim = 1.0 - std::abs(t - v) / range;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+std::vector<double> ComputeAttrRanges(const db::Table& table) {
+  const db::Schema& schema = table.schema();
+  std::vector<double> ranges(schema.num_attributes(), 0.0);
+  for (std::size_t a : schema.NumericAttrs()) {
+    std::vector<double> values;
+    values.reserve(table.num_rows());
+    for (db::RowId r = 0; r < table.num_rows(); ++r) {
+      const db::Value& v = table.cell(r, a);
+      if (v.is_numeric()) values.push_back(v.AsDouble());
+    }
+    if (values.size() < 2) continue;
+    std::sort(values.begin(), values.end());
+    // Eq. 4's normalization: avg of the 10 highest minus avg of the 10
+    // lowest values (the paper pulls these statistics from ebay.com).
+    const std::size_t k = std::min<std::size_t>(10, values.size());
+    double low = 0.0, high = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      low += values[i];
+      high += values[values.size() - 1 - i];
+    }
+    ranges[a] = (high - low) / static_cast<double>(k);
+  }
+  return ranges;
+}
+
+double UnitSimilarity(const db::Table& table, db::RowId row,
+                      const MatchUnit& unit, const SimilarityContext& ctx) {
+  switch (unit.kind) {
+    case MatchUnit::Kind::kIdentity:
+      return IdentitySim(ctx.ti, table, row, unit);
+
+    case MatchUnit::Kind::kTypeII: {
+      // Best Feat_Sim between the requested value(s) and the record's
+      // value/elements for the attribute.
+      double best = 0.0;
+      for (const auto& c : unit.conds) {
+        for (const auto& element : table.CellElements(row, c.attr)) {
+          best = std::max(best, FeatSim(ctx.ws, c.value, element));
+        }
+      }
+      return best;
+    }
+
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous: {
+      // Target scalar: an equality's value, a bound's threshold, or a
+      // range's midpoint.
+      double best = 0.0;
+      for (const auto& c : unit.conds) {
+        std::size_t attr =
+            c.attr == kNoAttr ? unit.attr : c.attr;
+        const db::Value& v = table.cell(row, attr);
+        if (!v.is_numeric()) continue;
+        double target = c.op == db::CompareOp::kBetween
+                            ? (c.lo + c.hi) / 2.0
+                            : c.lo;
+        double range = attr < ctx.attr_ranges.size() ? ctx.attr_ranges[attr]
+                                                     : 0.0;
+        best = std::max(best, NumSim(target, v.AsDouble(), range));
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+PartialScore ScorePartialMatch(const db::Table& table, db::RowId row,
+                               const std::vector<MatchUnit>& units,
+                               std::size_t dropped_unit,
+                               const SimilarityContext& ctx) {
+  PartialScore out;
+  const MatchUnit& unit = units[dropped_unit];
+  out.unit_sim = UnitSimilarity(table, row, unit, ctx);
+  out.rank_sim = static_cast<double>(units.size()) - 1.0 + out.unit_sim;
+
+  const db::Schema& schema = table.schema();
+  switch (unit.kind) {
+    case MatchUnit::Kind::kIdentity: {
+      std::vector<std::string> names;
+      std::vector<std::size_t> attrs;
+      for (const auto& c : unit.conds) attrs.push_back(c.attr);
+      std::sort(attrs.begin(), attrs.end());
+      attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+      for (std::size_t a : attrs) {
+        names.push_back(Capitalize(schema.attribute(a).name));
+      }
+      out.measure = "TI_Sim on " + Join(names, " and ");
+      break;
+    }
+    case MatchUnit::Kind::kTypeII:
+      out.measure =
+          "Feat_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+      break;
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous:
+      out.measure =
+          "Num_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+      break;
+  }
+  return out;
+}
+
+}  // namespace cqads::core

@@ -1,0 +1,56 @@
+// Rank_Sim (§4.3.2, Eq. 5): scoring of partially-matched records. A record
+// matching all but one unit of a question scores (N-1) plus the similarity
+// of the mismatched unit's values:
+//   Type I   TI_Sim from the query-log matrix (normalized by its maximum)
+//   Type II  Feat_Sim from the WS word-correlation matrix (normalized)
+//   Type III Num_Sim(T,V) = 1 - |T-V| / AttributeValueRange (Eq. 4)
+#ifndef CQADS_CORE_RANK_SIM_H_
+#define CQADS_CORE_RANK_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/boolean_assembler.h"
+#include "db/table.h"
+#include "qlog/ti_matrix.h"
+#include "wordsim/ws_matrix.h"
+
+namespace cqads::core {
+
+/// Similarity resources shared by partial-match scoring.
+struct SimilarityContext {
+  const qlog::TiMatrix* ti = nullptr;     ///< per-domain (may be null)
+  const wordsim::WsMatrix* ws = nullptr;  ///< shared (may be null)
+  /// Eq. 4 normalization per numeric attribute: avg(10 highest values) -
+  /// avg(10 lowest values), the paper's ebay.com statistic. Indexed by
+  /// attribute; <= 0 means unknown (falls back to observed spread).
+  std::vector<double> attr_ranges;
+};
+
+/// Computes the Eq. 4 AttributeValueRange vector for a table.
+std::vector<double> ComputeAttrRanges(const db::Table& table);
+
+/// Outcome of scoring one record against a question with one dropped unit.
+struct PartialScore {
+  double rank_sim = 0.0;   ///< (N-1) + unit similarity
+  double unit_sim = 0.0;   ///< the similarity term alone, in [0, 1]
+  std::string measure;     ///< e.g. "TI_Sim on Make and Model"
+};
+
+/// Similarity of the dropped unit's requested value(s) vs the record's.
+double UnitSimilarity(const db::Table& table, db::RowId row,
+                      const MatchUnit& unit, const SimilarityContext& ctx);
+
+/// Full Eq. 5 score: (num_units - 1) + UnitSimilarity, with the measure
+/// label used in Table 2.
+PartialScore ScorePartialMatch(const db::Table& table, db::RowId row,
+                               const std::vector<MatchUnit>& units,
+                               std::size_t dropped_unit,
+                               const SimilarityContext& ctx);
+
+/// Num_Sim (Eq. 4), clamped to [0, 1]. `range` <= 0 yields 0.
+double NumSim(double t, double v, double range);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_RANK_SIM_H_

@@ -1,0 +1,69 @@
+#include "core/tags.h"
+
+#include "common/string_util.h"
+
+namespace cqads::core {
+
+const char* TagKindToString(TagKind kind) {
+  switch (kind) {
+    case TagKind::kTypeIValue:
+      return "TI";
+    case TagKind::kTypeIIValue:
+      return "TII";
+    case TagKind::kTypeIIIAttr:
+      return "TIII-attr";
+    case TagKind::kUnit:
+      return "unit";
+    case TagKind::kOpLess:
+      return "op<";
+    case TagKind::kOpGreater:
+      return "op>";
+    case TagKind::kOpEquals:
+      return "op=";
+    case TagKind::kOpBetween:
+      return "op-between";
+    case TagKind::kBoundaryComplete:
+      return "TIII-CB";
+    case TagKind::kSuperComplete:
+      return "TIII-CS";
+    case TagKind::kSuperPartial:
+      return "TIII-PS";
+    case TagKind::kNegation:
+      return "neg";
+    case TagKind::kAnd:
+      return "AND";
+    case TagKind::kOr:
+      return "OR";
+    case TagKind::kNumber:
+      return "num";
+  }
+  return "?";
+}
+
+std::string ConditionToString(const Condition& c,
+                              const std::vector<std::string>& attr_names) {
+  std::string attr = c.attr == kNoAttr || c.attr >= attr_names.size()
+                         ? std::string("?")
+                         : attr_names[c.attr];
+  std::string out = c.negated ? "NOT " : "";
+  switch (c.kind) {
+    case Condition::Kind::kTypeI:
+    case Condition::Kind::kTypeII:
+      return out + attr + " = '" + c.value + "'";
+    case Condition::Kind::kTypeIIIBound:
+      if (c.op == db::CompareOp::kBetween) {
+        return out + attr + " BETWEEN " + FormatDouble(c.lo, 0) + " AND " +
+               FormatDouble(c.hi, 0);
+      }
+      return out + attr + " " + db::CompareOpToSql(c.op) + " " +
+             FormatDouble(c.lo, 0);
+    case Condition::Kind::kSuperlative:
+      return out + "ORDER BY " + attr + (c.ascending ? " ASC" : " DESC");
+    case Condition::Kind::kAmbiguousNumber:
+      return out + "? = " + FormatDouble(c.lo, 0) +
+             (c.is_money ? " ($)" : "");
+  }
+  return out + "?";
+}
+
+}  // namespace cqads::core

@@ -1,0 +1,86 @@
+// Tag and condition model for question analysis (§4.1). The tagger labels
+// every essential keyword of a question with an identifier (Table 1); the
+// condition builder then merges partial pieces (operators, numbers, units,
+// attribute mentions) into complete selection conditions via the paper's
+// context-switching analysis.
+#ifndef CQADS_CORE_TAGS_H_
+#define CQADS_CORE_TAGS_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+
+namespace cqads::core {
+
+/// Sentinel for "attribute not resolved yet".
+inline constexpr std::size_t kNoAttr = std::numeric_limits<std::size_t>::max();
+
+/// Identifier kinds assignable to keywords (Table 1) plus the literal kinds
+/// the tagger recognizes outside the trie.
+enum class TagKind {
+  kTypeIValue,        ///< "honda" -> Make = honda
+  kTypeIIValue,       ///< "automatic" -> Transmission = automatic
+  kTypeIIIAttr,       ///< "price", "mileage": a quantitative attribute name
+  kUnit,              ///< "dollars", "miles": unit identifying an attribute
+  kOpLess,            ///< partial boundary: below/under/less than/...
+  kOpGreater,         ///< partial boundary: above/over/greater than/...
+  kOpEquals,          ///< equal(s)/exactly
+  kOpBetween,         ///< between/range/within
+  kBoundaryComplete,  ///< "cheaper"/"newer (than)": attribute implied
+  kSuperComplete,     ///< "cheapest"/"newest": attribute + direction implied
+  kSuperPartial,      ///< "lowest"/"max": direction only, needs an attribute
+  kNegation,          ///< not/no/without/except/...
+  kAnd,               ///< explicit Boolean AND
+  kOr,                ///< explicit Boolean OR
+  kNumber,            ///< numeric literal (not a trie keyword)
+};
+
+const char* TagKindToString(TagKind kind);
+
+/// One tagged question element.
+struct TaggedItem {
+  TagKind kind = TagKind::kNumber;
+  std::size_t attr = kNoAttr;  ///< schema attribute, when implied/resolved
+  std::string value;           ///< surface value for Type I/II, keyword text
+  double number = 0.0;         ///< numeric payload for kNumber
+  bool is_money = false;       ///< number carried '$'
+  bool ascending = true;       ///< superlative direction (true = min-seeking)
+  db::CompareOp op = db::CompareOp::kEq;  ///< for operator-ish kinds
+  std::size_t token_begin = 0;  ///< first source-token index
+  std::size_t token_end = 0;    ///< one past the last source-token index
+};
+
+/// A complete selection condition after context-switching analysis.
+struct Condition {
+  enum class Kind {
+    kTypeI,        ///< equality on a Type I attribute
+    kTypeII,       ///< equality on a Type II attribute
+    kTypeIIIBound, ///< comparison/range on a numeric attribute
+    kSuperlative,  ///< order-by + take-extreme
+    kAmbiguousNumber,  ///< bare number: attribute to be guessed (§4.2.2)
+  };
+
+  Kind kind = Kind::kTypeII;
+  std::size_t attr = kNoAttr;
+  std::string value;            ///< Type I/II value text
+  db::CompareOp op = db::CompareOp::kEq;  ///< Type III operator
+  double lo = 0.0;              ///< Type III operand (lo for between)
+  double hi = 0.0;              ///< Type III hi operand (between only)
+  bool ascending = true;        ///< superlative direction
+  bool negated = false;         ///< negation applied (implicit NOT)
+  bool is_money = false;        ///< ambiguous number carried '$'
+  std::size_t order = 0;        ///< position in the question (for rules)
+
+  bool IsBound() const { return kind == Kind::kTypeIIIBound; }
+};
+
+/// Human-readable one-line rendering, for debugging and golden tests.
+std::string ConditionToString(const Condition& c,
+                              const std::vector<std::string>& attr_names);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_TAGS_H_

@@ -1,0 +1,117 @@
+#include "datagen/ads_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqads::datagen {
+
+namespace {
+
+double DrawNumeric(const NumericGenSpec& gen, double cluster_mult, Rng* rng) {
+  double v;
+  if (gen.stddev > 0.0) {
+    double mean = gen.cluster_scaled ? gen.base_mean * cluster_mult
+                                     : gen.base_mean;
+    double sd = gen.cluster_scaled ? gen.stddev * cluster_mult : gen.stddev;
+    v = rng->Gaussian(mean, sd);
+  } else {
+    v = rng->UniformReal(gen.min, gen.max);
+  }
+  v = std::clamp(v, gen.min, gen.max);
+  if (gen.integer) v = std::round(v);
+  return v;
+}
+
+}  // namespace
+
+Result<db::Table> GenerateAds(const DomainSpec& spec, std::size_t num_ads,
+                              Rng* rng) {
+  CQADS_RETURN_NOT_OK(spec.schema.Validate());
+  if (spec.identities.empty()) {
+    return Status::InvalidArgument("spec has no identities: " +
+                                   spec.schema.domain());
+  }
+  db::Table table(spec.schema);
+
+  std::vector<double> weights;
+  weights.reserve(spec.identities.size());
+  for (const auto& id : spec.identities) weights.push_back(id.weight);
+
+  for (std::size_t n = 0; n < num_ads; ++n) {
+    const IdentitySpec& identity =
+        spec.identities[rng->WeightedIndex(weights)];
+    db::Record record(spec.schema.num_attributes());
+
+    // Type I identity values.
+    for (std::size_t k = 0; k < spec.type_i_attrs.size(); ++k) {
+      record[spec.type_i_attrs[k]] = db::Value::Text(identity.values[k]);
+    }
+
+    for (std::size_t a = 0; a < spec.schema.num_attributes(); ++a) {
+      const db::Attribute& attr = spec.schema.attribute(a);
+      if (!record[a].is_null()) continue;  // identity already set
+
+      if (attr.data_kind == db::DataKind::kNumeric) {
+        auto it = spec.numerics.find(a);
+        if (it == spec.numerics.end()) continue;  // leave null
+        record[a] = db::Value::Real(DrawNumeric(
+            it->second, spec.ClusterMult(identity.cluster), rng));
+        continue;
+      }
+
+      if (a == spec.features_attr) {
+        // 3-6 features drawn from distinct groups; the segment's preferred
+        // group is drawn first (luxury ads list leather seats etc.).
+        std::vector<std::size_t> group_order(spec.feature_groups.size());
+        for (std::size_t g = 0; g < group_order.size(); ++g) {
+          group_order[g] = g;
+        }
+        rng->Shuffle(&group_order);
+        const std::size_t preferred =
+            (static_cast<std::size_t>(identity.cluster) * 2654435761u + a) %
+            spec.feature_groups.size();
+        auto it = std::find(group_order.begin(), group_order.end(),
+                            preferred);
+        if (it != group_order.end()) std::iter_swap(group_order.begin(), it);
+        const std::size_t n_features = static_cast<std::size_t>(
+            rng->UniformInt(3, std::min<std::int64_t>(
+                                   6, static_cast<std::int64_t>(
+                                          group_order.size()))));
+        std::string joined;
+        for (std::size_t f = 0; f < n_features; ++f) {
+          const auto& group = spec.feature_groups[group_order[f]];
+          const std::string& value = group[rng->UniformIndex(group.size())];
+          if (!joined.empty()) joined += ";";
+          joined += value;
+        }
+        record[a] = db::Value::Text(joined);
+        continue;
+      }
+
+      auto pit = spec.pool_groups.find(a);
+      if (pit == spec.pool_groups.end()) continue;  // leave null
+      const auto& groups = pit->second;
+      // Descriptive values correlate with the latent segment (sports cars
+      // skew red/manual, luxury skews black/leather): real markets have
+      // such correlations, and attribute-co-occurrence methods (AIMQ's
+      // supertuples) depend on them.
+      std::size_t g;
+      if (rng->Bernoulli(0.6)) {
+        g = (static_cast<std::size_t>(identity.cluster) * 2654435761u + a) %
+            groups.size();
+      } else {
+        g = rng->UniformIndex(groups.size());
+      }
+      const auto& group = groups[g];
+      record[a] = db::Value::Text(group[rng->UniformIndex(group.size())]);
+    }
+
+    auto inserted = table.Insert(std::move(record));
+    if (!inserted.ok()) return inserted.status();
+  }
+
+  table.BuildIndexes();
+  return table;
+}
+
+}  // namespace cqads::datagen

@@ -1,0 +1,23 @@
+// Ads generation: produces a deterministic ads table for a domain spec,
+// standing in for the ~500 ads per domain the paper crawled from ads
+// websites (§4.1.4, §5.1). Numeric attributes follow the latent segment
+// structure (luxury identities cost more), which the partial-match
+// experiments depend on.
+#ifndef CQADS_DATAGEN_ADS_GENERATOR_H_
+#define CQADS_DATAGEN_ADS_GENERATOR_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/domain_spec.h"
+#include "db/table.h"
+
+namespace cqads::datagen {
+
+/// Generates `num_ads` ads for the spec. The returned table has its indexes
+/// built and is ready for lexicon construction and querying.
+Result<db::Table> GenerateAds(const DomainSpec& spec, std::size_t num_ads,
+                              Rng* rng);
+
+}  // namespace cqads::datagen
+
+#endif  // CQADS_DATAGEN_ADS_GENERATOR_H_

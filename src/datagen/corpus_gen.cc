@@ -1,0 +1,82 @@
+#include "datagen/corpus_gen.h"
+
+namespace cqads::datagen {
+
+namespace {
+
+// Non-stopword filler vocabulary used to separate unrelated groups beyond
+// the WS co-occurrence window. (Stopwords would be stripped before distance
+// computation and provide no separation.)
+const std::vector<std::string>& Fillers() {
+  static const auto* kFillers = new std::vector<std::string>{
+      "excellent", "condition",  "offered",  "sale",     "quality",
+      "item",      "deal",       "local",    "pickup",   "clean",
+      "original",  "owner",      "garage",   "kept",     "barely",
+      "works",     "perfectly",  "includes", "warranty", "photos",
+      "contact",   "available",  "serious",  "buyers",   "negotiable",
+      "listed",    "today",      "priced",   "fair",     "market",
+  };
+  return *kFillers;
+}
+
+void AppendFillers(std::string* doc, std::size_t count, Rng* rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    doc->push_back(' ');
+    doc->append(Fillers()[rng->UniformIndex(Fillers().size())]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateCorpus(const std::vector<DomainSpec>& specs,
+                                        std::size_t docs_per_domain,
+                                        Rng* rng) {
+  std::vector<std::string> corpus;
+  corpus.reserve(specs.size() * docs_per_domain);
+
+  for (const auto& spec : specs) {
+    // Collect all related groups of the domain (pools + features).
+    std::vector<const std::vector<std::string>*> groups;
+    for (const auto& [attr, attr_groups] : spec.pool_groups) {
+      for (const auto& g : attr_groups) {
+        if (g.size() >= 1) groups.push_back(&g);
+      }
+    }
+    for (const auto& g : spec.feature_groups) groups.push_back(&g);
+    if (groups.empty()) continue;
+
+    for (std::size_t d = 0; d < docs_per_domain; ++d) {
+      std::string doc;
+      const std::size_t n_sections =
+          static_cast<std::size_t>(rng->UniformInt(2, 4));
+      for (std::size_t s = 0; s < n_sections; ++s) {
+        const auto& group = *groups[rng->UniformIndex(groups.size())];
+        // Related words appear adjacent (within the WS window).
+        std::vector<std::string> shuffled = group;
+        rng->Shuffle(&shuffled);
+        for (const auto& w : shuffled) {
+          doc.push_back(' ');
+          doc.append(w);
+        }
+        // Occasionally mention an identity so descriptive words also
+        // co-occur with identity vocabulary at medium distance.
+        if (rng->Bernoulli(0.3) && !spec.identities.empty()) {
+          const auto& id =
+              spec.identities[rng->UniformIndex(spec.identities.size())];
+          AppendFillers(&doc, 2, rng);
+          for (const auto& v : id.values) {
+            doc.push_back(' ');
+            doc.append(v);
+          }
+        }
+        // Long filler gap: the next section's group must land outside the
+        // co-occurrence window.
+        AppendFillers(&doc, 12, rng);
+      }
+      corpus.push_back(std::move(doc));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace cqads::datagen

@@ -1,0 +1,24 @@
+// Corpus generation for the WS-matrix. The paper built its word-correlation
+// matrix from ~930k Wikipedia documents; we synthesize ad-like documents in
+// which related descriptive words (same pool group: {black, grey, silver})
+// co-occur close together while unrelated words are kept apart, so the
+// co-occurrence x distance construction recovers the latent relatedness.
+#ifndef CQADS_DATAGEN_CORPUS_GEN_H_
+#define CQADS_DATAGEN_CORPUS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/domain_spec.h"
+
+namespace cqads::datagen {
+
+/// Generates `docs_per_domain` documents per spec.
+std::vector<std::string> GenerateCorpus(const std::vector<DomainSpec>& specs,
+                                        std::size_t docs_per_domain,
+                                        Rng* rng);
+
+}  // namespace cqads::datagen
+
+#endif  // CQADS_DATAGEN_CORPUS_GEN_H_

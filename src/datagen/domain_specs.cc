@@ -1,0 +1,482 @@
+#include "datagen/domain_spec.h"
+
+#include <algorithm>
+
+namespace cqads::datagen {
+
+std::vector<std::string> DomainSpec::PoolValues(std::size_t attr) const {
+  std::vector<std::string> out;
+  auto it = pool_groups.find(attr);
+  if (it == pool_groups.end()) return out;
+  for (const auto& group : it->second) {
+    out.insert(out.end(), group.begin(), group.end());
+  }
+  return out;
+}
+
+int DomainSpec::GroupOf(std::size_t attr, const std::string& value) const {
+  const auto* groups = attr == features_attr
+                           ? &feature_groups
+                           : nullptr;
+  if (groups == nullptr) {
+    auto it = pool_groups.find(attr);
+    if (it == pool_groups.end()) return -1;
+    groups = &it->second;
+  }
+  for (std::size_t g = 0; g < groups->size(); ++g) {
+    const auto& group = (*groups)[g];
+    if (std::find(group.begin(), group.end(), value) != group.end()) {
+      return static_cast<int>(g);
+    }
+  }
+  return -1;
+}
+
+int DomainSpec::ClusterOf(const std::vector<std::string>& values) const {
+  for (const auto& id : identities) {
+    if (id.values == values) return id.cluster;
+  }
+  // Partial identity (e.g. make only): the cluster of the first identity
+  // whose leading values match.
+  for (const auto& id : identities) {
+    if (values.size() < id.values.size() &&
+        std::equal(values.begin(), values.end(), id.values.begin())) {
+      return id.cluster;
+    }
+  }
+  return -1;
+}
+
+double DomainSpec::ClusterMult(int cluster) const {
+  auto it = cluster_value_mult.find(cluster);
+  return it == cluster_value_mult.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+using db::AttrType;
+using db::Attribute;
+using db::DataKind;
+
+Attribute Cat(std::string name, AttrType type,
+              std::vector<std::string> aliases = {}) {
+  Attribute a;
+  a.name = std::move(name);
+  a.attr_type = type;
+  a.data_kind = DataKind::kCategorical;
+  a.aliases = std::move(aliases);
+  return a;
+}
+
+Attribute Num(std::string name, std::vector<std::string> units,
+              std::vector<std::string> aliases = {}) {
+  Attribute a;
+  a.name = std::move(name);
+  a.attr_type = AttrType::kTypeIII;
+  a.data_kind = DataKind::kNumeric;
+  a.unit_keywords = std::move(units);
+  a.aliases = std::move(aliases);
+  return a;
+}
+
+Attribute FeatureList(std::string name) {
+  Attribute a;
+  a.name = std::move(name);
+  a.attr_type = AttrType::kTypeII;
+  a.data_kind = DataKind::kTextList;
+  return a;
+}
+
+DomainSpec MakeCars() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "cars",
+      {Cat("make", AttrType::kTypeI, {"maker", "brand"}),
+       Cat("model", AttrType::kTypeI),
+       Num("year", {}, {"year"}),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"}),
+       Num("mileage", {"miles", "mi"}, {"mileage"}),
+       Cat("color", AttrType::kTypeII, {"color", "colour"}),
+       Cat("transmission", AttrType::kTypeII, {"transmission"}),
+       Cat("doors", AttrType::kTypeII),
+       Cat("drivetrain", AttrType::kTypeII),
+       FeatureList("features")});
+  s.type_i_attrs = {0, 1};
+  // Latent market segments: 0 compact economy, 1 midsize, 2 suv, 3 sports,
+  // 4 luxury, 5 truck.
+  s.identities = {
+      {{"toyota", "corolla"}, 0, 1.4}, {{"honda", "civic"}, 0, 1.4},
+      {{"ford", "focus"}, 0, 1.2},     {{"nissan", "sentra"}, 0, 1.0},
+      {{"mazda", "mazda3"}, 0, 0.9},   {{"chevy", "cavalier"}, 0, 0.8},
+      {{"toyota", "camry"}, 1, 1.5},   {{"honda", "accord"}, 1, 1.5},
+      {{"chevy", "malibu"}, 1, 1.1},   {{"ford", "fusion"}, 1, 1.0},
+      {{"nissan", "altima"}, 1, 1.1},  {{"mazda", "mazda6"}, 1, 0.8},
+      {{"toyota", "highlander"}, 2, 1.0}, {{"honda", "pilot"}, 2, 0.9},
+      {{"ford", "explorer"}, 2, 1.1},  {{"chevy", "tahoe"}, 2, 0.9},
+      {{"jeep", "cherokee"}, 2, 1.0},
+      {{"ford", "mustang"}, 3, 1.0},   {{"chevy", "corvette"}, 3, 0.7},
+      {{"dodge", "challenger"}, 3, 0.8}, {{"nissan", "350z"}, 3, 0.6},
+      {{"bmw", "m3"}, 4, 0.7},         {{"mercedes", "c300"}, 4, 0.7},
+      {{"audi", "a4"}, 4, 0.7},        {{"lexus", "es350"}, 4, 0.6},
+      {{"ford", "f150"}, 5, 1.2},      {{"chevy", "silverado"}, 5, 1.1},
+      {{"dodge", "ram"}, 5, 1.0},      {{"toyota", "tundra"}, 5, 0.8},
+  };
+  s.pool_groups[5] = {{"black", "grey", "silver"},
+                      {"white", "cream"},
+                      {"blue", "navy"},
+                      {"red", "maroon"},
+                      {"green"},
+                      {"gold", "tan"}};
+  s.pool_groups[6] = {{"automatic"}, {"manual"}};
+  s.pool_groups[7] = {{"2 door"}, {"4 door"}};
+  s.pool_groups[8] = {{"2 wheel drive"}, {"4 wheel drive", "all wheel drive"}};
+  s.features_attr = 9;
+  s.feature_groups = {{"gps", "navigation system"},
+                      {"cd player", "stereo"},
+                      {"leather seats", "heated seats"},
+                      {"sunroof", "moonroof"},
+                      {"power steering", "power windows", "power door locks"},
+                      {"anti lock brakes", "airbags"},
+                      {"cruise control"},
+                      {"bluetooth", "usb port"},
+                      {"alloy wheels"},
+                      {"backup camera"}};
+  s.numerics[2] = {1988, 2011, true, 2004, 5.0, false};
+  s.numerics[3] = {700, 90000, true, 11000, 4500, true};
+  s.numerics[4] = {1000, 240000, true, 85000, 45000, false};
+  s.cluster_value_mult = {{0, 0.65}, {1, 0.9},  {2, 1.3},
+                          {3, 1.6},  {4, 2.4},  {5, 1.4}};
+  s.domain_keywords = {"car", "cars", "vehicle", "sedan", "auto", "automobile"};
+  return s;
+}
+
+DomainSpec MakeMotorcycles() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "motorcycles",
+      {Cat("make", AttrType::kTypeI, {"maker", "brand"}),
+       Cat("model", AttrType::kTypeI),
+       Num("year", {}, {"year"}),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"}),
+       Num("mileage", {"miles", "mi"}, {"mileage"}),
+       Num("engine", {"cc"}, {"engine", "displacement"}),
+       Cat("color", AttrType::kTypeII, {"color"}),
+       FeatureList("features")});
+  s.type_i_attrs = {0, 1};
+  // Segments: 0 cruiser, 1 sport, 2 touring, 3 classic.
+  s.identities = {
+      {{"harley davidson", "sportster"}, 0, 1.5},
+      {{"harley davidson", "fat boy"}, 0, 1.0},
+      {{"harley davidson", "road king"}, 0, 0.9},
+      {{"honda", "shadow"}, 0, 1.1},
+      {{"yamaha", "v star"}, 0, 1.0},
+      {{"honda", "cbr600"}, 1, 1.3},
+      {{"yamaha", "r6"}, 1, 1.2},
+      {{"kawasaki", "ninja"}, 1, 1.4},
+      {{"suzuki", "gsxr"}, 1, 1.1},
+      {{"ducati", "panigale"}, 1, 0.6},
+      {{"honda", "gold wing"}, 2, 0.8},
+      {{"kawasaki", "concours"}, 2, 0.6},
+      {{"triumph", "bonneville"}, 3, 0.8},
+      {{"triumph", "scrambler"}, 3, 0.6},
+      {{"ducati", "monster"}, 3, 0.7},
+  };
+  s.pool_groups[6] = {{"black", "grey"},
+                      {"red", "orange"},
+                      {"blue"},
+                      {"white"},
+                      {"green"}};
+  s.features_attr = 7;
+  s.feature_groups = {{"saddlebags", "luggage rack"},
+                      {"windshield", "fairing"},
+                      {"abs brakes"},
+                      {"heated grips"},
+                      {"custom exhaust", "slip on exhaust"},
+                      {"crash bars"}};
+  s.numerics[2] = {1990, 2011, true, 2004, 4.5, false};
+  s.numerics[3] = {800, 35000, true, 6500, 2500, true};
+  s.numerics[4] = {500, 90000, true, 22000, 14000, false};
+  s.numerics[5] = {125, 1800, true, 0, 0, false};
+  s.cluster_value_mult = {{0, 1.4}, {1, 1.0}, {2, 1.6}, {3, 1.1}};
+  s.domain_keywords = {"motorcycle", "motorcycles", "bike", "motorbike", "cycle"};
+  return s;
+}
+
+DomainSpec MakeClothing() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "clothing",
+      {Cat("brand", AttrType::kTypeI, {"brand", "label"}),
+       Cat("category", AttrType::kTypeI, {"item"}),
+       Cat("size", AttrType::kTypeII, {"size"}),
+       Cat("color", AttrType::kTypeII, {"color"}),
+       Cat("material", AttrType::kTypeII, {"material", "fabric"}),
+       Cat("gender", AttrType::kTypeII),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"})});
+  s.type_i_attrs = {0, 1};
+  // Segments: 0 athletic, 1 casual, 2 designer.
+  s.identities = {
+      {{"nike", "shoes"}, 0, 1.5},    {{"nike", "shirt"}, 0, 1.1},
+      {{"adidas", "shoes"}, 0, 1.3},  {{"adidas", "jacket"}, 0, 0.9},
+      {{"puma", "shoes"}, 0, 0.8},    {{"under armour", "shirt"}, 0, 0.8},
+      {{"gap", "jeans"}, 1, 1.1},     {{"gap", "shirt"}, 1, 1.0},
+      {{"levis", "jeans"}, 1, 1.4},   {{"old navy", "shirt"}, 1, 1.0},
+      {{"old navy", "dress"}, 1, 0.8}, {{"uniqlo", "jacket"}, 1, 0.7},
+      {{"gucci", "dress"}, 2, 0.6},   {{"gucci", "shoes"}, 2, 0.6},
+      {{"prada", "dress"}, 2, 0.5},   {{"armani", "jacket"}, 2, 0.5},
+      {{"versace", "shirt"}, 2, 0.4},
+  };
+  s.pool_groups[2] = {{"small"}, {"medium"}, {"large", "extra large"}};
+  s.pool_groups[3] = {{"black", "grey"},
+                      {"white", "cream"},
+                      {"blue", "navy"},
+                      {"red", "pink"},
+                      {"green", "olive"}};
+  s.pool_groups[4] = {{"cotton", "polyester"},
+                      {"denim"},
+                      {"leather", "suede"},
+                      {"silk", "satin"},
+                      {"wool", "cashmere"}};
+  s.pool_groups[5] = {{"mens"}, {"womens"}, {"unisex"}};
+  s.numerics[6] = {5, 3000, true, 60, 35, true};
+  s.cluster_value_mult = {{0, 1.2}, {1, 0.7}, {2, 8.0}};
+  s.domain_keywords = {"clothing", "clothes", "apparel", "wear", "outfit", "fashion"};
+  return s;
+}
+
+DomainSpec MakeCsJobs() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "cs_jobs",
+      {Cat("title", AttrType::kTypeI, {"position", "job"}),
+       Cat("company", AttrType::kTypeII, {"company", "employer"}),
+       Cat("language", AttrType::kTypeII, {"language"}),
+       Cat("level", AttrType::kTypeII, {"level"}),
+       Cat("location", AttrType::kTypeII, {"location"}),
+       Num("salary", {"dollars", "dollar", "usd", "bucks"},
+           {"salary", "pay", "compensation"}),
+       Num("experience", {"years", "yrs"}, {"experience"})});
+  s.type_i_attrs = {0};
+  // Segments: 0 development, 1 data, 2 ops/infra, 3 qa.
+  s.identities = {
+      {{"software engineer"}, 0, 1.6},
+      {{"web developer"}, 0, 1.3},
+      {{"mobile developer"}, 0, 1.0},
+      {{"frontend developer"}, 0, 1.0},
+      {{"backend developer"}, 0, 1.1},
+      {{"data scientist"}, 1, 1.0},
+      {{"data engineer"}, 1, 0.9},
+      {{"database administrator"}, 1, 1.0},
+      {{"data analyst"}, 1, 0.9},
+      {{"devops engineer"}, 2, 0.9},
+      {{"systems administrator"}, 2, 1.0},
+      {{"network engineer"}, 2, 0.9},
+      {{"security analyst"}, 2, 0.7},
+      {{"qa engineer"}, 3, 0.9},
+      {{"test engineer"}, 3, 0.7},
+  };
+  s.pool_groups[1] = {{"google", "microsoft", "amazon", "facebook", "apple"},
+                      {"ibm", "oracle", "intel", "hp"},
+                      {"startup", "small business"}};
+  s.pool_groups[2] = {{"java", "c++", "c#"},
+                      {"python", "ruby", "perl"},
+                      {"javascript", "typescript"},
+                      {"sql"},
+                      {"go", "rust"}};
+  s.pool_groups[3] = {{"intern", "junior"},
+                      {"mid level"},
+                      {"senior", "lead", "principal"}};
+  s.pool_groups[4] = {{"new york", "boston"},
+                      {"san francisco", "seattle"},
+                      {"austin", "denver"},
+                      {"remote"}};
+  s.numerics[5] = {30000, 260000, true, 85000, 30000, true};
+  s.numerics[6] = {0, 15, true, 5, 3.5, false};
+  s.cluster_value_mult = {{0, 1.1}, {1, 1.2}, {2, 1.0}, {3, 0.8}};
+  s.domain_keywords = {"job", "jobs", "position", "career", "hiring", "developer", "engineer", "programming"};
+  return s;
+}
+
+DomainSpec MakeFurniture() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "furniture",
+      {Cat("type", AttrType::kTypeI, {"piece"}),
+       Cat("brand", AttrType::kTypeII, {"brand"}),
+       Cat("material", AttrType::kTypeII, {"material"}),
+       Cat("color", AttrType::kTypeII, {"color"}),
+       Cat("room", AttrType::kTypeII, {"room"}),
+       Cat("condition", AttrType::kTypeII, {"condition"}),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"})});
+  s.type_i_attrs = {0};
+  // Segments: 0 seating, 1 tables, 2 bedroom, 3 storage.
+  s.identities = {
+      {{"sofa"}, 0, 1.5},        {{"couch"}, 0, 1.3},
+      {{"loveseat"}, 0, 0.8},    {{"recliner"}, 0, 0.9},
+      {{"armchair"}, 0, 0.8},
+      {{"dining table"}, 1, 1.1}, {{"coffee table"}, 1, 1.2},
+      {{"end table"}, 1, 0.7},   {{"desk"}, 1, 1.2},
+      {{"bed frame"}, 2, 1.0},   {{"dresser"}, 2, 1.1},
+      {{"nightstand"}, 2, 0.8},  {{"wardrobe"}, 2, 0.6},
+      {{"bookshelf"}, 3, 1.0},   {{"cabinet"}, 3, 0.8},
+      {{"tv stand"}, 3, 0.9},
+  };
+  s.pool_groups[1] = {{"ikea"},
+                      {"ashley furniture"},
+                      {"wayfair"},
+                      {"pottery barn", "crate and barrel"}};
+  s.pool_groups[2] = {{"oak", "pine", "walnut", "maple"},
+                      {"leather", "fabric", "suede"},
+                      {"metal", "steel"},
+                      {"glass"}};
+  s.pool_groups[3] = {{"black", "grey"},
+                      {"white"},
+                      {"brown", "tan"},
+                      {"beige", "cream"}};
+  s.pool_groups[4] = {{"living room"},
+                      {"bedroom"},
+                      {"office"},
+                      {"dining room"}};
+  s.pool_groups[5] = {{"new"}, {"used", "like new"}};
+  s.numerics[6] = {20, 5000, true, 350, 220, true};
+  s.cluster_value_mult = {{0, 1.3}, {1, 1.0}, {2, 1.1}, {3, 0.7}};
+  s.domain_keywords = {"furniture", "furnishing", "home", "decor"};
+  return s;
+}
+
+DomainSpec MakeFoodCoupons() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "food_coupons",
+      {Cat("restaurant", AttrType::kTypeI, {"restaurant"}),
+       Cat("cuisine", AttrType::kTypeII, {"cuisine", "food"}),
+       Cat("city", AttrType::kTypeII, {"city"}),
+       Num("discount", {"percent", "off"}, {"discount"}),
+       Num("minimum", {"dollars", "dollar", "usd"},
+           {"minimum", "minimum purchase"})});
+  s.type_i_attrs = {0};
+  // Segments: 0 pizza, 1 burgers, 2 sit-down, 3 fast-casual.
+  s.identities = {
+      {{"pizza hut"}, 0, 1.3},     {{"dominos"}, 0, 1.3},
+      {{"papa johns"}, 0, 1.0},    {{"little caesars"}, 0, 0.8},
+      {{"mcdonalds"}, 1, 1.5},     {{"burger king"}, 1, 1.2},
+      {{"wendys"}, 1, 1.0},        {{"five guys"}, 1, 0.7},
+      {{"olive garden"}, 2, 1.0},  {{"red lobster"}, 2, 0.8},
+      {{"applebees"}, 2, 0.9},     {{"chilis"}, 2, 0.8},
+      {{"subway"}, 3, 1.3},        {{"taco bell"}, 3, 1.1},
+      {{"panda express"}, 3, 0.9}, {{"chipotle"}, 3, 1.0},
+      {{"kfc"}, 3, 0.9},
+  };
+  s.pool_groups[1] = {{"pizza", "italian"},
+                      {"burgers", "american"},
+                      {"seafood"},
+                      {"mexican"},
+                      {"chinese", "asian"},
+                      {"chicken"},
+                      {"sandwiches"}};
+  s.pool_groups[2] = {{"provo", "orem"},
+                      {"salt lake city", "sandy"},
+                      {"ogden"},
+                      {"lehi"}};
+  s.numerics[3] = {5, 75, true, 25, 13, false};
+  s.numerics[4] = {5, 100, true, 22, 14, false};
+  s.domain_keywords = {"coupon", "coupons", "restaurant", "meal", "dining", "takeout", "voucher"};
+  return s;
+}
+
+DomainSpec MakeInstruments() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "instruments",
+      {Cat("instrument", AttrType::kTypeI, {"instrument"}),
+       Cat("brand", AttrType::kTypeII, {"brand", "maker"}),
+       Cat("condition", AttrType::kTypeII, {"condition"}),
+       Cat("color", AttrType::kTypeII, {"color", "finish"}),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"}),
+       Num("year", {}, {"year"})});
+  s.type_i_attrs = {0};
+  // Segments: 0 strings, 1 keys, 2 wind/brass, 3 percussion.
+  s.identities = {
+      {{"guitar"}, 0, 1.6},       {{"bass guitar"}, 0, 1.0},
+      {{"violin"}, 0, 1.0},       {{"cello"}, 0, 0.6},
+      {{"banjo"}, 0, 0.5},        {{"mandolin"}, 0, 0.4},
+      {{"piano"}, 1, 1.1},        {{"keyboard"}, 1, 1.2},
+      {{"organ"}, 1, 0.4},
+      {{"trumpet"}, 2, 0.9},      {{"trombone"}, 2, 0.6},
+      {{"saxophone"}, 2, 0.9},    {{"clarinet"}, 2, 0.7},
+      {{"flute"}, 2, 0.8},
+      {{"drum set"}, 3, 0.9},     {{"snare drum"}, 3, 0.5},
+      {{"xylophone"}, 3, 0.3},
+  };
+  s.pool_groups[1] = {{"fender", "gibson", "ibanez"},
+                      {"yamaha", "casio", "roland"},
+                      {"steinway", "baldwin"},
+                      {"selmer", "bach"},
+                      {"pearl", "ludwig"}};
+  s.pool_groups[2] = {{"new"}, {"used", "refurbished"}};
+  s.pool_groups[3] = {{"black"},
+                      {"white"},
+                      {"sunburst", "natural"},
+                      {"red"}};
+  s.numerics[4] = {30, 20000, true, 800, 600, true};
+  s.numerics[5] = {1950, 2011, true, 1998, 12, false};
+  s.cluster_value_mult = {{0, 0.9}, {1, 3.0}, {2, 1.0}, {3, 1.2}};
+  s.domain_keywords = {"instrument", "instruments", "music", "musical", "band", "play"};
+  return s;
+}
+
+DomainSpec MakeJewellery() {
+  DomainSpec s;
+  s.schema = db::Schema(
+      "jewellery",
+      {Cat("type", AttrType::kTypeI, {"piece"}),
+       Cat("material", AttrType::kTypeII, {"material", "metal"}),
+       Cat("gemstone", AttrType::kTypeII, {"gemstone", "stone"}),
+       Cat("brand", AttrType::kTypeII, {"brand"}),
+       Num("carat", {"carat", "carats", "ct"}, {"carat"}),
+       Num("price", {"dollars", "dollar", "usd", "bucks"}, {"price", "cost"})});
+  s.type_i_attrs = {0};
+  // Segments: 0 neck, 1 hand, 2 wrist, 3 ears.
+  s.identities = {
+      {{"necklace"}, 0, 1.3}, {{"pendant"}, 0, 1.0}, {{"choker"}, 0, 0.5},
+      {{"ring"}, 1, 1.6},     {{"wedding band"}, 1, 0.9},
+      {{"bracelet"}, 2, 1.1}, {{"watch"}, 2, 1.2},   {{"bangle"}, 2, 0.5},
+      {{"earrings"}, 3, 1.2}, {{"studs"}, 3, 0.6},
+  };
+  s.pool_groups[1] = {{"gold", "rose gold", "white gold"},
+                      {"silver", "platinum"},
+                      {"titanium", "stainless steel"}};
+  s.pool_groups[2] = {{"diamond"},
+                      {"ruby", "garnet"},
+                      {"emerald"},
+                      {"sapphire", "topaz"},
+                      {"pearl", "opal"}};
+  s.pool_groups[3] = {{"tiffany", "cartier"},
+                      {"pandora", "swarovski"},
+                      {"kay", "zales"}};
+  s.numerics[4] = {0.25, 5.0, false, 1.2, 0.8, false};
+  s.numerics[5] = {20, 50000, true, 1500, 1200, true};
+  s.cluster_value_mult = {{0, 1.0}, {1, 1.8}, {2, 1.3}, {3, 0.8}};
+  s.domain_keywords = {"jewellery", "jewelry", "gem", "accessory", "fine"};
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DomainSpec>& AllDomainSpecs() {
+  static const auto* kSpecs = new std::vector<DomainSpec>{
+      MakeCars(),        MakeMotorcycles(), MakeClothing(), MakeCsJobs(),
+      MakeFurniture(),   MakeFoodCoupons(), MakeInstruments(),
+      MakeJewellery(),
+  };
+  return *kSpecs;
+}
+
+const DomainSpec* FindDomainSpec(const std::string& domain) {
+  for (const auto& spec : AllDomainSpecs()) {
+    if (spec.schema.domain() == domain) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace cqads::datagen

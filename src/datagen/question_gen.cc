@@ -1,0 +1,583 @@
+#include "datagen/question_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/boolean_assembler.h"
+#include "core/condition_builder.h"
+#include "text/shorthand.h"
+
+namespace cqads::datagen {
+
+namespace {
+
+db::Value NumValue(double d) {
+  if (d == std::floor(d) && std::abs(d) < 9e15) {
+    return db::Value::Int(static_cast<std::int64_t>(d));
+  }
+  return db::Value::Real(d);
+}
+
+db::ExprPtr UnitExpr(const IntentUnit& unit) {
+  db::ExprPtr inner;
+  switch (unit.kind) {
+    case IntentUnit::Kind::kIdentity: {
+      std::vector<db::ExprPtr> eqs;
+      for (const auto& [attr, value] : unit.identity) {
+        db::Predicate p;
+        p.attr = attr;
+        p.op = db::CompareOp::kEq;
+        p.value = db::Value::Text(value);
+        eqs.push_back(db::Expr::MakePredicate(std::move(p)));
+      }
+      inner = db::Expr::MakeAnd(std::move(eqs));
+      break;
+    }
+    case IntentUnit::Kind::kTypeII: {
+      std::vector<db::ExprPtr> eqs;
+      for (const auto& v : unit.values) {
+        db::Predicate p;
+        p.attr = unit.attr;
+        p.op = db::CompareOp::kEq;
+        p.value = db::Value::Text(v);
+        eqs.push_back(db::Expr::MakePredicate(std::move(p)));
+      }
+      inner = db::Expr::MakeOr(std::move(eqs));
+      break;
+    }
+    case IntentUnit::Kind::kTypeIII: {
+      db::Predicate p;
+      p.attr = unit.attr;
+      p.op = unit.op;
+      p.value = NumValue(unit.lo);
+      if (unit.op == db::CompareOp::kBetween) p.value_hi = NumValue(unit.hi);
+      inner = db::Expr::MakePredicate(std::move(p));
+      break;
+    }
+  }
+  return unit.negated ? db::Expr::MakeNot(inner) : inner;
+}
+
+const std::vector<std::string>& FillerPrefixes() {
+  static const auto* kFillers = new std::vector<std::string>{
+      "", "find ", "show me ", "i want a ", "do you have a ",
+      "looking for a ", "any ", "i need a ",
+  };
+  return *kFillers;
+}
+
+/// Numeric attributes of the spec that have a generation model, preferring
+/// money ones (the dominant bound in ads questions).
+std::vector<std::size_t> BoundableAttrs(const DomainSpec& spec) {
+  std::vector<std::size_t> out;
+  for (const auto& [attr, gen] : spec.numerics) out.push_back(attr);
+  return out;
+}
+
+double RoundTarget(double v, const NumericGenSpec& gen) {
+  double span = gen.max - gen.min;
+  double step = 1.0;
+  if (span > 100000) {
+    step = 1000.0;
+  } else if (span > 5000) {
+    step = 500.0;
+  } else if (span > 100) {
+    step = 5.0;
+  } else if (!gen.integer) {
+    return std::round(v * 2.0) / 2.0;
+  }
+  double rounded = std::round(v / step) * step;
+  return std::clamp(rounded, gen.min, gen.max);
+}
+
+std::string FormatNumberText(double v, bool money, Rng* rng) {
+  const std::int64_t iv = static_cast<std::int64_t>(std::round(v));
+  if (v != std::floor(v)) return FormatDouble(v, 1);
+  const std::size_t style = rng->UniformIndex(money ? 4 : 2);
+  switch (style) {
+    case 0:
+      return std::to_string(iv);
+    case 1:
+      if (iv >= 1000 && iv % 1000 == 0) {
+        return std::to_string(iv / 1000) + "k";
+      }
+      return std::to_string(iv);
+    case 2:
+      return "$" + WithThousandsSeparators(iv);
+    default:
+      return "$" + std::to_string(iv);
+  }
+}
+
+/// Renders a Type III bound ("less than 5000 dollars", "newer than 2005",
+/// "between $2,000 and $7,000"). `incomplete` omits all attribute cues.
+std::string BoundPhrase(const DomainSpec& spec, const IntentUnit& unit,
+                        bool incomplete, Rng* rng) {
+  const db::Attribute& attr = spec.schema.attribute(unit.attr);
+  const bool money = core::IsMoneyAttribute(attr);
+  const bool is_year = attr.name == "year";
+
+  auto unit_suffix = [&](const std::string& num) -> std::string {
+    if (incomplete) return num;
+    if (money) {
+      if (num[0] == '$') return num;
+      if (rng->Bernoulli(0.5)) return num + " dollars";
+      return "$" + num;
+    }
+    if (!attr.unit_keywords.empty()) {
+      return num + " " + attr.unit_keywords[0];
+    }
+    return num;
+  };
+
+  const std::string lo_text = FormatNumberText(
+      unit.lo, money && !incomplete && rng->Bernoulli(0.4), rng);
+
+  switch (unit.op) {
+    case db::CompareOp::kLt:
+    case db::CompareOp::kLe: {
+      if (is_year && !incomplete && rng->Bernoulli(0.5)) {
+        return "older than " + lo_text;
+      }
+      static const char* kPhrases[] = {"less than", "under", "below",
+                                       "at most"};
+      std::string phrase = kPhrases[rng->UniformIndex(3)];
+      if (unit.op == db::CompareOp::kLe) phrase = "at most";
+      // Unit-less attributes (year) need their name spelled out or the
+      // number is genuinely ambiguous.
+      if (!incomplete && !money &&
+          (is_year || (rng->Bernoulli(0.5) && !attr.aliases.empty()))) {
+        return attr.aliases[0] + " " + phrase + " " + lo_text;
+      }
+      return phrase + " " + unit_suffix(lo_text);
+    }
+    case db::CompareOp::kGt:
+    case db::CompareOp::kGe: {
+      if (is_year && !incomplete && rng->Bernoulli(0.5)) {
+        return "newer than " + lo_text;
+      }
+      static const char* kPhrases[] = {"more than", "over", "above"};
+      std::string phrase = unit.op == db::CompareOp::kGe
+                               ? "at least"
+                               : kPhrases[rng->UniformIndex(3)];
+      if (!incomplete && !money &&
+          (is_year || (rng->Bernoulli(0.5) && !attr.aliases.empty()))) {
+        return attr.aliases[0] + " " + phrase + " " + lo_text;
+      }
+      return phrase + " " + unit_suffix(lo_text);
+    }
+    case db::CompareOp::kBetween: {
+      const std::string hi_text = FormatNumberText(unit.hi, false, rng);
+      return "between " + lo_text + " and " + unit_suffix(hi_text);
+    }
+    default:  // kEq: a bare or unit-suffixed number
+      return unit_suffix(lo_text);
+  }
+}
+
+/// Known shorthand variants of a categorical value (validated against the
+/// matcher so the generator and CQAds agree on what counts as shorthand).
+std::vector<std::string> ShorthandVariants(const std::string& value) {
+  std::vector<std::string> candidates;
+  // no-space and hyphen variants
+  candidates.push_back(ReplaceAll(value, " ", ""));
+  candidates.push_back(ReplaceAll(value, " ", "-"));
+  // digits + compressed words ("2 door" -> "2dr")
+  auto words = SplitWhitespace(value);
+  std::string compressed;
+  for (const auto& w : words) {
+    if (IsDigits(w)) {
+      compressed += w;
+    } else if (w.size() > 2) {
+      compressed += w.front();
+      compressed += w.back();
+    } else {
+      compressed += w;
+    }
+  }
+  candidates.push_back(compressed);
+  candidates.push_back(compressed + "s");
+
+  std::vector<std::string> out;
+  for (const auto& c : candidates) {
+    if (c == value) continue;
+    if (text::IsShorthandMatch(c, value)) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string MisspellWord(const std::string& word, Rng* rng) {
+  if (word.size() < 5) return word;
+  std::string out = word;
+  if (rng->Bernoulli(0.5)) {
+    // Swap two adjacent interior letters.
+    std::size_t i = 1 + rng->UniformIndex(out.size() - 3);
+    std::swap(out[i], out[i + 1]);
+  } else {
+    // Drop one interior letter.
+    std::size_t i = 1 + rng->UniformIndex(out.size() - 2);
+    out.erase(i, 1);
+  }
+  return out;
+}
+
+struct SegmentText {
+  std::vector<std::string> descriptor_fragments;  // before the identity
+  std::string identity_text;
+  std::vector<std::string> bound_fragments;       // after the identity
+};
+
+}  // namespace
+
+db::ExprPtr IntentToExpr(
+    const std::vector<std::vector<IntentUnit>>& segments) {
+  std::vector<db::ExprPtr> seg_exprs;
+  for (const auto& seg : segments) {
+    std::vector<db::ExprPtr> parts;
+    for (const auto& u : seg) parts.push_back(UnitExpr(u));
+    if (!parts.empty()) seg_exprs.push_back(db::Expr::MakeAnd(std::move(parts)));
+  }
+  if (seg_exprs.empty()) return nullptr;
+  return db::Expr::MakeOr(std::move(seg_exprs));
+}
+
+std::vector<GeneratedQuestion> GenerateQuestions(const DomainSpec& spec,
+                                                 const db::Table& table,
+                                                 std::size_t n,
+                                                 const QuestionGenOptions& opts,
+                                                 Rng* rng) {
+  (void)table;
+  std::vector<GeneratedQuestion> out;
+  out.reserve(n);
+
+  // Type II attrs usable as descriptors (categorical pools + features).
+  std::vector<std::size_t> t2_attrs;
+  for (const auto& [attr, groups] : spec.pool_groups) {
+    if (spec.schema.attribute(attr).attr_type == db::AttrType::kTypeII) {
+      t2_attrs.push_back(attr);
+    }
+  }
+  const bool has_features = spec.features_attr != kNoFeatureAttr;
+  const std::vector<std::size_t> boundable = BoundableAttrs(spec);
+
+  auto pick_identity_unit = [&](bool allow_partial) -> IntentUnit {
+    const IdentitySpec& id =
+        spec.identities[rng->UniformIndex(spec.identities.size())];
+    IntentUnit unit;
+    unit.kind = IntentUnit::Kind::kIdentity;
+    unit.cluster = id.cluster;
+    const bool partial = allow_partial && id.values.size() > 1 &&
+                         rng->Bernoulli(opts.p_partial_identity);
+    const std::size_t take = partial ? 1 : id.values.size();
+    for (std::size_t k = 0; k < take; ++k) {
+      unit.identity.emplace_back(spec.type_i_attrs[k], id.values[k]);
+    }
+    return unit;
+  };
+
+  auto pick_type_ii_unit = [&](bool prefer_feature) -> IntentUnit {
+    IntentUnit unit;
+    unit.kind = IntentUnit::Kind::kTypeII;
+    if (prefer_feature && has_features) {
+      unit.attr = spec.features_attr;
+      const auto& groups = spec.feature_groups;
+      std::size_t g = rng->UniformIndex(groups.size());
+      unit.values.push_back(groups[g][rng->UniformIndex(groups[g].size())]);
+      unit.groups.push_back(static_cast<int>(g));
+    } else {
+      unit.attr = t2_attrs[rng->UniformIndex(t2_attrs.size())];
+      const auto& groups = spec.pool_groups.at(unit.attr);
+      std::size_t g = rng->UniformIndex(groups.size());
+      unit.values.push_back(groups[g][rng->UniformIndex(groups[g].size())]);
+      unit.groups.push_back(static_cast<int>(g));
+    }
+    return unit;
+  };
+
+  auto pick_bound_unit = [&](int cluster) -> IntentUnit {
+    IntentUnit unit;
+    unit.kind = IntentUnit::Kind::kTypeIII;
+    unit.attr = boundable[rng->UniformIndex(boundable.size())];
+    // Prefer price when available: it dominates real ads questions.
+    if (auto price = spec.schema.Resolve("price");
+        price && rng->Bernoulli(0.6)) {
+      unit.attr = *price;
+    }
+    // Draw the target from the OBSERVED table range: users bound against
+    // the market they see, and §4.2.2's range rule uses observed values.
+    const NumericGenSpec& gen = spec.numerics.at(unit.attr);
+    double lo_obs = gen.min, hi_obs = gen.max;
+    if (auto range = table.NumericRange(unit.attr); range.ok()) {
+      lo_obs = range.value().first;
+      hi_obs = range.value().second;
+    }
+    // Cluster-scaled attributes (price): a user asking about a luxury
+    // identity quotes luxury-market numbers, not the global distribution.
+    if (gen.cluster_scaled && cluster >= 0) {
+      double center = gen.base_mean * spec.ClusterMult(cluster);
+      double local = 2.5 * gen.stddev * spec.ClusterMult(cluster);
+      lo_obs = std::max(lo_obs, center - local);
+      hi_obs = std::min(hi_obs, center + local);
+      if (lo_obs >= hi_obs) {
+        lo_obs = gen.min;
+        hi_obs = gen.max;
+      }
+    }
+    double span = hi_obs - lo_obs;
+    double draw =
+        rng->UniformReal(lo_obs + 0.15 * span, lo_obs + 0.85 * span);
+    unit.lo = RoundTarget(draw, gen);
+    double r = rng->UniformReal(0.0, 1.0);
+    if (r < 0.62) {
+      unit.op = db::CompareOp::kLt;
+    } else if (r < 0.8) {
+      unit.op = db::CompareOp::kGt;
+    } else if (r < 0.92) {
+      unit.op = db::CompareOp::kBetween;
+      double hi = RoundTarget(
+          std::min(hi_obs, unit.lo + rng->UniformReal(0.1, 0.4) * span),
+          gen);
+      if (hi <= unit.lo) hi = std::min(hi_obs, unit.lo + span * 0.2);
+      unit.hi = hi;
+    } else {
+      unit.op = db::CompareOp::kEq;
+      // Equality targets integers ("2004 honda accord" style).
+      unit.lo = std::round(unit.lo);
+    }
+    return unit;
+  };
+
+  for (std::size_t qi = 0; qi < n; ++qi) {
+    GeneratedQuestion q;
+    q.domain = spec.schema.domain();
+
+    const bool is_bool = rng->Bernoulli(opts.p_boolean);
+    const bool is_explicit =
+        is_bool && rng->Bernoulli(opts.p_explicit_given_boolean);
+    q.is_boolean = is_bool;
+    q.is_explicit_boolean = is_explicit;
+
+    enum class BoolKind { kNone, kNegation, kMutex, kMultiIdentity };
+    BoolKind bool_kind = BoolKind::kNone;
+    if (is_bool) {
+      double r = rng->UniformReal(0.0, 1.0);
+      bool_kind = r < 0.4 ? BoolKind::kNegation
+                          : (r < 0.7 ? BoolKind::kMutex
+                                     : BoolKind::kMultiIdentity);
+    }
+
+    // --- build intent segments ---
+    std::vector<std::vector<IntentUnit>> segments;
+    std::vector<SegmentText> seg_texts;
+
+    const std::size_t n_segments =
+        bool_kind == BoolKind::kMultiIdentity ? 2 : 1;
+    const bool want_superlative =
+        bool_kind == BoolKind::kNone && rng->Bernoulli(opts.p_superlative);
+    bool incomplete = !want_superlative && rng->Bernoulli(opts.p_incomplete);
+
+    for (std::size_t si = 0; si < n_segments; ++si) {
+      std::vector<IntentUnit> seg;
+      SegmentText st;
+
+      IntentUnit identity = pick_identity_unit(n_segments == 1);
+      std::vector<std::string> id_words;
+      for (const auto& [attr, value] : identity.identity) {
+        id_words.push_back(value);
+      }
+      st.identity_text = Join(id_words, " ");
+      seg.push_back(identity);
+
+      // Descriptors (only the first segment gets several).
+      std::size_t n_t2 = si == 0 ? rng->UniformIndex(opts.max_type_ii + 1)
+                                 : rng->UniformIndex(2);
+      if (bool_kind == BoolKind::kNegation && n_t2 == 0) n_t2 = 1;
+      if (bool_kind == BoolKind::kMutex) n_t2 = std::max<std::size_t>(n_t2, 1);
+
+      std::vector<std::size_t> used_attrs;
+      for (std::size_t t = 0; t < n_t2; ++t) {
+        // Mutually-exclusive pairs must come from single-valued categorical
+        // attributes; feature-list values can co-exist (rule 2a).
+        const bool mutex_slot =
+            t == 0 && bool_kind == BoolKind::kMutex && si == 0;
+        IntentUnit u =
+            pick_type_ii_unit(!mutex_slot && rng->Bernoulli(0.35));
+        if (std::find(used_attrs.begin(), used_attrs.end(), u.attr) !=
+            used_attrs.end()) {
+          continue;
+        }
+        used_attrs.push_back(u.attr);
+
+        if (mutex_slot) {
+          // Add a second, mutually-exclusive value of the same attribute.
+          const auto& groups = spec.pool_groups.at(u.attr);
+          for (int attempts = 0; attempts < 8; ++attempts) {
+            std::size_t g = rng->UniformIndex(groups.size());
+            const std::string& v = groups[g][rng->UniformIndex(groups[g].size())];
+            if (v != u.values[0]) {
+              u.values.push_back(v);
+              u.groups.push_back(static_cast<int>(g));
+              break;
+            }
+          }
+        }
+        if (t == 0 && bool_kind == BoolKind::kNegation && si == 0) {
+          u.negated = true;
+          q.has_negation = true;
+        }
+
+        // Render descriptor.
+        std::string frag;
+        const bool feature = u.attr == spec.features_attr;
+        if (u.negated) {
+          static const char* kNegs[] = {"not", "without", "no"};
+          frag = std::string(kNegs[rng->UniformIndex(3)]) + " " + u.values[0];
+        } else if (u.values.size() > 1) {
+          frag = u.values[0] +
+                 (is_explicit ? " or " : " ") + u.values[1];
+        } else if (feature) {
+          frag = "with " + u.values[0];
+        } else {
+          frag = u.values[0];
+        }
+        st.descriptor_fragments.push_back(frag);
+        seg.push_back(std::move(u));
+      }
+
+      // Bound (last segment only — trailing bounds right-associate with the
+      // final identity under CQAds' rules, keeping intent and reading
+      // aligned — and not alongside a superlative).
+      if (si + 1 == n_segments && !want_superlative && rng->Bernoulli(0.55)) {
+        IntentUnit b = pick_bound_unit(seg.empty() ? -1 : seg[0].cluster);
+        // Equality bounds render as bare numbers: inherently incomplete
+        // unless the attribute is year-like and unambiguous to a human.
+        bool this_incomplete = incomplete || b.op == db::CompareOp::kEq;
+        q.is_incomplete = q.is_incomplete || this_incomplete;
+        st.bound_fragments.push_back(
+            BoundPhrase(spec, b, this_incomplete, rng));
+        seg.push_back(b);
+      }
+
+      segments.push_back(std::move(seg));
+      seg_texts.push_back(std::move(st));
+    }
+
+    // Superlative.
+    if (want_superlative) {
+      struct SuperChoice {
+        const char* alias;
+        const char* min_word;
+        const char* max_word;
+      };
+      static const SuperChoice kChoices[] = {
+          {"price", "cheapest", "most expensive"},
+          {"year", "oldest", "newest"},
+          {"salary", "lowest paying", "highest paying"},
+      };
+      std::vector<std::pair<std::size_t, std::string>> usable;
+      for (const auto& choice : kChoices) {
+        auto attr = spec.schema.Resolve(choice.alias);
+        if (!attr) continue;
+        bool ascending = rng->Bernoulli(0.6);
+        usable.emplace_back(*attr, ascending ? choice.min_word
+                                             : choice.max_word);
+        if (!usable.empty()) {
+          q.superlative = db::Superlative{*attr, ascending};
+          q.has_superlative = true;
+          // Lexical form: complete superlative word before everything.
+          seg_texts[0].descriptor_fragments.insert(
+              seg_texts[0].descriptor_fragments.begin(), usable.back().second);
+          break;
+        }
+      }
+    }
+
+    // --- assemble text ---
+    std::string text = FillerPrefixes()[rng->UniformIndex(
+        FillerPrefixes().size())];
+    for (std::size_t si = 0; si < seg_texts.size(); ++si) {
+      // Implicit multi-identity questions juxtapose the alternatives
+      // ("toyota corolla honda accord"); only explicit ones say "or".
+      if (si > 0) text += is_explicit ? " or a " : " ";
+      const SegmentText& st = seg_texts[si];
+      std::vector<std::string> parts = st.descriptor_fragments;
+      parts.push_back(st.identity_text);
+      for (const auto& b : st.bound_fragments) parts.push_back(b);
+      std::string joined;
+      for (std::size_t p = 0; p < parts.size(); ++p) {
+        if (p > 0) {
+          joined += (is_explicit && p == 1 && parts.size() > 2 &&
+                     !q.has_negation && rng->Bernoulli(0.5))
+                        ? " and "
+                        : " ";
+        }
+        joined += parts[p];
+      }
+      text += joined;
+    }
+
+    // --- perturbations ---
+    if (rng->Bernoulli(opts.p_shorthand)) {
+      // Replace a multi-word Type II value by a shorthand variant.
+      for (auto& seg : segments) {
+        bool done = false;
+        for (auto& u : seg) {
+          if (u.kind != IntentUnit::Kind::kTypeII || u.negated) continue;
+          for (const auto& v : u.values) {
+            if (v.find(' ') == std::string::npos) continue;
+            auto variants = ShorthandVariants(v);
+            if (variants.empty()) continue;
+            const std::string& variant =
+                variants[rng->UniformIndex(variants.size())];
+            std::string replaced = ReplaceAll(text, v, variant);
+            if (replaced != text) {
+              text = std::move(replaced);
+              q.has_shorthand = true;
+              done = true;
+              break;
+            }
+          }
+          if (done) break;
+        }
+        if (done) break;
+      }
+    }
+    if (rng->Bernoulli(opts.p_missing_space) &&
+        seg_texts[0].identity_text.find(' ') != std::string::npos) {
+      std::string merged = ReplaceAll(seg_texts[0].identity_text, " ", "");
+      text = ReplaceAll(text, seg_texts[0].identity_text, merged);
+      q.has_missing_space = true;
+    }
+    if (rng->Bernoulli(opts.p_misspell)) {
+      // Misspell the longest identity word (recoverable by the corrector).
+      auto words = SplitWhitespace(seg_texts[0].identity_text);
+      std::sort(words.begin(), words.end(),
+                [](const auto& a, const auto& b) {
+                  return a.size() > b.size();
+                });
+      if (!words.empty() && words[0].size() >= 5 && IsAlpha(words[0])) {
+        std::string bad = MisspellWord(words[0], rng);
+        std::string replaced = ReplaceAll(text, words[0], bad);
+        if (replaced != text) {
+          text = std::move(replaced);
+          q.has_misspelling = true;
+        }
+      }
+    }
+
+    q.text = text;
+    q.segments = std::move(segments);
+    q.oracle.where = IntentToExpr(q.segments);
+    q.oracle.superlative = q.superlative;
+    q.oracle.limit = 30;
+    q.oracle_interpretation =
+        core::InterpretationString(spec.schema, q.oracle.where);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace cqads::datagen

@@ -1,0 +1,96 @@
+// Question generation: synthesizes the Facebook-survey questions of §5.1
+// from latent intents. Every question carries its ground-truth intent
+// (units, oracle query, canonical interpretation), which is what the paper
+// obtained by reading the surveyed users' questions. Knobs control the
+// error phenomena §4.2 handles (misspellings, missing spaces, shorthand,
+// incomplete values) and the Boolean phenomena §4.4 handles (negation,
+// mutually-exclusive values, explicit AND/OR), at the papers' observed
+// rates (~1/5 Boolean, ~5% explicit Boolean).
+#ifndef CQADS_DATAGEN_QUESTION_GEN_H_
+#define CQADS_DATAGEN_QUESTION_GEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/domain_spec.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace cqads::datagen {
+
+/// One ground-truth unit of the questioner's intent.
+struct IntentUnit {
+  enum class Kind { kIdentity, kTypeII, kTypeIII };
+  Kind kind = Kind::kTypeII;
+
+  /// kIdentity: the (attr, value) pairs and the latent segment.
+  std::vector<std::pair<std::size_t, std::string>> identity;
+  int cluster = -1;
+
+  /// kTypeII: attribute, requested value(s) (>1 = intended OR of mutually
+  /// exclusive values), and their related groups.
+  std::size_t attr = kNoFeatureAttr;
+  std::vector<std::string> values;
+  std::vector<int> groups;
+
+  /// kTypeIII.
+  db::CompareOp op = db::CompareOp::kEq;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool negated = false;
+};
+
+struct GeneratedQuestion {
+  std::string domain;
+  std::string text;
+  /// Intent: OR over segments, AND over each segment's units.
+  std::vector<std::vector<IntentUnit>> segments;
+  std::optional<db::Superlative> superlative;
+  /// Executable ground truth over the domain table.
+  db::Query oracle;
+  /// Canonical rendering of oracle.where (core::InterpretationString).
+  std::string oracle_interpretation;
+
+  // Structure flags (drive per-phenomenon accuracy reporting).
+  bool is_boolean = false;
+  bool is_explicit_boolean = false;
+  bool has_negation = false;
+  bool has_superlative = false;
+  bool has_misspelling = false;
+  bool has_missing_space = false;
+  bool has_shorthand = false;
+  bool is_incomplete = false;
+};
+
+struct QuestionGenOptions {
+  double p_partial_identity = 0.3;  ///< use only the leading Type I value
+  double p_misspell = 0.08;
+  double p_missing_space = 0.05;
+  double p_shorthand = 0.12;
+  double p_incomplete = 0.07;
+  double p_superlative = 0.12;
+  /// Fraction of Boolean questions (§4.4: ~one fifth), of which
+  /// `p_explicit_given_boolean` carry explicit operators (§4.4.2: ~5%
+  /// overall).
+  double p_boolean = 0.20;
+  double p_explicit_given_boolean = 0.26;
+  std::size_t max_type_ii = 2;
+};
+
+/// Generates `n` questions for a domain. `table` supplies realistic value
+/// occurrences (oracle queries are executable against it).
+std::vector<GeneratedQuestion> GenerateQuestions(const DomainSpec& spec,
+                                                 const db::Table& table,
+                                                 std::size_t n,
+                                                 const QuestionGenOptions& opts,
+                                                 Rng* rng);
+
+/// Builds the executable oracle expression from intent segments.
+db::ExprPtr IntentToExpr(const std::vector<std::vector<IntentUnit>>& segments);
+
+}  // namespace cqads::datagen
+
+#endif  // CQADS_DATAGEN_QUESTION_GEN_H_

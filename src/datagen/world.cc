@@ -1,0 +1,138 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/ads_generator.h"
+#include "datagen/corpus_gen.h"
+#include "qlog/log_generator.h"
+#include "qlog/ti_matrix.h"
+
+namespace cqads::datagen {
+
+namespace {
+
+/// Log-generator spec for a domain: full identities plus the leading Type I
+/// values on their own (so TI_Sim covers both "honda accord" <-> "toyota
+/// camry" and "honda" <-> "toyota" lookups). A leading value's cluster is
+/// the majority cluster of its identities.
+qlog::LogGenSpec MakeLogSpec(const DomainSpec& spec,
+                             std::size_t num_sessions) {
+  qlog::LogGenSpec log_spec;
+  log_spec.num_sessions = num_sessions;
+
+  std::map<std::string, std::map<int, int>> leading_clusters;
+  for (const auto& id : spec.identities) {
+    std::string joined;
+    for (const auto& v : id.values) {
+      if (!joined.empty()) joined += " ";
+      joined += v;
+    }
+    log_spec.values.push_back(joined);
+    log_spec.cluster_of.push_back(id.cluster);
+    if (id.values.size() > 1) {
+      leading_clusters[id.values[0]][id.cluster]++;
+    }
+  }
+  for (const auto& [leading, counts] : leading_clusters) {
+    int best_cluster = 0, best_count = -1;
+    for (const auto& [cluster, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_cluster = cluster;
+      }
+    }
+    log_spec.values.push_back(leading);
+    log_spec.cluster_of.push_back(best_cluster);
+  }
+  return log_spec;
+}
+
+}  // namespace
+
+const DomainSpec* World::spec(const std::string& domain) const {
+  return FindDomainSpec(domain);
+}
+
+const qlog::QueryLog* World::query_log(const std::string& domain) const {
+  auto it = logs_.find(domain);
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+Result<std::unique_ptr<World>> World::Build(const WorldOptions& options) {
+  auto world = std::unique_ptr<World>(new World());
+  world->options_ = options;
+  Rng rng(options.seed);
+
+  std::vector<const DomainSpec*> specs;
+  for (const auto& spec : AllDomainSpecs()) {
+    if (!options.domains.empty() &&
+        std::find(options.domains.begin(), options.domains.end(),
+                  spec.schema.domain()) == options.domains.end()) {
+      continue;
+    }
+    specs.push_back(&spec);
+  }
+  if (specs.empty()) return Status::InvalidArgument("no domains selected");
+
+  // 1. Ads tables.
+  for (const DomainSpec* spec : specs) {
+    Rng ads_rng = rng.Fork();
+    auto table = GenerateAds(*spec, options.ads_per_domain, &ads_rng);
+    if (!table.ok()) return table.status();
+    CQADS_RETURN_NOT_OK(world->database_.AddTable(std::move(table).value()));
+  }
+
+  // 2. WS-matrix from the synthetic corpus (shared across domains, like the
+  //    paper's single Wikipedia-derived matrix).
+  {
+    Rng corpus_rng = rng.Fork();
+    std::vector<DomainSpec> spec_copies;
+    for (const DomainSpec* s : specs) spec_copies.push_back(*s);
+    auto corpus = GenerateCorpus(spec_copies, options.corpus_docs_per_domain,
+                                 &corpus_rng);
+    world->ws_ = wordsim::WsMatrix::Build(corpus);
+  }
+
+  // 3. Engine with per-domain query logs and TI-matrices.
+  world->engine_ =
+      std::make_unique<core::CqadsEngine>(options.engine_options);
+  world->engine_->SetWordSimilarity(&world->ws_);
+  for (const DomainSpec* spec : specs) {
+    Rng log_rng = rng.Fork();
+    qlog::QueryLog log = qlog::GenerateQueryLog(
+        MakeLogSpec(*spec, options.sessions_per_domain), &log_rng);
+    qlog::TiMatrix ti = qlog::TiMatrix::Build(log);
+    world->logs_.emplace(spec->schema.domain(), std::move(log));
+    CQADS_RETURN_NOT_OK(world->engine_->AddDomain(
+        world->database_.GetTable(spec->schema.domain()), std::move(ti)));
+  }
+  // Extra classifier documents: real ads carry domain words ("car for
+  // sale", "motorcycle"), which generated record texts lack. Each extra doc
+  // pairs domain keywords with a sampled identity, mimicking ad titles.
+  std::vector<classify::LabelledDoc> extra;
+  {
+    Rng kw_rng = rng.Fork();
+    for (const DomainSpec* spec : specs) {
+      if (spec->domain_keywords.empty()) continue;
+      for (int d = 0; d < 25; ++d) {
+        std::string text;
+        for (const auto& kw : spec->domain_keywords) {
+          text += kw;
+          text += " ";
+        }
+        const auto& id =
+            spec->identities[kw_rng.UniformIndex(spec->identities.size())];
+        for (const auto& v : id.values) {
+          text += v;
+          text += " ";
+        }
+        extra.push_back({text, spec->schema.domain()});
+      }
+    }
+  }
+  CQADS_RETURN_NOT_OK(world->engine_->TrainClassifierWithExtra(extra));
+  return world;
+}
+
+}  // namespace cqads::datagen

@@ -1,0 +1,65 @@
+// The "world": everything the experiments need, wired together — generated
+// ads tables for all eight domains, the WS-matrix from the synthetic corpus,
+// per-domain query logs and TI-matrices, and a fully configured CqadsEngine.
+// One seed reproduces the whole evaluation bit-for-bit.
+#ifndef CQADS_DATAGEN_WORLD_H_
+#define CQADS_DATAGEN_WORLD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cqads_engine.h"
+#include "datagen/domain_spec.h"
+#include "db/database.h"
+#include "qlog/query_log.h"
+#include "wordsim/ws_matrix.h"
+
+namespace cqads::datagen {
+
+struct WorldOptions {
+  std::uint64_t seed = 20111130;  ///< the paper's arXiv date
+  std::size_t ads_per_domain = 500;  ///< §4.1.4: 500 ads per domain
+  std::size_t sessions_per_domain = 1500;
+  std::size_t corpus_docs_per_domain = 200;
+  core::CqadsEngine::Options engine_options;
+  /// Restrict to these domains (empty = all eight).
+  std::vector<std::string> domains;
+};
+
+class World {
+ public:
+  /// Builds the full world. Returned by unique_ptr: the engine holds
+  /// pointers into the world's tables and matrices, so the world must not
+  /// move.
+  static Result<std::unique_ptr<World>> Build(const WorldOptions& options);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  const db::Database& database() const { return database_; }
+  const db::Table* table(const std::string& domain) const {
+    return database_.GetTable(domain);
+  }
+  const DomainSpec* spec(const std::string& domain) const;
+  const core::CqadsEngine& engine() const { return *engine_; }
+  const wordsim::WsMatrix& ws_matrix() const { return ws_; }
+  const qlog::QueryLog* query_log(const std::string& domain) const;
+  std::vector<std::string> domains() const { return database_.Domains(); }
+  const WorldOptions& options() const { return options_; }
+
+ private:
+  World() = default;
+
+  WorldOptions options_;
+  db::Database database_;
+  wordsim::WsMatrix ws_;
+  std::map<std::string, qlog::QueryLog> logs_;
+  std::unique_ptr<core::CqadsEngine> engine_;
+};
+
+}  // namespace cqads::datagen
+
+#endif  // CQADS_DATAGEN_WORLD_H_

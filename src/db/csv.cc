@@ -1,0 +1,147 @@
+#include "db/csv.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+std::string CsvQuote(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string ExportCsv(const Table& table) {
+  const Schema& schema = table.schema();
+  std::string out;
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (a > 0) out.push_back(',');
+    out += CsvQuote(schema.attribute(a).name);
+  }
+  out.push_back('\n');
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) out.push_back(',');
+      const Value& v = table.cell(r, a);
+      if (!v.is_null()) out += CsvQuote(v.AsText());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Table> ImportCsv(const Schema& schema, std::string_view csv_text) {
+  CQADS_RETURN_NOT_OK(schema.Validate());
+  Table table(schema);
+
+  std::size_t pos = 0;
+  bool header_done = false;
+  std::size_t line_no = 0;
+  while (pos <= csv_text.size()) {
+    // Scan to the next unquoted newline (fields may contain '\n').
+    std::size_t end = pos;
+    bool in_quotes = false;
+    while (end < csv_text.size() &&
+           (in_quotes || csv_text[end] != '\n')) {
+      if (csv_text[end] == '"') in_quotes = !in_quotes;
+      ++end;
+    }
+    std::string_view line = csv_text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() && pos > csv_text.size()) break;
+    if (TrimView(line).empty()) {
+      if (pos > csv_text.size()) break;
+      continue;
+    }
+
+    auto fields = SplitCsvLine(line);
+    if (!header_done) {
+      if (fields.size() != schema.num_attributes()) {
+        return Status::InvalidArgument(
+            "header has " + std::to_string(fields.size()) +
+            " columns; schema expects " +
+            std::to_string(schema.num_attributes()));
+      }
+      for (std::size_t a = 0; a < fields.size(); ++a) {
+        if (!EqualsIgnoreCase(Trim(fields[a]), schema.attribute(a).name)) {
+          return Status::InvalidArgument(
+              "header column " + std::to_string(a) + " is '" + fields[a] +
+              "'; schema expects '" + schema.attribute(a).name + "'");
+        }
+      }
+      header_done = true;
+      continue;
+    }
+
+    if (fields.size() != schema.num_attributes()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields; expected " +
+          std::to_string(schema.num_attributes()));
+    }
+    Record record(schema.num_attributes());
+    for (std::size_t a = 0; a < fields.size(); ++a) {
+      const std::string& field = fields[a];
+      if (field.empty()) continue;  // NULL
+      if (schema.attribute(a).data_kind == DataKind::kNumeric) {
+        char* parse_end = nullptr;
+        double v = std::strtod(field.c_str(), &parse_end);
+        if (parse_end == field.c_str() || *parse_end != '\0') {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) + ": '" + field +
+              "' is not numeric for attribute " + schema.attribute(a).name);
+        }
+        record[a] = Value::Real(v);
+      } else {
+        record[a] = Value::Text(field);
+      }
+    }
+    auto inserted = table.Insert(std::move(record));
+    if (!inserted.ok()) return inserted.status();
+    if (pos > csv_text.size()) break;
+  }
+
+  if (!header_done) return Status::InvalidArgument("empty CSV input");
+  table.BuildIndexes();
+  return table;
+}
+
+}  // namespace cqads::db

@@ -1,0 +1,36 @@
+// CSV import/export for ads tables. The paper builds its DB from a web
+// extraction tool; a downstream user of this library will more likely load
+// ads from CSV dumps, so the store speaks a minimal, well-defined dialect:
+// comma-separated, double-quote quoting with "" escapes, one header row of
+// attribute names, empty field = NULL.
+#ifndef CQADS_DB_CSV_H_
+#define CQADS_DB_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace cqads::db {
+
+/// Serializes the table (header + one line per record). Numeric cells print
+/// via Value::AsText; TextList cells keep their ';' separators.
+std::string ExportCsv(const Table& table);
+
+/// Parses CSV text into a table of the given schema. The header must list
+/// exactly the schema's attribute names in order (case-insensitive).
+/// Numeric columns parse as doubles; empty fields become NULL. Indexes are
+/// built on success.
+Result<Table> ImportCsv(const Schema& schema, std::string_view csv_text);
+
+/// Splits one CSV record line into fields, honouring quotes. Exposed for
+/// tests.
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
+/// Quotes a field when needed.
+std::string CsvQuote(std::string_view field);
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_CSV_H_

@@ -1,0 +1,33 @@
+#include "db/database.h"
+
+namespace cqads::db {
+
+Status Database::AddTable(Table table) {
+  CQADS_RETURN_NOT_OK(table.schema().Validate());
+  std::string domain = table.schema().domain();
+  if (tables_.count(domain) > 0) {
+    return Status::AlreadyExists("domain already registered: " + domain);
+  }
+  tables_.emplace(std::move(domain),
+                  std::make_unique<Table>(std::move(table)));
+  return Status::OK();
+}
+
+const Table* Database::GetTable(std::string_view domain) const {
+  auto it = tables_.find(domain);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetMutableTable(std::string_view domain) {
+  auto it = tables_.find(domain);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::Domains() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cqads::db

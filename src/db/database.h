@@ -1,0 +1,46 @@
+// Multi-domain ads database: one Table per ads domain (§4.1: "a table in
+// the DB for each domain"), addressed by domain name.
+#ifndef CQADS_DB_DATABASE_H_
+#define CQADS_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace cqads::db {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable.
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Registers a table under its schema's domain name; fails on duplicates
+  /// or invalid schemas.
+  Status AddTable(Table table);
+
+  /// Table for a domain, or nullptr.
+  const Table* GetTable(std::string_view domain) const;
+  Table* GetMutableTable(std::string_view domain);
+
+  /// Registered domain names, sorted.
+  std::vector<std::string> Domains() const;
+
+  std::size_t num_domains() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_DATABASE_H_

@@ -1,0 +1,122 @@
+#include "db/dedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace cqads::db {
+
+namespace {
+
+double RelativeDiff(double a, double b) {
+  double denom = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) / denom;
+}
+
+double JaccardOverlap(const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::set<std::string> sa(a.begin(), a.end());
+  std::set<std::string> sb(b.begin(), b.end());
+  std::size_t inter = 0;
+  for (const auto& v : sa) {
+    if (sb.count(v) > 0) ++inter;
+  }
+  std::size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace
+
+bool AreNearDuplicates(const Table& table, RowId a, RowId b,
+                       const DedupOptions& options) {
+  if (a == b) return true;
+  const Schema& schema = table.schema();
+  for (std::size_t attr = 0; attr < schema.num_attributes(); ++attr) {
+    const Attribute& meta = schema.attribute(attr);
+    const Value& va = table.cell(a, attr);
+    const Value& vb = table.cell(b, attr);
+    if (va.is_null() != vb.is_null()) return false;
+    if (va.is_null()) continue;
+
+    switch (meta.data_kind) {
+      case DataKind::kNumeric:
+        if (RelativeDiff(va.AsDouble(), vb.AsDouble()) >
+            options.numeric_tolerance) {
+          return false;
+        }
+        break;
+      case DataKind::kCategorical:
+        if (meta.attr_type == AttrType::kTypeI ||
+            options.require_equal_categoricals) {
+          if (va.text() != vb.text()) return false;
+        }
+        break;
+      case DataKind::kTextList:
+        if (JaccardOverlap(table.CellElements(a, attr),
+                           table.CellElements(b, attr)) <
+            options.feature_overlap) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<RowId>> FindDuplicateGroups(
+    const Table& table, const DedupOptions& options) {
+  const Schema& schema = table.schema();
+  const auto type_i = schema.AttrsOfType(AttrType::kTypeI);
+
+  // Block by identity: only rows sharing all Type I values can collide.
+  std::map<std::string, std::vector<RowId>> blocks;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    std::string key;
+    for (std::size_t a : type_i) {
+      key += table.cell(r, a).AsText();
+      key.push_back('\x1f');
+    }
+    blocks[key].push_back(r);
+  }
+
+  std::vector<std::vector<RowId>> groups;
+  std::vector<bool> grouped(table.num_rows(), false);
+  for (const auto& [key, rows] : blocks) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (grouped[rows[i]]) continue;
+      std::vector<RowId> group = {rows[i]};
+      for (std::size_t j = i + 1; j < rows.size(); ++j) {
+        if (grouped[rows[j]]) continue;
+        if (AreNearDuplicates(table, rows[i], rows[j], options)) {
+          group.push_back(rows[j]);
+        }
+      }
+      if (group.size() >= 2) {
+        for (RowId r : group) grouped[r] = true;
+        groups.push_back(std::move(group));
+      }
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+Result<Table> Deduplicate(const Table& table, const DedupOptions& options) {
+  auto groups = FindDuplicateGroups(table, options);
+  std::vector<bool> drop(table.num_rows(), false);
+  for (const auto& group : groups) {
+    for (std::size_t i = 1; i < group.size(); ++i) drop[group[i]] = true;
+  }
+  Table out(table.schema());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    if (drop[r]) continue;
+    auto inserted = out.Insert(table.row(r));
+    if (!inserted.ok()) return inserted.status();
+  }
+  out.BuildIndexes();
+  return out;
+}
+
+}  // namespace cqads::db

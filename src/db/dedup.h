@@ -1,0 +1,43 @@
+// Near-duplicate ad detection — §6 lists "de-duplication of data to remove
+// similar data records from a DB" as planned work; ads sites are full of
+// re-posts of the same listing with trivially edited text. Two records are
+// near-duplicates when they share every Type I identity value, agree on all
+// categorical attributes, lie within a small relative distance on every
+// numeric attribute, and overlap strongly on feature lists.
+#ifndef CQADS_DB_DEDUP_H_
+#define CQADS_DB_DEDUP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace cqads::db {
+
+struct DedupOptions {
+  /// Max relative numeric difference, |a-b| / max(|a|,|b|,1), per attribute.
+  double numeric_tolerance = 0.02;
+  /// Min Jaccard overlap of TextList attributes.
+  double feature_overlap = 0.8;
+  /// When false, Type II categorical attributes may differ (only identity +
+  /// numerics decide).
+  bool require_equal_categoricals = true;
+};
+
+/// Groups of mutually near-duplicate rows (each group sorted ascending,
+/// size >= 2). Groups are disjoint; rows without duplicates don't appear.
+std::vector<std::vector<RowId>> FindDuplicateGroups(
+    const Table& table, const DedupOptions& options = DedupOptions());
+
+/// Row-level check used by FindDuplicateGroups (exposed for tests).
+bool AreNearDuplicates(const Table& table, RowId a, RowId b,
+                       const DedupOptions& options = DedupOptions());
+
+/// Copies the table keeping only the first (lowest RowId) member of each
+/// duplicate group. The result has its indexes built.
+Result<Table> Deduplicate(const Table& table,
+                          const DedupOptions& options = DedupOptions());
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_DEDUP_H_

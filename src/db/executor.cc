@@ -1,0 +1,294 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "text/shorthand.h"
+
+namespace cqads::db {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Evaluation priority per §4.3: Type I first, Type II second, Type III last.
+int TypeRank(const Schema& schema, std::size_t attr) {
+  switch (schema.attribute(attr).attr_type) {
+    case AttrType::kTypeI:
+      return 0;
+    case AttrType::kTypeII:
+      return 1;
+    case AttrType::kTypeIII:
+      return 2;
+  }
+  return 3;
+}
+
+bool TextMatches(const std::vector<std::string>& elements,
+                 const std::string& needle, bool allow_shorthand) {
+  for (const auto& e : elements) {
+    if (e == needle) return true;
+    if (allow_shorthand && text::IsShorthandMatch(e, needle)) return true;
+  }
+  return false;
+}
+
+bool TextContains(const std::vector<std::string>& elements,
+                  const std::string& needle) {
+  for (const auto& e : elements) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Executor::Matches(RowId row, const Predicate& pred) const {
+  const Value& cell = table_->cell(row, pred.attr);
+  const bool numeric_attr =
+      table_->schema().attribute(pred.attr).data_kind == DataKind::kNumeric;
+
+  if (cell.is_null()) return pred.op == CompareOp::kNe;
+
+  if (numeric_attr) {
+    double v = cell.AsDouble();
+    double t = pred.value.AsDouble();
+    switch (pred.op) {
+      case CompareOp::kEq:
+        return v == t;
+      case CompareOp::kNe:
+        return v != t;
+      case CompareOp::kLt:
+        return v < t;
+      case CompareOp::kLe:
+        return v <= t;
+      case CompareOp::kGt:
+        return v > t;
+      case CompareOp::kGe:
+        return v >= t;
+      case CompareOp::kBetween:
+        return v >= t && v <= pred.value_hi.AsDouble();
+      case CompareOp::kContains:
+        return cell.AsText().find(pred.value.AsText()) != std::string::npos;
+    }
+    return false;
+  }
+
+  auto elements = table_->CellElements(row, pred.attr);
+  const std::string needle = pred.value.AsText();
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return TextMatches(elements, needle, pred.allow_shorthand);
+    case CompareOp::kNe:
+      return !TextMatches(elements, needle, pred.allow_shorthand);
+    case CompareOp::kContains:
+      return TextContains(elements, needle);
+    default:
+      return false;  // range operators are undefined on text
+  }
+}
+
+bool Executor::MatchesExpr(RowId row, const Expr& expr) const {
+  switch (expr.kind()) {
+    case Expr::Kind::kPredicate:
+      return Matches(row, expr.predicate());
+    case Expr::Kind::kAnd:
+      for (const auto& child : expr.children()) {
+        if (!MatchesExpr(row, *child)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const auto& child : expr.children()) {
+        if (MatchesExpr(row, *child)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return !MatchesExpr(row, *expr.children()[0]);
+  }
+  return false;
+}
+
+RowSet Executor::ScanPredicate(const Predicate& pred,
+                               ExecStats* stats) const {
+  ++stats->full_scans;
+  RowSet out;
+  const std::size_t n = table_->num_rows();
+  stats->rows_verified += n;
+  for (RowId row = 0; row < n; ++row) {
+    if (Matches(row, pred)) out.push_back(row);
+  }
+  return out;
+}
+
+RowSet Executor::EvalPredicate(const Predicate& pred,
+                               ExecStats* stats) const {
+  const Attribute& attr = table_->schema().attribute(pred.attr);
+
+  if (attr.data_kind == DataKind::kNumeric) {
+    const SortedIndex* idx = table_->sorted_index(pred.attr);
+    if (idx == nullptr) return ScanPredicate(pred, stats);
+    ++stats->index_lookups;
+    double t = pred.value.AsDouble();
+    switch (pred.op) {
+      case CompareOp::kEq:
+        return idx->Range(t, t);
+      case CompareOp::kNe:
+        return Difference(table_->AllRows(), idx->Range(t, t));
+      case CompareOp::kLt:
+        return idx->Range(-kInf, std::nextafter(t, -kInf));
+      case CompareOp::kLe:
+        return idx->Range(-kInf, t);
+      case CompareOp::kGt:
+        return idx->Range(std::nextafter(t, kInf), kInf);
+      case CompareOp::kGe:
+        return idx->Range(t, kInf);
+      case CompareOp::kBetween:
+        return idx->Range(t, pred.value_hi.AsDouble());
+      case CompareOp::kContains:
+        return ScanPredicate(pred, stats);
+    }
+    return {};
+  }
+
+  const std::string needle = pred.value.AsText();
+  if (pred.op == CompareOp::kEq || pred.op == CompareOp::kNe) {
+    const HashIndex* idx = table_->hash_index(pred.attr);
+    if (idx == nullptr) return ScanPredicate(pred, stats);
+    ++stats->index_lookups;
+    RowSet eq = idx->Lookup(needle);
+    if (pred.allow_shorthand) {
+      // Values whose stored form is a shorthand variant of the needle (or
+      // vice versa) also match; the per-attribute key pool is small.
+      for (const auto& key : idx->Keys()) {
+        if (key == needle) continue;
+        if (text::IsShorthandMatch(key, needle)) {
+          eq = Union(eq, idx->Lookup(key));
+        }
+      }
+    }
+    if (pred.op == CompareOp::kEq) return eq;
+    return Difference(table_->AllRows(), eq);
+  }
+
+  if (pred.op == CompareOp::kContains) {
+    const NGramIndex* idx = table_->ngram_index(pred.attr);
+    if (idx == nullptr || !NGramIndex::CanLookup(needle)) {
+      return ScanPredicate(pred, stats);
+    }
+    ++stats->index_lookups;
+    RowSet candidates = idx->Candidates(needle);
+    RowSet out;
+    stats->rows_verified += candidates.size();
+    for (RowId row : candidates) {
+      if (Matches(row, pred)) out.push_back(row);
+    }
+    return out;
+  }
+
+  return ScanPredicate(pred, stats);
+}
+
+RowSet Executor::EvalConjunction(std::vector<Predicate> preds,
+                                 ExecStats* stats) const {
+  if (preds.empty()) return table_->AllRows();
+  // §4.3 steps 1-3: stable-order by attribute type.
+  std::stable_sort(preds.begin(), preds.end(),
+                   [this](const Predicate& a, const Predicate& b) {
+                     return TypeRank(table_->schema(), a.attr) <
+                            TypeRank(table_->schema(), b.attr);
+                   });
+  RowSet candidates = EvalPredicate(preds[0], stats);
+  for (std::size_t i = 1; i < preds.size() && !candidates.empty(); ++i) {
+    // Later conditions are "evaluated on the set of records extracted" by
+    // earlier steps: verify row-by-row rather than re-probing indexes.
+    RowSet next;
+    stats->rows_verified += candidates.size();
+    for (RowId row : candidates) {
+      if (Matches(row, preds[i])) next.push_back(row);
+    }
+    candidates = std::move(next);
+  }
+  return candidates;
+}
+
+RowSet Executor::EvalExpr(const Expr& expr, ExecStats* stats) const {
+  switch (expr.kind()) {
+    case Expr::Kind::kPredicate:
+      return EvalPredicate(expr.predicate(), stats);
+    case Expr::Kind::kAnd: {
+      if (expr.IsConjunctive()) {
+        std::vector<Predicate> preds;
+        expr.CollectPredicates(&preds);
+        return EvalConjunction(std::move(preds), stats);
+      }
+      RowSet acc;
+      bool first = true;
+      for (const auto& child : expr.children()) {
+        RowSet s = EvalExpr(*child, stats);
+        acc = first ? std::move(s) : Intersect(acc, s);
+        first = false;
+        if (acc.empty()) break;
+      }
+      return acc;
+    }
+    case Expr::Kind::kOr: {
+      RowSet acc;
+      for (const auto& child : expr.children()) {
+        acc = Union(acc, EvalExpr(*child, stats));
+      }
+      return acc;
+    }
+    case Expr::Kind::kNot:
+      return Difference(table_->AllRows(), EvalExpr(*expr.children()[0], stats));
+  }
+  return {};
+}
+
+Status Executor::ValidateExpr(const Expr& expr) const {
+  if (expr.kind() == Expr::Kind::kPredicate) {
+    if (expr.predicate().attr >= table_->schema().num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+    return Status::OK();
+  }
+  for (const auto& child : expr.children()) {
+    CQADS_RETURN_NOT_OK(ValidateExpr(*child));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Executor::Execute(const Query& query) const {
+  if (!table_->indexes_built()) {
+    return Status::FailedPrecondition("table indexes not built");
+  }
+  if (query.where) {
+    CQADS_RETURN_NOT_OK(ValidateExpr(*query.where));
+  }
+  if (query.superlative &&
+      query.superlative->attr >= table_->schema().num_attributes()) {
+    return Status::OutOfRange("superlative attribute out of range");
+  }
+
+  QueryResult result;
+  RowSet rows = query.where ? EvalExpr(*query.where, &result.stats)
+                            : table_->AllRows();
+
+  if (query.superlative) {
+    // §4.3 step 4: superlatives run on the records produced by steps 1-3.
+    const std::size_t attr = query.superlative->attr;
+    const bool asc = query.superlative->ascending;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](RowId a, RowId b) {
+                       const Value& va = table_->cell(a, attr);
+                       const Value& vb = table_->cell(b, attr);
+                       return asc ? va < vb : vb < va;
+                     });
+  }
+
+  if (rows.size() > query.limit) rows.resize(query.limit);
+  result.rows = std::move(rows);
+  return result;
+}
+
+}  // namespace cqads::db

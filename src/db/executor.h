@@ -1,0 +1,70 @@
+// Query execution over a Table, implementing the paper's evaluation order
+// (§4.3): Type I conditions seed the candidate set through the primary hash
+// index, Type II conditions filter it through secondary indexes, Type III
+// boundaries run on what remains, and superlatives are applied last ("the
+// cheapest Honda" = filter Honda, then take cheapest — never the reverse).
+#ifndef CQADS_DB_EXECUTOR_H_
+#define CQADS_DB_EXECUTOR_H_
+
+#include "common/status.h"
+#include "db/query.h"
+#include "db/table.h"
+
+namespace cqads::db {
+
+/// Work counters for the efficiency experiments (Fig. 6, ablations).
+struct ExecStats {
+  std::size_t index_lookups = 0;  ///< hash/sorted/ngram probes
+  std::size_t rows_verified = 0;  ///< per-row predicate checks
+  std::size_t full_scans = 0;     ///< predicates that fell back to scanning
+
+  ExecStats& operator+=(const ExecStats& other) {
+    index_lookups += other.index_lookups;
+    rows_verified += other.rows_verified;
+    full_scans += other.full_scans;
+    return *this;
+  }
+};
+
+/// Result rows in rank order (superlative order when present, otherwise
+/// ascending RowId), capped at Query::limit.
+struct QueryResult {
+  std::vector<RowId> rows;
+  ExecStats stats;
+};
+
+class Executor {
+ public:
+  /// The table must outlive the executor and have indexes built.
+  explicit Executor(const Table* table) : table_(table) {}
+
+  /// Executes a query. Fails when the table's indexes are not built or the
+  /// query references an out-of-range attribute.
+  Result<QueryResult> Execute(const Query& query) const;
+
+  /// Row-level predicate check (also used by rankers and tests).
+  bool Matches(RowId row, const Predicate& pred) const;
+
+  /// Row-level expression check (no indexes; used by rankers).
+  bool MatchesExpr(RowId row, const Expr& expr) const;
+
+  /// Evaluates one predicate to a row set, preferring index access paths.
+  RowSet EvalPredicate(const Predicate& pred, ExecStats* stats) const;
+
+  /// Evaluates an expression tree to a row set.
+  RowSet EvalExpr(const Expr& expr, ExecStats* stats) const;
+
+ private:
+  Status ValidateExpr(const Expr& expr) const;
+
+  /// Conjunction with the §4.3 type-ordered strategy.
+  RowSet EvalConjunction(std::vector<Predicate> preds, ExecStats* stats) const;
+
+  RowSet ScanPredicate(const Predicate& pred, ExecStats* stats) const;
+
+  const Table* table_;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_EXECUTOR_H_

@@ -1,0 +1,144 @@
+#include "db/indexes.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cqads::db {
+
+RowSet Intersect(const RowSet& a, const RowSet& b) {
+  RowSet out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+RowSet Union(const RowSet& a, const RowSet& b) {
+  RowSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+RowSet Difference(const RowSet& a, const RowSet& b) {
+  RowSet out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+namespace {
+// Postings are appended in row order during load; queries require sorted
+// unique sets, which appending in ascending row order already guarantees.
+// Defensive normalization for out-of-order adds:
+void NormalizeIfNeeded(RowSet* set) {
+  if (!std::is_sorted(set->begin(), set->end())) {
+    std::sort(set->begin(), set->end());
+  }
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+}  // namespace
+
+void HashIndex::Add(std::string_view key, RowId row) {
+  RowSet& set = postings_[std::string(key)];
+  if (!set.empty() && set.back() == row) return;
+  if (!set.empty() && set.back() > row) {
+    set.push_back(row);
+    NormalizeIfNeeded(&set);
+    return;
+  }
+  set.push_back(row);
+}
+
+const RowSet& HashIndex::Lookup(std::string_view key) const {
+  static const RowSet kEmpty;
+  auto it = postings_.find(std::string(key));
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> HashIndex::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(postings_.size());
+  for (const auto& [k, v] : postings_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void SortedIndex::Add(double key, RowId row) {
+  entries_.emplace_back(key, row);
+  sealed_ = false;
+}
+
+void SortedIndex::Seal() {
+  std::sort(entries_.begin(), entries_.end());
+  sealed_ = true;
+}
+
+RowSet SortedIndex::Range(double lo, double hi) const {
+  RowSet out;
+  if (!sealed_ || lo > hi) return out;
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const auto& e, double v) { return e.first < v; });
+  auto end = std::upper_bound(
+      entries_.begin(), entries_.end(), hi,
+      [](double v, const auto& e) { return v < e.first; });
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RowSet SortedIndex::Extreme(bool ascending, std::size_t limit) const {
+  RowSet out;
+  if (!sealed_) return out;
+  std::size_t n = std::min(limit, entries_.size());
+  if (ascending) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(entries_[i].second);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(entries_[entries_.size() - 1 - i].second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double SortedIndex::MinKey() const {
+  return entries_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                          : entries_.front().first;
+}
+
+double SortedIndex::MaxKey() const {
+  return entries_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                          : entries_.back().first;
+}
+
+void NGramIndex::Add(std::string_view text, RowId row) {
+  if (text.size() < kGramLength) return;
+  for (std::size_t i = 0; i + kGramLength <= text.size(); ++i) {
+    RowSet& set = postings_[std::string(text.substr(i, kGramLength))];
+    if (set.empty() || set.back() != row) set.push_back(row);
+  }
+}
+
+RowSet NGramIndex::Candidates(std::string_view needle) const {
+  RowSet result;
+  if (!CanLookup(needle)) return result;
+  bool first = true;
+  for (std::size_t i = 0; i + kGramLength <= needle.size(); ++i) {
+    auto it = postings_.find(std::string(needle.substr(i, kGramLength)));
+    if (it == postings_.end()) return {};
+    if (first) {
+      result = it->second;
+      first = false;
+    } else {
+      result = Intersect(result, it->second);
+      if (result.empty()) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace cqads::db

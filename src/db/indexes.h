@@ -1,0 +1,87 @@
+// Access-path structures for the ads store: hash indexes for Type I/II
+// equality (the paper's primary/secondary indexed fields), sorted indexes
+// for Type III ranges and superlatives, and a length-3 n-gram substring
+// index reproducing the MySQL length-3 prefix/substring index of §4.5.
+#ifndef CQADS_DB_INDEXES_H_
+#define CQADS_DB_INDEXES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cqads::db {
+
+using RowId = std::uint32_t;
+using RowSet = std::vector<RowId>;  // always sorted ascending, unique
+
+/// Sorted-set algebra used throughout the executor.
+RowSet Intersect(const RowSet& a, const RowSet& b);
+RowSet Union(const RowSet& a, const RowSet& b);
+/// a \ b.
+RowSet Difference(const RowSet& a, const RowSet& b);
+
+/// Equality index: normalized text value -> rows. TextList cells contribute
+/// one posting per list element.
+class HashIndex {
+ public:
+  void Add(std::string_view key, RowId row);
+  /// Rows whose value equals `key` (empty set when absent).
+  const RowSet& Lookup(std::string_view key) const;
+  /// Distinct keys, lexicographic (deterministic iteration for tests).
+  std::vector<std::string> Keys() const;
+  std::size_t key_count() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, RowSet> postings_;
+};
+
+/// Order index over a numeric attribute.
+class SortedIndex {
+ public:
+  void Add(double key, RowId row);
+  /// Must be called after the last Add and before any query.
+  void Seal();
+
+  /// Rows with lo <= value <= hi.
+  RowSet Range(double lo, double hi) const;
+  /// Up to `limit` rows with the smallest (ascending) or largest values.
+  RowSet Extreme(bool ascending, std::size_t limit) const;
+  double MinKey() const;
+  double MaxKey() const;
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<double, RowId>> entries_;
+  bool sealed_ = false;
+};
+
+/// Length-3 n-gram substring index. A substring query intersects the posting
+/// lists of every 3-gram of the needle, then callers verify candidates.
+/// Needles shorter than 3 characters cannot use the index (callers scan).
+class NGramIndex {
+ public:
+  static constexpr std::size_t kGramLength = 3;
+
+  void Add(std::string_view text, RowId row);
+
+  /// True when `needle` is long enough for indexed lookup.
+  static bool CanLookup(std::string_view needle) {
+    return needle.size() >= kGramLength;
+  }
+
+  /// Candidate rows containing every 3-gram of `needle` (superset of the
+  /// true answer; empty when any gram is absent).
+  RowSet Candidates(std::string_view needle) const;
+
+  std::size_t gram_count() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, RowSet> postings_;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_INDEXES_H_

@@ -1,0 +1,87 @@
+#include "db/query.h"
+
+namespace cqads::db {
+
+const char* CompareOpToSql(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+    case CompareOp::kContains:
+      return "LIKE";
+  }
+  return "?";
+}
+
+bool Predicate::operator==(const Predicate& other) const {
+  return attr == other.attr && op == other.op && value == other.value &&
+         value_hi == other.value_hi &&
+         allow_shorthand == other.allow_shorthand;
+}
+
+ExprPtr Expr::MakePredicate(Predicate p) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kPredicate;
+  e->predicate_ = std::move(p);
+  return e;
+}
+
+ExprPtr Expr::MakeAnd(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAnd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeOr(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kOr;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->children_.push_back(std::move(child));
+  return e;
+}
+
+std::size_t Expr::LeafCount() const {
+  if (kind_ == Kind::kPredicate) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children_) n += c->LeafCount();
+  return n;
+}
+
+void Expr::CollectPredicates(std::vector<Predicate>* out) const {
+  if (kind_ == Kind::kPredicate) {
+    out->push_back(predicate_);
+    return;
+  }
+  for (const auto& c : children_) c->CollectPredicates(out);
+}
+
+bool Expr::IsConjunctive() const {
+  if (kind_ == Kind::kPredicate) return true;
+  if (kind_ != Kind::kAnd) return false;
+  for (const auto& c : children_) {
+    if (c->kind() != Kind::kPredicate) return false;
+  }
+  return true;
+}
+
+}  // namespace cqads::db

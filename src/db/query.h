@@ -1,0 +1,93 @@
+// Query AST produced by the CQAds question translator and consumed by the
+// executor and the SQL writer. The shape mirrors what the paper generates:
+// a Boolean combination of single-attribute conditions, an optional
+// superlative (rendered as "group by <attr> [DESC]" in Table 1, executed as
+// order-by-then-take), and a result cap of 30 (§4.3.1).
+#ifndef CQADS_DB_QUERY_H_
+#define CQADS_DB_QUERY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace cqads::db {
+
+/// Comparison operator of a condition.
+enum class CompareOp {
+  kEq,        ///< equality (with shorthand matching for text)
+  kNe,        ///< negation of kEq
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,   ///< lo <= v <= hi
+  kContains,  ///< substring containment over text (uses the n-gram index)
+};
+
+const char* CompareOpToSql(CompareOp op);
+
+/// One condition on one attribute.
+struct Predicate {
+  std::size_t attr = 0;   ///< schema attribute index
+  CompareOp op = CompareOp::kEq;
+  Value value;            ///< primary operand (lo for kBetween)
+  Value value_hi;         ///< hi operand, kBetween only
+  /// Text equality also accepts shorthand-notation matches (§4.2.3).
+  bool allow_shorthand = true;
+
+  bool operator==(const Predicate& other) const;
+};
+
+/// Boolean expression over predicates.
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  enum class Kind { kPredicate, kAnd, kOr, kNot };
+
+  static ExprPtr MakePredicate(Predicate p);
+  static ExprPtr MakeAnd(std::vector<ExprPtr> children);
+  static ExprPtr MakeOr(std::vector<ExprPtr> children);
+  static ExprPtr MakeNot(ExprPtr child);
+
+  Kind kind() const { return kind_; }
+  const Predicate& predicate() const { return predicate_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Number of predicate leaves.
+  std::size_t LeafCount() const;
+
+  /// Collects predicate leaves in left-to-right order.
+  void CollectPredicates(std::vector<Predicate>* out) const;
+
+  /// True when the tree is a pure conjunction of predicate leaves (possibly
+  /// a single predicate), the form most questions translate to.
+  bool IsConjunctive() const;
+
+ private:
+  Expr() = default;
+  Kind kind_ = Kind::kPredicate;
+  Predicate predicate_;
+  std::vector<ExprPtr> children_;
+};
+
+/// Superlative (§4.1.2): order by an attribute and keep the extreme rows.
+struct Superlative {
+  std::size_t attr = 0;
+  bool ascending = true;  ///< true: min-seeking ("cheapest"/"oldest")
+};
+
+/// A complete executable query.
+struct Query {
+  ExprPtr where;  ///< may be null: no constraints (match all)
+  std::optional<Superlative> superlative;
+  std::size_t limit = 30;  ///< §4.3.1: at most 30 answers per question
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_QUERY_H_

@@ -1,0 +1,110 @@
+#include "db/schema.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+const char* AttrTypeToString(AttrType t) {
+  switch (t) {
+    case AttrType::kTypeI:
+      return "TypeI";
+    case AttrType::kTypeII:
+      return "TypeII";
+    case AttrType::kTypeIII:
+      return "TypeIII";
+  }
+  return "Unknown";
+}
+
+Schema::Schema(std::string domain, std::vector<Attribute> attributes)
+    : domain_(ToLower(domain)), attributes_(std::move(attributes)) {
+  for (auto& attr : attributes_) {
+    attr.name = ToLower(attr.name);
+    for (auto& u : attr.unit_keywords) u = ToLower(u);
+    for (auto& a : attr.aliases) a = ToLower(a);
+  }
+}
+
+std::optional<std::size_t> Schema::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Schema::Resolve(
+    std::string_view name_or_alias) const {
+  std::string needle = ToLower(name_or_alias);
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == needle) return i;
+    for (const auto& alias : attributes_[i].aliases) {
+      if (alias == needle) return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Schema::AttrsOfType(AttrType t) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].attr_type == t) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schema::NumericAttrs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].data_kind == DataKind::kNumeric) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::TableName() const {
+  std::string base = domain_;
+  if (!base.empty()) base[0] = static_cast<char>(std::toupper(base[0]));
+  // "cars" -> "Car_Ads", "cs_jobs" -> "Cs_jobs_Ads": singularize a trailing
+  // plural 's' of a single-word domain, matching the paper's Car_Ads.
+  if (base.size() > 2 && base.back() == 's' &&
+      base.find('_') == std::string::npos) {
+    base.pop_back();
+  }
+  return base + "_Ads";
+}
+
+Status Schema::Validate() const {
+  if (domain_.empty()) return Status::InvalidArgument("schema has no domain");
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  std::unordered_set<std::string> seen;
+  bool has_type_i = false;
+  for (const auto& a : attributes_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+    if (a.attr_type == AttrType::kTypeI) {
+      has_type_i = true;
+      if (a.data_kind != DataKind::kCategorical) {
+        return Status::InvalidArgument("Type I attribute must be categorical: " +
+                                       a.name);
+      }
+    }
+    if (a.attr_type == AttrType::kTypeIII &&
+        a.data_kind != DataKind::kNumeric) {
+      return Status::InvalidArgument("Type III attribute must be numeric: " +
+                                     a.name);
+    }
+  }
+  if (!has_type_i) {
+    return Status::InvalidArgument("schema needs at least one Type I attribute");
+  }
+  return Status::OK();
+}
+
+}  // namespace cqads::db

@@ -1,0 +1,83 @@
+// Relational schemas for ads domains (§4.1.1). Every attribute carries the
+// paper's Type I/II/III classification, which drives indexing (primary /
+// secondary / sorted) and question-evaluation order.
+#ifndef CQADS_DB_SCHEMA_H_
+#define CQADS_DB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqads::db {
+
+/// The paper's attribute taxonomy.
+enum class AttrType {
+  kTypeI,    ///< identity values (Make, Model): primary-indexed, required
+  kTypeII,   ///< descriptive properties (Color): secondary-indexed
+  kTypeIII,  ///< quantitative values (Price, Year): range-searchable
+};
+
+const char* AttrTypeToString(AttrType t);
+
+/// Physical representation of the attribute's values.
+enum class DataKind {
+  kCategorical,  ///< single text value from a finite pool
+  kNumeric,      ///< int/real quantity
+  kTextList,     ///< ';'-separated bag of descriptive terms ("features")
+};
+
+/// One column of an ads relation.
+struct Attribute {
+  std::string name;                 ///< column name, lower-case ("make")
+  AttrType attr_type = AttrType::kTypeII;
+  DataKind data_kind = DataKind::kCategorical;
+  /// Unit / identifying keywords users attach to the attribute's values in
+  /// questions ("miles", "mi" for mileage; "dollars", "usd" for price;
+  /// "doors", "dr" for doors). Used by the tagger to resolve combined
+  /// keywords (§4.1.3) and incomplete values (§4.2.2).
+  std::vector<std::string> unit_keywords;
+  /// Names by which users refer to the attribute itself ("price", "cost").
+  std::vector<std::string> aliases;
+};
+
+/// Schema of one ads domain's relation.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string domain, std::vector<Attribute> attributes);
+
+  const std::string& domain() const { return domain_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  std::size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+
+  /// Column index by exact name; nullopt when absent.
+  std::optional<std::size_t> IndexOf(std::string_view name) const;
+
+  /// Column index by name or alias (case-insensitive); nullopt when absent.
+  std::optional<std::size_t> Resolve(std::string_view name_or_alias) const;
+
+  /// Indices of all attributes of the given type, in schema order.
+  std::vector<std::size_t> AttrsOfType(AttrType t) const;
+
+  /// Indices of numeric Type III attributes, in schema order.
+  std::vector<std::size_t> NumericAttrs() const;
+
+  /// SQL table name, e.g. "Car_Ads" for domain "cars".
+  std::string TableName() const;
+
+  /// Validates structural invariants: non-empty, unique names, at least one
+  /// Type I attribute, Type III attributes are numeric.
+  Status Validate() const;
+
+ private:
+  std::string domain_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_SCHEMA_H_

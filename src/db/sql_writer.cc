@@ -1,0 +1,127 @@
+#include "db/sql_writer.h"
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+namespace {
+
+std::string ColumnName(const Schema& schema, std::size_t attr) {
+  std::string name = schema.attribute(attr).name;
+  if (!name.empty()) name[0] = static_cast<char>(std::toupper(name[0]));
+  return name;
+}
+
+std::string IdColumn(const Schema& schema) {
+  std::string table = schema.TableName();  // "Car_Ads"
+  auto pos = table.rfind("_Ads");
+  std::string base = pos == std::string::npos ? table : table.substr(0, pos);
+  return base + "_ID";
+}
+
+std::string RenderExprAsSubqueries(const Schema& schema, const Expr& expr,
+                                   const std::string& id_col,
+                                   const std::string& table) {
+  switch (expr.kind()) {
+    case Expr::Kind::kPredicate:
+      return id_col + " IN (SELECT " + id_col + " FROM " + table +
+             " C WHERE " + WritePredicate(schema, expr.predicate()) + ")";
+    case Expr::Kind::kNot: {
+      const Expr& child = *expr.children()[0];
+      if (child.kind() == Expr::Kind::kPredicate) {
+        return id_col + " NOT IN (SELECT " + id_col + " FROM " + table +
+               " C WHERE " + WritePredicate(schema, child.predicate()) + ")";
+      }
+      return "NOT (" +
+             RenderExprAsSubqueries(schema, child, id_col, table) + ")";
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const char* joiner =
+          expr.kind() == Expr::Kind::kAnd ? " AND " : " OR ";
+      std::string out;
+      for (std::size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) out += joiner;
+        const Expr& child = *expr.children()[i];
+        bool needs_parens = child.kind() == Expr::Kind::kAnd ||
+                            child.kind() == Expr::Kind::kOr;
+        if (needs_parens) out += "(";
+        out += RenderExprAsSubqueries(schema, child, id_col, table);
+        if (needs_parens) out += ")";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string RenderExprFlat(const Schema& schema, const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kPredicate:
+      return WritePredicate(schema, expr.predicate());
+    case Expr::Kind::kNot:
+      return "NOT (" + RenderExprFlat(schema, *expr.children()[0]) + ")";
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      const char* joiner =
+          expr.kind() == Expr::Kind::kAnd ? " AND " : " OR ";
+      std::string out;
+      for (std::size_t i = 0; i < expr.children().size(); ++i) {
+        if (i > 0) out += joiner;
+        out += "(" + RenderExprFlat(schema, *expr.children()[i]) + ")";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string RenderTail(const Schema& schema, const Query& query) {
+  std::string out;
+  if (query.superlative) {
+    out += " ORDER BY " + ColumnName(schema, query.superlative->attr);
+    out += query.superlative->ascending ? " ASC" : " DESC";
+  }
+  out += " LIMIT " + std::to_string(query.limit);
+  return out;
+}
+
+}  // namespace
+
+std::string WritePredicate(const Schema& schema, const Predicate& pred) {
+  std::string col = "C." + ColumnName(schema, pred.attr);
+  switch (pred.op) {
+    case CompareOp::kBetween:
+      return col + " BETWEEN " + pred.value.ToSqlLiteral() + " AND " +
+             pred.value_hi.ToSqlLiteral();
+    case CompareOp::kContains:
+      return col + " LIKE '%" +
+             ReplaceAll(pred.value.AsText(), "'", "''") + "%'";
+    default:
+      return col + " " + CompareOpToSql(pred.op) + " " +
+             pred.value.ToSqlLiteral();
+  }
+}
+
+std::string WriteSql(const Schema& schema, const Query& query) {
+  const std::string table = schema.TableName();
+  std::string out = "SELECT * FROM " + table;
+  if (query.where) {
+    out += " WHERE " +
+           RenderExprAsSubqueries(schema, *query.where, IdColumn(schema),
+                                  table);
+  }
+  out += RenderTail(schema, query);
+  return out;
+}
+
+std::string WriteFlatSql(const Schema& schema, const Query& query) {
+  std::string out = "SELECT * FROM " + schema.TableName();
+  if (query.where) {
+    out += " WHERE " + RenderExprFlat(schema, *query.where);
+  }
+  out += RenderTail(schema, query);
+  return out;
+}
+
+}  // namespace cqads::db

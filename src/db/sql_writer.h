@@ -1,0 +1,27 @@
+// Renders a Query as MySQL-dialect SQL text. The paper's contract is
+// "question -> SQL statement" (§4.5, Example 7): each condition becomes a
+// nested `Car_ID IN (SELECT ...)` subquery and the subqueries are combined
+// with AND/OR. The executor runs the AST directly; this writer preserves the
+// textual artifact so it can be inspected, logged, and golden-tested.
+#ifndef CQADS_DB_SQL_WRITER_H_
+#define CQADS_DB_SQL_WRITER_H_
+
+#include <string>
+
+#include "db/query.h"
+#include "db/schema.h"
+
+namespace cqads::db {
+
+/// Nested-subquery rendering matching the paper's Example 7.
+std::string WriteSql(const Schema& schema, const Query& query);
+
+/// Flat rendering (single WHERE clause) for logs and debugging.
+std::string WriteFlatSql(const Schema& schema, const Query& query);
+
+/// Renders just a predicate as a WHERE-clause fragment.
+std::string WritePredicate(const Schema& schema, const Predicate& pred);
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_SQL_WRITER_H_

@@ -1,0 +1,126 @@
+#include "db/table.h"
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+Result<RowId> Table::Insert(Record record) {
+  if (record.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(record.size()) + " != schema arity " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const Attribute& attr = schema_.attribute(i);
+    const Value& v = record[i];
+    if (v.is_null()) continue;
+    if (attr.data_kind == DataKind::kNumeric && !v.is_numeric()) {
+      return Status::InvalidArgument("non-numeric value for numeric attribute " +
+                                     attr.name);
+    }
+    if (attr.data_kind != DataKind::kNumeric && !v.is_text()) {
+      return Status::InvalidArgument("non-text value for text attribute " +
+                                     attr.name);
+    }
+  }
+  rows_.push_back(std::move(record));
+  indexes_built_ = false;
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+void Table::BuildIndexes() {
+  const std::size_t n_attrs = schema_.num_attributes();
+  hash_indexes_.assign(n_attrs, HashIndex());
+  sorted_indexes_.assign(n_attrs, SortedIndex());
+  ngram_indexes_.assign(n_attrs, NGramIndex());
+
+  for (RowId row = 0; row < rows_.size(); ++row) {
+    for (std::size_t a = 0; a < n_attrs; ++a) {
+      const Attribute& attr = schema_.attribute(a);
+      const Value& v = rows_[row][a];
+      if (v.is_null()) continue;
+      if (attr.data_kind == DataKind::kNumeric) {
+        sorted_indexes_[a].Add(v.AsDouble(), row);
+      } else {
+        for (const auto& element : CellElements(row, a)) {
+          hash_indexes_[a].Add(element, row);
+          ngram_indexes_[a].Add(element, row);
+        }
+      }
+    }
+  }
+  for (auto& idx : sorted_indexes_) idx.Seal();
+  indexes_built_ = true;
+}
+
+std::vector<std::string> Table::CellElements(RowId id,
+                                             std::size_t attr) const {
+  const Value& v = rows_[id][attr];
+  if (!v.is_text()) return {};
+  if (schema_.attribute(attr).data_kind == DataKind::kTextList) {
+    std::vector<std::string> out;
+    for (auto& part : Split(v.text(), ';')) {
+      std::string trimmed = Trim(part);
+      if (!trimmed.empty()) out.push_back(std::move(trimmed));
+    }
+    return out;
+  }
+  return {v.text()};
+}
+
+std::string Table::RowText(RowId id) const {
+  std::string out;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    const Value& v = rows_[id][a];
+    if (v.is_null()) continue;
+    if (!out.empty()) out.push_back(' ');
+    if (schema_.attribute(a).data_kind == DataKind::kTextList) {
+      out += ReplaceAll(v.text(), ";", " ");
+    } else {
+      out += v.AsText();
+    }
+  }
+  return ToLower(out);
+}
+
+RowSet Table::AllRows() const {
+  RowSet out(rows_.size());
+  for (RowId i = 0; i < rows_.size(); ++i) out[i] = i;
+  return out;
+}
+
+const HashIndex* Table::hash_index(std::size_t attr) const {
+  if (!indexes_built_ || attr >= hash_indexes_.size()) return nullptr;
+  if (schema_.attribute(attr).data_kind == DataKind::kNumeric) return nullptr;
+  return &hash_indexes_[attr];
+}
+
+const SortedIndex* Table::sorted_index(std::size_t attr) const {
+  if (!indexes_built_ || attr >= sorted_indexes_.size()) return nullptr;
+  if (schema_.attribute(attr).data_kind != DataKind::kNumeric) return nullptr;
+  return &sorted_indexes_[attr];
+}
+
+const NGramIndex* Table::ngram_index(std::size_t attr) const {
+  if (!indexes_built_ || attr >= ngram_indexes_.size()) return nullptr;
+  if (schema_.attribute(attr).data_kind == DataKind::kNumeric) return nullptr;
+  return &ngram_indexes_[attr];
+}
+
+Result<std::pair<double, double>> Table::NumericRange(std::size_t attr) const {
+  if (attr >= schema_.num_attributes()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (schema_.attribute(attr).data_kind != DataKind::kNumeric) {
+    return Status::InvalidArgument("attribute is not numeric: " +
+                                   schema_.attribute(attr).name);
+  }
+  if (!indexes_built_) {
+    return Status::FailedPrecondition("indexes not built");
+  }
+  const SortedIndex& idx = sorted_indexes_[attr];
+  if (idx.empty()) return Status::NotFound("no values for attribute");
+  return std::make_pair(idx.MinKey(), idx.MaxKey());
+}
+
+}  // namespace cqads::db

@@ -1,0 +1,83 @@
+// In-memory ads relation with the paper's index complement: hash indexes on
+// Type I (primary) and Type II (secondary) attributes, sorted indexes on
+// Type III attributes, and a length-3 n-gram substring index on every
+// attribute (§4.5).
+#ifndef CQADS_DB_TABLE_H_
+#define CQADS_DB_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/indexes.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace cqads::db {
+
+/// One ad: a tuple of attribute values in schema order.
+using Record = std::vector<Value>;
+
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  // Movable, not copyable (indexes can be large).
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a record; fails on arity or kind mismatch. Returns the RowId.
+  Result<RowId> Insert(Record record);
+
+  /// Builds all indexes. Must be called after the last Insert and before
+  /// queries; repeated calls rebuild from scratch.
+  void BuildIndexes();
+  bool indexes_built() const { return indexes_built_; }
+
+  const Record& row(RowId id) const { return rows_[id]; }
+  const Value& cell(RowId id, std::size_t attr) const {
+    return rows_[id][attr];
+  }
+
+  /// Elements of a TextList cell (';'-separated); a categorical cell yields
+  /// its single value. Numeric/null cells yield an empty list.
+  std::vector<std::string> CellElements(RowId id, std::size_t attr) const;
+
+  /// All text of a row joined with spaces (for TF-IDF baselines and the
+  /// domain classifier's training corpus).
+  std::string RowText(RowId id) const;
+
+  /// Every RowId in the table, ascending.
+  RowSet AllRows() const;
+
+  // --- access paths (valid after BuildIndexes) ---
+  /// Equality index for a categorical/text-list attribute, or nullptr.
+  const HashIndex* hash_index(std::size_t attr) const;
+  /// Order index for a numeric attribute, or nullptr.
+  const SortedIndex* sorted_index(std::size_t attr) const;
+  /// Substring index for a text attribute, or nullptr.
+  const NGramIndex* ngram_index(std::size_t attr) const;
+
+  /// Observed [min, max] of a numeric attribute, used by the incomplete-
+  /// question best guess (§4.2.2: "the valid range ... determined by the
+  /// smallest (largest) value under the pretended column"). Fails when the
+  /// attribute is not numeric or the table is empty.
+  Result<std::pair<double, double>> NumericRange(std::size_t attr) const;
+
+ private:
+  Schema schema_;
+  std::vector<Record> rows_;
+  std::vector<HashIndex> hash_indexes_;      // per attribute (may be unused)
+  std::vector<SortedIndex> sorted_indexes_;  // per attribute (may be unused)
+  std::vector<NGramIndex> ngram_indexes_;    // per attribute (may be unused)
+  bool indexes_built_ = false;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_TABLE_H_

@@ -1,0 +1,64 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+Value Value::Text(std::string v) {
+  return Value(Payload(ToLower(v)));
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  if (is_real()) return std::get<double>(v_);
+  return 0.0;
+}
+
+std::string Value::AsText() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
+  if (is_real()) {
+    double d = std::get<double>(v_);
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      return std::to_string(static_cast<std::int64_t>(d));
+    }
+    return FormatDouble(d, 2);
+  }
+  return std::get<std::string>(v_);
+}
+
+const std::string& Value::text() const {
+  static const std::string kEmpty;
+  if (!is_text()) return kEmpty;
+  return std::get<std::string>(v_);
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null()) return "NULL";
+  if (is_text()) {
+    return "'" + ReplaceAll(std::get<std::string>(v_), "'", "''") + "'";
+  }
+  return AsText();
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    return AsDouble() == other.AsDouble();
+  }
+  if (is_text() && other.is_text()) return text() == other.text();
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_null() != other.is_null()) return is_null();
+  if (is_null()) return false;
+  if (is_numeric() && other.is_numeric()) return AsDouble() < other.AsDouble();
+  if (is_text() && other.is_text()) return text() < other.text();
+  // Mixed type: numerics sort before text.
+  return is_numeric();
+}
+
+}  // namespace cqads::db

@@ -1,0 +1,59 @@
+// Typed cell values for ads records.
+#ifndef CQADS_DB_VALUE_H_
+#define CQADS_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace cqads::db {
+
+/// A single attribute value in an ads record: null, integer, real, or text.
+/// Text comparison is case-insensitive (ads data and questions are both
+/// normalized to lower case before matching, §4.1).
+class Value {
+ public:
+  Value() = default;
+  static Value Null() { return Value(); }
+  static Value Int(std::int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Text(std::string v);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  /// Numeric view; null and text map to 0.0 (callers gate on is_numeric()).
+  double AsDouble() const;
+
+  /// Text view; numerics are formatted, null is "".
+  std::string AsText() const;
+
+  /// Lower-cased text payload ("" for non-text). Cheap accessor used by
+  /// indexes.
+  const std::string& text() const;
+
+  /// SQL-literal rendering: NULL, 42, 3.5, or 'quoted text'.
+  std::string ToSqlLiteral() const;
+
+  /// Equality: numerics compare by value across int/real; text compares
+  /// exactly (values are stored lower-cased); null == null.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Numeric ordering; non-numerics order by text. Null sorts first.
+  bool operator<(const Value& other) const;
+
+ private:
+  using Payload = std::variant<std::monostate, std::int64_t, double,
+                               std::string>;
+  explicit Value(Payload v) : v_(std::move(v)) {}
+  Payload v_;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_VALUE_H_

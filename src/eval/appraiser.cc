@@ -1,0 +1,132 @@
+#include "eval/appraiser.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cqads::eval {
+
+namespace {
+
+bool CellHasValue(const db::Table& table, db::RowId row, std::size_t attr,
+                  const std::string& value) {
+  for (const auto& e : table.CellElements(row, attr)) {
+    if (e == value) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Appraiser::UnitSatisfied(const datagen::IntentUnit& unit,
+                              db::RowId row) const {
+  bool inner = false;
+  switch (unit.kind) {
+    case datagen::IntentUnit::Kind::kIdentity: {
+      inner = true;
+      for (const auto& [attr, value] : unit.identity) {
+        if (!CellHasValue(*table_, row, attr, value)) {
+          inner = false;
+          break;
+        }
+      }
+      break;
+    }
+    case datagen::IntentUnit::Kind::kTypeII: {
+      for (const auto& v : unit.values) {
+        if (CellHasValue(*table_, row, unit.attr, v)) {
+          inner = true;
+          break;
+        }
+      }
+      break;
+    }
+    case datagen::IntentUnit::Kind::kTypeIII: {
+      const db::Value& cell = table_->cell(row, unit.attr);
+      if (!cell.is_numeric()) break;
+      double v = cell.AsDouble();
+      switch (unit.op) {
+        case db::CompareOp::kLt:
+          inner = v < unit.lo;
+          break;
+        case db::CompareOp::kLe:
+          inner = v <= unit.lo;
+          break;
+        case db::CompareOp::kGt:
+          inner = v > unit.lo;
+          break;
+        case db::CompareOp::kGe:
+          inner = v >= unit.lo;
+          break;
+        case db::CompareOp::kBetween:
+          inner = v >= unit.lo && v <= unit.hi;
+          break;
+        case db::CompareOp::kEq:
+          inner = v == unit.lo;
+          break;
+        default:
+          inner = false;
+      }
+      break;
+    }
+  }
+  return unit.negated ? !inner : inner;
+}
+
+bool Appraiser::UnitClose(const datagen::IntentUnit& unit,
+                          db::RowId row) const {
+  if (unit.negated) return false;  // no partial credit on exclusions
+  switch (unit.kind) {
+    case datagen::IntentUnit::Kind::kIdentity: {
+      // Same latent market segment?
+      std::vector<std::string> record_identity;
+      for (std::size_t a : spec_->type_i_attrs) {
+        const db::Value& v = table_->cell(row, a);
+        if (v.is_text()) record_identity.push_back(v.text());
+      }
+      int record_cluster = spec_->ClusterOf(record_identity);
+      return record_cluster >= 0 && record_cluster == unit.cluster;
+    }
+    case datagen::IntentUnit::Kind::kTypeII: {
+      for (const auto& e : table_->CellElements(row, unit.attr)) {
+        int record_group = spec_->GroupOf(unit.attr, e);
+        if (record_group < 0) continue;
+        for (int g : unit.groups) {
+          if (g == record_group) return true;
+        }
+      }
+      return false;
+    }
+    case datagen::IntentUnit::Kind::kTypeIII: {
+      const db::Value& cell = table_->cell(row, unit.attr);
+      if (!cell.is_numeric()) return false;
+      auto it = spec_->numerics.find(unit.attr);
+      if (it == spec_->numerics.end()) return false;
+      double span = it->second.max - it->second.min;
+      double target = unit.op == db::CompareOp::kBetween
+                          ? (unit.lo + unit.hi) / 2.0
+                          : unit.lo;
+      return std::abs(cell.AsDouble() - target) <=
+             options_.type3_close_frac * span;
+    }
+  }
+  return false;
+}
+
+bool Appraiser::IsRelatedTruth(const datagen::GeneratedQuestion& q,
+                               db::RowId row) const {
+  for (const auto& segment : q.segments) {
+    std::size_t unsatisfied = 0;
+    bool unsat_close = true;
+    for (const auto& unit : segment) {
+      if (UnitSatisfied(unit, row)) continue;
+      ++unsatisfied;
+      if (unsatisfied > 1) break;
+      unsat_close = UnitClose(unit, row);
+    }
+    if (unsatisfied == 0) return true;
+    if (unsatisfied == 1 && unsat_close) return true;
+  }
+  return false;
+}
+
+}  // namespace cqads::eval

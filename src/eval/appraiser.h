@@ -1,0 +1,54 @@
+// Appraiser model: the stand-in for the paper's Facebook appraisers (§5.4,
+// §5.5). A simulated appraiser judges a record related to a question when it
+// satisfies the question's intent, or misses exactly one intent unit by a
+// semantically *close* value:
+//   identity  -> same latent market segment (Camry ~ Accord),
+//   Type II   -> same related value group (black ~ grey),
+//   Type III  -> within a fraction of the attribute's value range.
+// Per-appraiser noise flips judgements occasionally; the CS-jobs domain gets
+// extra noise (the paper observed appraisers there ranked by personal
+// expertise rather than question similarity).
+#ifndef CQADS_EVAL_APPRAISER_H_
+#define CQADS_EVAL_APPRAISER_H_
+
+#include "common/rng.h"
+#include "datagen/domain_spec.h"
+#include "datagen/question_gen.h"
+#include "db/table.h"
+
+namespace cqads::eval {
+
+struct AppraiserOptions {
+  double noise = 0.06;             ///< judgement flip probability
+  double type3_close_frac = 0.12;   ///< |v-t| <= frac*(max-min) counts close
+};
+
+class Appraiser {
+ public:
+  Appraiser(const datagen::DomainSpec* spec, const db::Table* table,
+            AppraiserOptions options)
+      : spec_(spec), table_(table), options_(options) {}
+
+  /// Noise-free ground-truth relatedness.
+  bool IsRelatedTruth(const datagen::GeneratedQuestion& q,
+                      db::RowId row) const;
+
+  /// One simulated appraiser response (ground truth + noise flip).
+  bool Judge(const datagen::GeneratedQuestion& q, db::RowId row,
+             Rng* rng) const {
+    bool truth = IsRelatedTruth(q, row);
+    return rng->Bernoulli(options_.noise) ? !truth : truth;
+  }
+
+ private:
+  bool UnitSatisfied(const datagen::IntentUnit& unit, db::RowId row) const;
+  bool UnitClose(const datagen::IntentUnit& unit, db::RowId row) const;
+
+  const datagen::DomainSpec* spec_;
+  const db::Table* table_;
+  AppraiserOptions options_;
+};
+
+}  // namespace cqads::eval
+
+#endif  // CQADS_EVAL_APPRAISER_H_

@@ -1,0 +1,533 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/aimq_ranker.h"
+#include "baselines/cosine_ranker.h"
+#include "baselines/cqads_ranker.h"
+#include "baselines/faqfinder_ranker.h"
+#include "baselines/random_ranker.h"
+#include "db/executor.h"
+#include "eval/metrics.h"
+
+namespace cqads::eval {
+
+namespace {
+
+using datagen::GeneratedQuestion;
+
+std::string NormalizeExprNode(const db::Schema& schema, const db::Expr& expr);
+
+/// A predicate contributes one comparison string — except BETWEEN, which
+/// canonicalizes to its two bounds so "price BETWEEN a AND b" and
+/// "price >= a AND price <= b" normalize identically.
+void PredicateParts(const db::Schema& schema, const db::Predicate& p,
+                    std::vector<std::string>* parts) {
+  const std::string& name = schema.attribute(p.attr).name;
+  if (p.op == db::CompareOp::kBetween) {
+    parts->push_back(name + ">=" + p.value.AsText());
+    parts->push_back(name + "<=" + p.value_hi.AsText());
+    return;
+  }
+  std::string rhs = p.value.is_text() ? "'" + p.value.AsText() + "'"
+                                      : p.value.AsText();
+  parts->push_back(name + db::CompareOpToSql(p.op) + rhs);
+}
+
+std::string NormalizeExprNode(const db::Schema& schema, const db::Expr& expr) {
+  switch (expr.kind()) {
+    case db::Expr::Kind::kPredicate: {
+      std::vector<std::string> parts;
+      PredicateParts(schema, expr.predicate(), &parts);
+      if (parts.size() == 1) return parts[0];
+      std::sort(parts.begin(), parts.end());
+      return "AND[" + parts[0] + "," + parts[1] + "]";
+    }
+    case db::Expr::Kind::kNot:
+      return "NOT(" + NormalizeExprNode(schema, *expr.children()[0]) + ")";
+    case db::Expr::Kind::kAnd:
+    case db::Expr::Kind::kOr: {
+      const bool is_and = expr.kind() == db::Expr::Kind::kAnd;
+      // Flatten nested nodes of the same kind, normalize, sort. Inside an
+      // AND, a BETWEEN predicate flattens into its two bounds.
+      std::vector<std::string> parts;
+      std::vector<const db::Expr*> stack;
+      for (const auto& c : expr.children()) stack.push_back(c.get());
+      while (!stack.empty()) {
+        const db::Expr* node = stack.back();
+        stack.pop_back();
+        if (node->kind() == expr.kind()) {
+          for (const auto& c : node->children()) stack.push_back(c.get());
+        } else if (is_and &&
+                   node->kind() == db::Expr::Kind::kPredicate &&
+                   node->predicate().op == db::CompareOp::kBetween) {
+          PredicateParts(schema, node->predicate(), &parts);
+        } else {
+          parts.push_back(NormalizeExprNode(schema, *node));
+        }
+      }
+      std::sort(parts.begin(), parts.end());
+      std::string out = is_and ? "AND[" : "OR[";
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += ",";
+        out += parts[i];
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "";
+}
+
+/// Candidate pool for ranking: records satisfying at least one condition
+/// unit (the paper's footnote 4 — when exact matching fails, the generated
+/// SQL's ANDs are replaced by ORs), minus the exact matches. All five
+/// rankers order the same pool.
+std::vector<db::RowId> PartialCandidates(
+    const db::Executor& executor, const core::AssembledQuery& assembled,
+    std::size_t table_rows) {
+  std::vector<bool> exact(table_rows, false);
+  {
+    db::Query q;
+    q.where = assembled.where;
+    q.limit = table_rows;
+    auto res = executor.Execute(q);
+    if (res.ok()) {
+      for (db::RowId r : res.value().rows) exact[r] = true;
+    }
+  }
+
+  std::vector<db::ExprPtr> alternatives;
+  for (const auto& u : assembled.units) alternatives.push_back(u.expr);
+  db::Query q;
+  q.where = alternatives.empty() ? nullptr
+                                 : db::Expr::MakeOr(std::move(alternatives));
+  q.limit = table_rows;
+  auto res = executor.Execute(q);
+
+  std::vector<db::RowId> out;
+  if (res.ok()) {
+    for (db::RowId r : res.value().rows) {
+      if (!exact[r]) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+AppraiserOptions AppraiserOptionsFor(const std::string& domain) {
+  AppraiserOptions opts;
+  // §5.5.3: CS-jobs appraisers judged by personal expertise, not question
+  // similarity — modelled as extra judgement noise.
+  if (domain == "cs_jobs") opts.noise = 0.30;
+  return opts;
+}
+
+}  // namespace
+
+std::string NormalizeInterpretation(const db::Schema& schema,
+                                    const db::ExprPtr& expr) {
+  if (!expr) return "";
+  return NormalizeExprNode(schema, *expr);
+}
+
+std::map<std::string, std::vector<GeneratedQuestion>> GenerateSurveyQuestions(
+    const datagen::World& world, std::size_t car_count,
+    std::size_t per_other_domain, std::uint64_t seed) {
+  std::map<std::string, std::vector<GeneratedQuestion>> out;
+  Rng rng(seed);
+  datagen::QuestionGenOptions opts;
+  for (const auto& domain : world.domains()) {
+    const datagen::DomainSpec* spec = world.spec(domain);
+    const db::Table* table = world.table(domain);
+    if (spec == nullptr || table == nullptr) continue;
+    Rng domain_rng = rng.Fork();
+    const std::size_t n = domain == "cars" ? car_count : per_other_domain;
+    out[domain] =
+        datagen::GenerateQuestions(*spec, *table, n, opts, &domain_rng);
+  }
+  return out;
+}
+
+ClassificationResult RunClassification(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<GeneratedQuestion>>& questions,
+    classify::QuestionClassifier::Model model) {
+  ClassificationResult out;
+
+  const classify::QuestionClassifier* clf = &world.engine().classifier();
+  classify::QuestionClassifier alt;
+  if (model != classify::QuestionClassifier::Model::kJBBSM) {
+    classify::QuestionClassifier::Options opts;
+    opts.model = model;
+    alt = classify::QuestionClassifier(opts);
+    if (!alt.Train(world.engine().MakeTrainingDocs()).ok()) return out;
+    clf = &alt;
+  }
+
+  MeanAccumulator overall;
+  for (const auto& [domain, qs] : questions) {
+    MeanAccumulator acc;
+    for (const auto& q : qs) {
+      const bool correct = clf->Classify(q.text) == domain;
+      acc.Add(correct ? 1.0 : 0.0);
+      overall.Add(correct ? 1.0 : 0.0);
+    }
+    out.per_domain_accuracy[domain] = acc.Mean();
+    out.total_questions += qs.size();
+  }
+  out.average_accuracy = overall.Mean();
+  return out;
+}
+
+ExactMatchResult RunExactMatch(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<GeneratedQuestion>>& questions) {
+  ExactMatchResult out;
+  MeanAccumulator p_acc, r_acc, f_acc;
+
+  for (const auto& [domain, qs] : questions) {
+    const db::Table* table = world.table(domain);
+    if (table == nullptr) continue;
+    db::Executor executor(table);
+
+    for (const auto& q : qs) {
+      // Ground truth: the oracle query (unlimited unless superlative, whose
+      // semantics are inherently top-k).
+      db::Query oracle = q.oracle;
+      if (!oracle.superlative) oracle.limit = table->num_rows();
+      auto truth = executor.Execute(oracle);
+      if (!truth.ok()) continue;
+      std::vector<unsigned> relevant(truth.value().rows.begin(),
+                                     truth.value().rows.end());
+      std::sort(relevant.begin(), relevant.end());
+      if (relevant.empty()) continue;  // unanswerable question: skip
+
+      auto asked = world.engine().AskInDomain(domain, q.text);
+      std::vector<unsigned> retrieved;
+      if (asked.ok()) {
+        for (const auto& a : asked.value().answers) {
+          if (a.exact) retrieved.push_back(a.row);
+        }
+      }
+      std::sort(retrieved.begin(), retrieved.end());
+
+      PrecisionRecall prf = ComputePRF(retrieved, relevant, 30);
+      p_acc.Add(prf.precision);
+      r_acc.Add(prf.recall);
+      f_acc.Add(prf.f1);
+      ++out.questions_evaluated;
+      if (prf.f1 == 0.0 || prf.f1 == 1.0) ++out.all_or_nothing;
+    }
+  }
+  out.precision = p_acc.Mean();
+  out.recall = r_acc.Mean();
+  // The paper reports the F-measure of the averaged precision/recall.
+  out.f_measure = (out.precision + out.recall) == 0.0
+                      ? 0.0
+                      : 2.0 * out.precision * out.recall /
+                            (out.precision + out.recall);
+  return out;
+}
+
+BooleanInterpretationResult RunBooleanInterpretation(
+    const datagen::World& world, const std::string& domain,
+    std::size_t num_questions, std::size_t sampled_questions,
+    std::size_t responses_per_question, std::uint64_t seed) {
+  BooleanInterpretationResult out;
+  const datagen::DomainSpec* spec = world.spec(domain);
+  const db::Table* table = world.table(domain);
+  if (spec == nullptr || table == nullptr) return out;
+
+  Rng rng(seed);
+  datagen::QuestionGenOptions opts;
+  opts.p_boolean = 1.0;
+  opts.p_misspell = 0.0;
+  opts.p_missing_space = 0.0;
+  opts.p_shorthand = 0.0;
+  opts.p_incomplete = 0.0;
+  opts.p_superlative = 0.0;
+  auto questions =
+      datagen::GenerateQuestions(*spec, *table, num_questions, opts, &rng);
+
+  struct Audited {
+    const GeneratedQuestion* q;
+    bool matches;
+    std::string cqads_norm;
+    std::string intent_norm;
+    std::string cqads_interp;
+  };
+  std::vector<Audited> audited;
+  MeanAccumulator implicit_acc, explicit_acc, overall_acc;
+  for (const auto& q : questions) {
+    auto parsed = world.engine().Parse(domain, q.text);
+    if (!parsed.ok()) continue;
+    std::string cqads_norm = NormalizeInterpretation(
+        table->schema(), parsed.value().assembled.where);
+    std::string intent_norm =
+        NormalizeInterpretation(table->schema(), q.oracle.where);
+    bool match = cqads_norm == intent_norm;
+    overall_acc.Add(match ? 1.0 : 0.0);
+    if (q.is_explicit_boolean) {
+      explicit_acc.Add(match ? 1.0 : 0.0);
+      ++out.explicit_count;
+    } else {
+      implicit_acc.Add(match ? 1.0 : 0.0);
+      ++out.implicit_count;
+    }
+    audited.push_back({&q, match, cqads_norm, intent_norm,
+                       parsed.value().assembled.interpretation});
+  }
+  out.overall_accuracy = overall_acc.Mean();
+  out.implicit_accuracy = implicit_acc.Mean();
+  out.explicit_accuracy = explicit_acc.Mean();
+
+  // Boolean survey simulation: sample questions (explicit-heavy, like the
+  // paper's 7/3 split) and draw appraiser votes.
+  std::vector<const Audited*> pool_explicit, pool_implicit;
+  for (const auto& a : audited) {
+    (a.q->is_explicit_boolean ? pool_explicit : pool_implicit).push_back(&a);
+  }
+  const std::size_t want_explicit = sampled_questions * 7 / 10;
+  std::vector<const Audited*> sampled;
+  for (std::size_t i = 0;
+       i < pool_explicit.size() && sampled.size() < want_explicit; ++i) {
+    sampled.push_back(pool_explicit[i]);
+  }
+  for (std::size_t i = 0;
+       i < pool_implicit.size() && sampled.size() < sampled_questions; ++i) {
+    sampled.push_back(pool_implicit[i]);
+  }
+
+  for (const Audited* a : sampled) {
+    // Agreement model: appraisers usually endorse a correct rule-based
+    // reading; the paper's dissent modes lower agreement for
+    // mutually-exclusive conjunctions (Q3/Q8: 22% read "black silver" as
+    // both-colors) and for negation scope across OR (Q10: 29% distribute
+    // the exclusion).
+    double agree = a->matches ? 0.96 : 0.30;
+    bool has_mutex = false;
+    for (const auto& seg : a->q->segments) {
+      for (const auto& u : seg) {
+        if (u.kind == datagen::IntentUnit::Kind::kTypeII &&
+            u.values.size() > 1) {
+          has_mutex = true;
+        }
+      }
+    }
+    if (has_mutex) agree -= 0.18;
+    if (a->q->has_negation && a->q->segments.size() > 1) agree -= 0.25;
+    agree = std::clamp(agree, 0.0, 1.0);
+
+    std::size_t votes = 0;
+    for (std::size_t r = 0; r < responses_per_question; ++r) {
+      if (rng.Bernoulli(agree)) ++votes;
+    }
+    BooleanInterpretationResult::Sampled s;
+    s.text = a->q->text;
+    s.implicit = !a->q->is_explicit_boolean;
+    s.cqads_interpretation = a->cqads_interp;
+    s.intended_interpretation = a->q->oracle_interpretation;
+    s.appraiser_agreement =
+        static_cast<double>(votes) /
+        static_cast<double>(std::max<std::size_t>(1, responses_per_question));
+    out.sampled.push_back(std::move(s));
+  }
+  return out;
+}
+
+RankingResult RunRanking(const datagen::World& world,
+                         std::size_t questions_per_domain,
+                         std::size_t responses_per_question,
+                         std::uint64_t seed) {
+  RankingResult out;
+  Rng rng(seed);
+
+  struct PerRanker {
+    MeanAccumulator p1, p5, mrr;
+  };
+  std::map<std::string, PerRanker> totals;
+  std::map<std::string, PerRanker> cqads_by_domain;
+
+  for (const auto& domain : world.domains()) {
+    const datagen::DomainSpec* spec = world.spec(domain);
+    const db::Table* table = world.table(domain);
+    const core::DomainRuntime* rt = world.engine().runtime(domain);
+    if (spec == nullptr || table == nullptr || rt == nullptr) continue;
+
+    // Simple multi-condition questions (the ranking survey used plain
+    // questions from the first two surveys).
+    datagen::QuestionGenOptions opts;
+    opts.p_boolean = 0.0;
+    opts.p_superlative = 0.0;
+    opts.p_incomplete = 0.0;
+    opts.p_misspell = 0.0;
+    opts.p_missing_space = 0.0;
+    opts.p_shorthand = 0.0;
+    opts.p_partial_identity = 0.0;
+    opts.max_type_ii = 2;
+    Rng qrng = rng.Fork();
+    auto candidates_questions = datagen::GenerateQuestions(
+        *spec, *table, questions_per_domain * 8, opts, &qrng);
+
+    core::SimilarityContext ctx;
+    ctx.ti = &rt->ti_matrix;
+    ctx.ws = &world.ws_matrix();
+    ctx.attr_ranges = rt->attr_ranges;
+
+    baselines::CqadsRanker cqads_ranker(&ctx);
+    baselines::AimqRanker aimq_ranker(table);
+    baselines::CosineRanker cosine_ranker;
+    baselines::FaqFinderRanker faq_ranker(table);
+    baselines::RandomRanker random_ranker(rng.Fork().engine()());
+    std::vector<baselines::Ranker*> rankers = {
+        &cqads_ranker, &aimq_ranker, &cosine_ranker, &faq_ranker,
+        &random_ranker};
+
+    Appraiser appraiser(spec, table, AppraiserOptionsFor(domain));
+    db::Executor executor(table);
+
+    std::size_t used = 0;
+    for (const auto& q : candidates_questions) {
+      if (used >= questions_per_domain) break;
+      if (q.is_incomplete) continue;  // bare-number equality questions
+      auto parsed = world.engine().Parse(domain, q.text);
+      if (!parsed.ok()) continue;
+      const auto& assembled = parsed.value().assembled;
+      if (assembled.units.size() < 2) continue;
+      auto pool = PartialCandidates(executor, assembled, table->num_rows());
+      if (pool.size() < 10) continue;
+      // A ranking experiment needs something rankable: require at least one
+      // ground-truth-related candidate in the pool (judged by the noise-free
+      // appraiser truth, identically for all rankers).
+      bool any_related = false;
+      for (db::RowId r : pool) {
+        if (appraiser.IsRelatedTruth(q, r)) {
+          any_related = true;
+          break;
+        }
+      }
+      if (!any_related) continue;
+      ++used;
+
+      baselines::RankInput input;
+      input.table = table;
+      input.question_text = q.text;
+      input.units = assembled.units;
+      input.candidates = pool;
+
+      for (baselines::Ranker* ranker : rankers) {
+        auto top = ranker->Rank(input, 5);
+        std::vector<double> relatedness;
+        std::vector<bool> related_majority;
+        for (db::RowId row : top) {
+          std::size_t yes = 0;
+          for (std::size_t r = 0; r < responses_per_question; ++r) {
+            if (appraiser.Judge(q, row, &rng)) ++yes;
+          }
+          double frac = static_cast<double>(yes) /
+                        static_cast<double>(responses_per_question);
+          relatedness.push_back(frac);
+          related_majority.push_back(frac > 0.5);
+          out.appraiser_responses += responses_per_question;
+        }
+        PerRanker& agg = totals[ranker->name()];
+        agg.p1.Add(PrecisionAtK(relatedness, 1));
+        agg.p5.Add(PrecisionAtK(relatedness, 5));
+        agg.mrr.Add(ReciprocalRank(related_majority));
+        if (ranker->name() == "CQAds") {
+          PerRanker& dom = cqads_by_domain[domain];
+          dom.p1.Add(PrecisionAtK(relatedness, 1));
+          dom.p5.Add(PrecisionAtK(relatedness, 5));
+          dom.mrr.Add(ReciprocalRank(related_majority));
+        }
+      }
+    }
+    out.questions_used += used;
+  }
+
+  for (const auto& [name, agg] : totals) {
+    out.scores[name] = RankingScores{agg.p1.Mean(), agg.p5.Mean(),
+                                     agg.mrr.Mean()};
+  }
+  for (const auto& [domain, agg] : cqads_by_domain) {
+    out.cqads_per_domain[domain] =
+        RankingScores{agg.p1.Mean(), agg.p5.Mean(), agg.mrr.Mean()};
+  }
+  return out;
+}
+
+EfficiencyResult RunEfficiency(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<GeneratedQuestion>>& questions,
+    std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  EfficiencyResult out;
+  Rng rng(seed);
+
+  std::map<std::string, MeanAccumulator> times;
+
+  for (const auto& [domain, qs] : questions) {
+    const db::Table* table = world.table(domain);
+    const core::DomainRuntime* rt = world.engine().runtime(domain);
+    if (table == nullptr || rt == nullptr) continue;
+
+    core::SimilarityContext ctx;
+    ctx.ti = &rt->ti_matrix;
+    ctx.ws = &world.ws_matrix();
+    ctx.attr_ranges = rt->attr_ranges;
+
+    baselines::AimqRanker aimq_ranker(table);
+    baselines::CosineRanker cosine_ranker;
+    baselines::FaqFinderRanker faq_ranker(table);
+    baselines::RandomRanker random_ranker(rng.Fork().engine()());
+    db::Executor executor(table);
+
+    for (const auto& q : qs) {
+      // CQAds end-to-end (exact first, partial only when needed).
+      {
+        auto t0 = Clock::now();
+        auto res = world.engine().AskInDomain(domain, q.text);
+        auto t1 = Clock::now();
+        (void)res;
+        times["CQAds"].Add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+
+      // Baselines: shared parse, then retrieve-all-candidates + rank, which
+      // is what each compared approach must do for every question.
+      auto parsed = world.engine().Parse(domain, q.text);
+      if (!parsed.ok()) continue;
+      const auto& assembled = parsed.value().assembled;
+
+      struct NamedRanker {
+        const char* name;
+        baselines::Ranker* ranker;
+      };
+      NamedRanker named[] = {{"AIMQ", &aimq_ranker},
+                             {"Cosine", &cosine_ranker},
+                             {"FAQFinder", &faq_ranker},
+                             {"Random", &random_ranker}};
+      for (const auto& nr : named) {
+        auto t0 = Clock::now();
+        auto pool = PartialCandidates(executor, assembled, table->num_rows());
+        baselines::RankInput input;
+        input.table = table;
+        input.question_text = q.text;
+        input.units = assembled.units;
+        input.candidates = std::move(pool);
+        auto top = nr.ranker->Rank(input, 30);
+        auto t1 = Clock::now();
+        (void)top;
+        times[nr.name].Add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+      ++out.questions;
+    }
+  }
+
+  for (const auto& [name, acc] : times) out.avg_ms[name] = acc.Mean();
+  return out;
+}
+
+}  // namespace cqads::eval

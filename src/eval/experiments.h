@@ -1,0 +1,124 @@
+// Experiment drivers: one function per paper table/figure, shared by the
+// bench binaries and the integration tests. Each consumes a World plus
+// generated questions and returns the numbers the paper reports.
+#ifndef CQADS_EVAL_EXPERIMENTS_H_
+#define CQADS_EVAL_EXPERIMENTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classify/question_classifier.h"
+#include "common/rng.h"
+#include "datagen/question_gen.h"
+#include "datagen/world.h"
+#include "eval/appraiser.h"
+
+namespace cqads::eval {
+
+/// Questions per domain, generated at the paper's survey mix: 80 for the
+/// car-ads survey plus `per_other_domain` for each remaining domain
+/// (defaults approximate the 650-response corpus of §5.1).
+std::map<std::string, std::vector<datagen::GeneratedQuestion>>
+GenerateSurveyQuestions(const datagen::World& world, std::size_t car_count,
+                        std::size_t per_other_domain, std::uint64_t seed);
+
+// ---------------------------------------------------------------- Figure 2
+struct ClassificationResult {
+  std::map<std::string, double> per_domain_accuracy;
+  double average_accuracy = 0.0;
+  std::size_t total_questions = 0;
+};
+
+/// Classifies every question with the engine's classifier (or a fresh one
+/// with the given model, for the ablation) and scores Eq. 6 accuracy.
+ClassificationResult RunClassification(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<datagen::GeneratedQuestion>>&
+        questions,
+    classify::QuestionClassifier::Model model =
+        classify::QuestionClassifier::Model::kJBBSM);
+
+// ------------------------------------------------------------------- §5.3
+struct ExactMatchResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  std::size_t questions_evaluated = 0;
+  std::size_t all_or_nothing = 0;  ///< questions scoring exactly 0% or 100%
+};
+
+ExactMatchResult RunExactMatch(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<datagen::GeneratedQuestion>>&
+        questions);
+
+// ---------------------------------------------------------------- Figure 4
+struct BooleanInterpretationResult {
+  double overall_accuracy = 0.0;
+  double implicit_accuracy = 0.0;
+  double explicit_accuracy = 0.0;
+  std::size_t implicit_count = 0;
+  std::size_t explicit_count = 0;
+
+  /// The sampled Boolean-survey questions with simulated appraiser votes.
+  struct Sampled {
+    std::string text;
+    bool implicit = false;
+    std::string cqads_interpretation;
+    std::string intended_interpretation;
+    double appraiser_agreement = 0.0;  ///< fraction choosing CQAds' reading
+  };
+  std::vector<Sampled> sampled;
+};
+
+/// Interprets Boolean questions with CQAds' rules and audits them against
+/// the intended interpretation; also simulates the 10-question / 90-response
+/// Boolean survey.
+BooleanInterpretationResult RunBooleanInterpretation(
+    const datagen::World& world, const std::string& domain,
+    std::size_t num_questions, std::size_t sampled_questions,
+    std::size_t responses_per_question, std::uint64_t seed);
+
+// ---------------------------------------------------------------- Figure 5
+struct RankingScores {
+  double p_at_1 = 0.0;
+  double p_at_5 = 0.0;
+  double mrr = 0.0;
+};
+
+struct RankingResult {
+  /// Keyed by approach name: CQAds, AIMQ, Cosine, FAQFinder, Random.
+  std::map<std::string, RankingScores> scores;
+  /// CQAds' scores per domain (§5.5.3 observes CS-jobs is its weakest).
+  std::map<std::string, RankingScores> cqads_per_domain;
+  std::size_t questions_used = 0;
+  std::size_t appraiser_responses = 0;
+};
+
+RankingResult RunRanking(const datagen::World& world,
+                         std::size_t questions_per_domain,
+                         std::size_t responses_per_question,
+                         std::uint64_t seed);
+
+// ---------------------------------------------------------------- Figure 6
+struct EfficiencyResult {
+  /// Average per-question processing milliseconds, keyed by approach.
+  std::map<std::string, double> avg_ms;
+  std::size_t questions = 0;
+};
+
+EfficiencyResult RunEfficiency(
+    const datagen::World& world,
+    const std::map<std::string, std::vector<datagen::GeneratedQuestion>>&
+        questions,
+    std::uint64_t seed);
+
+/// Canonical interpretation normalization: flattens nested AND/OR and sorts
+/// operands so logically identical readings compare equal.
+std::string NormalizeInterpretation(const db::Schema& schema,
+                                    const db::ExprPtr& expr);
+
+}  // namespace cqads::eval
+
+#endif  // CQADS_EVAL_EXPERIMENTS_H_

@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace cqads::eval {
+
+PrecisionRecall ComputePRF(const std::vector<unsigned>& retrieved,
+                           const std::vector<unsigned>& relevant,
+                           std::size_t recall_cap) {
+  PrecisionRecall out;
+  if (retrieved.empty() && relevant.empty()) {
+    out.precision = out.recall = out.f1 = 1.0;
+    return out;
+  }
+  std::vector<unsigned> inter;
+  std::set_intersection(retrieved.begin(), retrieved.end(), relevant.begin(),
+                        relevant.end(), std::back_inserter(inter));
+  const double correct = static_cast<double>(inter.size());
+  out.precision =
+      retrieved.empty() ? 0.0 : correct / static_cast<double>(retrieved.size());
+  const std::size_t denom = std::min(recall_cap, relevant.size());
+  out.recall = denom == 0 ? 0.0 : correct / static_cast<double>(denom);
+  out.f1 = (out.precision + out.recall) == 0.0
+               ? 0.0
+               : 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall);
+  return out;
+}
+
+double PrecisionAtK(const std::vector<double>& relatedness, std::size_t k) {
+  if (k == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k && i < relatedness.size(); ++i) {
+    sum += relatedness[i];
+  }
+  return sum / static_cast<double>(k);
+}
+
+double ReciprocalRank(const std::vector<bool>& related) {
+  for (std::size_t i = 0; i < related.size(); ++i) {
+    if (related[i]) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+}  // namespace cqads::eval

@@ -1,0 +1,49 @@
+// Evaluation metrics (§5): accuracy (Eq. 6), precision/recall/F-measure
+// (§5.3), P@K (Eq. 7), and MRR (Eq. 8).
+#ifndef CQADS_EVAL_METRICS_H_
+#define CQADS_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cqads::eval {
+
+/// Running mean.
+class MeanAccumulator {
+ public:
+  void Add(double v) {
+    sum_ += v;
+    ++count_;
+  }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// §5.3 for one question: `retrieved` and `relevant` are sorted unique row
+/// sets; `recall_cap` bounds the recall denominator (the paper evaluates
+/// answers "up till the 30th").
+PrecisionRecall ComputePRF(const std::vector<unsigned>& retrieved,
+                           const std::vector<unsigned>& relevant,
+                           std::size_t recall_cap = 30);
+
+/// Eq. 7 for one question: mean of the per-position relatedness of the
+/// first K entries (missing positions count 0).
+double PrecisionAtK(const std::vector<double>& relatedness, std::size_t k);
+
+/// Eq. 8's per-question term: 1/rank of the first related answer (1-based),
+/// or 0 when none of the entries is related.
+double ReciprocalRank(const std::vector<bool>& related);
+
+}  // namespace cqads::eval
+
+#endif  // CQADS_EVAL_METRICS_H_

@@ -1,0 +1,104 @@
+#include "qlog/log_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cqads::qlog {
+
+namespace {
+
+/// Exponential-ish positive gap with the given mean (clamped away from 0).
+double DrawGap(Rng* rng, double mean) {
+  double u = rng->UniformReal(1e-6, 1.0);
+  double gap = -mean * std::log(u);
+  return std::max(1.0, std::min(gap, mean * 8.0));
+}
+
+}  // namespace
+
+QueryLog GenerateQueryLog(const LogGenSpec& spec, Rng* rng) {
+  QueryLog log;
+  if (spec.values.empty() || spec.values.size() != spec.cluster_of.size()) {
+    return log;
+  }
+
+  // Bucket identities by segment for related-draw sampling.
+  std::unordered_map<int, std::vector<std::size_t>> by_cluster;
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    by_cluster[spec.cluster_of[i]].push_back(i);
+  }
+
+  log.sessions.reserve(spec.num_sessions);
+  for (std::size_t s = 0; s < spec.num_sessions; ++s) {
+    Session session;
+    session.user_id = "user_" + std::to_string(s);
+
+    const std::size_t seed_idx = rng->UniformIndex(spec.values.size());
+    const int seed_cluster = spec.cluster_of[seed_idx];
+    const auto& cluster_members = by_cluster[seed_cluster];
+
+    const int n_queries = static_cast<int>(rng->UniformInt(
+        spec.min_queries_per_session, spec.max_queries_per_session));
+
+    double clock = 0.0;
+    std::size_t current = seed_idx;
+    for (int q = 0; q < n_queries; ++q) {
+      if (q > 0) {
+        // Reformulate: usually within the segment (quick), sometimes a
+        // topic switch (slow).
+        bool stay = rng->Bernoulli(spec.in_cluster_prob) &&
+                    cluster_members.size() > 1;
+        if (stay) {
+          std::size_t next = current;
+          while (next == current) {
+            next = cluster_members[rng->UniformIndex(cluster_members.size())];
+          }
+          current = next;
+          clock += DrawGap(rng, spec.in_cluster_gap_mean);
+        } else {
+          current = rng->UniformIndex(spec.values.size());
+          clock += DrawGap(rng,
+                           spec.in_cluster_gap_mean * spec.cross_gap_factor);
+        }
+      }
+
+      LogQuery query;
+      query.timestamp = clock;
+      query.value = spec.values[current];
+
+      const int n_clicks =
+          static_cast<int>(rng->UniformInt(0, spec.max_clicks_per_query));
+      const int current_cluster = spec.cluster_of[current];
+      const auto& related = by_cluster[current_cluster];
+      for (int c = 0; c < n_clicks; ++c) {
+        Click click;
+        bool related_click =
+            rng->Bernoulli(spec.related_click_prob) && related.size() > 1;
+        std::size_t target;
+        if (related_click) {
+          target = related[rng->UniformIndex(related.size())];
+        } else {
+          target = rng->UniformIndex(spec.values.size());
+        }
+        click.ad_value = spec.values[target];
+        const bool is_related =
+            spec.cluster_of[target] == current_cluster;
+        // The fictitious ads engine ranks related ads higher.
+        click.rank = is_related
+                         ? static_cast<int>(rng->UniformInt(1, 5))
+                         : static_cast<int>(rng->UniformInt(6, 30));
+        click.dwell_seconds = std::max(
+            1.0, rng->Gaussian(is_related ? spec.related_dwell_mean
+                                          : spec.unrelated_dwell_mean,
+                               is_related ? spec.related_dwell_mean / 3.0
+                                          : spec.unrelated_dwell_mean / 3.0));
+        query.clicks.push_back(std::move(click));
+      }
+      session.queries.push_back(std::move(query));
+    }
+    log.sessions.push_back(std::move(session));
+  }
+  return log;
+}
+
+}  // namespace cqads::qlog

@@ -1,0 +1,51 @@
+// Synthetic query-log generation. The paper consumed logs of real local ads
+// search engines; those are proprietary, so we simulate the behaviour the
+// TI-matrix features measure: users reformulate between *related* identities
+// (same latent market segment), do so quickly, click related ads even when
+// searching for something else, and dwell longer on ads they find relevant.
+// The latent segment assignment comes from the same domain model that
+// generates the ads themselves (src/datagen), which is what lets Eq. 3
+// recover human-perceived relatedness.
+#ifndef CQADS_QLOG_LOG_GENERATOR_H_
+#define CQADS_QLOG_LOG_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "qlog/query_log.h"
+
+namespace cqads::qlog {
+
+/// Generator configuration. `values[i]` is a Type I identity string and
+/// `cluster_of[i]` its latent segment; identities sharing a segment are
+/// ground-truth related.
+struct LogGenSpec {
+  std::vector<std::string> values;
+  std::vector<int> cluster_of;
+
+  std::size_t num_sessions = 2000;
+  /// Probability a reformulation stays inside the segment.
+  double in_cluster_prob = 0.85;
+  /// Mean seconds between reformulations within a segment; cross-segment
+  /// reformulations take kCrossGapFactor times longer on average.
+  double in_cluster_gap_mean = 45.0;
+  double cross_gap_factor = 4.0;
+  /// Mean dwell seconds on a same-segment click vs an off-segment click.
+  double related_dwell_mean = 90.0;
+  double unrelated_dwell_mean = 12.0;
+  /// Probability that a result-page click lands on a same-segment ad.
+  double related_click_prob = 0.8;
+  /// Queries per session are drawn uniformly from [min, max].
+  int min_queries_per_session = 2;
+  int max_queries_per_session = 6;
+  /// Clicks per query are drawn uniformly from [0, max].
+  int max_clicks_per_query = 3;
+};
+
+/// Generates a deterministic log from the spec and seed.
+QueryLog GenerateQueryLog(const LogGenSpec& spec, Rng* rng);
+
+}  // namespace cqads::qlog
+
+#endif  // CQADS_QLOG_LOG_GENERATOR_H_

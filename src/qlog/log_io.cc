@@ -1,0 +1,120 @@
+#include "qlog/log_io.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace cqads::qlog {
+
+std::string SerializeLog(const QueryLog& log) {
+  std::string out;
+  for (const auto& session : log.sessions) {
+    out += "session " + session.user_id + "\n";
+    for (const auto& query : session.queries) {
+      out += "query " + FormatDouble(query.timestamp, 3) + " " +
+             query.value + "\n";
+      for (const auto& click : query.clicks) {
+        out += "click " + std::to_string(click.rank) + " " +
+               FormatDouble(click.dwell_seconds, 3) + " " + click.ad_value +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status ParseError(std::size_t line_no, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 message);
+}
+
+/// Parses a leading double and returns the remainder of the record.
+bool TakeDouble(std::string_view* rest, double* out) {
+  std::size_t space = rest->find(' ');
+  std::string token(space == std::string_view::npos ? *rest
+                                                    : rest->substr(0, space));
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  *rest = space == std::string_view::npos ? std::string_view()
+                                          : rest->substr(space + 1);
+  return true;
+}
+
+}  // namespace
+
+Result<QueryLog> ParseLog(std::string_view text) {
+  QueryLog log;
+  Session* session = nullptr;
+  LogQuery* query = nullptr;
+
+  std::size_t pos = 0, line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = TrimView(text.substr(pos, end - pos));
+    pos = end + 1;
+    ++line_no;
+    if (pos > text.size() + 1) break;
+    if (line.empty() || line[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    if (StartsWith(line, "session ")) {
+      Session s;
+      s.user_id = Trim(line.substr(8));
+      if (s.user_id.empty()) return ParseError(line_no, "empty user id");
+      log.sessions.push_back(std::move(s));
+      session = &log.sessions.back();
+      query = nullptr;
+    } else if (StartsWith(line, "query ")) {
+      if (session == nullptr) {
+        return ParseError(line_no, "query before any session");
+      }
+      std::string_view rest = line.substr(6);
+      LogQuery q;
+      if (!TakeDouble(&rest, &q.timestamp)) {
+        return ParseError(line_no, "bad query timestamp");
+      }
+      q.value = Trim(rest);
+      if (q.value.empty()) return ParseError(line_no, "empty query value");
+      session->queries.push_back(std::move(q));
+      query = &session->queries.back();
+    } else if (StartsWith(line, "click ")) {
+      if (query == nullptr) {
+        return ParseError(line_no, "click before any query");
+      }
+      std::string_view rest = line.substr(6);
+      double rank = 0, dwell = 0;
+      if (!TakeDouble(&rest, &rank) || !TakeDouble(&rest, &dwell)) {
+        return ParseError(line_no, "bad click rank/dwell");
+      }
+      Click c;
+      c.rank = static_cast<int>(rank);
+      c.dwell_seconds = dwell;
+      c.ad_value = Trim(rest);
+      if (c.rank < 1) return ParseError(line_no, "click rank must be >= 1");
+      if (c.ad_value.empty()) return ParseError(line_no, "empty ad value");
+      query->clicks.push_back(std::move(c));
+    } else {
+      return ParseError(line_no, "unknown record type");
+    }
+    if (end == text.size()) break;
+  }
+  return log;
+}
+
+std::string ExportTiMatrixCsv(const TiMatrix& matrix) {
+  std::string out = "value_a,value_b,ti_sim\n";
+  for (const auto& [a, b, sim] : matrix.AllPairs()) {
+    out += "\"" + ReplaceAll(a, "\"", "\"\"") + "\",\"" +
+           ReplaceAll(b, "\"", "\"\"") + "\"," + FormatDouble(sim, 6) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cqads::qlog

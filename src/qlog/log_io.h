@@ -1,0 +1,36 @@
+// Query-log serialization. A deployed CQAds consumes logs from external ads
+// search engines (§4.3.2); this module defines the interchange format:
+//
+//   session <user_id>
+//   query <timestamp> <value...>
+//   click <rank> <dwell_seconds> <ad_value...>
+//
+// One record per line; `query` lines belong to the preceding `session`;
+// `click` lines to the preceding `query`. Values may contain spaces (they
+// extend to the end of the line). Blank lines and '#' comments are ignored.
+// Also exports a TI-matrix as CSV for offline inspection.
+#ifndef CQADS_QLOG_LOG_IO_H_
+#define CQADS_QLOG_LOG_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "qlog/query_log.h"
+#include "qlog/ti_matrix.h"
+
+namespace cqads::qlog {
+
+/// Serializes a log to the text format above.
+std::string SerializeLog(const QueryLog& log);
+
+/// Parses the text format; fails with a line-numbered message on malformed
+/// input (click before query, query before session, bad numbers).
+Result<QueryLog> ParseLog(std::string_view text);
+
+/// CSV of every nonzero TI-matrix entry: value_a,value_b,similarity.
+std::string ExportTiMatrixCsv(const TiMatrix& matrix);
+
+}  // namespace cqads::qlog
+
+#endif  // CQADS_QLOG_LOG_IO_H_

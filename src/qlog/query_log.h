@@ -1,0 +1,54 @@
+// Query-log model (§4.3.2). The paper builds its Type I similarity matrix
+// from "query logs obtained from local ads search engines": sessions keyed by
+// an anonymous user ID, each holding timestamped query texts and optionally
+// the clicked ads with their engine rank and the time the user spent on them.
+#ifndef CQADS_QLOG_QUERY_LOG_H_
+#define CQADS_QLOG_QUERY_LOG_H_
+
+#include <string>
+#include <vector>
+
+namespace cqads::qlog {
+
+/// One clicked ad within a query's result page.
+struct Click {
+  std::string ad_value;   ///< Type I identity the clicked ad showcases
+  int rank = 1;           ///< position assigned by the ads search engine (1 = top)
+  double dwell_seconds = 0.0;  ///< time spent on the ad page
+};
+
+/// One submitted query within a session.
+struct LogQuery {
+  double timestamp = 0.0;  ///< seconds since session start
+  std::string value;       ///< the Type I identity searched ("honda accord")
+  std::vector<Click> clicks;
+};
+
+/// A period of sustained activity by one user. Each user ID is unique and
+/// associated with one session (per the paper's session-boundary rule).
+struct Session {
+  std::string user_id;
+  std::vector<LogQuery> queries;
+};
+
+/// A full log: the unit the TI-matrix is built from.
+struct QueryLog {
+  std::vector<Session> sessions;
+
+  std::size_t TotalQueries() const {
+    std::size_t n = 0;
+    for (const auto& s : sessions) n += s.queries.size();
+    return n;
+  }
+  std::size_t TotalClicks() const {
+    std::size_t n = 0;
+    for (const auto& s : sessions) {
+      for (const auto& q : s.queries) n += q.clicks.size();
+    }
+    return n;
+  }
+};
+
+}  // namespace cqads::qlog
+
+#endif  // CQADS_QLOG_QUERY_LOG_H_

@@ -1,0 +1,120 @@
+#include "qlog/ti_matrix.h"
+
+#include <algorithm>
+
+namespace cqads::qlog {
+
+TiMatrix::Key TiMatrix::MakeKey(std::string_view a, std::string_view b) {
+  std::string sa(a), sb(b);
+  if (sb < sa) std::swap(sa, sb);
+  return {std::move(sa), std::move(sb)};
+}
+
+TiMatrix TiMatrix::Build(const QueryLog& log) {
+  TiMatrix m;
+
+  // Pass 1: accumulate raw features per unordered pair.
+  for (const auto& session : log.sessions) {
+    const auto& qs = session.queries;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      // Mod: adjacent reformulation A -> B.
+      if (i + 1 < qs.size() && qs[i].value != qs[i + 1].value) {
+        m.features_[MakeKey(qs[i].value, qs[i + 1].value)].mod_count += 1.0;
+      }
+      // Time: every co-occurring pair within the session.
+      for (std::size_t j = i + 1; j < qs.size(); ++j) {
+        if (qs[i].value == qs[j].value) continue;
+        PairFeatures& f = m.features_[MakeKey(qs[i].value, qs[j].value)];
+        f.time_sum += qs[j].timestamp - qs[i].timestamp;
+        f.time_pairs += 1.0;
+      }
+      // Ad_Time / Rank / Click: clicks on B-ads while searching A.
+      for (const auto& click : qs[i].clicks) {
+        if (click.ad_value == qs[i].value) continue;
+        PairFeatures& f = m.features_[MakeKey(qs[i].value, click.ad_value)];
+        f.dwell_sum += click.dwell_seconds;
+        f.dwell_obs += 1.0;
+        f.rank_sum += 1.0 / static_cast<double>(std::max(1, click.rank));
+        f.rank_obs += 1.0;
+        f.click_count += 1.0;
+      }
+    }
+  }
+
+  // Pass 2: per-feature maxima for normalization.
+  double max_mod = 0, max_time = 0, max_dwell = 0, max_rank = 0, max_click = 0;
+  for (const auto& [key, f] : m.features_) {
+    max_mod = std::max(max_mod, f.mod_count);
+    if (f.time_pairs > 0) {
+      max_time = std::max(max_time, f.time_sum / f.time_pairs);
+    }
+    if (f.dwell_obs > 0) {
+      max_dwell = std::max(max_dwell, f.dwell_sum / f.dwell_obs);
+    }
+    if (f.rank_obs > 0) {
+      max_rank = std::max(max_rank, f.rank_sum / f.rank_obs);
+    }
+    max_click = std::max(max_click, f.click_count);
+  }
+
+  // Pass 3: TI_Sim = sum of the five normalized features (Eq. 3). Time is
+  // inverted (shorter gap -> higher feature); Rank already uses 1/position.
+  for (const auto& [key, f] : m.features_) {
+    double sim = 0.0;
+    if (max_mod > 0) sim += f.mod_count / max_mod;
+    if (f.time_pairs > 0 && max_time > 0) {
+      sim += 1.0 - (f.time_sum / f.time_pairs) / max_time;
+    }
+    if (f.dwell_obs > 0 && max_dwell > 0) {
+      sim += (f.dwell_sum / f.dwell_obs) / max_dwell;
+    }
+    if (f.rank_obs > 0 && max_rank > 0) {
+      sim += (f.rank_sum / f.rank_obs) / max_rank;
+    }
+    if (max_click > 0) sim += f.click_count / max_click;
+    m.sims_[key] = sim;
+    m.max_sim_ = std::max(m.max_sim_, sim);
+  }
+  return m;
+}
+
+double TiMatrix::Sim(std::string_view a, std::string_view b) const {
+  if (a == b) return 0.0;
+  auto it = sims_.find(MakeKey(a, b));
+  return it == sims_.end() ? 0.0 : it->second;
+}
+
+PairFeatures TiMatrix::Features(std::string_view a, std::string_view b) const {
+  auto it = features_.find(MakeKey(a, b));
+  return it == features_.end() ? PairFeatures{} : it->second;
+}
+
+std::vector<std::tuple<std::string, std::string, double>> TiMatrix::AllPairs()
+    const {
+  std::vector<std::tuple<std::string, std::string, double>> out;
+  out.reserve(sims_.size());
+  for (const auto& [key, sim] : sims_) {
+    out.emplace_back(key.first, key.second, sim);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> TiMatrix::MostSimilar(
+    std::string_view a, std::size_t limit) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, sim] : sims_) {
+    if (key.first == a) {
+      out.emplace_back(key.second, sim);
+    } else if (key.second == a) {
+      out.emplace_back(key.first, sim);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace cqads::qlog

@@ -1,0 +1,79 @@
+// TI-matrix (§4.3.2, Eq. 3): similarity between Type I attribute values,
+// computed from a query log via five features per unordered pair {A, B}:
+//
+//   Mod(A,B)      times A was reformulated into B (adjacent in a session)
+//   Time(A,B)     average seconds between submissions of A and B in a session
+//   Ad_Time(A,B)  average dwell on an ad showcasing B when A was searched
+//   Rank(A,B)     engine rank of B-ads on A's result pages (averaged)
+//   Click(A,B)    clicks on B-ads when A was searched
+//
+// Each feature is normalized by its maximum across the log so it lies in
+// [0, 1], then the five are summed (TI_Sim in [0, 5]). Time and Rank are
+// *inverted* during normalization — shorter gaps and higher (numerically
+// smaller) ranks mean more similar — so that, like the other three, larger
+// normalized values mean more related.
+#ifndef CQADS_QLOG_TI_MATRIX_H_
+#define CQADS_QLOG_TI_MATRIX_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "qlog/query_log.h"
+
+namespace cqads::qlog {
+
+/// Per-pair raw feature accumulators (exposed for tests and benches).
+struct PairFeatures {
+  double mod_count = 0;
+  double time_sum = 0;     // seconds
+  double time_pairs = 0;   // observations contributing to time_sum
+  double dwell_sum = 0;    // seconds
+  double dwell_obs = 0;
+  double rank_sum = 0;     // sum of 1/rank
+  double rank_obs = 0;
+  double click_count = 0;
+};
+
+/// Symmetric Type I value-similarity matrix.
+class TiMatrix {
+ public:
+  /// Builds the matrix from a log. Pairs never co-observed get similarity 0.
+  static TiMatrix Build(const QueryLog& log);
+
+  /// TI_Sim(A, B) in [0, 5]; 0 for unknown pairs and for A == B (an equal
+  /// value is an exact match, handled outside the partial-match path).
+  double Sim(std::string_view a, std::string_view b) const;
+
+  /// Largest similarity in the matrix (normalization factor for Eq. 5).
+  double MaxSim() const { return max_sim_; }
+
+  /// Number of pairs with nonzero similarity.
+  std::size_t pair_count() const { return sims_.size(); }
+
+  /// Raw features for a pair (zeros when unobserved); for diagnostics.
+  PairFeatures Features(std::string_view a, std::string_view b) const;
+
+  /// The `limit` most similar values to `a`, most similar first.
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      std::string_view a, std::size_t limit) const;
+
+  /// Every stored pair with its similarity, in deterministic (lexicographic)
+  /// order. Used by the CSV exporter and diagnostics.
+  std::vector<std::tuple<std::string, std::string, double>> AllPairs() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // lexicographic order
+  static Key MakeKey(std::string_view a, std::string_view b);
+
+  std::map<Key, double> sims_;
+  std::map<Key, PairFeatures> features_;
+  double max_sim_ = 0.0;
+};
+
+}  // namespace cqads::qlog
+
+#endif  // CQADS_QLOG_TI_MATRIX_H_

@@ -1,0 +1,78 @@
+#include "text/number_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace cqads::text {
+
+namespace {
+
+const std::unordered_map<std::string, double>& NumberWordValues() {
+  static const auto* kMap = new std::unordered_map<std::string, double>{
+      {"zero", 0},   {"one", 1},   {"two", 2},   {"three", 3},
+      {"four", 4},   {"five", 5},  {"six", 6},   {"seven", 7},
+      {"eight", 8},  {"nine", 9},  {"ten", 10},  {"eleven", 11},
+      {"twelve", 12}, {"twenty", 20}, {"thirty", 30}, {"forty", 40},
+      {"fifty", 50}, {"hundred", 100}, {"thousand", 1000},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+std::optional<ParsedNumber> ParseNumberString(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+
+  // Number words.
+  auto it = NumberWordValues().find(std::string(s));
+  if (it != NumberWordValues().end()) {
+    ParsedNumber out;
+    out.value = it->second;
+    return out;
+  }
+
+  // Digits with at most one decimal point, optionally ending in k/m.
+  std::size_t end = s.size();
+  double magnitude = 1.0;
+  bool had_magnitude = false;
+  char last = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(s[end - 1])));
+  if (last == 'k') {
+    magnitude = 1e3;
+    had_magnitude = true;
+    --end;
+  } else if (last == 'm') {
+    magnitude = 1e6;
+    had_magnitude = true;
+    --end;
+  }
+  if (end == 0) return std::nullopt;
+
+  bool seen_dot = false;
+  for (std::size_t i = 0; i < end; ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '.') {
+      if (seen_dot) return std::nullopt;
+      seen_dot = true;
+    } else if (!std::isdigit(c)) {
+      return std::nullopt;
+    }
+  }
+
+  ParsedNumber out;
+  out.value = std::strtod(std::string(s.substr(0, end)).c_str(), nullptr) *
+              magnitude;
+  out.had_magnitude = had_magnitude;
+  return out;
+}
+
+std::optional<ParsedNumber> ParseNumberToken(const Token& token) {
+  auto parsed = ParseNumberString(token.text);
+  if (!parsed) return std::nullopt;
+  parsed->is_money = token.has_dollar;
+  return parsed;
+}
+
+}  // namespace cqads::text

@@ -1,0 +1,32 @@
+// Numeric-literal interpretation for question tokens. Users write Type III
+// values many ways: "$5,000", "5000", "5k", "20K", "3.5", "two" (§4.1). The
+// tokenizer already strips '$' (setting a money flag) and thousands commas;
+// this parser handles magnitude suffixes and number words.
+#ifndef CQADS_TEXT_NUMBER_PARSER_H_
+#define CQADS_TEXT_NUMBER_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "text/token.h"
+
+namespace cqads::text {
+
+/// A parsed numeric literal.
+struct ParsedNumber {
+  double value = 0.0;
+  bool is_money = false;      ///< '$' was present
+  bool had_magnitude = false;  ///< 'k'/'m' suffix was applied
+};
+
+/// Parses a raw string as a number: optional digits with one '.', optional
+/// trailing magnitude suffix 'k' (x1000) or 'm' (x1e6), or a small number
+/// word ("four"). Returns nullopt when the string is not numeric.
+std::optional<ParsedNumber> ParseNumberString(std::string_view s);
+
+/// Parses a token, combining the token's money flag with the literal.
+std::optional<ParsedNumber> ParseNumberToken(const Token& token);
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_NUMBER_PARSER_H_

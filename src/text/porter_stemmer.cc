@@ -1,0 +1,220 @@
+#include "text/porter_stemmer.h"
+
+#include <cstddef>
+
+namespace cqads::text {
+
+namespace {
+
+// The implementation follows M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980, with the standard step structure
+// (1a, 1b, 1c, 2, 3, 4, 5a, 5b).
+
+bool IsVowelAt(const std::string& w, std::size_t i) {
+  switch (w[i]) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return true;
+    case 'y':
+      // 'y' is a vowel when preceded by a consonant.
+      return i > 0 && !IsVowelAt(w, i - 1);
+    default:
+      return false;
+  }
+}
+
+// Measure m of the word prefix w[0..end): number of VC sequences.
+int Measure(const std::string& w, std::size_t end) {
+  int m = 0;
+  bool in_vowel_run = false;
+  for (std::size_t i = 0; i < end; ++i) {
+    bool v = IsVowelAt(w, i);
+    if (v) {
+      in_vowel_run = true;
+    } else if (in_vowel_run) {
+      ++m;
+      in_vowel_run = false;
+    }
+  }
+  return m;
+}
+
+bool ContainsVowel(const std::string& w, std::size_t end) {
+  for (std::size_t i = 0; i < end; ++i) {
+    if (IsVowelAt(w, i)) return true;
+  }
+  return false;
+}
+
+bool EndsWithDoubleConsonant(const std::string& w) {
+  std::size_t n = w.size();
+  if (n < 2) return false;
+  if (w[n - 1] != w[n - 2]) return false;
+  return !IsVowelAt(w, n - 1);
+}
+
+// *o condition: stem ends cvc where the final c is not w, x, or y.
+bool EndsCvc(const std::string& w) {
+  std::size_t n = w.size();
+  if (n < 3) return false;
+  if (IsVowelAt(w, n - 3) || !IsVowelAt(w, n - 2) || IsVowelAt(w, n - 1)) {
+    return false;
+  }
+  char c = w[n - 1];
+  return c != 'w' && c != 'x' && c != 'y';
+}
+
+bool HasSuffix(const std::string& w, const char* suffix, std::size_t* stem_len) {
+  std::size_t slen = 0;
+  while (suffix[slen] != '\0') ++slen;
+  if (w.size() < slen) return false;
+  if (w.compare(w.size() - slen, slen, suffix) != 0) return false;
+  *stem_len = w.size() - slen;
+  return true;
+}
+
+// Replaces suffix when the measure of the stem meets min_m.
+bool ReplaceIfMeasure(std::string* w, const char* suffix, const char* repl,
+                      int min_m) {
+  std::size_t stem_len = 0;
+  if (!HasSuffix(*w, suffix, &stem_len)) return false;
+  if (Measure(*w, stem_len) > min_m - 1) {
+    w->resize(stem_len);
+    w->append(repl);
+  }
+  return true;  // suffix matched (even if the rule did not fire)
+}
+
+void Step1a(std::string* w) {
+  std::size_t stem = 0;
+  if (HasSuffix(*w, "sses", &stem)) {
+    w->resize(stem + 2);  // sses -> ss
+  } else if (HasSuffix(*w, "ies", &stem)) {
+    w->resize(stem + 1);  // ies -> i
+  } else if (HasSuffix(*w, "ss", &stem)) {
+    // keep
+  } else if (HasSuffix(*w, "s", &stem)) {
+    w->resize(stem);  // s ->
+  }
+}
+
+void Step1b(std::string* w) {
+  std::size_t stem = 0;
+  if (HasSuffix(*w, "eed", &stem)) {
+    if (Measure(*w, stem) > 0) w->resize(stem + 2);  // eed -> ee
+    return;
+  }
+  bool fired = false;
+  if (HasSuffix(*w, "ed", &stem) && ContainsVowel(*w, stem)) {
+    w->resize(stem);
+    fired = true;
+  } else if (HasSuffix(*w, "ing", &stem) && ContainsVowel(*w, stem)) {
+    w->resize(stem);
+    fired = true;
+  }
+  if (!fired) return;
+  std::size_t s2 = 0;
+  if (HasSuffix(*w, "at", &s2) || HasSuffix(*w, "bl", &s2) ||
+      HasSuffix(*w, "iz", &s2)) {
+    w->push_back('e');
+  } else if (EndsWithDoubleConsonant(*w)) {
+    char last = w->back();
+    if (last != 'l' && last != 's' && last != 'z') w->pop_back();
+  } else if (Measure(*w, w->size()) == 1 && EndsCvc(*w)) {
+    w->push_back('e');
+  }
+}
+
+void Step1c(std::string* w) {
+  std::size_t stem = 0;
+  if (HasSuffix(*w, "y", &stem) && ContainsVowel(*w, stem)) {
+    (*w)[stem] = 'i';
+  }
+}
+
+void Step2(std::string* w) {
+  static const struct { const char* from; const char* to; } kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"},
+  };
+  for (const auto& r : kRules) {
+    if (ReplaceIfMeasure(w, r.from, r.to, 1)) return;
+  }
+}
+
+void Step3(std::string* w) {
+  static const struct { const char* from; const char* to; } kRules[] = {
+      {"icate", "ic"}, {"ative", ""},  {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},    {"ness", ""},
+  };
+  for (const auto& r : kRules) {
+    if (ReplaceIfMeasure(w, r.from, r.to, 1)) return;
+  }
+}
+
+void Step4(std::string* w) {
+  static const char* kSuffixes[] = {
+      "al",   "ance", "ence", "er",   "ic",   "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",   "ism",  "ate",  "iti",  "ous",
+      "ive",  "ize",
+  };
+  for (const char* s : kSuffixes) {
+    std::size_t stem = 0;
+    if (HasSuffix(*w, s, &stem)) {
+      if (Measure(*w, stem) > 1) w->resize(stem);
+      return;
+    }
+  }
+  // (m>1 and (*S or *T)) ION ->
+  std::size_t stem = 0;
+  if (HasSuffix(*w, "ion", &stem) && stem > 0 &&
+      ((*w)[stem - 1] == 's' || (*w)[stem - 1] == 't') &&
+      Measure(*w, stem) > 1) {
+    w->resize(stem);
+  }
+}
+
+void Step5a(std::string* w) {
+  std::size_t stem = 0;
+  if (!HasSuffix(*w, "e", &stem)) return;
+  int m = Measure(*w, stem);
+  if (m > 1) {
+    w->resize(stem);
+  } else if (m == 1) {
+    std::string candidate = w->substr(0, stem);
+    if (!EndsCvc(candidate)) w->resize(stem);
+  }
+}
+
+void Step5b(std::string* w) {
+  if (EndsWithDoubleConsonant(*w) && w->back() == 'l' &&
+      Measure(*w, w->size()) > 1) {
+    w->pop_back();
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 2) return w;
+  Step1a(&w);
+  Step1b(&w);
+  Step1c(&w);
+  Step2(&w);
+  Step3(&w);
+  Step4(&w);
+  Step5a(&w);
+  Step5b(&w);
+  return w;
+}
+
+}  // namespace cqads::text

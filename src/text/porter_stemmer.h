@@ -1,0 +1,19 @@
+// Porter (1980) suffix-stripping stemmer. The WS-matrix (§4.3.2) stores
+// similarities between "non-stop, stemmed words", and negation keywords are
+// matched against "their stemmed versions" (§4.4.1 footnote), so the stemmer
+// is a genuine substrate of the paper, not a convenience.
+#ifndef CQADS_TEXT_PORTER_STEMMER_H_
+#define CQADS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace cqads::text {
+
+/// Returns the Porter stem of a lower-case ASCII word. Words of length <= 2
+/// are returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,116 @@
+#include "text/shorthand.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cqads::text {
+
+namespace {
+
+const std::unordered_map<std::string, std::string>& NumberWords() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"zero", "0"},  {"one", "1"},   {"two", "2"},    {"three", "3"},
+      {"four", "4"},  {"five", "5"},  {"six", "6"},    {"seven", "7"},
+      {"eight", "8"}, {"nine", "9"},  {"ten", "10"},   {"eleven", "11"},
+      {"twelve", "12"},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+std::string NormalizeForShorthand(std::string_view s) {
+  // Split into alpha/digit runs, map number words, drop a plural 's' from the
+  // last alphabetic word, then concatenate.
+  std::vector<std::string> words;
+  std::string cur;
+  auto flush = [&]() {
+    if (cur.empty()) return;
+    auto it = NumberWords().find(cur);
+    words.push_back(it != NumberWords().end() ? it->second : cur);
+    cur.clear();
+  };
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (std::isdigit(c)) {
+      cur.push_back(raw);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  if (!words.empty()) {
+    std::string& last = words.back();
+    if (last.size() > 2 && last.back() == 's' && IsAlpha(last)) {
+      last.pop_back();
+    }
+  }
+  std::string out;
+  for (const auto& w : words) out += w;
+  return out;
+}
+
+bool IsSubsequence(std::string_view needle, std::string_view haystack) {
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < haystack.size() && j < needle.size(); ++i) {
+    if (haystack[i] == needle[j]) ++j;
+  }
+  return j == needle.size();
+}
+
+bool IsShorthandMatch(std::string_view a, std::string_view b) {
+  std::string na = NormalizeForShorthand(a);
+  std::string nb = NormalizeForShorthand(b);
+  if (na.empty() || nb.empty()) return false;
+  if (na == nb) return true;
+  const bool a_shorter = na.size() <= nb.size();
+  std::string_view shorter = a_shorter ? na : nb;
+  std::string_view longer = a_shorter ? nb : na;
+  std::string_view longer_raw = a_shorter ? b : a;
+  if (shorter.size() < 2) return false;
+  if (shorter.front() != longer.front()) return false;
+  if (!IsSubsequence(shorter, longer)) return false;
+  // Every digit of the longer form must survive in the shorter one
+  // ("4dr" keeps the 4 of "4door"; "dr" alone does not qualify).
+  std::string digits_long, digits_short;
+  for (char c : longer) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits_long.push_back(c);
+  }
+  for (char c : shorter) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits_short.push_back(c);
+  }
+  if (digits_long != digits_short) return false;
+  // Coverage guard: the shorthand must be a substantial abbreviation.
+  if (shorter.size() * 10 < longer.size() * 4) return false;
+  if (!digits_long.empty()) return true;
+  // Pure-alpha shorthands are held to a stricter standard: arbitrary
+  // subsequences would equate "car" with "camry". Either the shorthand is a
+  // plain prefix ("auto" ~ "automatic"), or it abbreviates a multi-word
+  // value and keeps the first letter of every word ("ps" would need both
+  // 'p' and 's' of "power steering").
+  if (longer.substr(0, shorter.size()) == shorter) return true;
+  std::vector<std::string> words;
+  std::string word;
+  for (char c : longer_raw) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      word.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!word.empty()) {
+      words.push_back(std::move(word));
+      word.clear();
+    }
+  }
+  if (!word.empty()) words.push_back(std::move(word));
+  if (words.size() < 2) return false;
+  std::string initials;
+  for (const auto& w : words) initials.push_back(w.front());
+  return IsSubsequence(initials, shorter);
+}
+
+}  // namespace cqads::text

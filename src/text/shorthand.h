@@ -1,0 +1,32 @@
+// Shorthand-notation detection (§4.2.3). The paper's Perl script declares N a
+// shorthand of value V when N only uses characters of V in V's order; we add
+// number-word normalization ("four" -> "4") so 'four door', '4dr', '4-door',
+// '4doors' all unify, and a minimum-coverage guard against degenerate
+// one-letter "shorthands".
+#ifndef CQADS_TEXT_SHORTHAND_H_
+#define CQADS_TEXT_SHORTHAND_H_
+
+#include <string>
+#include <string_view>
+
+namespace cqads::text {
+
+/// Canonical form used for shorthand comparison: lower-case, number words
+/// mapped to digits, spaces/hyphens/punctuation removed, trailing plural 's'
+/// dropped from the final word. "4-Door s" and "four doors" both become
+/// "4door".
+std::string NormalizeForShorthand(std::string_view s);
+
+/// True iff `a` and `b` denote the same data value under shorthand rules:
+/// after normalization, one is an ordered subsequence of the other, they
+/// agree on the first character and on every digit, and the shorter covers
+/// at least 40% of the longer (rejecting accidental one-letter matches).
+bool IsShorthandMatch(std::string_view a, std::string_view b);
+
+/// True iff `needle` (already normalized or raw) is an ordered subsequence
+/// of `haystack`. Exposed for tests and for the trie scanner.
+bool IsSubsequence(std::string_view needle, std::string_view haystack);
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_SHORTHAND_H_

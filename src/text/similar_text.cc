@@ -1,0 +1,51 @@
+#include "text/similar_text.h"
+
+#include <cstddef>
+
+namespace cqads::text {
+
+namespace {
+
+// Finds the longest common substring of a and b. On ties, the earliest
+// occurrence in a (then b) wins, matching PHP's behaviour.
+void LongestCommonSubstring(std::string_view a, std::string_view b,
+                            std::size_t* pos_a, std::size_t* pos_b,
+                            std::size_t* length) {
+  *pos_a = *pos_b = *length = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::size_t k = 0;
+      while (i + k < a.size() && j + k < b.size() && a[i + k] == b[j + k]) {
+        ++k;
+      }
+      if (k > *length) {
+        *length = k;
+        *pos_a = i;
+        *pos_b = j;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t SimilarTextChars(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::size_t pa = 0, pb = 0, len = 0;
+  LongestCommonSubstring(a, b, &pa, &pb, &len);
+  if (len == 0) return 0;
+  std::size_t total = len;
+  // Recurse on both flanks of the matched block.
+  total += SimilarTextChars(a.substr(0, pa), b.substr(0, pb));
+  total += SimilarTextChars(a.substr(pa + len), b.substr(pb + len));
+  return total;
+}
+
+double SimilarTextPercent(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 100.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const double chars = static_cast<double>(SimilarTextChars(a, b));
+  return chars * 2.0 * 100.0 / static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace cqads::text

@@ -1,0 +1,23 @@
+// PHP-style similar_text: recursive longest-common-substring similarity.
+// §4.2.1 corrects misspelled keywords by comparing them against trie
+// alternatives "using the 'similar text' function which calculates their
+// similarity based on the number of common characters and their corresponding
+// positions", returning a percentage.
+#ifndef CQADS_TEXT_SIMILAR_TEXT_H_
+#define CQADS_TEXT_SIMILAR_TEXT_H_
+
+#include <string_view>
+
+namespace cqads::text {
+
+/// Number of matching characters found by the recursive longest-common-
+/// substring decomposition (the `sim` out-parameter of PHP's similar_text).
+std::size_t SimilarTextChars(std::string_view a, std::string_view b);
+
+/// Similarity percentage in [0, 100]: 2 * chars / (|a| + |b|) * 100.
+/// Two empty strings are 100% similar.
+double SimilarTextPercent(std::string_view a, std::string_view b);
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_SIMILAR_TEXT_H_

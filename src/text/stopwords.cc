@@ -1,0 +1,53 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace cqads::text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  // Function words that never carry selection semantics in an ads question.
+  // Operator words (less, more, above, under, between, than, not, no,
+  // without, except, or, and, within, ...) are intentionally absent.
+  static const std::unordered_set<std::string>* kSet =
+      new std::unordered_set<std::string>{
+          "a",        "an",       "the",     "i",       "im",      "me",
+          "my",       "mine",     "we",      "our",     "us",      "you",
+          "your",     "he",       "she",     "it",      "its",     "they",
+          "them",     "their",    "this",    "that",    "these",   "those",
+          "is",       "am",       "are",     "was",     "were",    "be",
+          "been",     "being",    "do",      "does",    "did",     "doing",
+          "have",     "has",      "had",     "having",  "will",    "would",
+          "shall",    "should",   "can",     "could",   "may",     "might",
+          "must",     "want",     "wants",   "wanted",  "need",    "needs",
+          "needed",   "like",     "likes",   "liked",   "looking", "look",
+          "seeking",  "seek",     "searching", "search", "find",   "finding",
+          "show",     "showing",  "give",    "get",     "getting", "buy",
+          "buying",   "purchase", "please",  "thanks",  "thank",   "hi",
+          "hello",    "hey",      "for",     "of",      "in",      "on",
+          "at",       "to",       "from",    "by",      "as",      "into",
+          "onto",     "up",       "out",     "if",      "then",    "else",
+          "so",       "too",      "very",    "just",    "only",    "any",
+          "some",     "all",      "also",    "there",   "here",    "what",
+          "which",    "who",      "whom",    "whose",   "when",    "where",
+          "how",      "why",      "with",    "about",   "around",  "per",
+          "something", "anything", "someone", "anyone", "one",     "ones",
+          "kind",     "sort",     "type",    "good",    "nice",    "great",
+          "really",   "pretty",   "quite",   "ok",      "okay",    "well",
+          "available", "interested", "prefer", "preferably", "ideally",
+          "maybe",    "perhaps",  "got",     "gotta",   "wanna",   "lemme",
+      };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+std::size_t StopwordCount() { return StopwordSet().size(); }
+
+}  // namespace cqads::text

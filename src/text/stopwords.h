@@ -1,0 +1,21 @@
+// Stopword list used when simplifying questions (§4.1.4: CQAds eliminates
+// non-essential keywords before tagging). The list deliberately EXCLUDES
+// every word with operator meaning in Table 1 (less, more, above, under,
+// between, not, no, without, except, or, and, than, ...), since those carry
+// the Boolean/boundary semantics of the question.
+#ifndef CQADS_TEXT_STOPWORDS_H_
+#define CQADS_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace cqads::text {
+
+/// True if `word` (already lower-cased) is a discardable function word.
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the built-in stopword list (for tests).
+std::size_t StopwordCount();
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_STOPWORDS_H_

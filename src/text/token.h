@@ -1,0 +1,35 @@
+// Token model shared by the tokenizer, the trie scanner, and the tagger.
+#ifndef CQADS_TEXT_TOKEN_H_
+#define CQADS_TEXT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace cqads::text {
+
+/// Lexical category assigned by the tokenizer.
+enum class TokenKind {
+  kWord,    ///< alphabetic run ("honda", "cheapest")
+  kNumber,  ///< numeric literal, possibly with $, commas, k-suffix ("$5,000")
+  kMixed,   ///< alphanumeric mix that is neither ("2dr", "4x4", "c++")
+  kPunct,   ///< punctuation that survives tokenization (currently none)
+};
+
+/// A single lexical unit of a question or an ad, with provenance.
+struct Token {
+  std::string text;        ///< normalized (lower-cased) surface form
+  TokenKind kind = TokenKind::kWord;
+  std::size_t offset = 0;  ///< byte offset of the token in the source string
+  bool has_dollar = false;  ///< literal began with '$' (money cue)
+
+  bool operator==(const Token& other) const {
+    return text == other.text && kind == other.kind &&
+           offset == other.offset && has_dollar == other.has_dollar;
+  }
+};
+
+using TokenList = std::vector<Token>;
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_TOKEN_H_

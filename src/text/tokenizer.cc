@@ -1,0 +1,104 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace cqads::text {
+
+namespace {
+
+inline bool IsAlphaByte(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+inline bool IsDigitByte(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+inline char LowerByte(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+TokenKind ClassifyBody(const std::string& body) {
+  bool any_alpha = false;
+  bool any_digit = false;
+  for (char c : body) {
+    if (IsAlphaByte(c)) any_alpha = true;
+    if (IsDigitByte(c)) any_digit = true;
+  }
+  if (any_alpha && any_digit) return TokenKind::kMixed;
+  if (any_digit) return TokenKind::kNumber;
+  return TokenKind::kWord;
+}
+
+}  // namespace
+
+TokenList Tokenize(std::string_view input) {
+  TokenList out;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    bool money = false;
+    if (c == '$') {
+      // '$' starts a money token only if digits follow; otherwise skip it.
+      if (i + 1 < n && IsDigitByte(input[i + 1])) {
+        money = true;
+        ++i;
+      } else {
+        ++i;
+        continue;
+      }
+    } else if (!IsAlphaByte(c) && !IsDigitByte(c)) {
+      ++i;
+      continue;
+    }
+
+    const std::size_t start = i;
+    std::string body;
+    while (i < n) {
+      char b = input[i];
+      if (IsAlphaByte(b)) {
+        body.push_back(LowerByte(b));
+        ++i;
+      } else if (IsDigitByte(b)) {
+        body.push_back(b);
+        ++i;
+      } else if (b == ',' && i > start && IsDigitByte(input[i - 1]) &&
+                 i + 1 < n && IsDigitByte(input[i + 1])) {
+        ++i;  // thousands separator inside a digit run: drop
+      } else if (b == '.' && i > start && IsDigitByte(input[i - 1]) &&
+                 i + 1 < n && IsDigitByte(input[i + 1])) {
+        body.push_back('.');
+        ++i;
+      } else if ((b == '+' || b == '#') && i > start &&
+                 IsAlphaByte(input[i - 1])) {
+        // "c++" / "c#": consume the suffix run and stop the token.
+        while (i < n && (input[i] == '+' || input[i] == '#')) {
+          body.push_back(input[i]);
+          ++i;
+        }
+        break;
+      } else {
+        break;  // '-', '/', space, and all other bytes terminate the token
+      }
+    }
+    if (body.empty()) continue;
+    Token tok;
+    tok.text = std::move(body);
+    tok.kind = money ? TokenKind::kNumber : ClassifyBody(tok.text);
+    if (money && tok.kind != TokenKind::kNumber) tok.kind = TokenKind::kMixed;
+    tok.offset = money ? start - 1 : start;
+    tok.has_dollar = money;
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string JoinTokens(const TokenList& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace cqads::text

@@ -1,0 +1,33 @@
+// Question/ad tokenizer. Lower-cases, strips punctuation, keeps money and
+// alphanumeric-mix tokens ("$5,000", "20k", "2dr", "c++") intact, and splits
+// hyphenated compounds ("4-door" -> "4", "door") so the shorthand matcher and
+// trie scanner see a uniform stream.
+#ifndef CQADS_TEXT_TOKENIZER_H_
+#define CQADS_TEXT_TOKENIZER_H_
+
+#include <string_view>
+
+#include "text/token.h"
+
+namespace cqads::text {
+
+/// Tokenizes `input` into normalized tokens.
+///
+/// Rules:
+///  * ASCII letters/digits form token bodies; '+' and '#' are kept when they
+///    terminate a letter run ("c++", "c#") since they occur in job ads.
+///  * '$' prefixes mark the token as money and are stripped from the text.
+///  * ',' inside digit runs is dropped ("15,000" -> "15000"); '.' inside
+///    digit runs is kept ("3.5").
+///  * '-' and '/' split tokens ("4-door", "automatic/manual").
+///  * Everything else is a separator and is discarded.
+TokenList Tokenize(std::string_view input);
+
+/// Reassembles tokens into a canonical single-spaced string (lossy: offsets,
+/// money markers and original punctuation are gone). Useful for classifiers
+/// and logging.
+std::string JoinTokens(const TokenList& tokens);
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_TOKENIZER_H_

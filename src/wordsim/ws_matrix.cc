@@ -1,0 +1,101 @@
+#include "wordsim/ws_matrix.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace cqads::wordsim {
+
+WsMatrix::Key WsMatrix::MakeKey(std::string_view a, std::string_view b) {
+  std::string sa(a), sb(b);
+  if (sb < sa) std::swap(sa, sb);
+  return {std::move(sa), std::move(sb)};
+}
+
+WsMatrix WsMatrix::Build(const std::vector<std::string>& corpus,
+                         const WsOptions& options) {
+  WsMatrix m;
+
+  // Tokenize, drop stopwords, stem.
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(corpus.size());
+  std::unordered_map<std::string, std::size_t> doc_freq;
+  for (const auto& raw : corpus) {
+    std::vector<std::string> stems;
+    for (const auto& tok : text::Tokenize(raw)) {
+      if (tok.kind != text::TokenKind::kWord) continue;
+      if (text::IsStopword(tok.text)) continue;
+      stems.push_back(text::PorterStem(tok.text));
+    }
+    std::set<std::string> uniq(stems.begin(), stems.end());
+    for (const auto& s : uniq) ++doc_freq[s];
+    docs.push_back(std::move(stems));
+  }
+
+  // Vocabulary after the document-frequency floor.
+  std::set<std::string> vocab_set;
+  for (const auto& [word, df] : doc_freq) {
+    if (df >= options.min_doc_freq) vocab_set.insert(word);
+  }
+  m.vocab_.assign(vocab_set.begin(), vocab_set.end());
+
+  // Accumulate co-occurrence weight: frequency x 1/distance inside a window.
+  std::map<Key, double> raw;
+  for (const auto& doc : docs) {
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+      if (vocab_set.count(doc[i]) == 0) continue;
+      const std::size_t end = std::min(doc.size(), i + 1 + options.window);
+      for (std::size_t j = i + 1; j < end; ++j) {
+        if (doc[i] == doc[j]) continue;
+        if (vocab_set.count(doc[j]) == 0) continue;
+        raw[MakeKey(doc[i], doc[j])] +=
+            1.0 / static_cast<double>(j - i);
+      }
+    }
+  }
+
+  // Normalize by the global maximum so similarities land in (0, 1].
+  double max_raw = 0.0;
+  for (const auto& [key, w] : raw) max_raw = std::max(max_raw, w);
+  if (max_raw > 0.0) {
+    for (const auto& [key, w] : raw) {
+      double sim = w / max_raw;
+      m.sims_[key] = sim;
+      m.max_sim_ = std::max(m.max_sim_, sim);
+    }
+  }
+  return m;
+}
+
+double WsMatrix::Sim(std::string_view a, std::string_view b) const {
+  std::string sa = text::PorterStem(a);
+  std::string sb = text::PorterStem(b);
+  if (sa == sb) return 1.0;
+  auto it = sims_.find(MakeKey(sa, sb));
+  return it == sims_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> WsMatrix::MostSimilar(
+    std::string_view word, std::size_t limit) const {
+  std::string stem = text::PorterStem(word);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [key, sim] : sims_) {
+    if (key.first == stem) {
+      out.emplace_back(key.second, sim);
+    } else if (key.second == stem) {
+      out.emplace_back(key.first, sim);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace cqads::wordsim

@@ -1,0 +1,61 @@
+// Word-similarity (WS) matrix (§4.3.2, citing Koberstein & Ng 2006). The
+// paper uses a 54,625x54,625 matrix over non-stop stemmed words built from
+// ~930k Wikipedia documents, where sim(w_i, w_j) combines (i) frequency of
+// co-occurrence and (ii) relative distance of the words within documents.
+// We reproduce the construction over a caller-supplied corpus (src/datagen
+// supplies an ad-like synthetic corpus): for every pair of non-stop stemmed
+// words co-occurring in a document within a window, accumulate 1/d where d
+// is their token distance, then normalize rows into a symmetric matrix.
+#ifndef CQADS_WORDSIM_WS_MATRIX_H_
+#define CQADS_WORDSIM_WS_MATRIX_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cqads::wordsim {
+
+/// Build options.
+struct WsOptions {
+  /// Maximum token distance considered a co-occurrence.
+  std::size_t window = 8;
+  /// Words appearing in fewer than this many documents are dropped.
+  std::size_t min_doc_freq = 2;
+};
+
+/// Symmetric word-correlation matrix over stemmed vocabulary.
+class WsMatrix {
+ public:
+  /// Builds from a corpus of raw documents (tokenization, stopword removal
+  /// and Porter stemming happen inside).
+  static WsMatrix Build(const std::vector<std::string>& corpus,
+                        const WsOptions& options = WsOptions());
+
+  /// Similarity of two raw words (stemmed internally). 1.0 when the stems
+  /// are equal; 0.0 for unknown pairs.
+  double Sim(std::string_view a, std::string_view b) const;
+
+  /// Largest off-diagonal similarity (normalization factor for Eq. 5).
+  double MaxSim() const { return max_sim_; }
+
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+  std::size_t pair_count() const { return sims_.size(); }
+
+  /// The `limit` most similar vocabulary stems to `word`, best first.
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      std::string_view word, std::size_t limit) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  static Key MakeKey(std::string_view a, std::string_view b);
+
+  std::vector<std::string> vocab_;
+  std::map<Key, double> sims_;
+  double max_sim_ = 0.0;
+};
+
+}  // namespace cqads::wordsim
+
+#endif  // CQADS_WORDSIM_WS_MATRIX_H_

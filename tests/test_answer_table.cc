@@ -1,0 +1,106 @@
+#include "core/answer_table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace cqads::core {
+namespace {
+
+class AnswerTableTest : public ::testing::Test {
+ protected:
+  AnswerTableTest() : table_(cqads::testing::MiniCarTable()) {
+    EXPECT_TRUE(engine_.AddDomain(&table_, qlog::TiMatrix()).ok());
+  }
+  db::Table table_;
+  CqadsEngine engine_;
+};
+
+TEST_F(AnswerTableTest, TextTableHasHeaderAndRows) {
+  auto result = engine_.AskInDomain("cars", "blue honda accord");
+  ASSERT_TRUE(result.ok());
+  std::string text = FormatAnswersText(table_, result.value());
+  EXPECT_NE(text.find("match"), std::string::npos);
+  EXPECT_NE(text.find("make"), std::string::npos);
+  EXPECT_NE(text.find("exact"), std::string::npos);
+  EXPECT_NE(text.find("honda"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST_F(AnswerTableTest, MaxRowsTruncatesWithEllipsis) {
+  auto result = engine_.AskInDomain("cars", "cheapest");
+  ASSERT_TRUE(result.ok());
+  AnswerTableOptions opts;
+  opts.max_rows = 2;
+  std::string text = FormatAnswersText(table_, result.value(), opts);
+  EXPECT_NE(text.find("... "), std::string::npos);
+  EXPECT_NE(text.find(" more"), std::string::npos);
+}
+
+TEST_F(AnswerTableTest, PartialRowsShowMeasure) {
+  auto result = engine_.AskInDomain(
+      "cars", "honda accord blue less than 15000 dollars");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result.value().answers.size(), result.value().exact_count);
+  std::string text = FormatAnswersText(table_, result.value());
+  EXPECT_NE(text.find("partial"), std::string::npos);
+  EXPECT_NE(text.find("Num_Sim on Price"), std::string::npos);
+}
+
+TEST_F(AnswerTableTest, ContradictionMessage) {
+  auto result = engine_.AskInDomain(
+      "cars", "accord price below 2000 and price above 9000");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FormatAnswersText(table_, result.value()),
+            "search retrieved no results\n");
+  EXPECT_EQ(FormatAnswersHtml(table_, result.value()),
+            "<p>search retrieved no results</p>\n");
+}
+
+TEST_F(AnswerTableTest, HtmlTableWellFormed) {
+  auto result = engine_.AskInDomain("cars", "blue honda accord");
+  ASSERT_TRUE(result.ok());
+  std::string html = FormatAnswersHtml(table_, result.value());
+  EXPECT_EQ(html.find("<table>"), 0u);
+  EXPECT_NE(html.find("</table>"), std::string::npos);
+  // Tag balance.
+  auto count = [&](const char* needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = html.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += 1;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<tr>"), count("</tr>"));
+  EXPECT_EQ(count("<td>"), count("</td>"));
+  EXPECT_EQ(count("<th>"), count("</th>"));
+}
+
+TEST(HtmlEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(HtmlEscape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(HtmlEscape("plain"), "plain");
+}
+
+TEST_F(AnswerTableTest, MaxAttributesLimitsColumns) {
+  auto result = engine_.AskInDomain("cars", "blue honda accord");
+  ASSERT_TRUE(result.ok());
+  AnswerTableOptions opts;
+  opts.max_attributes = 2;
+  std::string text = FormatAnswersText(table_, result.value(), opts);
+  EXPECT_NE(text.find("model"), std::string::npos);
+  EXPECT_EQ(text.find("features"), std::string::npos);
+}
+
+TEST_F(AnswerTableTest, RankSimColumnOptional) {
+  auto result = engine_.AskInDomain("cars", "blue honda accord");
+  ASSERT_TRUE(result.ok());
+  AnswerTableOptions opts;
+  opts.show_rank_sim = false;
+  std::string text = FormatAnswersText(table_, result.value(), opts);
+  EXPECT_EQ(text.find("rank_sim"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqads::core

@@ -1,0 +1,292 @@
+#include "core/boolean_assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/question_tagger.h"
+#include "db/executor.h"
+#include "test_fixtures.h"
+
+namespace cqads::core {
+namespace {
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  AssemblerTest() : table_(cqads::testing::MiniCarTable()) {
+    auto lex = DomainLexicon::Build(&table_);
+    lexicon_ = std::make_unique<DomainLexicon>(std::move(lex).value());
+    tagger_ = std::make_unique<QuestionTagger>(lexicon_.get());
+    resolver_ = [this](double value, bool is_money) {
+      std::vector<std::size_t> out;
+      for (std::size_t a : table_.schema().NumericAttrs()) {
+        if (is_money && !IsMoneyAttribute(table_.schema().attribute(a))) {
+          continue;
+        }
+        auto range = table_.NumericRange(a);
+        if (range.ok() && value >= range.value().first &&
+            value <= range.value().second) {
+          out.push_back(a);
+        }
+      }
+      return out;
+    };
+  }
+
+  AssembledQuery Assemble(const std::string& question) {
+    auto built =
+        BuildConditions(tagger_->Tag(question).items, table_.schema());
+    auto result = AssembleQuery(built, table_.schema(), resolver_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(result).value() : AssembledQuery{};
+  }
+
+  db::Table table_;
+  std::unique_ptr<DomainLexicon> lexicon_;
+  std::unique_ptr<QuestionTagger> tagger_;
+  AmbiguousResolver resolver_;
+};
+
+TEST_F(AssemblerTest, SimpleConjunction) {
+  auto q = Assemble("blue honda accord");
+  EXPECT_EQ(q.interpretation,
+            "(make = 'honda' AND model = 'accord') AND color = 'blue'");
+  ASSERT_EQ(q.units.size(), 2u);
+  EXPECT_EQ(q.units[0].kind, MatchUnit::Kind::kIdentity);
+  EXPECT_EQ(q.units[0].value, "honda accord");
+  EXPECT_EQ(q.units[1].kind, MatchUnit::Kind::kTypeII);
+  EXPECT_EQ(q.units[1].value, "blue");
+}
+
+TEST_F(AssemblerTest, Example6Q1RangeMerging) {
+  // "below $7000 and not less than $2000" -> 2000 <= price < 7000 (rules
+  // 1a + 1c).
+  auto q = Assemble("car priced below $7000 and not less than $2000");
+  EXPECT_EQ(q.interpretation, "price >= 2000 AND price < 7000");
+  EXPECT_FALSE(q.contradiction);
+  ASSERT_EQ(q.units.size(), 1u);
+  EXPECT_EQ(q.units[0].kind, MatchUnit::Kind::kTypeIII);
+}
+
+TEST_F(AssemblerTest, Rule1bRepeatedUpperBoundsKeepLower) {
+  auto q = Assemble("accord price less than 9000 price less than 12000");
+  EXPECT_NE(q.interpretation.find("price < 9000"), std::string::npos);
+  EXPECT_EQ(q.interpretation.find("12000"), std::string::npos);
+}
+
+TEST_F(AssemblerTest, Rule1bRepeatedLowerBoundsKeepHigher) {
+  auto q = Assemble("accord price more than 3000 price above 5000");
+  EXPECT_NE(q.interpretation.find("price > 5000"), std::string::npos);
+  EXPECT_EQ(q.interpretation.find("3000"), std::string::npos);
+}
+
+TEST_F(AssemblerTest, Rule1cContradictionDetected) {
+  // Non-overlapping bounds: "search retrieved no results".
+  auto q = Assemble("accord price below 2000 and price above 7000");
+  EXPECT_TRUE(q.contradiction);
+  EXPECT_EQ(q.interpretation, "search retrieved no results");
+}
+
+TEST_F(AssemblerTest, Rule2aMutuallyExclusiveValuesOred) {
+  // Q3-style: "black silver cars" -> black OR silver.
+  auto q = Assemble("black silver honda");
+  EXPECT_EQ(q.interpretation,
+            "make = 'honda' AND (color = 'black' OR color = 'silver')");
+}
+
+TEST_F(AssemblerTest, Rule2aNegatedValuesAnded) {
+  // Q2 of Example 6: negated Type II values AND together.
+  auto q = Assemble("silver not manual not 2 door honda accord");
+  EXPECT_NE(q.interpretation.find("color = 'silver'"), std::string::npos);
+  EXPECT_NE(q.interpretation.find("NOT (transmission = 'manual')"),
+            std::string::npos);
+  EXPECT_NE(q.interpretation.find("NOT (doors = '2 door')"),
+            std::string::npos);
+}
+
+TEST_F(AssemblerTest, Example6Q2FullInterpretation) {
+  // "I want a Toyota Corolla or a silver not manual not 2-dr Honda Accord"
+  auto q = Assemble(
+      "i want a toyota corolla or a silver not manual not 2 door honda "
+      "accord");
+  ASSERT_TRUE(q.where != nullptr);
+  EXPECT_EQ(q.where->kind(), db::Expr::Kind::kOr);
+  ASSERT_EQ(q.where->children().size(), 2u);
+  // Segment 1: toyota corolla. Segment 2: descriptors + honda accord.
+  std::string interp = q.interpretation;
+  EXPECT_NE(interp.find("make = 'toyota' AND model = 'corolla'"),
+            std::string::npos);
+  EXPECT_NE(interp.find("make = 'honda' AND model = 'accord'"),
+            std::string::npos);
+  EXPECT_NE(interp.find(" OR "), std::string::npos);
+  // Units are withheld for multi-segment questions.
+  EXPECT_TRUE(q.units.empty());
+}
+
+TEST_F(AssemblerTest, ImplicitMultiIdentitySplitsWithoutOr) {
+  // Mutually-exclusive Type I values with no OR: rule 4 ORs segments.
+  auto q = Assemble("toyota corolla honda accord");
+  ASSERT_TRUE(q.where != nullptr);
+  EXPECT_EQ(q.where->kind(), db::Expr::Kind::kOr);
+}
+
+TEST_F(AssemblerTest, Q8TrailingDescriptorsDistribute) {
+  // "Focus, Corolla, or Civic. Show only black and silver cars" ->
+  // (focus OR corolla OR civic) AND (black OR silver): the same-attribute
+  // run collapses into one ORed identity unit, and the trailing colors OR
+  // by mutual exclusion.
+  auto q = Assemble("focus corolla or civic show only black and silver");
+  ASSERT_TRUE(q.where != nullptr);
+  EXPECT_EQ(q.where->kind(), db::Expr::Kind::kAnd);
+  std::string interp = q.interpretation;
+  EXPECT_NE(interp.find("model = 'focus'"), std::string::npos);
+  EXPECT_NE(interp.find("model = 'corolla'"), std::string::npos);
+  EXPECT_NE(interp.find("model = 'civic'"), std::string::npos);
+  EXPECT_NE(interp.find("color = 'black' OR color = 'silver'"),
+            std::string::npos);
+}
+
+TEST_F(AssemblerTest, Q10NegationStaysInItsSegment) {
+  // "black mustang with gps exclude 2 wheel drive, or a green cherokee
+  // without gps": the exclusion binds to the first segment only.
+  auto q = Assemble(
+      "black mustang with gps exclude 2 wheel drive or a green cherokee "
+      "without gps");
+  ASSERT_TRUE(q.where != nullptr);
+  EXPECT_EQ(q.where->kind(), db::Expr::Kind::kOr);
+  ASSERT_EQ(q.where->children().size(), 2u);
+  std::string first =
+      InterpretationString(table_.schema(), q.where->children()[0]);
+  std::string second =
+      InterpretationString(table_.schema(), q.where->children()[1]);
+  EXPECT_NE(first.find("mustang"), std::string::npos);
+  EXPECT_NE(first.find("NOT (drivetrain = '2 wheel drive')"),
+            std::string::npos);
+  EXPECT_NE(second.find("cherokee"), std::string::npos);
+  EXPECT_NE(second.find("NOT (features = 'gps')"), std::string::npos);
+  EXPECT_EQ(second.find("drivetrain"), std::string::npos);
+}
+
+TEST_F(AssemblerTest, FeatureValuesAreNotMutuallyExclusive) {
+  // Feature-list values AND together (a car can have gps AND sunroof).
+  auto q = Assemble("accord with gps sunroof");
+  EXPECT_NE(q.interpretation.find("features = 'gps' AND features = 'sunroof'"),
+            std::string::npos);
+}
+
+TEST_F(AssemblerTest, AmbiguousNumberExpandsToCandidates) {
+  // "honda accord 16000": both the price range (5500..42000) and mileage
+  // range (15000..150000) of the fixture contain 16000; year does not.
+  auto q = Assemble("honda accord 16000");
+  ASSERT_EQ(q.units.size(), 2u);
+  EXPECT_EQ(q.units[1].kind, MatchUnit::Kind::kAmbiguous);
+  std::string interp = q.interpretation;
+  EXPECT_EQ(interp.find("year"), std::string::npos);
+  EXPECT_NE(interp.find("price = 16000"), std::string::npos);
+  EXPECT_NE(interp.find("mileage = 16000"), std::string::npos);
+  EXPECT_NE(interp.find(" OR "), std::string::npos);
+}
+
+TEST_F(AssemblerTest, AmbiguousNumberExcludesOutOfRangeAttrs) {
+  // Example 3's rule with fixture ranges: 2005 falls only in the year
+  // range, so the bare number binds to year alone.
+  auto q = Assemble("honda accord 2005");
+  std::string interp = q.interpretation;
+  EXPECT_NE(interp.find("year = 2005"), std::string::npos);
+  EXPECT_EQ(interp.find("price"), std::string::npos);
+  EXPECT_EQ(interp.find("mileage"), std::string::npos);
+}
+
+TEST_F(AssemblerTest, AmbiguousNumberNoCandidatesIsContradiction) {
+  // 999999 fits no Type III range: §4.2.2 excludes every record.
+  auto q = Assemble("honda accord 999999");
+  EXPECT_TRUE(q.contradiction);
+}
+
+TEST_F(AssemblerTest, SuperlativeExtractedFromConditions) {
+  auto q = Assemble("cheapest honda");
+  ASSERT_TRUE(q.superlative.has_value());
+  EXPECT_EQ(q.superlative->attr, 3u);
+  EXPECT_TRUE(q.superlative->ascending);
+  EXPECT_EQ(q.interpretation, "make = 'honda'");
+}
+
+TEST_F(AssemblerTest, NegatedTypeIGoesToFixed) {
+  auto q = Assemble("not honda blue");
+  EXPECT_NE(q.interpretation.find("NOT (make = 'honda')"),
+            std::string::npos);
+  ASSERT_EQ(q.units.size(), 1u);  // only "blue" is droppable
+  EXPECT_EQ(q.fixed.size(), 1u);
+}
+
+TEST_F(AssemblerTest, EmptyQuestionYieldsNullWhere) {
+  auto q = Assemble("");
+  EXPECT_EQ(q.where, nullptr);
+  EXPECT_EQ(q.interpretation, "");
+}
+
+TEST_F(AssemblerTest, NumericEqualityWithAttrName) {
+  auto q = Assemble("accord year equal 2004");
+  EXPECT_NE(q.interpretation.find("year = 2004"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- extension:
+// precedence-based explicit evaluator (§6 future work #1)
+
+class PrecedenceTest : public AssemblerTest {
+ protected:
+  AssembledQuery AssemblePrec(const std::string& question) {
+    auto built =
+        BuildConditions(tagger_->Tag(question).items, table_.schema());
+    auto result =
+        AssembleExplicitPrecedence(built, table_.schema(), resolver_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(result).value() : AssembledQuery{};
+  }
+};
+
+TEST_F(PrecedenceTest, AndBindsTighterThanOr) {
+  // "corolla or blue accord" -> corolla OR (blue AND accord).
+  auto q = AssemblePrec("corolla or blue accord");
+  ASSERT_TRUE(q.where != nullptr);
+  ASSERT_EQ(q.where->kind(), db::Expr::Kind::kOr);
+  ASSERT_EQ(q.where->children().size(), 2u);
+  EXPECT_EQ(q.where->children()[1]->kind(), db::Expr::Kind::kAnd);
+}
+
+TEST_F(PrecedenceTest, LiteralReadingOfMutexDiffersFromRules) {
+  // The implicit rules OR mutually-exclusive colors; the literal reading
+  // conjoins silver with honda and leaves black alone.
+  auto rules = Assemble("black or silver honda");
+  auto literal = AssemblePrec("black or silver honda");
+  EXPECT_NE(rules.interpretation, literal.interpretation);
+  EXPECT_NE(literal.interpretation.find("color = 'black' OR"),
+            std::string::npos);
+}
+
+TEST_F(PrecedenceTest, PlainConjunctionMatchesRules) {
+  auto rules = Assemble("blue automatic accord");
+  auto literal = AssemblePrec("blue automatic accord");
+  // Same leaves; possibly different grouping. Compare via execution.
+  db::Executor exec(&table_);
+  db::ExecStats stats;
+  EXPECT_EQ(exec.EvalExpr(*rules.where, &stats),
+            exec.EvalExpr(*literal.where, &stats));
+}
+
+TEST_F(PrecedenceTest, SuperlativeStillExtracted) {
+  auto q = AssemblePrec("cheapest honda or toyota");
+  ASSERT_TRUE(q.superlative.has_value());
+  EXPECT_EQ(q.superlative->attr, 3u);
+}
+
+TEST_F(PrecedenceTest, EmptyQuestion) {
+  auto q = AssemblePrec("");
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST_F(PrecedenceTest, ContradictionViaAmbiguousNumber) {
+  auto q = AssemblePrec("honda 999999");
+  EXPECT_TRUE(q.contradiction);
+}
+
+}  // namespace
+}  // namespace cqads::core

@@ -1,0 +1,203 @@
+#include "core/condition_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/question_tagger.h"
+#include "test_fixtures.h"
+
+namespace cqads::core {
+namespace {
+
+class ConditionBuilderTest : public ::testing::Test {
+ protected:
+  ConditionBuilderTest() : table_(cqads::testing::MiniCarTable()) {
+    auto lex = DomainLexicon::Build(&table_);
+    lexicon_ = std::make_unique<DomainLexicon>(std::move(lex).value());
+    tagger_ = std::make_unique<QuestionTagger>(lexicon_.get());
+  }
+
+  BuiltConditions Build(const std::string& question) {
+    return BuildConditions(tagger_->Tag(question).items, table_.schema());
+  }
+
+  db::Table table_;
+  std::unique_ptr<DomainLexicon> lexicon_;
+  std::unique_ptr<QuestionTagger> tagger_;
+};
+
+TEST(ComplementOpTest, AllComplements) {
+  using Op = db::CompareOp;
+  EXPECT_EQ(ComplementOp(Op::kLt), Op::kGe);
+  EXPECT_EQ(ComplementOp(Op::kLe), Op::kGt);
+  EXPECT_EQ(ComplementOp(Op::kGt), Op::kLe);
+  EXPECT_EQ(ComplementOp(Op::kGe), Op::kLt);
+  EXPECT_EQ(ComplementOp(Op::kEq), Op::kNe);
+  EXPECT_EQ(ComplementOp(Op::kNe), Op::kEq);
+}
+
+TEST(MoneyAttrTest, DetectsCurrencyUnits) {
+  auto schema = cqads::testing::MiniCarSchema();
+  EXPECT_TRUE(IsMoneyAttribute(schema.attribute(3)));   // price
+  EXPECT_FALSE(IsMoneyAttribute(schema.attribute(4)));  // mileage
+}
+
+TEST_F(ConditionBuilderTest, TypeIAndTypeII) {
+  auto built = Build("blue honda accord");
+  ASSERT_EQ(built.conditions.size(), 3u);
+  EXPECT_EQ(built.conditions[0].kind, Condition::Kind::kTypeII);
+  EXPECT_EQ(built.conditions[0].value, "blue");
+  EXPECT_EQ(built.conditions[1].kind, Condition::Kind::kTypeI);
+  EXPECT_EQ(built.conditions[2].kind, Condition::Kind::kTypeI);
+}
+
+TEST_F(ConditionBuilderTest, BoundWithTrailingUnit) {
+  // "less than 20k miles": op + number + unit resolves to mileage.
+  auto built = Build("accord less than 20k miles");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  const Condition& c = built.conditions[1];
+  EXPECT_EQ(c.kind, Condition::Kind::kTypeIIIBound);
+  EXPECT_EQ(c.attr, 4u);
+  EXPECT_EQ(c.op, db::CompareOp::kLt);
+  EXPECT_DOUBLE_EQ(c.lo, 20000.0);
+}
+
+TEST_F(ConditionBuilderTest, BoundWithLeadingAttrName) {
+  auto built = Build("accord mileage less than 20000");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_EQ(built.conditions[1].attr, 4u);
+  EXPECT_EQ(built.conditions[1].op, db::CompareOp::kLt);
+}
+
+TEST_F(ConditionBuilderTest, MoneyBindsToPrice) {
+  auto built = Build("accord under $5000");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_EQ(built.conditions[1].attr, 3u);  // price
+  EXPECT_EQ(built.conditions[1].kind, Condition::Kind::kTypeIIIBound);
+}
+
+TEST_F(ConditionBuilderTest, BareNumberIsAmbiguous) {
+  // Example 3: "Honda accord 2000".
+  auto built = Build("honda accord 2000");
+  ASSERT_EQ(built.conditions.size(), 3u);
+  const Condition& c = built.conditions[2];
+  EXPECT_EQ(c.kind, Condition::Kind::kAmbiguousNumber);
+  EXPECT_EQ(c.op, db::CompareOp::kEq);
+  EXPECT_DOUBLE_EQ(c.lo, 2000.0);
+}
+
+TEST_F(ConditionBuilderTest, BareBoundIsAmbiguous) {
+  // Example 3: "Honda accord less than 4000".
+  auto built = Build("honda accord less than 4000");
+  const Condition& c = built.conditions[2];
+  EXPECT_EQ(c.kind, Condition::Kind::kAmbiguousNumber);
+  EXPECT_EQ(c.op, db::CompareOp::kLt);
+}
+
+TEST_F(ConditionBuilderTest, BetweenTwoOperands) {
+  auto built = Build("accord between 2000 and 7000 dollars");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  const Condition& c = built.conditions[1];
+  EXPECT_EQ(c.op, db::CompareOp::kBetween);
+  EXPECT_DOUBLE_EQ(c.lo, 2000.0);
+  EXPECT_DOUBLE_EQ(c.hi, 7000.0);
+  EXPECT_EQ(c.attr, 3u);  // unit after second operand binds price
+  // The "and" between operands is not an explicit Boolean operator.
+  EXPECT_FALSE(built.has_explicit_and);
+}
+
+TEST_F(ConditionBuilderTest, BetweenSwapsInvertedOperands) {
+  auto built = Build("accord price between 7000 and 2000");
+  const Condition& c = built.conditions[1];
+  EXPECT_DOUBLE_EQ(c.lo, 2000.0);
+  EXPECT_DOUBLE_EQ(c.hi, 7000.0);
+}
+
+TEST_F(ConditionBuilderTest, UnfinishedBetweenDegradesToGe) {
+  auto built = Build("accord price between 2000");
+  const Condition& c = built.conditions[1];
+  EXPECT_EQ(c.op, db::CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(c.lo, 2000.0);
+}
+
+TEST_F(ConditionBuilderTest, NegatedOperatorComplemented) {
+  // Example 6 Q1: "not less than $2000" -> price >= 2000 (rule 1a).
+  auto built = Build("car priced below $7000 and not less than $2000");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_EQ(built.conditions[0].op, db::CompareOp::kLt);
+  EXPECT_DOUBLE_EQ(built.conditions[0].lo, 7000.0);
+  EXPECT_EQ(built.conditions[1].op, db::CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(built.conditions[1].lo, 2000.0);
+  EXPECT_FALSE(built.conditions[1].negated);
+}
+
+TEST_F(ConditionBuilderTest, NegatedValueFlagged) {
+  auto built = Build("not blue accord");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_TRUE(built.conditions[0].negated);
+  EXPECT_FALSE(built.conditions[1].negated);
+}
+
+TEST_F(ConditionBuilderTest, SuperlativeComplete) {
+  auto built = Build("cheapest honda");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_EQ(built.conditions[0].kind, Condition::Kind::kSuperlative);
+  EXPECT_EQ(built.conditions[0].attr, 3u);
+  EXPECT_TRUE(built.conditions[0].ascending);
+}
+
+TEST_F(ConditionBuilderTest, NewestIsDescendingYear) {
+  auto built = Build("newest accord");
+  EXPECT_EQ(built.conditions[0].kind, Condition::Kind::kSuperlative);
+  EXPECT_EQ(built.conditions[0].attr, 2u);
+  EXPECT_FALSE(built.conditions[0].ascending);
+}
+
+TEST_F(ConditionBuilderTest, PartialSuperlativeMergesWithAttr) {
+  auto built = Build("lowest mileage accord");
+  ASSERT_EQ(built.conditions.size(), 2u);
+  EXPECT_EQ(built.conditions[0].kind, Condition::Kind::kSuperlative);
+  EXPECT_EQ(built.conditions[0].attr, 4u);
+  EXPECT_TRUE(built.conditions[0].ascending);
+}
+
+TEST_F(ConditionBuilderTest, PartialSuperlativeAttrBefore) {
+  auto built = Build("accord with mileage lowest");
+  bool found = false;
+  for (const auto& c : built.conditions) {
+    if (c.kind == Condition::Kind::kSuperlative) {
+      EXPECT_EQ(c.attr, 4u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ConditionBuilderTest, DanglingPartialSuperlativeDefaultsToPrice) {
+  auto built = Build("lowest honda");
+  bool found = false;
+  for (const auto& c : built.conditions) {
+    if (c.kind == Condition::Kind::kSuperlative) {
+      EXPECT_EQ(c.attr, 3u);  // price
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ConditionBuilderTest, ExplicitOperatorsRecorded) {
+  auto built = Build("toyota corolla or honda accord");
+  EXPECT_TRUE(built.has_explicit_or);
+  ASSERT_EQ(built.operators.size(), 1u);
+  EXPECT_EQ(built.operators[0].kind, TagKind::kOr);
+  EXPECT_EQ(built.operators[0].order, 2u);  // before the third condition
+}
+
+TEST_F(ConditionBuilderTest, OrdersAreSequential) {
+  auto built = Build("blue automatic honda accord under 9000 dollars");
+  for (std::size_t i = 0; i < built.conditions.size(); ++i) {
+    EXPECT_EQ(built.conditions[i].order, i);
+  }
+}
+
+}  // namespace
+}  // namespace cqads::core

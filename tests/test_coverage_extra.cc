@@ -1,0 +1,212 @@
+// Additional coverage: operator phrasing variants through the full parse
+// path, engine options, generator conditioning, and experiment-driver
+// behaviour on secondary domains.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cqads_engine.h"
+#include "datagen/ads_generator.h"
+#include "datagen/question_gen.h"
+#include "eval/experiments.h"
+#include "test_fixtures.h"
+
+namespace cqads {
+namespace {
+
+class ParseVariantsTest : public ::testing::Test {
+ protected:
+  ParseVariantsTest() : table_(cqads::testing::MiniCarTable()) {
+    EXPECT_TRUE(engine_.AddDomain(&table_, qlog::TiMatrix()).ok());
+  }
+
+  std::string Interp(const std::string& question) {
+    auto parsed = engine_.Parse("cars", question);
+    EXPECT_TRUE(parsed.ok()) << question;
+    return parsed.ok() ? parsed.value().assembled.interpretation
+                       : std::string();
+  }
+
+  db::Table table_;
+  core::CqadsEngine engine_;
+};
+
+TEST_F(ParseVariantsTest, UpperBoundSynonyms) {
+  for (const char* q : {"accord under 9000 dollars",
+                        "accord below 9000 dollars",
+                        "accord less than 9000 dollars",
+                        "accord price less than 9000"}) {
+    EXPECT_EQ(Interp(q),
+              "model = 'accord' AND price < 9000")
+        << q;
+  }
+}
+
+TEST_F(ParseVariantsTest, InclusiveBounds) {
+  EXPECT_EQ(Interp("accord at most 9000 dollars"),
+            "model = 'accord' AND price <= 9000");
+  EXPECT_EQ(Interp("accord at least 9000 dollars"),
+            "model = 'accord' AND price >= 9000");
+  EXPECT_EQ(Interp("accord no more than 9000 dollars"),
+            "model = 'accord' AND price <= 9000");
+}
+
+TEST_F(ParseVariantsTest, LowerBoundSynonyms) {
+  for (const char* q : {"accord over 9000 dollars",
+                        "accord above 9000 dollars",
+                        "accord more than 9000 dollars"}) {
+    EXPECT_EQ(Interp(q),
+              "model = 'accord' AND price > 9000")
+        << q;
+  }
+}
+
+TEST_F(ParseVariantsTest, YearBoundsViaCompleteBoundaries) {
+  EXPECT_EQ(Interp("accord newer than 2005"),
+            "model = 'accord' AND year > 2005");
+  EXPECT_EQ(Interp("accord older than 2005"),
+            "model = 'accord' AND year < 2005");
+  EXPECT_EQ(Interp("accord cheaper than 9000"),
+            "model = 'accord' AND price < 9000");
+}
+
+TEST_F(ParseVariantsTest, SuperlativeSynonyms) {
+  auto check_super = [&](const std::string& q, std::size_t attr,
+                         bool ascending) {
+    auto parsed = engine_.Parse("cars", q);
+    ASSERT_TRUE(parsed.ok()) << q;
+    ASSERT_TRUE(parsed.value().assembled.superlative.has_value()) << q;
+    EXPECT_EQ(parsed.value().assembled.superlative->attr, attr) << q;
+    EXPECT_EQ(parsed.value().assembled.superlative->ascending, ascending)
+        << q;
+  };
+  check_super("cheapest honda", 3, true);
+  check_super("most expensive honda", 3, false);
+  check_super("newest honda", 2, false);
+  check_super("oldest honda", 2, true);
+  check_super("latest honda", 2, false);
+  check_super("lowest mileage honda", 4, true);
+  check_super("highest mileage honda", 4, false);
+}
+
+TEST_F(ParseVariantsTest, KSuffixAndCommaNumbersAgree) {
+  EXPECT_EQ(Interp("accord under 9k dollars"),
+            Interp("accord under $9,000"));
+  EXPECT_EQ(Interp("accord with less than 20k miles"),
+            Interp("accord with less than 20,000 miles"));
+}
+
+TEST_F(ParseVariantsTest, PartialTriggerOption) {
+  core::CqadsEngine::Options opts;
+  opts.partial_trigger = 1;  // only fetch partials when zero exact answers
+  core::CqadsEngine engine(opts);
+  ASSERT_TRUE(engine.AddDomain(&table_, qlog::TiMatrix()).ok());
+  // This question has 1 exact answer: partials must NOT be fetched.
+  auto r = engine.AskInDomain("cars",
+                              "honda accord blue less than 15000 dollars");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().exact_count, 1u);
+  EXPECT_EQ(r.value().answers.size(), 1u);
+}
+
+// ------------------------------------------------------------- generators
+
+TEST(QuestionGenConditioningTest, PriceBoundsFollowClusterScale) {
+  Rng rng(2024);
+  const auto* spec = datagen::FindDomainSpec("cars");
+  auto table = datagen::GenerateAds(*spec, 400, &rng);
+  ASSERT_TRUE(table.ok());
+
+  datagen::QuestionGenOptions opts;
+  opts.p_boolean = 0;
+  opts.p_superlative = 0;
+  opts.p_partial_identity = 0;
+  Rng qrng(7);
+  auto questions = datagen::GenerateQuestions(*spec, table.value(), 400,
+                                              opts, &qrng);
+  // Average price-bound target for luxury identities should exceed the one
+  // for economy identities.
+  double lux_sum = 0, eco_sum = 0;
+  int lux_n = 0, eco_n = 0;
+  auto price_attr = spec->schema.Resolve("price");
+  ASSERT_TRUE(price_attr.has_value());
+  for (const auto& q : questions) {
+    int cluster = -1;
+    double bound = -1;
+    for (const auto& seg : q.segments) {
+      for (const auto& u : seg) {
+        if (u.kind == datagen::IntentUnit::Kind::kIdentity) {
+          cluster = u.cluster;
+        }
+        if (u.kind == datagen::IntentUnit::Kind::kTypeIII &&
+            u.attr == *price_attr) {
+          bound = u.lo;
+        }
+      }
+    }
+    if (bound < 0) continue;
+    if (cluster == 4) {  // luxury
+      lux_sum += bound;
+      ++lux_n;
+    } else if (cluster == 0) {  // economy compact
+      eco_sum += bound;
+      ++eco_n;
+    }
+  }
+  ASSERT_GT(lux_n, 3);
+  ASSERT_GT(eco_n, 3);
+  EXPECT_GT(lux_sum / lux_n, eco_sum / eco_n);
+}
+
+TEST(SurveyMixTest, CarCountAndOthers) {
+  datagen::WorldOptions options;
+  options.seed = 11;
+  options.ads_per_domain = 80;
+  options.sessions_per_domain = 100;
+  options.corpus_docs_per_domain = 20;
+  auto world = datagen::World::Build(options);
+  ASSERT_TRUE(world.ok());
+  auto questions = eval::GenerateSurveyQuestions(*world.value(), 80, 82, 99);
+  std::size_t total = 0;
+  for (const auto& [domain, qs] : questions) total += qs.size();
+  EXPECT_EQ(questions.at("cars").size(), 80u);
+  EXPECT_EQ(total, 80u + 7u * 82u);  // ~654, the paper's 650
+}
+
+// ----------------------------------------------- experiments on 2nd domain
+
+TEST(SecondDomainExperimentsTest, BooleanInterpretationOnJewellery) {
+  datagen::WorldOptions options;
+  options.seed = 21;
+  options.ads_per_domain = 150;
+  options.sessions_per_domain = 200;
+  options.corpus_docs_per_domain = 30;
+  options.domains = {"jewellery"};
+  auto world = datagen::World::Build(options);
+  ASSERT_TRUE(world.ok());
+  auto result = eval::RunBooleanInterpretation(*world.value(), "jewellery",
+                                               60, 6, 30, 5);
+  EXPECT_GT(result.implicit_count + result.explicit_count, 40u);
+  EXPECT_GT(result.overall_accuracy, 0.7);
+  EXPECT_LE(result.sampled.size(), 6u);
+}
+
+TEST(SecondDomainExperimentsTest, SingleDomainWorldWorksEndToEnd) {
+  datagen::WorldOptions options;
+  options.seed = 31;
+  options.ads_per_domain = 120;
+  options.sessions_per_domain = 150;
+  options.corpus_docs_per_domain = 25;
+  options.domains = {"food_coupons"};
+  auto world = datagen::World::Build(options);
+  ASSERT_TRUE(world.ok());
+  auto result = world.value()->engine().AskInDomain(
+      "food_coupons", "pizza hut at least 20 percent off");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result.value().interpretation.find("restaurant = 'pizza hut'"),
+            std::string::npos);
+  EXPECT_NE(result.value().interpretation.find("discount >= 20"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqads

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "db/csv.h"
+#include "db/dedup.h"
+#include "test_fixtures.h"
+
+namespace cqads::db {
+namespace {
+
+// --------------------------------------------------------------------- CSV
+
+TEST(CsvQuoteTest, PlainFieldUnquoted) {
+  EXPECT_EQ(CsvQuote("honda"), "honda");
+}
+
+TEST(CsvQuoteTest, SpecialCharactersQuoted) {
+  EXPECT_EQ(CsvQuote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvQuote("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(SplitCsvLineTest, PlainFields) {
+  EXPECT_EQ(SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  EXPECT_EQ(SplitCsvLine(",x,"),
+            (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithComma) {
+  EXPECT_EQ(SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(SplitCsvLineTest, EscapedQuote) {
+  EXPECT_EQ(SplitCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvRoundTripTest, ExportImportPreservesData) {
+  Table original = cqads::testing::MiniCarTable();
+  std::string csv = ExportCsv(original);
+  auto imported = ImportCsv(original.schema(), csv);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  const Table& t = imported.value();
+  ASSERT_EQ(t.num_rows(), original.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t a = 0; a < t.schema().num_attributes(); ++a) {
+      EXPECT_EQ(t.cell(r, a).AsText(), original.cell(r, a).AsText())
+          << "row " << r << " attr " << a;
+    }
+  }
+  EXPECT_TRUE(t.indexes_built());
+}
+
+TEST(CsvImportTest, HeaderIsCaseInsensitive) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  std::string csv =
+      "Make,Model,Year,Price,Mileage,Color,Transmission,Doors,Drivetrain,"
+      "Features\n"
+      "honda,accord,2004,9000,50000,blue,automatic,4 door,2 wheel drive,"
+      "gps;stereo\n";
+  auto t = ImportCsv(schema, csv);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t.value().num_rows(), 1u);
+  EXPECT_EQ(t.value().CellElements(0, 9).size(), 2u);
+}
+
+TEST(CsvImportTest, EmptyFieldBecomesNull) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  std::string csv =
+      "make,model,year,price,mileage,color,transmission,doors,drivetrain,"
+      "features\n"
+      "honda,accord,,,,,,,,\n";
+  auto t = ImportCsv(schema, csv);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(t.value().cell(0, 2).is_null());
+  EXPECT_TRUE(t.value().cell(0, 5).is_null());
+}
+
+TEST(CsvImportTest, RejectsBadHeader) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  EXPECT_FALSE(ImportCsv(schema, "foo,bar\nx,y\n").ok());
+}
+
+TEST(CsvImportTest, RejectsWrongFieldCount) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  std::string csv =
+      "make,model,year,price,mileage,color,transmission,doors,drivetrain,"
+      "features\n"
+      "honda,accord\n";
+  EXPECT_FALSE(ImportCsv(schema, csv).ok());
+}
+
+TEST(CsvImportTest, RejectsNonNumericValue) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  std::string csv =
+      "make,model,year,price,mileage,color,transmission,doors,drivetrain,"
+      "features\n"
+      "honda,accord,not_a_year,,,,,,,\n";
+  EXPECT_FALSE(ImportCsv(schema, csv).ok());
+}
+
+TEST(CsvImportTest, RejectsEmptyInput) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  EXPECT_FALSE(ImportCsv(schema, "").ok());
+}
+
+TEST(CsvImportTest, SkipsBlankLines) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  std::string csv =
+      "make,model,year,price,mileage,color,transmission,doors,drivetrain,"
+      "features\n\n"
+      "honda,accord,2004,9000,50000,blue,automatic,4 door,2 wheel drive,"
+      "gps\n\n";
+  auto t = ImportCsv(schema, csv);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t.value().num_rows(), 1u);
+}
+
+// ------------------------------------------------------------------- dedup
+
+Table TableWithDuplicates() {
+  Table t(cqads::testing::MiniCarSchema());
+  auto add = [&](const char* make, const char* model, double year,
+                 double price, double mileage, const char* color,
+                 const char* features) {
+    Record r(10);
+    r[0] = Value::Text(make);
+    r[1] = Value::Text(model);
+    r[2] = Value::Real(year);
+    r[3] = Value::Real(price);
+    r[4] = Value::Real(mileage);
+    r[5] = Value::Text(color);
+    r[6] = Value::Text("automatic");
+    r[7] = Value::Text("4 door");
+    r[8] = Value::Text("2 wheel drive");
+    r[9] = Value::Text(features);
+    EXPECT_TRUE(t.Insert(std::move(r)).ok());
+  };
+  // Rows 0 & 1: re-posted listing (price nudged by <2%).
+  add("honda", "accord", 2004, 10000, 50000, "blue", "gps;stereo");
+  add("honda", "accord", 2004, 10100, 50000, "blue", "gps;stereo");
+  // Row 2: same car but very different price: not a duplicate.
+  add("honda", "accord", 2004, 14000, 50000, "blue", "gps;stereo");
+  // Row 3: different color: not a duplicate (categoricals must match).
+  add("honda", "accord", 2004, 10000, 50000, "red", "gps;stereo");
+  // Rows 4 & 5: duplicate pair under a different identity.
+  add("toyota", "camry", 2006, 8000, 60000, "white", "cd player");
+  add("toyota", "camry", 2006, 8050, 60400, "white", "cd player");
+  t.BuildIndexes();
+  return t;
+}
+
+TEST(DedupTest, PairwiseChecks) {
+  Table t = TableWithDuplicates();
+  EXPECT_TRUE(AreNearDuplicates(t, 0, 1));
+  EXPECT_FALSE(AreNearDuplicates(t, 0, 2));  // price 40% apart
+  EXPECT_FALSE(AreNearDuplicates(t, 0, 3));  // color differs
+  EXPECT_TRUE(AreNearDuplicates(t, 4, 5));
+  EXPECT_FALSE(AreNearDuplicates(t, 0, 4));  // different identity
+  EXPECT_TRUE(AreNearDuplicates(t, 2, 2));   // reflexive
+}
+
+TEST(DedupTest, CategoricalRequirementCanBeRelaxed) {
+  Table t = TableWithDuplicates();
+  DedupOptions relaxed;
+  relaxed.require_equal_categoricals = false;
+  EXPECT_TRUE(AreNearDuplicates(t, 0, 3, relaxed));  // color now ignored
+}
+
+TEST(DedupTest, FeatureOverlapMatters) {
+  Table t(cqads::testing::MiniCarSchema());
+  Record a(10), b(10);
+  a[0] = b[0] = Value::Text("honda");
+  a[1] = b[1] = Value::Text("accord");
+  a[3] = b[3] = Value::Real(9000);
+  a[9] = Value::Text("gps;stereo;sunroof");
+  b[9] = Value::Text("leather seats;bluetooth");
+  ASSERT_TRUE(t.Insert(std::move(a)).ok());
+  ASSERT_TRUE(t.Insert(std::move(b)).ok());
+  t.BuildIndexes();
+  EXPECT_FALSE(AreNearDuplicates(t, 0, 1));
+}
+
+TEST(DedupTest, FindsDisjointGroups) {
+  Table t = TableWithDuplicates();
+  auto groups = FindDuplicateGroups(t);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<RowId>{4, 5}));
+}
+
+TEST(DedupTest, DeduplicateKeepsFirstOfEachGroup) {
+  Table t = TableWithDuplicates();
+  auto result = Deduplicate(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 4u);  // 6 - 2 dropped
+  EXPECT_TRUE(result.value().indexes_built());
+  // Survivors: rows 0, 2, 3, 4 of the original.
+  EXPECT_DOUBLE_EQ(result.value().cell(0, 3).AsDouble(), 10000.0);
+  EXPECT_DOUBLE_EQ(result.value().cell(1, 3).AsDouble(), 14000.0);
+}
+
+TEST(DedupTest, CleanTableUntouched) {
+  Table t = cqads::testing::MiniCarTable();
+  EXPECT_TRUE(FindDuplicateGroups(t).empty());
+  auto result = Deduplicate(t);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), t.num_rows());
+}
+
+TEST(DedupTest, ToleranceBoundary) {
+  Table t = TableWithDuplicates();
+  DedupOptions strict;
+  strict.numeric_tolerance = 0.0001;
+  EXPECT_FALSE(AreNearDuplicates(t, 0, 1, strict));  // 1% price delta
+  DedupOptions loose;
+  loose.numeric_tolerance = 0.5;
+  EXPECT_TRUE(AreNearDuplicates(t, 0, 2, loose));
+}
+
+}  // namespace
+}  // namespace cqads::db

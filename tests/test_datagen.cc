@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/ads_generator.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/domain_spec.h"
+#include "datagen/question_gen.h"
+#include "db/executor.h"
+
+namespace cqads::datagen {
+namespace {
+
+// ------------------------------------------------------------- specs
+
+class DomainSpecTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DomainSpecTest, SchemaValidates) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->schema.Validate().ok());
+}
+
+TEST_P(DomainSpecTest, IdentitiesAlignWithTypeIAttrs) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  ASSERT_FALSE(spec->identities.empty());
+  for (const auto& id : spec->identities) {
+    EXPECT_EQ(id.values.size(), spec->type_i_attrs.size());
+    EXPECT_GE(id.cluster, 0);
+    EXPECT_GT(id.weight, 0.0);
+    for (const auto& v : id.values) EXPECT_FALSE(v.empty());
+  }
+}
+
+TEST_P(DomainSpecTest, PoolGroupsCoverTypeIIAttrs) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  for (const auto& [attr, groups] : spec->pool_groups) {
+    ASSERT_LT(attr, spec->schema.num_attributes());
+    EXPECT_NE(spec->schema.attribute(attr).data_kind,
+              db::DataKind::kNumeric);
+    for (const auto& g : groups) EXPECT_FALSE(g.empty());
+  }
+}
+
+TEST_P(DomainSpecTest, NumericsHaveSaneRanges) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(spec->numerics.empty());
+  for (const auto& [attr, gen] : spec->numerics) {
+    EXPECT_EQ(spec->schema.attribute(attr).data_kind, db::DataKind::kNumeric);
+    EXPECT_LT(gen.min, gen.max);
+  }
+}
+
+TEST_P(DomainSpecTest, GroupLookupConsistent) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  for (const auto& [attr, groups] : spec->pool_groups) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (const auto& value : groups[g]) {
+        EXPECT_EQ(spec->GroupOf(attr, value), static_cast<int>(g));
+      }
+    }
+  }
+  EXPECT_EQ(spec->GroupOf(0, "definitely not a value"), -1);
+}
+
+TEST_P(DomainSpecTest, ClusterLookup) {
+  const DomainSpec* spec = FindDomainSpec(GetParam());
+  ASSERT_NE(spec, nullptr);
+  const auto& id = spec->identities.front();
+  EXPECT_EQ(spec->ClusterOf(id.values), id.cluster);
+  EXPECT_EQ(spec->ClusterOf({"zzz"}), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEight, DomainSpecTest,
+    ::testing::Values("cars", "motorcycles", "clothing", "cs_jobs",
+                      "furniture", "food_coupons", "instruments",
+                      "jewellery"));
+
+TEST(DomainSpecsTest, ExactlyEightDomains) {
+  EXPECT_EQ(AllDomainSpecs().size(), 8u);
+  EXPECT_EQ(FindDomainSpec("boats"), nullptr);
+}
+
+// ------------------------------------------------------------- ads gen
+
+TEST(AdsGeneratorTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  auto table = GenerateAds(*FindDomainSpec("cars"), 200, &rng);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().num_rows(), 200u);
+  EXPECT_TRUE(table.value().indexes_built());
+}
+
+TEST(AdsGeneratorTest, Deterministic) {
+  Rng a(5), b(5);
+  auto ta = GenerateAds(*FindDomainSpec("jewellery"), 50, &a);
+  auto tb = GenerateAds(*FindDomainSpec("jewellery"), 50, &b);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  for (db::RowId r = 0; r < 50; ++r) {
+    EXPECT_EQ(ta.value().RowText(r), tb.value().RowText(r));
+  }
+}
+
+TEST(AdsGeneratorTest, ValuesComeFromPools) {
+  Rng rng(2);
+  const DomainSpec& spec = *FindDomainSpec("cars");
+  auto table = GenerateAds(spec, 150, &rng);
+  ASSERT_TRUE(table.ok());
+  auto colors = spec.PoolValues(5);
+  for (db::RowId r = 0; r < table.value().num_rows(); ++r) {
+    const auto& color = table.value().cell(r, 5).text();
+    EXPECT_NE(std::find(colors.begin(), colors.end(), color), colors.end())
+        << color;
+  }
+}
+
+TEST(AdsGeneratorTest, NumericsInRange) {
+  Rng rng(3);
+  const DomainSpec& spec = *FindDomainSpec("cars");
+  auto table = GenerateAds(spec, 150, &rng);
+  ASSERT_TRUE(table.ok());
+  for (db::RowId r = 0; r < table.value().num_rows(); ++r) {
+    double year = table.value().cell(r, 2).AsDouble();
+    EXPECT_GE(year, 1988);
+    EXPECT_LE(year, 2011);
+    double price = table.value().cell(r, 3).AsDouble();
+    EXPECT_GE(price, 700);
+    EXPECT_LE(price, 90000);
+  }
+}
+
+TEST(AdsGeneratorTest, ClusterScalingShiftsPrices) {
+  Rng rng(4);
+  const DomainSpec& spec = *FindDomainSpec("cars");
+  auto table = GenerateAds(spec, 500, &rng);
+  ASSERT_TRUE(table.ok());
+  double luxury_sum = 0, economy_sum = 0;
+  int luxury_n = 0, economy_n = 0;
+  for (db::RowId r = 0; r < table.value().num_rows(); ++r) {
+    const auto& make = table.value().cell(r, 0).text();
+    double price = table.value().cell(r, 3).AsDouble();
+    if (make == "bmw" || make == "mercedes" || make == "audi") {
+      luxury_sum += price;
+      ++luxury_n;
+    } else if (make == "toyota" || make == "honda") {
+      economy_sum += price;
+      ++economy_n;
+    }
+  }
+  ASSERT_GT(luxury_n, 0);
+  ASSERT_GT(economy_n, 0);
+  EXPECT_GT(luxury_sum / luxury_n, economy_sum / economy_n);
+}
+
+TEST(AdsGeneratorTest, FeatureListsHaveMultipleElements) {
+  Rng rng(5);
+  const DomainSpec& spec = *FindDomainSpec("cars");
+  auto table = GenerateAds(spec, 50, &rng);
+  ASSERT_TRUE(table.ok());
+  for (db::RowId r = 0; r < table.value().num_rows(); ++r) {
+    EXPECT_GE(table.value().CellElements(r, 9).size(), 3u);
+  }
+}
+
+// ------------------------------------------------------------- corpus
+
+TEST(CorpusGenTest, ProducesDocsPerDomain) {
+  Rng rng(6);
+  auto corpus = GenerateCorpus({*FindDomainSpec("cars")}, 20, &rng);
+  EXPECT_EQ(corpus.size(), 20u);
+  for (const auto& doc : corpus) EXPECT_FALSE(doc.empty());
+}
+
+// ------------------------------------------------------------- questions
+
+class QuestionGenTest : public ::testing::Test {
+ protected:
+  QuestionGenTest() {
+    Rng rng(7);
+    spec_ = FindDomainSpec("cars");
+    auto t = GenerateAds(*spec_, 300, &rng);
+    table_ = std::make_unique<db::Table>(std::move(t).value());
+  }
+  const DomainSpec* spec_;
+  std::unique_ptr<db::Table> table_;
+};
+
+TEST_F(QuestionGenTest, GeneratesRequestedCount) {
+  Rng rng(8);
+  auto qs = GenerateQuestions(*spec_, *table_, 80, QuestionGenOptions(), &rng);
+  EXPECT_EQ(qs.size(), 80u);
+}
+
+TEST_F(QuestionGenTest, AllQuestionsHaveTextAndIntent) {
+  Rng rng(9);
+  auto qs = GenerateQuestions(*spec_, *table_, 100, QuestionGenOptions(), &rng);
+  for (const auto& q : qs) {
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_FALSE(q.segments.empty());
+    EXPECT_EQ(q.domain, "cars");
+    EXPECT_TRUE(q.oracle.where != nullptr);
+  }
+}
+
+TEST_F(QuestionGenTest, OracleQueriesExecutable) {
+  Rng rng(10);
+  auto qs = GenerateQuestions(*spec_, *table_, 60, QuestionGenOptions(), &rng);
+  db::Executor exec(table_.get());
+  for (const auto& q : qs) {
+    EXPECT_TRUE(exec.Execute(q.oracle).ok()) << q.text;
+  }
+}
+
+TEST_F(QuestionGenTest, BooleanMixApproximatesKnob) {
+  Rng rng(11);
+  QuestionGenOptions opts;
+  opts.p_boolean = 0.2;
+  auto qs = GenerateQuestions(*spec_, *table_, 600, opts, &rng);
+  std::size_t booleans = 0, explicits = 0;
+  for (const auto& q : qs) {
+    if (q.is_boolean) ++booleans;
+    if (q.is_explicit_boolean) ++explicits;
+  }
+  EXPECT_NEAR(booleans / 600.0, 0.2, 0.06);
+  EXPECT_LT(explicits, booleans);
+}
+
+TEST_F(QuestionGenTest, PerturbationFlagsReflectText) {
+  Rng rng(12);
+  QuestionGenOptions opts;
+  opts.p_misspell = 0.5;
+  opts.p_shorthand = 0.5;
+  auto qs = GenerateQuestions(*spec_, *table_, 200, opts, &rng);
+  std::size_t misspelled = 0, shorthand = 0;
+  for (const auto& q : qs) {
+    if (q.has_misspelling) ++misspelled;
+    if (q.has_shorthand) ++shorthand;
+  }
+  EXPECT_GT(misspelled, 20u);
+  EXPECT_GT(shorthand, 10u);
+}
+
+TEST_F(QuestionGenTest, NegationQuestionsCarryNegatedUnits) {
+  Rng rng(13);
+  QuestionGenOptions opts;
+  opts.p_boolean = 1.0;
+  auto qs = GenerateQuestions(*spec_, *table_, 150, opts, &rng);
+  bool saw_negated = false;
+  for (const auto& q : qs) {
+    if (!q.has_negation) continue;
+    for (const auto& seg : q.segments) {
+      for (const auto& u : seg) {
+        if (u.negated) saw_negated = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_negated);
+}
+
+TEST_F(QuestionGenTest, Deterministic) {
+  Rng a(14), b(14);
+  auto qa = GenerateQuestions(*spec_, *table_, 40, QuestionGenOptions(), &a);
+  auto qb = GenerateQuestions(*spec_, *table_, 40, QuestionGenOptions(), &b);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].text, qb[i].text);
+    EXPECT_EQ(qa[i].oracle_interpretation, qb[i].oracle_interpretation);
+  }
+}
+
+TEST_F(QuestionGenTest, SuperlativeQuestionsCarrySuperlative) {
+  Rng rng(15);
+  QuestionGenOptions opts;
+  opts.p_superlative = 1.0;
+  opts.p_boolean = 0.0;
+  auto qs = GenerateQuestions(*spec_, *table_, 50, opts, &rng);
+  std::size_t supers = 0;
+  for (const auto& q : qs) {
+    if (q.has_superlative) {
+      ++supers;
+      EXPECT_TRUE(q.superlative.has_value());
+      EXPECT_TRUE(q.oracle.superlative.has_value());
+    }
+  }
+  EXPECT_GT(supers, 40u);
+}
+
+TEST(IntentToExprTest, SegmentsOrUnitsAnd) {
+  IntentUnit a;
+  a.kind = IntentUnit::Kind::kTypeII;
+  a.attr = 5;
+  a.values = {"blue"};
+  IntentUnit b = a;
+  b.values = {"red"};
+  auto expr = IntentToExpr({{a}, {b}});
+  ASSERT_TRUE(expr != nullptr);
+  EXPECT_EQ(expr->kind(), db::Expr::Kind::kOr);
+  EXPECT_EQ(IntentToExpr({}), nullptr);
+}
+
+}  // namespace
+}  // namespace cqads::datagen

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "datagen/ads_generator.h"
+#include "eval/appraiser.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "test_fixtures.h"
+
+namespace cqads::eval {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsTest, PrfBasics) {
+  auto prf = ComputePRF({1, 2, 3, 4}, {2, 3, 5});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);        // 2 of 4 retrieved correct
+  EXPECT_DOUBLE_EQ(prf.recall, 2.0 / 3.0);     // 2 of 3 relevant found
+  EXPECT_NEAR(prf.f1, 2 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, PrfEmptyRetrievedIsZero) {
+  auto prf = ComputePRF({}, {1, 2});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(MetricsTest, PrfBothEmptyIsPerfect) {
+  auto prf = ComputePRF({}, {});
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+}
+
+TEST(MetricsTest, PrfRecallCapped) {
+  // 40 relevant, cap 30: finding 30 of them is full recall (§5.3's
+  // up-to-30 evaluation).
+  std::vector<unsigned> retrieved, relevant;
+  for (unsigned i = 0; i < 30; ++i) retrieved.push_back(i);
+  for (unsigned i = 0; i < 40; ++i) relevant.push_back(i);
+  auto prf = ComputePRF(retrieved, relevant, 30);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+}
+
+TEST(MetricsTest, PrecisionAtK) {
+  std::vector<double> rel = {1.0, 0.0, 0.5, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(rel, 5), 0.5);
+  // Missing positions count as zero.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1.0}, 5), 0.2);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 5), 0.0);
+}
+
+TEST(MetricsTest, ReciprocalRank) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({true, false}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false, false, true}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}), 0.0);
+}
+
+TEST(MetricsTest, MeanAccumulator) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  acc.Add(1.0);
+  acc.Add(3.0);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 2.0);
+  EXPECT_EQ(acc.count(), 2u);
+}
+
+// ------------------------------------------------------------- appraiser
+
+class AppraiserTest : public ::testing::Test {
+ protected:
+  AppraiserTest() {
+    Rng rng(21);
+    spec_ = datagen::FindDomainSpec("cars");
+    auto t = datagen::GenerateAds(*spec_, 250, &rng);
+    table_ = std::make_unique<db::Table>(std::move(t).value());
+  }
+
+  datagen::GeneratedQuestion MakeQuestion() {
+    // Intent: toyota camry, blue, price < 12000.
+    datagen::IntentUnit identity;
+    identity.kind = datagen::IntentUnit::Kind::kIdentity;
+    identity.identity = {{0, "toyota"}, {1, "camry"}};
+    identity.cluster = 1;  // midsize
+
+    datagen::IntentUnit color;
+    color.kind = datagen::IntentUnit::Kind::kTypeII;
+    color.attr = 5;
+    color.values = {"blue"};
+    color.groups = {2};  // {blue, navy}
+
+    datagen::IntentUnit price;
+    price.kind = datagen::IntentUnit::Kind::kTypeIII;
+    price.attr = 3;
+    price.op = db::CompareOp::kLt;
+    price.lo = 12000;
+
+    datagen::GeneratedQuestion q;
+    q.domain = "cars";
+    q.segments = {{identity, color, price}};
+    return q;
+  }
+
+  db::RowId FindRow(const std::function<bool(db::RowId)>& pred) {
+    for (db::RowId r = 0; r < table_->num_rows(); ++r) {
+      if (pred(r)) return r;
+    }
+    return table_->num_rows();
+  }
+
+  const datagen::DomainSpec* spec_;
+  std::unique_ptr<db::Table> table_;
+};
+
+TEST_F(AppraiserTest, FullSatisfactionIsRelated) {
+  Appraiser appraiser(spec_, table_.get(), AppraiserOptions{});
+  auto q = MakeQuestion();
+  db::RowId row = FindRow([&](db::RowId r) {
+    return table_->cell(r, 0).text() == "toyota" &&
+           table_->cell(r, 1).text() == "camry" &&
+           table_->cell(r, 5).text() == "blue" &&
+           table_->cell(r, 3).AsDouble() < 12000;
+  });
+  if (row < table_->num_rows()) {
+    EXPECT_TRUE(appraiser.IsRelatedTruth(q, row));
+  }
+}
+
+TEST_F(AppraiserTest, SameSegmentMissIsRelated) {
+  Appraiser appraiser(spec_, table_.get(), AppraiserOptions{});
+  auto q = MakeQuestion();
+  // A honda accord (same midsize segment) that is blue and cheap misses
+  // only the identity, closely.
+  db::RowId row = FindRow([&](db::RowId r) {
+    return table_->cell(r, 1).text() == "accord" &&
+           table_->cell(r, 5).text() == "blue" &&
+           table_->cell(r, 3).AsDouble() < 12000;
+  });
+  if (row < table_->num_rows()) {
+    EXPECT_TRUE(appraiser.IsRelatedTruth(q, row));
+  }
+}
+
+TEST_F(AppraiserTest, FarSegmentMissIsUnrelated) {
+  Appraiser appraiser(spec_, table_.get(), AppraiserOptions{});
+  auto q = MakeQuestion();
+  // A truck that is blue and cheap misses the identity NOT closely.
+  db::RowId row = FindRow([&](db::RowId r) {
+    return table_->cell(r, 1).text() == "silverado" &&
+           table_->cell(r, 5).text() == "blue" &&
+           table_->cell(r, 3).AsDouble() < 12000;
+  });
+  if (row < table_->num_rows()) {
+    EXPECT_FALSE(appraiser.IsRelatedTruth(q, row));
+  }
+}
+
+TEST_F(AppraiserTest, TwoMissesAreUnrelated) {
+  Appraiser appraiser(spec_, table_.get(), AppraiserOptions{});
+  auto q = MakeQuestion();
+  db::RowId row = FindRow([&](db::RowId r) {
+    return table_->cell(r, 1).text() == "accord" &&
+           table_->cell(r, 5).text() == "red" &&
+           table_->cell(r, 3).AsDouble() < 12000;
+  });
+  if (row < table_->num_rows()) {
+    EXPECT_FALSE(appraiser.IsRelatedTruth(q, row));
+  }
+}
+
+TEST_F(AppraiserTest, RelatedGroupColorIsClose) {
+  Appraiser appraiser(spec_, table_.get(), AppraiserOptions{});
+  auto q = MakeQuestion();
+  // navy is in blue's related group.
+  db::RowId row = FindRow([&](db::RowId r) {
+    return table_->cell(r, 0).text() == "toyota" &&
+           table_->cell(r, 1).text() == "camry" &&
+           table_->cell(r, 5).text() == "navy" &&
+           table_->cell(r, 3).AsDouble() < 12000;
+  });
+  if (row < table_->num_rows()) {
+    EXPECT_TRUE(appraiser.IsRelatedTruth(q, row));
+  }
+}
+
+TEST_F(AppraiserTest, NoiseFlipsJudgements) {
+  AppraiserOptions noisy;
+  noisy.noise = 1.0;  // always flip
+  Appraiser appraiser(spec_, table_.get(), noisy);
+  auto q = MakeQuestion();
+  Rng rng(3);
+  bool truth = appraiser.IsRelatedTruth(q, 0);
+  EXPECT_EQ(appraiser.Judge(q, 0, &rng), !truth);
+}
+
+// ------------------------------------------------------------- interp norm
+
+TEST(NormalizeInterpretationTest, OrderInsensitive) {
+  db::Schema schema = cqads::testing::MiniCarSchema();
+  db::Predicate a;
+  a.attr = 0;
+  a.value = db::Value::Text("honda");
+  db::Predicate b;
+  b.attr = 5;
+  b.value = db::Value::Text("blue");
+  auto e1 = db::Expr::MakeAnd(
+      {db::Expr::MakePredicate(a), db::Expr::MakePredicate(b)});
+  auto e2 = db::Expr::MakeAnd(
+      {db::Expr::MakePredicate(b), db::Expr::MakePredicate(a)});
+  EXPECT_EQ(NormalizeInterpretation(schema, e1),
+            NormalizeInterpretation(schema, e2));
+}
+
+TEST(NormalizeInterpretationTest, FlattensNestedSameKind) {
+  db::Schema schema = cqads::testing::MiniCarSchema();
+  db::Predicate a;
+  a.attr = 0;
+  a.value = db::Value::Text("honda");
+  db::Predicate b;
+  b.attr = 1;
+  b.value = db::Value::Text("accord");
+  db::Predicate c;
+  c.attr = 5;
+  c.value = db::Value::Text("blue");
+  auto nested = db::Expr::MakeAnd(
+      {db::Expr::MakeAnd({db::Expr::MakePredicate(a),
+                          db::Expr::MakePredicate(b)}),
+       db::Expr::MakePredicate(c)});
+  auto flat = db::Expr::MakeAnd({db::Expr::MakePredicate(a),
+                                 db::Expr::MakePredicate(b),
+                                 db::Expr::MakePredicate(c)});
+  EXPECT_EQ(NormalizeInterpretation(schema, nested),
+            NormalizeInterpretation(schema, flat));
+}
+
+TEST(NormalizeInterpretationTest, DistinguishesAndFromOr) {
+  db::Schema schema = cqads::testing::MiniCarSchema();
+  db::Predicate a;
+  a.attr = 0;
+  a.value = db::Value::Text("honda");
+  db::Predicate b;
+  b.attr = 5;
+  b.value = db::Value::Text("blue");
+  auto e1 = db::Expr::MakeAnd(
+      {db::Expr::MakePredicate(a), db::Expr::MakePredicate(b)});
+  auto e2 = db::Expr::MakeOr(
+      {db::Expr::MakePredicate(a), db::Expr::MakePredicate(b)});
+  EXPECT_NE(NormalizeInterpretation(schema, e1),
+            NormalizeInterpretation(schema, e2));
+}
+
+TEST(NormalizeInterpretationTest, NullExprEmpty) {
+  db::Schema schema = cqads::testing::MiniCarSchema();
+  EXPECT_EQ(NormalizeInterpretation(schema, nullptr), "");
+}
+
+}  // namespace
+}  // namespace cqads::eval

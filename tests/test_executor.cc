@@ -1,0 +1,236 @@
+#include "db/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace cqads::db {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : table_(cqads::testing::MiniCarTable()), exec_(&table_) {}
+
+  static Predicate TextEq(std::size_t attr, const char* value) {
+    Predicate p;
+    p.attr = attr;
+    p.op = CompareOp::kEq;
+    p.value = Value::Text(value);
+    return p;
+  }
+  static Predicate Num(std::size_t attr, CompareOp op, double v,
+                       double hi = 0) {
+    Predicate p;
+    p.attr = attr;
+    p.op = op;
+    p.value = Value::Real(v);
+    if (op == CompareOp::kBetween) p.value_hi = Value::Real(hi);
+    return p;
+  }
+
+  QueryResult Run(const Query& q) {
+    auto r = exec_.Execute(q);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? r.value() : QueryResult{};
+  }
+
+  Table table_;
+  Executor exec_;
+};
+
+TEST_F(ExecutorTest, TextEqualityViaHashIndex) {
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(0, "honda"));
+  auto r = Run(q);
+  EXPECT_EQ(r.rows, (std::vector<RowId>{0, 1, 2, 3}));
+  EXPECT_GE(r.stats.index_lookups, 1u);
+  EXPECT_EQ(r.stats.full_scans, 0u);
+}
+
+TEST_F(ExecutorTest, ShorthandEqualityMatchesVariant) {
+  // "2dr" must match records storing "2 door" (§4.2.3).
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(7, "2dr"));
+  auto r = Run(q);
+  EXPECT_EQ(r.rows, (std::vector<RowId>{3, 7, 8, 9}));
+}
+
+TEST_F(ExecutorTest, ShorthandCanBeDisabled) {
+  Predicate p = TextEq(7, "2dr");
+  p.allow_shorthand = false;
+  Query q;
+  q.where = Expr::MakePredicate(p);
+  EXPECT_TRUE(Run(q).rows.empty());
+}
+
+TEST_F(ExecutorTest, NumericRangeOperators) {
+  Query q;
+  q.where = Expr::MakePredicate(Num(3, CompareOp::kLt, 6000));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{3, 4}));
+
+  q.where = Expr::MakePredicate(Num(3, CompareOp::kLe, 5899));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{3, 4}));
+
+  q.where = Expr::MakePredicate(Num(3, CompareOp::kGt, 18500));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{9}));
+
+  q.where = Expr::MakePredicate(Num(3, CompareOp::kGe, 18500));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{8, 9}));
+
+  q.where = Expr::MakePredicate(Num(2, CompareOp::kBetween, 2004, 2006));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{1, 3, 5, 7, 11, 12}));
+}
+
+TEST_F(ExecutorTest, NumericEqAndNe) {
+  Query q;
+  q.where = Expr::MakePredicate(Num(2, CompareOp::kEq, 2007));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{0, 10}));
+
+  q.where = Expr::MakePredicate(Num(2, CompareOp::kNe, 2007));
+  EXPECT_EQ(Run(q).rows.size(), table_.num_rows() - 2);
+}
+
+TEST_F(ExecutorTest, TextListEquality) {
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(9, "gps"));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{2, 8, 9, 10}));
+}
+
+TEST_F(ExecutorTest, ContainsUsesNGramIndex) {
+  Predicate p;
+  p.attr = 1;
+  p.op = CompareOp::kContains;
+  p.value = Value::Text("cor");
+  Query q;
+  q.where = Expr::MakePredicate(p);
+  auto r = Run(q);
+  // accord (x3), corolla, cherokee? no. "cor" in accord & corolla.
+  EXPECT_EQ(r.rows, (std::vector<RowId>{0, 1, 2, 6}));
+  EXPECT_GE(r.stats.index_lookups, 1u);
+}
+
+TEST_F(ExecutorTest, ContainsShortNeedleFallsBackToScan) {
+  Predicate p;
+  p.attr = 1;
+  p.op = CompareOp::kContains;
+  p.value = Value::Text("m3");
+  Query q;
+  q.where = Expr::MakePredicate(p);
+  auto r = Run(q);
+  EXPECT_EQ(r.rows, (std::vector<RowId>{9}));
+  EXPECT_GE(r.stats.full_scans, 1u);
+}
+
+TEST_F(ExecutorTest, ConjunctionFollowsTypeOrder) {
+  // §4.3: Type I seeds candidates; Type II/III verify on the shrinking set.
+  Query q;
+  q.where = Expr::MakeAnd({Expr::MakePredicate(TextEq(5, "blue")),
+                           Expr::MakePredicate(TextEq(0, "honda"))});
+  auto r = Run(q);
+  EXPECT_EQ(r.rows, (std::vector<RowId>{0, 1}));
+  // The Type I index probe happens exactly once; color is verified row-wise
+  // on the honda set (4 rows).
+  EXPECT_EQ(r.stats.index_lookups, 1u);
+  EXPECT_EQ(r.stats.rows_verified, 4u);
+}
+
+TEST_F(ExecutorTest, DisjunctionUnions) {
+  Query q;
+  q.where = Expr::MakeOr({Expr::MakePredicate(TextEq(0, "bmw")),
+                          Expr::MakePredicate(TextEq(0, "jeep"))});
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{9, 11}));
+}
+
+TEST_F(ExecutorTest, NotComplement) {
+  Query q;
+  q.where = Expr::MakeNot(Expr::MakePredicate(TextEq(6, "automatic")));
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{3, 7, 8, 9}));
+}
+
+TEST_F(ExecutorTest, NestedBooleanExpression) {
+  // (honda OR toyota) AND blue
+  Query q;
+  q.where = Expr::MakeAnd(
+      {Expr::MakeOr({Expr::MakePredicate(TextEq(0, "honda")),
+                     Expr::MakePredicate(TextEq(0, "toyota"))}),
+       Expr::MakePredicate(TextEq(5, "blue"))});
+  EXPECT_EQ(Run(q).rows, (std::vector<RowId>{0, 1, 5}));
+}
+
+TEST_F(ExecutorTest, SuperlativeAppliedLast) {
+  // "cheapest honda": filter honda first, then min price (§4.3's example).
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(0, "honda"));
+  q.superlative = Superlative{3, true};
+  q.limit = 1;
+  auto r = Run(q);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0], 3u);  // civic at 5500 is the cheapest honda
+}
+
+TEST_F(ExecutorTest, SuperlativeDescending) {
+  Query q;
+  q.superlative = Superlative{3, false};
+  q.limit = 2;
+  auto r = Run(q);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0], 9u);  // bmw m3 at 42000
+  EXPECT_EQ(r.rows[1], 8u);  // mustang at 18500
+}
+
+TEST_F(ExecutorTest, LimitCapsResults) {
+  Query q;
+  q.limit = 5;
+  EXPECT_EQ(Run(q).rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, EmptyWhereMatchesAll) {
+  Query q;
+  q.limit = 100;
+  EXPECT_EQ(Run(q).rows.size(), table_.num_rows());
+}
+
+TEST_F(ExecutorTest, OutOfRangeAttributeFails) {
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(99, "x"));
+  EXPECT_FALSE(exec_.Execute(q).ok());
+}
+
+TEST_F(ExecutorTest, UnbuiltIndexesFail) {
+  Table fresh(cqads::testing::MiniCarSchema());
+  Executor e(&fresh);
+  Query q;
+  EXPECT_EQ(e.Execute(q).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ExecutorTest, MatchesExprMirrorsSetSemantics) {
+  ExprPtr where = Expr::MakeAnd(
+      {Expr::MakePredicate(TextEq(0, "honda")),
+       Expr::MakeNot(Expr::MakePredicate(TextEq(5, "gold")))});
+  Query q;
+  q.where = where;
+  q.limit = 100;
+  auto rows = Run(q).rows;
+  for (RowId r = 0; r < table_.num_rows(); ++r) {
+    bool in_set = std::find(rows.begin(), rows.end(), r) != rows.end();
+    EXPECT_EQ(exec_.MatchesExpr(r, *where), in_set) << "row " << r;
+  }
+}
+
+TEST_F(ExecutorTest, NullCellFailsPositivePredicates) {
+  Table t(cqads::testing::MiniCarSchema());
+  Record rec(10);
+  rec[0] = Value::Text("honda");
+  rec[1] = Value::Text("accord");
+  ASSERT_TRUE(t.Insert(std::move(rec)).ok());
+  t.BuildIndexes();
+  Executor e(&t);
+  EXPECT_FALSE(e.Matches(0, Num(3, CompareOp::kLt, 1e9)));
+  EXPECT_TRUE(e.Matches(0, TextEq(0, "honda")));
+  Predicate ne = TextEq(5, "blue");
+  ne.op = CompareOp::kNe;
+  EXPECT_TRUE(e.Matches(0, ne));  // null is "not blue"
+}
+
+}  // namespace
+}  // namespace cqads::db

@@ -1,0 +1,150 @@
+#include "db/indexes.h"
+
+#include <gtest/gtest.h>
+
+namespace cqads::db {
+namespace {
+
+// --------------------------------------------------------------- set algebra
+
+TEST(RowSetOpsTest, Intersect) {
+  EXPECT_EQ(Intersect({1, 3, 5}, {3, 4, 5}), (RowSet{3, 5}));
+  EXPECT_EQ(Intersect({}, {1}), RowSet{});
+  EXPECT_EQ(Intersect({1, 2}, {3}), RowSet{});
+}
+
+TEST(RowSetOpsTest, Union) {
+  EXPECT_EQ(Union({1, 3}, {2, 3}), (RowSet{1, 2, 3}));
+  EXPECT_EQ(Union({}, {}), RowSet{});
+}
+
+TEST(RowSetOpsTest, Difference) {
+  EXPECT_EQ(Difference({1, 2, 3}, {2}), (RowSet{1, 3}));
+  EXPECT_EQ(Difference({1}, {1}), RowSet{});
+  EXPECT_EQ(Difference({}, {1}), RowSet{});
+}
+
+TEST(RowSetOpsTest, DeMorganOnSamples) {
+  RowSet all = {0, 1, 2, 3, 4, 5};
+  RowSet a = {0, 2, 4}, b = {2, 3};
+  // all \ (a ∪ b) == (all \ a) ∩ (all \ b)
+  EXPECT_EQ(Difference(all, Union(a, b)),
+            Intersect(Difference(all, a), Difference(all, b)));
+}
+
+// ---------------------------------------------------------------- HashIndex
+
+TEST(HashIndexTest, LookupAndKeys) {
+  HashIndex idx;
+  idx.Add("blue", 0);
+  idx.Add("red", 1);
+  idx.Add("blue", 3);
+  EXPECT_EQ(idx.Lookup("blue"), (RowSet{0, 3}));
+  EXPECT_EQ(idx.Lookup("red"), (RowSet{1}));
+  EXPECT_TRUE(idx.Lookup("green").empty());
+  EXPECT_EQ(idx.Keys(), (std::vector<std::string>{"blue", "red"}));
+  EXPECT_EQ(idx.key_count(), 2u);
+}
+
+TEST(HashIndexTest, DuplicateRowIgnored) {
+  HashIndex idx;
+  idx.Add("x", 2);
+  idx.Add("x", 2);
+  EXPECT_EQ(idx.Lookup("x"), (RowSet{2}));
+}
+
+TEST(HashIndexTest, OutOfOrderAddNormalized) {
+  HashIndex idx;
+  idx.Add("x", 5);
+  idx.Add("x", 1);
+  EXPECT_EQ(idx.Lookup("x"), (RowSet{1, 5}));
+}
+
+// -------------------------------------------------------------- SortedIndex
+
+TEST(SortedIndexTest, RangeInclusive) {
+  SortedIndex idx;
+  idx.Add(10, 0);
+  idx.Add(20, 1);
+  idx.Add(30, 2);
+  idx.Add(20, 3);
+  idx.Seal();
+  EXPECT_EQ(idx.Range(20, 20), (RowSet{1, 3}));
+  EXPECT_EQ(idx.Range(15, 30), (RowSet{1, 2, 3}));
+  EXPECT_EQ(idx.Range(0, 100), (RowSet{0, 1, 2, 3}));
+  EXPECT_TRUE(idx.Range(21, 29).empty());
+  EXPECT_TRUE(idx.Range(30, 20).empty());  // inverted bounds
+}
+
+TEST(SortedIndexTest, Extreme) {
+  SortedIndex idx;
+  idx.Add(5, 0);
+  idx.Add(1, 1);
+  idx.Add(9, 2);
+  idx.Seal();
+  EXPECT_EQ(idx.Extreme(true, 1), (RowSet{1}));   // min
+  EXPECT_EQ(idx.Extreme(false, 1), (RowSet{2}));  // max
+  EXPECT_EQ(idx.Extreme(true, 10).size(), 3u);    // clamped to size
+}
+
+TEST(SortedIndexTest, MinMaxKeys) {
+  SortedIndex idx;
+  idx.Add(7, 0);
+  idx.Add(-2, 1);
+  idx.Seal();
+  EXPECT_DOUBLE_EQ(idx.MinKey(), -2);
+  EXPECT_DOUBLE_EQ(idx.MaxKey(), 7);
+}
+
+TEST(SortedIndexTest, UnsealedReturnsEmpty) {
+  SortedIndex idx;
+  idx.Add(1, 0);
+  EXPECT_TRUE(idx.Range(0, 2).empty());
+}
+
+// --------------------------------------------------------------- NGramIndex
+
+TEST(NGramIndexTest, CandidatesAreSupersetOfMatches) {
+  NGramIndex idx;
+  idx.Add("honda accord", 0);
+  idx.Add("honda civic", 1);
+  idx.Add("toyota camry", 2);
+  EXPECT_EQ(idx.Candidates("accord"), (RowSet{0}));
+  EXPECT_EQ(idx.Candidates("honda"), (RowSet{0, 1}));
+  EXPECT_TRUE(idx.Candidates("mazda").empty());
+}
+
+TEST(NGramIndexTest, ShortNeedleRejected) {
+  NGramIndex idx;
+  idx.Add("blue", 0);
+  EXPECT_FALSE(NGramIndex::CanLookup("ab"));
+  EXPECT_TRUE(idx.Candidates("ab").empty());
+}
+
+TEST(NGramIndexTest, ShortTextNotIndexed) {
+  NGramIndex idx;
+  idx.Add("ab", 0);  // below gram length
+  EXPECT_EQ(idx.gram_count(), 0u);
+}
+
+TEST(NGramIndexTest, CandidatesCanOverApproximate) {
+  NGramIndex idx;
+  // Needle "abab" has grams {aba, bab}. "babxaba" contains both grams but
+  // not the substring "abab": a false candidate, which is why the executor
+  // verifies candidates row by row.
+  idx.Add("babxaba", 0);
+  idx.Add("abab", 1);
+  auto cands = idx.Candidates("abab");
+  EXPECT_EQ(cands, (RowSet{0, 1}));  // row 0 is a false positive by design
+}
+
+TEST(NGramIndexTest, SubstringLength3Exact) {
+  NGramIndex idx;
+  idx.Add("2 door", 0);
+  idx.Add("4 door", 1);
+  EXPECT_EQ(idx.Candidates("2 d"), (RowSet{0}));
+  EXPECT_EQ(idx.Candidates("door"), (RowSet{0, 1}));
+}
+
+}  // namespace
+}  // namespace cqads::db

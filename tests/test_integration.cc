@@ -1,0 +1,169 @@
+// End-to-end integration tests over a reduced world (fewer ads/sessions than
+// the benches for speed, all eight domains live).
+#include <gtest/gtest.h>
+
+#include "eval/experiments.h"
+
+namespace cqads::eval {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::WorldOptions options;
+    options.seed = 4242;
+    options.ads_per_domain = 250;
+    options.sessions_per_domain = 600;
+    options.corpus_docs_per_domain = 80;
+    auto built = datagen::World::Build(options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    world_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static datagen::World* world_;
+};
+
+datagen::World* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, AllEightDomainsLive) {
+  auto domains = world_->domains();
+  EXPECT_EQ(domains.size(), 8u);
+  for (const auto& d : domains) {
+    EXPECT_NE(world_->table(d), nullptr);
+    EXPECT_NE(world_->spec(d), nullptr);
+    EXPECT_NE(world_->query_log(d), nullptr);
+    EXPECT_NE(world_->engine().runtime(d), nullptr);
+    EXPECT_EQ(world_->table(d)->num_rows(), 250u);
+  }
+}
+
+TEST_F(WorldTest, WsMatrixLearnedGroups) {
+  // Colors from one related group score higher than cross-group colors.
+  const auto& ws = world_->ws_matrix();
+  EXPECT_GT(ws.Sim("black", "grey"), ws.Sim("black", "red"));
+}
+
+TEST_F(WorldTest, TiMatrixLearnedSegments) {
+  const auto* rt = world_->engine().runtime("cars");
+  ASSERT_NE(rt, nullptr);
+  double same = rt->ti_matrix.Sim("honda accord", "toyota camry");
+  double cross = rt->ti_matrix.Sim("honda accord", "chevy silverado");
+  EXPECT_GT(same, cross);
+}
+
+TEST_F(WorldTest, BadDomainSelectionFails) {
+  datagen::WorldOptions options;
+  options.domains = {"nonexistent"};
+  EXPECT_FALSE(datagen::World::Build(options).ok());
+}
+
+TEST_F(WorldTest, SurveyQuestionsGenerated) {
+  auto questions = GenerateSurveyQuestions(*world_, 20, 15, 77);
+  EXPECT_EQ(questions.size(), 8u);
+  EXPECT_EQ(questions.at("cars").size(), 20u);
+  EXPECT_EQ(questions.at("jewellery").size(), 15u);
+}
+
+TEST_F(WorldTest, ClassificationAccuracyHigh) {
+  auto questions = GenerateSurveyQuestions(*world_, 40, 30, 78);
+  auto result = RunClassification(*world_, questions);
+  EXPECT_EQ(result.per_domain_accuracy.size(), 8u);
+  // The paper reports upper-nineties average; the reduced world should
+  // comfortably clear 80%.
+  EXPECT_GT(result.average_accuracy, 0.8) << "avg accuracy too low";
+  for (const auto& [domain, acc] : result.per_domain_accuracy) {
+    EXPECT_GT(acc, 0.5) << domain;
+  }
+}
+
+TEST_F(WorldTest, ExactMatchQualityHigh) {
+  auto questions = GenerateSurveyQuestions(*world_, 40, 20, 79);
+  auto result = RunExactMatch(*world_, questions);
+  EXPECT_GT(result.questions_evaluated, 100u);
+  // Paper: P=93.8%, R=92.7%. The shape requirement: both high.
+  EXPECT_GT(result.precision, 0.8);
+  EXPECT_GT(result.recall, 0.8);
+  EXPECT_GT(result.f_measure, 0.8);
+  // Most questions are all-or-nothing (paper's observation).
+  EXPECT_GT(static_cast<double>(result.all_or_nothing) /
+                result.questions_evaluated,
+            0.6);
+}
+
+TEST_F(WorldTest, BooleanInterpretationAccuracyHigh) {
+  auto result = RunBooleanInterpretation(*world_, "cars", 120, 10, 90, 80);
+  EXPECT_GT(result.implicit_count + result.explicit_count, 80u);
+  // Paper: ~90% both implicit and explicit.
+  EXPECT_GT(result.overall_accuracy, 0.75);
+  EXPECT_EQ(result.sampled.size(), 10u);
+  for (const auto& s : result.sampled) {
+    EXPECT_GE(s.appraiser_agreement, 0.0);
+    EXPECT_LE(s.appraiser_agreement, 1.0);
+    EXPECT_FALSE(s.text.empty());
+  }
+}
+
+TEST_F(WorldTest, RankingExperimentOrdersCqadsFirst) {
+  auto result = RunRanking(*world_, 3, 10, 81);
+  ASSERT_EQ(result.scores.size(), 5u);
+  EXPECT_GT(result.questions_used, 10u);
+  const auto& cqads = result.scores.at("CQAds");
+  const auto& random = result.scores.at("Random");
+  // The headline Fig. 5 shape: CQAds beats the random baseline on every
+  // metric.
+  EXPECT_GT(cqads.p_at_1, random.p_at_1);
+  EXPECT_GT(cqads.p_at_5, random.p_at_5);
+  EXPECT_GT(cqads.mrr, random.mrr);
+}
+
+TEST_F(WorldTest, EfficiencyMeasuresAllApproaches) {
+  auto questions = GenerateSurveyQuestions(*world_, 10, 5, 82);
+  auto result = RunEfficiency(*world_, questions, 83);
+  ASSERT_EQ(result.avg_ms.size(), 5u);
+  for (const auto& [name, ms] : result.avg_ms) {
+    EXPECT_GT(ms, 0.0) << name;
+  }
+}
+
+TEST_F(WorldTest, EndToEndAskAcrossDomains) {
+  struct Probe {
+    const char* question;
+    const char* domain;
+  };
+  const Probe probes[] = {
+      {"looking for a blue honda accord car", "cars"},
+      {"kawasaki ninja motorcycle under 8000", "motorcycles"},
+      {"diamond gold ring jewellery", "jewellery"},
+      {"pizza hut coupon", "food_coupons"},
+  };
+  for (const auto& probe : probes) {
+    auto result = world_->engine().Ask(probe.question);
+    ASSERT_TRUE(result.ok()) << probe.question;
+    EXPECT_EQ(result.value().domain, probe.domain) << probe.question;
+  }
+}
+
+TEST_F(WorldTest, DeterministicRebuild) {
+  datagen::WorldOptions options;
+  options.seed = 999;
+  options.ads_per_domain = 60;
+  options.sessions_per_domain = 100;
+  options.corpus_docs_per_domain = 20;
+  options.domains = {"cars"};
+  auto w1 = datagen::World::Build(options);
+  auto w2 = datagen::World::Build(options);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  const auto* t1 = w1.value()->table("cars");
+  const auto* t2 = w2.value()->table("cars");
+  ASSERT_EQ(t1->num_rows(), t2->num_rows());
+  for (db::RowId r = 0; r < t1->num_rows(); ++r) {
+    EXPECT_EQ(t1->RowText(r), t2->RowText(r));
+  }
+}
+
+}  // namespace
+}  // namespace cqads::eval

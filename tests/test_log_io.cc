@@ -1,0 +1,132 @@
+#include "qlog/log_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qlog/log_generator.h"
+
+namespace cqads::qlog {
+namespace {
+
+QueryLog SampleLog() {
+  QueryLog log;
+  Session s;
+  s.user_id = "user_7";
+  LogQuery q1;
+  q1.timestamp = 0.0;
+  q1.value = "honda accord";
+  q1.clicks.push_back({"toyota camry", 2, 45.5});
+  LogQuery q2;
+  q2.timestamp = 61.25;
+  q2.value = "toyota camry";
+  s.queries = {q1, q2};
+  log.sessions.push_back(s);
+  return log;
+}
+
+TEST(LogIoTest, SerializeFormat) {
+  std::string text = SerializeLog(SampleLog());
+  EXPECT_EQ(text,
+            "session user_7\n"
+            "query 0.000 honda accord\n"
+            "click 2 45.500 toyota camry\n"
+            "query 61.250 toyota camry\n");
+}
+
+TEST(LogIoTest, RoundTrip) {
+  QueryLog original = SampleLog();
+  auto parsed = ParseLog(SerializeLog(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const QueryLog& log = parsed.value();
+  ASSERT_EQ(log.sessions.size(), 1u);
+  EXPECT_EQ(log.sessions[0].user_id, "user_7");
+  ASSERT_EQ(log.sessions[0].queries.size(), 2u);
+  EXPECT_EQ(log.sessions[0].queries[0].value, "honda accord");
+  ASSERT_EQ(log.sessions[0].queries[0].clicks.size(), 1u);
+  const Click& c = log.sessions[0].queries[0].clicks[0];
+  EXPECT_EQ(c.ad_value, "toyota camry");
+  EXPECT_EQ(c.rank, 2);
+  EXPECT_DOUBLE_EQ(c.dwell_seconds, 45.5);
+  EXPECT_DOUBLE_EQ(log.sessions[0].queries[1].timestamp, 61.25);
+}
+
+TEST(LogIoTest, GeneratedLogRoundTripsAndRebuildsSameMatrix) {
+  LogGenSpec spec;
+  spec.values = {"honda accord", "toyota camry", "ford mustang"};
+  spec.cluster_of = {0, 0, 1};
+  spec.num_sessions = 200;
+  Rng rng(42);
+  QueryLog original = GenerateQueryLog(spec, &rng);
+
+  auto parsed = ParseLog(SerializeLog(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().TotalQueries(), original.TotalQueries());
+  EXPECT_EQ(parsed.value().TotalClicks(), original.TotalClicks());
+
+  // The TI-matrix built from the round-tripped log matches (timestamps are
+  // serialized at millisecond precision; similarities agree closely).
+  TiMatrix m1 = TiMatrix::Build(original);
+  TiMatrix m2 = TiMatrix::Build(parsed.value());
+  EXPECT_EQ(m1.pair_count(), m2.pair_count());
+  EXPECT_NEAR(m1.Sim("honda accord", "toyota camry"),
+              m2.Sim("honda accord", "toyota camry"), 1e-3);
+}
+
+TEST(LogIoTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseLog(
+      "# exported log\n\nsession u1\n# a comment\nquery 0 honda\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().sessions.size(), 1u);
+}
+
+TEST(LogIoTest, StructuralErrorsRejected) {
+  EXPECT_FALSE(ParseLog("query 0 honda\n").ok());          // before session
+  EXPECT_FALSE(ParseLog("session u1\nclick 1 5 x\n").ok());  // before query
+  EXPECT_FALSE(ParseLog("bogus line\n").ok());
+  EXPECT_FALSE(ParseLog("session \n").ok());
+  EXPECT_FALSE(ParseLog("session u1\nquery abc honda\n").ok());
+  EXPECT_FALSE(ParseLog("session u1\nquery 0 honda\nclick 0 5 x\n").ok());
+  EXPECT_FALSE(ParseLog("session u1\nquery 0 \n").ok());
+}
+
+TEST(LogIoTest, ErrorsCarryLineNumbers) {
+  auto r = ParseLog("session u1\nbogus\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LogIoTest, EmptyInputIsEmptyLog) {
+  auto parsed = ParseLog("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().sessions.empty());
+}
+
+TEST(TiMatrixCsvTest, ExportsAllPairsWithHeader) {
+  LogGenSpec spec;
+  spec.values = {"a b", "c d"};
+  spec.cluster_of = {0, 0};
+  spec.num_sessions = 50;
+  Rng rng(3);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(spec, &rng));
+  std::string csv = ExportTiMatrixCsv(m);
+  EXPECT_EQ(csv.find("value_a,value_b,ti_sim\n"), 0u);
+  if (m.pair_count() > 0) {
+    EXPECT_NE(csv.find("\"a b\",\"c d\","), std::string::npos);
+  }
+}
+
+TEST(TiMatrixTest, AllPairsDeterministicOrder) {
+  LogGenSpec spec;
+  spec.values = {"x", "y", "z"};
+  spec.cluster_of = {0, 0, 0};
+  spec.num_sessions = 100;
+  Rng rng(5);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(spec, &rng));
+  auto pairs = m.AllPairs();
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(std::get<0>(pairs[i - 1]), std::get<0>(pairs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cqads::qlog

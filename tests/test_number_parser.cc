@@ -1,0 +1,73 @@
+#include "text/number_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace cqads::text {
+namespace {
+
+struct NumberCase {
+  const char* input;
+  double value;
+  bool had_magnitude;
+};
+
+class ParseNumberTest : public ::testing::TestWithParam<NumberCase> {};
+
+TEST_P(ParseNumberTest, ParsesValue) {
+  auto parsed = ParseNumberString(GetParam().input);
+  ASSERT_TRUE(parsed.has_value()) << GetParam().input;
+  EXPECT_DOUBLE_EQ(parsed->value, GetParam().value);
+  EXPECT_EQ(parsed->had_magnitude, GetParam().had_magnitude);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseNumberTest,
+    ::testing::Values(NumberCase{"5000", 5000, false},
+                      NumberCase{"20k", 20000, true},
+                      NumberCase{"20K", 20000, true},
+                      NumberCase{"1.5k", 1500, true},
+                      NumberCase{"2m", 2000000, true},
+                      NumberCase{"3.5", 3.5, false},
+                      NumberCase{"0", 0, false},
+                      NumberCase{"two", 2, false},
+                      NumberCase{"four", 4, false},
+                      NumberCase{"twenty", 20, false},
+                      NumberCase{"thousand", 1000, false}));
+
+TEST(ParseNumberTest, RejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumberString("").has_value());
+  EXPECT_FALSE(ParseNumberString("honda").has_value());
+  EXPECT_FALSE(ParseNumberString("2dr").has_value());
+  EXPECT_FALSE(ParseNumberString("k").has_value());
+  EXPECT_FALSE(ParseNumberString("1.2.3").has_value());
+  EXPECT_FALSE(ParseNumberString("12x").has_value());
+}
+
+TEST(ParseNumberTokenTest, CarriesMoneyFlag) {
+  auto toks = Tokenize("$5,000");
+  ASSERT_EQ(toks.size(), 1u);
+  auto parsed = ParseNumberToken(toks[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->value, 5000.0);
+  EXPECT_TRUE(parsed->is_money);
+}
+
+TEST(ParseNumberTokenTest, MixedTokenWithSuffix) {
+  auto toks = Tokenize("20k");
+  ASSERT_EQ(toks.size(), 1u);
+  auto parsed = ParseNumberToken(toks[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->value, 20000.0);
+  EXPECT_FALSE(parsed->is_money);
+}
+
+TEST(ParseNumberTokenTest, WordTokenRejected) {
+  auto toks = Tokenize("mazda");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_FALSE(ParseNumberToken(toks[0]).has_value());
+}
+
+}  // namespace
+}  // namespace cqads::text

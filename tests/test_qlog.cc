@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qlog/log_generator.h"
+#include "qlog/ti_matrix.h"
+
+namespace cqads::qlog {
+namespace {
+
+LogGenSpec TwoClusterSpec() {
+  LogGenSpec spec;
+  spec.values = {"honda accord", "toyota camry", "chevy malibu",
+                 "ford mustang", "chevy corvette"};
+  spec.cluster_of = {0, 0, 0, 1, 1};
+  spec.num_sessions = 800;
+  return spec;
+}
+
+TEST(LogGeneratorTest, Deterministic) {
+  Rng a(42), b(42);
+  QueryLog la = GenerateQueryLog(TwoClusterSpec(), &a);
+  QueryLog lb = GenerateQueryLog(TwoClusterSpec(), &b);
+  ASSERT_EQ(la.sessions.size(), lb.sessions.size());
+  EXPECT_EQ(la.TotalQueries(), lb.TotalQueries());
+  EXPECT_EQ(la.TotalClicks(), lb.TotalClicks());
+  EXPECT_EQ(la.sessions[0].queries[0].value, lb.sessions[0].queries[0].value);
+}
+
+TEST(LogGeneratorTest, SessionShape) {
+  Rng rng(7);
+  auto spec = TwoClusterSpec();
+  QueryLog log = GenerateQueryLog(spec, &rng);
+  EXPECT_EQ(log.sessions.size(), spec.num_sessions);
+  for (const auto& s : log.sessions) {
+    ASSERT_GE(s.queries.size(),
+              static_cast<std::size_t>(spec.min_queries_per_session));
+    ASSERT_LE(s.queries.size(),
+              static_cast<std::size_t>(spec.max_queries_per_session));
+    // Timestamps are non-decreasing.
+    for (std::size_t i = 1; i < s.queries.size(); ++i) {
+      EXPECT_GE(s.queries[i].timestamp, s.queries[i - 1].timestamp);
+    }
+    for (const auto& q : s.queries) {
+      for (const auto& c : q.clicks) {
+        EXPECT_GE(c.rank, 1);
+        EXPECT_GT(c.dwell_seconds, 0.0);
+      }
+    }
+  }
+}
+
+TEST(LogGeneratorTest, EmptySpecYieldsEmptyLog) {
+  Rng rng(1);
+  LogGenSpec spec;
+  EXPECT_TRUE(GenerateQueryLog(spec, &rng).sessions.empty());
+}
+
+TEST(LogGeneratorTest, MismatchedClustersYieldEmptyLog) {
+  Rng rng(1);
+  LogGenSpec spec;
+  spec.values = {"a", "b"};
+  spec.cluster_of = {0};
+  EXPECT_TRUE(GenerateQueryLog(spec, &rng).sessions.empty());
+}
+
+TEST(TiMatrixTest, RecoversClusterStructure) {
+  Rng rng(42);
+  QueryLog log = GenerateQueryLog(TwoClusterSpec(), &rng);
+  TiMatrix m = TiMatrix::Build(log);
+  // The headline property (§4.3.2): same-segment identities are more
+  // similar than cross-segment ones.
+  double same = m.Sim("honda accord", "toyota camry");
+  double cross = m.Sim("honda accord", "chevy corvette");
+  EXPECT_GT(same, cross);
+  double same2 = m.Sim("ford mustang", "chevy corvette");
+  double cross2 = m.Sim("ford mustang", "chevy malibu");
+  EXPECT_GT(same2, cross2);
+}
+
+TEST(TiMatrixTest, SymmetricLookup) {
+  Rng rng(42);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(TwoClusterSpec(), &rng));
+  EXPECT_DOUBLE_EQ(m.Sim("honda accord", "toyota camry"),
+                   m.Sim("toyota camry", "honda accord"));
+}
+
+TEST(TiMatrixTest, SelfSimilarityIsZero) {
+  Rng rng(42);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(TwoClusterSpec(), &rng));
+  EXPECT_DOUBLE_EQ(m.Sim("honda accord", "honda accord"), 0.0);
+}
+
+TEST(TiMatrixTest, UnknownPairIsZero) {
+  Rng rng(42);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(TwoClusterSpec(), &rng));
+  EXPECT_DOUBLE_EQ(m.Sim("honda accord", "unknown thing"), 0.0);
+}
+
+TEST(TiMatrixTest, SimBoundedByFeatureCount) {
+  // Eq. 3 sums five max-normalized features: TI_Sim in [0, 5].
+  Rng rng(42);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(TwoClusterSpec(), &rng));
+  EXPECT_GT(m.MaxSim(), 0.0);
+  EXPECT_LE(m.MaxSim(), 5.0);
+}
+
+TEST(TiMatrixTest, MostSimilarSortedDescending) {
+  Rng rng(42);
+  TiMatrix m = TiMatrix::Build(GenerateQueryLog(TwoClusterSpec(), &rng));
+  auto top = m.MostSimilar("honda accord", 3);
+  ASSERT_GE(top.size(), 2u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+  // The most similar identity is a same-segment one.
+  EXPECT_TRUE(top[0].first == "toyota camry" ||
+              top[0].first == "chevy malibu");
+}
+
+TEST(TiMatrixTest, FeaturesAccumulated) {
+  QueryLog log;
+  Session s;
+  s.user_id = "u1";
+  LogQuery q1;
+  q1.timestamp = 0;
+  q1.value = "a";
+  q1.clicks.push_back({"b", 2, 30.0});
+  LogQuery q2;
+  q2.timestamp = 60;
+  q2.value = "b";
+  s.queries = {q1, q2};
+  log.sessions.push_back(s);
+
+  TiMatrix m = TiMatrix::Build(log);
+  PairFeatures f = m.Features("a", "b");
+  EXPECT_DOUBLE_EQ(f.mod_count, 1.0);
+  EXPECT_DOUBLE_EQ(f.time_sum, 60.0);
+  EXPECT_DOUBLE_EQ(f.click_count, 1.0);
+  EXPECT_DOUBLE_EQ(f.rank_sum, 0.5);
+  EXPECT_DOUBLE_EQ(f.dwell_sum, 30.0);
+  EXPECT_GT(m.Sim("a", "b"), 0.0);
+}
+
+TEST(TiMatrixTest, EmptyLog) {
+  TiMatrix m = TiMatrix::Build(QueryLog{});
+  EXPECT_EQ(m.pair_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.MaxSim(), 0.0);
+}
+
+}  // namespace
+}  // namespace cqads::qlog

@@ -1,0 +1,72 @@
+#include "text/similar_text.h"
+
+#include <gtest/gtest.h>
+
+namespace cqads::text {
+namespace {
+
+TEST(SimilarTextTest, IdenticalStrings) {
+  EXPECT_EQ(SimilarTextChars("honda", "honda"), 5u);
+  EXPECT_DOUBLE_EQ(SimilarTextPercent("honda", "honda"), 100.0);
+}
+
+TEST(SimilarTextTest, EmptyStrings) {
+  EXPECT_EQ(SimilarTextChars("", "abc"), 0u);
+  EXPECT_DOUBLE_EQ(SimilarTextPercent("", ""), 100.0);
+  EXPECT_DOUBLE_EQ(SimilarTextPercent("", "abc"), 0.0);
+}
+
+TEST(SimilarTextTest, NoCommonCharacters) {
+  EXPECT_EQ(SimilarTextChars("abc", "xyz"), 0u);
+}
+
+// PHP reference: similar_text("World","Word") == 4.
+TEST(SimilarTextTest, PhpReferenceWorldWord) {
+  EXPECT_EQ(SimilarTextChars("world", "word"), 4u);
+}
+
+// PHP reference: the exact php_similar_str recursion yields 1 — only the
+// "l" block survives; its flanks share nothing. (The "2" often quoted
+// online does not match PHP's actual algorithm.)
+TEST(SimilarTextTest, PhpReferenceHelloWorld) {
+  EXPECT_EQ(SimilarTextChars("hello", "world"), 1u);
+}
+
+TEST(SimilarTextTest, TranspositionScoresHigh) {
+  // "accorr" vs "accord": longest common block "accor" (5).
+  EXPECT_EQ(SimilarTextChars("accorr", "accord"), 5u);
+  EXPECT_GT(SimilarTextPercent("accorr", "accord"), 80.0);
+}
+
+TEST(SimilarTextTest, MissingLetter) {
+  EXPECT_GT(SimilarTextPercent("hnda", "honda"), 85.0);
+}
+
+TEST(SimilarTextTest, Symmetric) {
+  EXPECT_EQ(SimilarTextChars("mazda", "madza"),
+            SimilarTextChars("madza", "mazda"));
+}
+
+TEST(SimilarTextTest, PercentBounded) {
+  const char* words[] = {"a", "honda", "hondaaccord", "xyz", "civic"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      double p = SimilarTextPercent(a, b);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 100.0);
+    }
+  }
+}
+
+TEST(SimilarTextTest, CharsAtMostShorterLength) {
+  EXPECT_LE(SimilarTextChars("hi", "hondaaccordcivic"), 2u);
+}
+
+TEST(SimilarTextTest, SpellingCandidateOrdering) {
+  // The misspelling "acord" is closer to "accord" than to "camry".
+  EXPECT_GT(SimilarTextPercent("acord", "accord"),
+            SimilarTextPercent("acord", "camry"));
+}
+
+}  // namespace
+}  // namespace cqads::text

@@ -1,0 +1,122 @@
+#include "db/sql_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_fixtures.h"
+
+namespace cqads::db {
+namespace {
+
+Predicate TextEq(std::size_t attr, const char* value) {
+  Predicate p;
+  p.attr = attr;
+  p.op = CompareOp::kEq;
+  p.value = Value::Text(value);
+  return p;
+}
+
+TEST(SqlWriterTest, Example7NestedSubqueries) {
+  // §4.5 Example 7: "Do you have automatic blue cars?"
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakeAnd({Expr::MakePredicate(TextEq(6, "automatic")),
+                           Expr::MakePredicate(TextEq(5, "blue"))});
+  EXPECT_EQ(WriteSql(schema, q),
+            "SELECT * FROM Car_Ads WHERE "
+            "Car_ID IN (SELECT Car_ID FROM Car_Ads C WHERE "
+            "C.Transmission = 'automatic') AND "
+            "Car_ID IN (SELECT Car_ID FROM Car_Ads C WHERE "
+            "C.Color = 'blue') LIMIT 30");
+}
+
+TEST(SqlWriterTest, PredicateRenderings) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Predicate lt;
+  lt.attr = 3;
+  lt.op = CompareOp::kLt;
+  lt.value = Value::Int(15000);
+  EXPECT_EQ(WritePredicate(schema, lt), "C.Price < 15000");
+
+  Predicate between;
+  between.attr = 3;
+  between.op = CompareOp::kBetween;
+  between.value = Value::Int(2000);
+  between.value_hi = Value::Int(7000);
+  EXPECT_EQ(WritePredicate(schema, between),
+            "C.Price BETWEEN 2000 AND 7000");
+
+  Predicate like;
+  like.attr = 9;
+  like.op = CompareOp::kContains;
+  like.value = Value::Text("gps");
+  EXPECT_EQ(WritePredicate(schema, like), "C.Features LIKE '%gps%'");
+
+  Predicate ne;
+  ne.attr = 5;
+  ne.op = CompareOp::kNe;
+  ne.value = Value::Text("blue");
+  EXPECT_EQ(WritePredicate(schema, ne), "C.Color <> 'blue'");
+}
+
+TEST(SqlWriterTest, NotRendersAsNotIn) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakeNot(Expr::MakePredicate(TextEq(5, "blue")));
+  EXPECT_EQ(WriteSql(schema, q),
+            "SELECT * FROM Car_Ads WHERE "
+            "Car_ID NOT IN (SELECT Car_ID FROM Car_Ads C WHERE "
+            "C.Color = 'blue') LIMIT 30");
+}
+
+TEST(SqlWriterTest, OrGroupsParenthesized) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakeOr(
+      {Expr::MakeAnd({Expr::MakePredicate(TextEq(0, "toyota")),
+                      Expr::MakePredicate(TextEq(1, "corolla"))}),
+       Expr::MakeAnd({Expr::MakePredicate(TextEq(0, "honda")),
+                      Expr::MakePredicate(TextEq(1, "accord"))})});
+  std::string sql = WriteSql(schema, q);
+  EXPECT_NE(sql.find(") OR ("), std::string::npos);
+  EXPECT_NE(sql.find("C.Make = 'toyota'"), std::string::npos);
+  EXPECT_NE(sql.find("C.Model = 'accord'"), std::string::npos);
+}
+
+TEST(SqlWriterTest, SuperlativeRendersOrderBy) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(0, "honda"));
+  q.superlative = Superlative{3, true};
+  std::string sql = WriteSql(schema, q);
+  EXPECT_NE(sql.find("ORDER BY Price ASC LIMIT 30"), std::string::npos);
+
+  q.superlative = Superlative{2, false};
+  sql = WriteSql(schema, q);
+  EXPECT_NE(sql.find("ORDER BY Year DESC"), std::string::npos);
+}
+
+TEST(SqlWriterTest, FlatSqlSingleWhere) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakeAnd({Expr::MakePredicate(TextEq(0, "honda")),
+                           Expr::MakePredicate(TextEq(5, "blue"))});
+  EXPECT_EQ(WriteFlatSql(schema, q),
+            "SELECT * FROM Car_Ads WHERE (C.Make = 'honda') AND "
+            "(C.Color = 'blue') LIMIT 30");
+}
+
+TEST(SqlWriterTest, NoWhereClause) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  EXPECT_EQ(WriteSql(schema, q), "SELECT * FROM Car_Ads LIMIT 30");
+}
+
+TEST(SqlWriterTest, QuotesEscapedInLiterals) {
+  Schema schema = cqads::testing::MiniCarSchema();
+  Query q;
+  q.where = Expr::MakePredicate(TextEq(1, "o'neil"));
+  EXPECT_NE(WriteSql(schema, q).find("'o''neil'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqads::db

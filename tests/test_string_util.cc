@@ -1,0 +1,140 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cqads {
+namespace {
+
+TEST(ToLowerTest, MixedCase) { EXPECT_EQ(ToLower("Honda AcCoRd"), "honda accord"); }
+TEST(ToLowerTest, NonAlphaUntouched) { EXPECT_EQ(ToLower("$5,000-X"), "$5,000-x"); }
+TEST(ToLowerTest, Empty) { EXPECT_EQ(ToLower(""), ""); }
+TEST(ToUpperTest, Basic) { EXPECT_EQ(ToUpper("abc1"), "ABC1"); }
+
+TEST(TrimTest, BothEnds) { EXPECT_EQ(Trim("  a b \t\n"), "a b"); }
+TEST(TrimTest, NothingToTrim) { EXPECT_EQ(Trim("ab"), "ab"); }
+TEST(TrimTest, AllWhitespace) { EXPECT_EQ(Trim(" \t "), ""); }
+TEST(TrimTest, ViewSharesStorage) {
+  std::string s = " xy ";
+  std::string_view v = TrimView(s);
+  EXPECT_EQ(v, "xy");
+  EXPECT_GE(v.data(), s.data());
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a;;b;", ';');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+TEST(SplitTest, NoSeparator) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  auto parts = SplitWhitespace("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+TEST(SplitWhitespaceTest, Empty) {
+  EXPECT_TRUE(SplitWhitespace("  ").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+TEST(JoinTest, SingleAndEmpty) {
+  EXPECT_EQ(Join({"x"}, "-"), "x");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("honda accord", "honda"));
+  EXPECT_FALSE(StartsWith("honda", "honda accord"));
+  EXPECT_TRUE(EndsWith("honda accord", "accord"));
+  EXPECT_FALSE(EndsWith("accord", "honda accord"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ReplaceAllTest, Multiple) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+}
+TEST(ReplaceAllTest, NoOverlapReprocessing) {
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "a"), "aa");
+}
+TEST(ReplaceAllTest, EmptyFrom) {
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(IsDigitsTest, Cases) {
+  EXPECT_TRUE(IsDigits("007"));
+  EXPECT_FALSE(IsDigits("2dr"));
+  EXPECT_FALSE(IsDigits(""));
+}
+TEST(IsAlphaTest, Cases) {
+  EXPECT_TRUE(IsAlpha("honda"));
+  EXPECT_FALSE(IsAlpha("m3"));
+  EXPECT_FALSE(IsAlpha(""));
+}
+
+TEST(EqualsIgnoreCaseTest, Cases) {
+  EXPECT_TRUE(EqualsIgnoreCase("Honda", "hONDA"));
+  EXPECT_FALSE(EqualsIgnoreCase("honda", "hondas"));
+}
+
+struct EditDistanceCase {
+  const char* a;
+  const char* b;
+  std::size_t expected;
+};
+
+class EditDistanceTest : public ::testing::TestWithParam<EditDistanceCase> {};
+
+TEST_P(EditDistanceTest, MatchesExpected) {
+  const auto& c = GetParam();
+  EXPECT_EQ(EditDistance(c.a, c.b), c.expected);
+  EXPECT_EQ(EditDistance(c.b, c.a), c.expected) << "symmetry";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EditDistanceTest,
+    ::testing::Values(EditDistanceCase{"", "", 0},
+                      EditDistanceCase{"a", "", 1},
+                      EditDistanceCase{"kitten", "sitting", 3},
+                      EditDistanceCase{"honda", "hondaa", 1},
+                      EditDistanceCase{"accord", "accorr", 1},
+                      EditDistanceCase{"flaw", "lawn", 2},
+                      EditDistanceCase{"same", "same", 0}));
+
+TEST(EditDistanceProperty, TriangleInequalityOnSamples) {
+  const char* words[] = {"honda", "accord", "camry", "corolla", "h"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      for (const char* c : words) {
+        EXPECT_LE(EditDistance(a, c),
+                  EditDistance(a, b) + EditDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(ThousandsTest, Cases) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(16536), "16,536");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(-5000), "-5,000");
+}
+
+}  // namespace
+}  // namespace cqads

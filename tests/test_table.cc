@@ -1,0 +1,135 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_fixtures.h"
+
+namespace cqads::db {
+namespace {
+
+TEST(TableTest, InsertAndRowAccess) {
+  Table t = cqads::testing::MiniCarTable();
+  EXPECT_EQ(t.num_rows(), cqads::testing::MiniCarRows().size());
+  EXPECT_EQ(t.cell(0, 0).text(), "honda");
+  EXPECT_DOUBLE_EQ(t.cell(0, 3).AsDouble(), 8900.0);
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table t(cqads::testing::MiniCarSchema());
+  auto r = t.Insert({Value::Text("honda")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertRejectsKindMismatch) {
+  Table t(cqads::testing::MiniCarSchema());
+  Record rec(10);
+  rec[0] = Value::Text("honda");
+  rec[1] = Value::Text("accord");
+  rec[2] = Value::Text("not a number");  // year must be numeric
+  auto r = t.Insert(std::move(rec));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, NullCellsAllowed) {
+  Table t(cqads::testing::MiniCarSchema());
+  Record rec(10);
+  rec[0] = Value::Text("honda");
+  rec[1] = Value::Text("accord");
+  EXPECT_TRUE(t.Insert(std::move(rec)).ok());
+}
+
+TEST(TableTest, CellElementsSplitsTextList) {
+  Table t = cqads::testing::MiniCarTable();
+  auto elements = t.CellElements(0, 9);
+  ASSERT_EQ(elements.size(), 2u);
+  EXPECT_EQ(elements[0], "cd player");
+  EXPECT_EQ(elements[1], "power steering");
+}
+
+TEST(TableTest, CellElementsSingleForCategorical) {
+  Table t = cqads::testing::MiniCarTable();
+  EXPECT_EQ(t.CellElements(0, 5), (std::vector<std::string>{"blue"}));
+}
+
+TEST(TableTest, CellElementsEmptyForNumeric) {
+  Table t = cqads::testing::MiniCarTable();
+  EXPECT_TRUE(t.CellElements(0, 3).empty());
+}
+
+TEST(TableTest, RowTextContainsAllValues) {
+  Table t = cqads::testing::MiniCarTable();
+  std::string text = t.RowText(0);
+  EXPECT_NE(text.find("honda"), std::string::npos);
+  EXPECT_NE(text.find("accord"), std::string::npos);
+  EXPECT_NE(text.find("blue"), std::string::npos);
+  EXPECT_NE(text.find("cd player"), std::string::npos);
+  EXPECT_EQ(text.find(";"), std::string::npos);  // list separator removed
+}
+
+TEST(TableTest, HashIndexOnTypeI) {
+  Table t = cqads::testing::MiniCarTable();
+  const HashIndex* idx = t.hash_index(0);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup("honda").size(), 4u);
+  EXPECT_EQ(idx->Lookup("bmw").size(), 1u);
+}
+
+TEST(TableTest, SortedIndexOnNumeric) {
+  Table t = cqads::testing::MiniCarTable();
+  const SortedIndex* idx = t.sorted_index(3);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_DOUBLE_EQ(idx->MinKey(), 5500.0);
+  EXPECT_DOUBLE_EQ(idx->MaxKey(), 42000.0);
+}
+
+TEST(TableTest, IndexKindsDoNotCross) {
+  Table t = cqads::testing::MiniCarTable();
+  EXPECT_EQ(t.hash_index(3), nullptr);    // numeric attr: no hash index
+  EXPECT_EQ(t.sorted_index(0), nullptr);  // categorical: no sorted index
+  EXPECT_NE(t.ngram_index(0), nullptr);
+  EXPECT_EQ(t.ngram_index(3), nullptr);
+}
+
+TEST(TableTest, IndexesNotBuiltUntilRequested) {
+  Table t(cqads::testing::MiniCarSchema());
+  EXPECT_FALSE(t.indexes_built());
+  EXPECT_EQ(t.hash_index(0), nullptr);
+}
+
+TEST(TableTest, NumericRange) {
+  Table t = cqads::testing::MiniCarTable();
+  auto range = t.NumericRange(2);  // year
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(range.value().first, 2002.0);
+  EXPECT_DOUBLE_EQ(range.value().second, 2010.0);
+  EXPECT_FALSE(t.NumericRange(0).ok());   // categorical
+  EXPECT_FALSE(t.NumericRange(99).ok());  // out of range
+}
+
+TEST(TableTest, FeatureListIndexedByElement) {
+  Table t = cqads::testing::MiniCarTable();
+  const HashIndex* idx = t.hash_index(9);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->Lookup("gps").size(), 4u);
+  EXPECT_EQ(idx->Lookup("cd player").size(), 7u);
+}
+
+TEST(DatabaseTest, AddAndGet) {
+  Database db;
+  EXPECT_TRUE(db.AddTable(cqads::testing::MiniCarTable()).ok());
+  EXPECT_NE(db.GetTable("cars"), nullptr);
+  EXPECT_EQ(db.GetTable("boats"), nullptr);
+  EXPECT_EQ(db.Domains(), (std::vector<std::string>{"cars"}));
+}
+
+TEST(DatabaseTest, RejectsDuplicateDomain) {
+  Database db;
+  EXPECT_TRUE(db.AddTable(cqads::testing::MiniCarTable()).ok());
+  auto st = db.AddTable(cqads::testing::MiniCarTable());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace cqads::db

@@ -1,0 +1,138 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace cqads::text {
+namespace {
+
+std::vector<std::string> Texts(const TokenList& toks) {
+  std::vector<std::string> out;
+  for (const auto& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, LowercasesWords) {
+  EXPECT_EQ(Texts(Tokenize("Honda ACCORD")),
+            (std::vector<std::string>{"honda", "accord"}));
+}
+
+TEST(TokenizerTest, DropsPunctuation) {
+  EXPECT_EQ(Texts(Tokenize("Do you have a 2 door, red BMW?")),
+            (std::vector<std::string>{"do", "you", "have", "a", "2", "door",
+                                      "red", "bmw"}));
+}
+
+TEST(TokenizerTest, MoneyTokenStripsDollarAndSetsFlag) {
+  auto toks = Tokenize("under $5,000 today");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "5000");
+  EXPECT_TRUE(toks[1].has_dollar);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, BareDollarSignIgnored) {
+  EXPECT_EQ(Texts(Tokenize("pay in $ now")),
+            (std::vector<std::string>{"pay", "in", "now"}));
+}
+
+TEST(TokenizerTest, ThousandsCommaInsideNumber) {
+  auto toks = Tokenize("15,000 miles");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "15000");
+}
+
+TEST(TokenizerTest, CommaBetweenWordsSeparates) {
+  EXPECT_EQ(Texts(Tokenize("focus,corolla,civic")),
+            (std::vector<std::string>{"focus", "corolla", "civic"}));
+}
+
+TEST(TokenizerTest, DecimalPointKept) {
+  auto toks = Tokenize("3.5 carat");
+  EXPECT_EQ(toks[0].text, "3.5");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, TrailingPeriodNotPartOfNumber) {
+  auto toks = Tokenize("price is 5000.");
+  EXPECT_EQ(toks.back().text, "5000");
+}
+
+TEST(TokenizerTest, HyphenSplits) {
+  EXPECT_EQ(Texts(Tokenize("4-door sedan")),
+            (std::vector<std::string>{"4", "door", "sedan"}));
+}
+
+TEST(TokenizerTest, SlashSplits) {
+  EXPECT_EQ(Texts(Tokenize("automatic/manual")),
+            (std::vector<std::string>{"automatic", "manual"}));
+}
+
+TEST(TokenizerTest, MixedAlnumStaysWhole) {
+  auto toks = Tokenize("2dr mazda 20k");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "2dr");
+  EXPECT_EQ(toks[0].kind, TokenKind::kMixed);
+  EXPECT_EQ(toks[2].text, "20k");
+  EXPECT_EQ(toks[2].kind, TokenKind::kMixed);
+}
+
+TEST(TokenizerTest, CppAndCSharpSurvive) {
+  auto toks = Tokenize("c++ or c# job");
+  EXPECT_EQ(toks[0].text, "c++");
+  EXPECT_EQ(toks[1].text, "or");
+  EXPECT_EQ(toks[2].text, "c#");
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string src = "red  BMW";
+  auto toks = Tokenize(src);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 5u);
+  EXPECT_EQ(src.substr(toks[1].offset, 3), "BMW");
+}
+
+TEST(TokenizerTest, MoneyOffsetIncludesDollar) {
+  auto toks = Tokenize("x $900");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].offset, 2u);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t ?!").empty());
+}
+
+TEST(TokenizerTest, JoinTokensRoundTripCanonical) {
+  EXPECT_EQ(JoinTokens(Tokenize("Red, 4-door BMW!")), "red 4 door bmw");
+}
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("looking"));
+  EXPECT_TRUE(IsStopword("want"));
+}
+
+TEST(StopwordsTest, OperatorWordsAreNotStopwords) {
+  // These carry Table 1 semantics and must survive to the tagger.
+  for (const char* w : {"less", "than", "more", "above", "under", "between",
+                        "not", "no", "without", "except", "or", "and",
+                        "within", "cheapest", "newest"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsAreNotStopwords) {
+  for (const char* w : {"honda", "blue", "price", "door", "engineer"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CountIsStable) {
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+}  // namespace
+}  // namespace cqads::text

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "test_fixtures.h"
+
+namespace cqads::db {
+namespace {
+
+// ------------------------------------------------------------------ Value
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.AsText(), "");
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, IntAndRealCompareByValue) {
+  EXPECT_EQ(Value::Int(5), Value::Real(5.0));
+  EXPECT_NE(Value::Int(5), Value::Real(5.5));
+  EXPECT_LT(Value::Int(4), Value::Real(4.5));
+}
+
+TEST(ValueTest, TextIsLowercased) {
+  Value v = Value::Text("Honda Accord");
+  EXPECT_EQ(v.text(), "honda accord");
+  EXPECT_EQ(v, Value::Text("HONDA ACCORD"));
+}
+
+TEST(ValueTest, SqlLiteralQuotingAndEscaping) {
+  EXPECT_EQ(Value::Text("blue").ToSqlLiteral(), "'blue'");
+  EXPECT_EQ(Value::Text("o'neil").ToSqlLiteral(), "'o''neil'");
+  EXPECT_EQ(Value::Int(42).ToSqlLiteral(), "42");
+}
+
+TEST(ValueTest, RealFormattingDropsTrailingZeros) {
+  EXPECT_EQ(Value::Real(5000.0).AsText(), "5000");
+  EXPECT_EQ(Value::Real(3.5).AsText(), "3.50");
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Null(), Value::Text("a"));
+}
+
+TEST(ValueTest, MixedTypesNeverEqual) {
+  EXPECT_NE(Value::Text("5"), Value::Int(5));
+}
+
+TEST(ValueTest, NumericSortsBeforeText) {
+  EXPECT_LT(Value::Int(99), Value::Text("a"));
+}
+
+// ------------------------------------------------------------------ Schema
+
+TEST(SchemaTest, MiniCarSchemaValidates) {
+  EXPECT_TRUE(cqads::testing::MiniCarSchema().Validate().ok());
+}
+
+TEST(SchemaTest, IndexOfAndResolve) {
+  Schema s = cqads::testing::MiniCarSchema();
+  EXPECT_EQ(s.IndexOf("make"), std::size_t{0});
+  EXPECT_EQ(s.IndexOf("price"), std::size_t{3});
+  EXPECT_FALSE(s.IndexOf("cost").has_value());   // alias, not a name
+  EXPECT_EQ(s.Resolve("cost"), std::size_t{3});  // alias resolves
+  EXPECT_EQ(s.Resolve("MAKER"), std::size_t{0});
+  EXPECT_FALSE(s.Resolve("nonexistent").has_value());
+}
+
+TEST(SchemaTest, AttrsOfType) {
+  Schema s = cqads::testing::MiniCarSchema();
+  EXPECT_EQ(s.AttrsOfType(AttrType::kTypeI),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.AttrsOfType(AttrType::kTypeIII),
+            (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(SchemaTest, NumericAttrs) {
+  Schema s = cqads::testing::MiniCarSchema();
+  EXPECT_EQ(s.NumericAttrs(), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(SchemaTest, TableNameMatchesPaperStyle) {
+  EXPECT_EQ(cqads::testing::MiniCarSchema().TableName(), "Car_Ads");
+}
+
+TEST(SchemaTest, ValidateRejectsNoTypeI) {
+  Attribute a;
+  a.name = "color";
+  a.attr_type = AttrType::kTypeII;
+  Schema s("broken", {a});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicateNames) {
+  Attribute a;
+  a.name = "make";
+  a.attr_type = AttrType::kTypeI;
+  Schema s("broken", {a, a});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsNonNumericTypeIII) {
+  Attribute id;
+  id.name = "make";
+  id.attr_type = AttrType::kTypeI;
+  Attribute bad;
+  bad.name = "price";
+  bad.attr_type = AttrType::kTypeIII;
+  bad.data_kind = DataKind::kCategorical;
+  Schema s("broken", {id, bad});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsNumericTypeI) {
+  Attribute bad;
+  bad.name = "make";
+  bad.attr_type = AttrType::kTypeI;
+  bad.data_kind = DataKind::kNumeric;
+  Schema s("broken", {bad});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, NamesNormalizedToLowercase) {
+  Attribute a;
+  a.name = "Make";
+  a.attr_type = AttrType::kTypeI;
+  a.aliases = {"Brand"};
+  Schema s("Cars", {a});
+  EXPECT_EQ(s.domain(), "cars");
+  EXPECT_EQ(s.attribute(0).name, "make");
+  EXPECT_EQ(s.attribute(0).aliases[0], "brand");
+}
+
+}  // namespace
+}  // namespace cqads::db

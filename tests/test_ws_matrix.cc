@@ -1,0 +1,90 @@
+#include "wordsim/ws_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cqads::wordsim {
+namespace {
+
+std::vector<std::string> ColorCorpus() {
+  // "black" and "grey" co-occur adjacently; "red" appears far away in the
+  // same documents; filler words separate sections.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 6; ++i) {
+    corpus.push_back(
+        "black grey exterior excellent condition garage kept clean original "
+        "owner quality deal warranty included red maroon paint");
+  }
+  return corpus;
+}
+
+TEST(WsMatrixTest, AdjacentWordsMoreSimilarThanDistant) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  EXPECT_GT(m.Sim("black", "grey"), m.Sim("black", "red"));
+}
+
+TEST(WsMatrixTest, IdenticalStemsScoreOne) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  EXPECT_DOUBLE_EQ(m.Sim("black", "black"), 1.0);
+  EXPECT_DOUBLE_EQ(m.Sim("owner", "owners"), 1.0);  // same stem
+}
+
+TEST(WsMatrixTest, UnknownPairIsZero) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  EXPECT_DOUBLE_EQ(m.Sim("black", "zebra"), 0.0);
+}
+
+TEST(WsMatrixTest, SymmetricLookup) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  EXPECT_DOUBLE_EQ(m.Sim("black", "grey"), m.Sim("grey", "black"));
+}
+
+TEST(WsMatrixTest, MinDocFreqPrunesRareWords) {
+  std::vector<std::string> corpus = ColorCorpus();
+  corpus.push_back("unicorn black");  // "unicorn" appears in one doc only
+  WsOptions opts;
+  opts.min_doc_freq = 2;
+  WsMatrix m = WsMatrix::Build(corpus, opts);
+  EXPECT_DOUBLE_EQ(m.Sim("unicorn", "black"), 0.0);
+}
+
+TEST(WsMatrixTest, WindowLimitsCooccurrence) {
+  // With a window of 2, words 12 fillers apart never pair up.
+  WsOptions opts;
+  opts.window = 2;
+  WsMatrix m = WsMatrix::Build(ColorCorpus(), opts);
+  EXPECT_DOUBLE_EQ(m.Sim("black", "maroon"), 0.0);
+  EXPECT_GT(m.Sim("black", "grey"), 0.0);
+}
+
+TEST(WsMatrixTest, StopwordsExcludedFromVocabulary) {
+  std::vector<std::string> corpus = {
+      "the black the grey the", "the black the grey the"};
+  WsMatrix m = WsMatrix::Build(corpus);
+  EXPECT_DOUBLE_EQ(m.Sim("the", "black"), 0.0);
+  EXPECT_GT(m.Sim("black", "grey"), 0.0);
+}
+
+TEST(WsMatrixTest, SimilaritiesBounded) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  EXPECT_GT(m.MaxSim(), 0.0);
+  EXPECT_LE(m.MaxSim(), 1.0);
+}
+
+TEST(WsMatrixTest, MostSimilarOrdering) {
+  WsMatrix m = WsMatrix::Build(ColorCorpus());
+  auto top = m.MostSimilar("black", 5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, "grei");  // Porter stem of "grey"
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(WsMatrixTest, EmptyCorpus) {
+  WsMatrix m = WsMatrix::Build({});
+  EXPECT_EQ(m.vocabulary_size(), 0u);
+  EXPECT_DOUBLE_EQ(m.MaxSim(), 0.0);
+}
+
+}  // namespace
+}  // namespace cqads::wordsim
