@@ -1,0 +1,109 @@
+// Serving throughput: questions/sec for sequential CqadsEngine::Ask vs the
+// ConcurrentServer worker pool, with and without the prepared-query cache.
+// The stream replays the survey questions several times with repeats —
+// heavy-traffic ad search is dominated by popular recurring questions, the
+// workload the prepared-query cache targets. Verifies byte-identical
+// answers (CanonicalAskResultString) across all serving modes before
+// timing.
+//
+// Usage: serve_throughput [num_workers] [passes]
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ask_types.h"
+#include "eval/experiments.h"
+#include "serve/concurrent_server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double QuestionsPerSec(std::size_t n, Clock::duration elapsed) {
+  const double secs = std::chrono::duration<double>(elapsed).count();
+  return secs > 0.0 ? static_cast<double>(n) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqads;
+  const std::size_t num_workers =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const std::size_t passes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  auto world = bench::BuildPaperWorld();
+  const core::CqadsEngine& engine = world->engine();
+
+  auto generated = eval::GenerateSurveyQuestions(*world, 80, 40, 990);
+  std::vector<std::string> stream;
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    for (const auto& [domain, qs] : generated) {
+      for (const auto& q : qs) stream.push_back(q.text);
+    }
+  }
+
+  // Sequential baseline through the engine facade.
+  auto seq_start = Clock::now();
+  std::vector<std::string> expected;
+  expected.reserve(stream.size());
+  for (const auto& q : stream) {
+    auto r = engine.Ask(q);
+    expected.push_back(r.ok() ? core::CanonicalAskResultString(r.value())
+                              : "ERROR");
+  }
+  const auto seq_elapsed = Clock::now() - seq_start;
+
+  auto run_server = [&](bool enable_cache, const char* label) {
+    serve::ConcurrentServer::Options options;
+    options.num_workers = num_workers;
+    options.enable_cache = enable_cache;
+    serve::ConcurrentServer server(&engine, options);
+
+    auto start = Clock::now();
+    auto results = server.AskBatch(stream);
+    const auto elapsed = Clock::now() - start;
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::string got = results[i].ok()
+          ? core::CanonicalAskResultString(results[i].value())
+          : "ERROR";
+      if (got != expected[i]) ++mismatches;
+    }
+    auto stats = server.cache_stats();
+    std::printf("%-22s %10.1f q/s   %6.2fx   mismatches=%zu   "
+                "cache h/m/e=%llu/%llu/%llu\n",
+                label, QuestionsPerSec(stream.size(), elapsed),
+                std::chrono::duration<double>(seq_elapsed).count() /
+                    std::chrono::duration<double>(elapsed).count(),
+                mismatches,
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions));
+    return mismatches;
+  };
+
+  bench::PrintHeader("serving throughput (questions/sec)");
+  std::printf("stream: %zu questions (%zu unique x %zu passes), workers: "
+              "%zu\n",
+              stream.size(), stream.size() / passes, passes, num_workers);
+  bench::PrintRule();
+  std::printf("%-22s %14s %8s\n", "mode", "throughput", "speedup");
+  bench::PrintRule();
+  std::printf("%-22s %10.1f q/s   %6.2fx\n", "sequential Ask",
+              QuestionsPerSec(stream.size(), seq_elapsed), 1.0);
+  std::size_t bad = 0;
+  bad += run_server(false, "pooled (no cache)");
+  bad += run_server(true, "pooled + cache");
+  bench::PrintRule();
+  if (bad > 0) {
+    std::printf("FAIL: %zu results differ from sequential baseline\n", bad);
+    return 1;
+  }
+  std::printf("all pooled/cached results byte-identical to sequential Ask\n");
+  return 0;
+}

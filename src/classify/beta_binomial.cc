@@ -7,14 +7,23 @@ namespace cqads::classify {
 
 namespace {
 
+// glibc's lgamma writes the process-global `signgam`, which races when the
+// concurrent server classifies on several workers at once. All arguments
+// here are positive, where the gamma function is positive too, so the sign
+// output of the reentrant lgamma_r can be discarded.
+double LogGamma(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
 double LogBeta(double a, double b) {
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
 }
 
 double LogChoose(std::size_t n, std::size_t k) {
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 constexpr double kMinParam = 1e-4;

@@ -30,6 +30,9 @@ struct LabelledDoc {
   std::string label;
 };
 
+/// Thread-safety: Train() mutates and must be externally serialized (the
+/// EngineBuilder trains into a private copy before publishing a snapshot);
+/// Classify()/Scores() are const and safe concurrently once trained.
 class QuestionClassifier {
  public:
   enum class Model { kJBBSM, kMultinomial };

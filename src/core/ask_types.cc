@@ -1,0 +1,22 @@
+#include "core/ask_types.h"
+
+#include <sstream>
+
+namespace cqads::core {
+
+std::string CanonicalAskResultString(const AskResult& result) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "domain=" << result.domain << '\n'
+     << "sql=" << result.sql << '\n'
+     << "interpretation=" << result.interpretation << '\n'
+     << "contradiction=" << (result.contradiction ? 1 : 0) << '\n'
+     << "exact_count=" << result.exact_count << '\n';
+  for (const Answer& a : result.answers) {
+    os << "row=" << a.row << " exact=" << (a.exact ? 1 : 0)
+       << " rank_sim=" << a.rank_sim << " measure=" << a.measure << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cqads::core

@@ -1,0 +1,79 @@
+// Request/response value types of the ask path, shared by the staged
+// pipeline (core/pipeline.h), the engine facade (core/cqads_engine.h), and
+// the serving layer (serve/). Hoisted out of CqadsEngine so the pipeline,
+// the prepared-query cache, and the server can name them without pulling in
+// the engine.
+#ifndef CQADS_CORE_ASK_TYPES_H_
+#define CQADS_CORE_ASK_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/boolean_assembler.h"
+#include "core/condition_builder.h"
+#include "core/question_tagger.h"
+#include "db/executor.h"
+#include "db/query.h"
+
+namespace cqads::core {
+
+/// Engine-wide knobs (formerly CqadsEngine::Options).
+struct EngineOptions {
+  /// §4.3.1: at most 30 answers per question.
+  std::size_t answer_cap = 30;
+  /// Partial (N-1) answers are fetched when exact answers number fewer
+  /// than this.
+  std::size_t partial_trigger = 30;
+  bool enable_partial = true;
+};
+
+/// Full analysis of a question within a known domain: everything the
+/// parse-side stages (tag -> conditions -> assembly -> SQL) produce.
+/// Immutable once built (the expression trees are shared_ptr<const Expr>),
+/// so a ParsedQuestion can be memoized by the prepared-query cache and
+/// replayed concurrently.
+struct ParsedQuestion {
+  TaggingResult tags;
+  BuiltConditions conditions;
+  AssembledQuery assembled;
+  db::Query query;      ///< executable form
+  std::string sql;      ///< §4.5 nested-subquery SQL text
+};
+
+/// One retrieved answer.
+struct Answer {
+  db::RowId row = 0;
+  bool exact = true;
+  double rank_sim = 0.0;     ///< Eq. 5 (exact answers: number of units)
+  std::string measure;       ///< similarity measure used (partial only)
+};
+
+/// Wall-clock spent inside one pipeline stage of one request.
+struct StageTiming {
+  std::string stage;
+  double micros = 0.0;
+};
+
+struct AskResult {
+  std::string domain;
+  std::string sql;
+  std::string interpretation;
+  bool contradiction = false;  ///< "search retrieved no results"
+  std::vector<Answer> answers;
+  std::size_t exact_count = 0;
+  db::ExecStats stats;
+  /// Per-stage timings in pipeline order (empty for cached parse stages).
+  std::vector<StageTiming> timings;
+};
+
+/// Canonical serialization of everything deterministic in an AskResult
+/// (domain, SQL, interpretation, contradiction flag, answer rows with exact
+/// flags, rank scores, and measures — not timings or work counters). Two
+/// serving paths answered identically iff the strings are byte-identical;
+/// the concurrency tests and the throughput bench compare with this.
+std::string CanonicalAskResultString(const AskResult& result);
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_ASK_TYPES_H_

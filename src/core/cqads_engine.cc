@@ -1,47 +1,23 @@
 #include "core/cqads_engine.h"
 
-#include <algorithm>
-
-#include "db/sql_writer.h"
-
 namespace cqads::core {
+
+void CqadsEngine::SwapSnapshotLocked() {
+  std::atomic_store(&snapshot_, builder_.Build());
+}
 
 Status CqadsEngine::AddDomain(const db::Table* table,
                               qlog::TiMatrix ti_matrix) {
-  if (table == nullptr) return Status::InvalidArgument("null table");
-  CQADS_RETURN_NOT_OK(table->schema().Validate());
-  if (!table->indexes_built()) {
-    return Status::FailedPrecondition("table indexes not built: " +
-                                      table->schema().domain());
-  }
-  const std::string domain = table->schema().domain();
-  if (runtimes_.count(domain) > 0) {
-    return Status::AlreadyExists("domain already registered: " + domain);
-  }
-
-  auto rt = std::make_unique<DomainRuntime>();
-  rt->table = table;
-  auto lexicon = DomainLexicon::Build(table);
-  if (!lexicon.ok()) return lexicon.status();
-  rt->lexicon =
-      std::make_unique<DomainLexicon>(std::move(lexicon).value());
-  rt->tagger = std::make_unique<QuestionTagger>(rt->lexicon.get());
-  rt->executor = std::make_unique<db::Executor>(table);
-  rt->ti_matrix = std::move(ti_matrix);
-  rt->attr_ranges = ComputeAttrRanges(*table);
-  runtimes_.emplace(domain, std::move(rt));
-  classifier_trained_ = false;  // corpus changed
+  std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(builder_.AddDomain(table, std::move(ti_matrix)));
+  SwapSnapshotLocked();
   return Status::OK();
 }
 
-std::vector<classify::LabelledDoc> CqadsEngine::MakeTrainingDocs() const {
-  std::vector<classify::LabelledDoc> docs;
-  for (const auto& [domain, rt] : runtimes_) {
-    for (db::RowId r = 0; r < rt->table->num_rows(); ++r) {
-      docs.push_back({rt->table->RowText(r), domain});
-    }
-  }
-  return docs;
+void CqadsEngine::SetWordSimilarity(const wordsim::WsMatrix* ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  builder_.SetWordSimilarity(ws);
+  SwapSnapshotLocked();
 }
 
 Status CqadsEngine::TrainClassifier(
@@ -52,179 +28,62 @@ Status CqadsEngine::TrainClassifier(
 Status CqadsEngine::TrainClassifierWithExtra(
     const std::vector<classify::LabelledDoc>& extra_docs,
     classify::QuestionClassifier::Options classifier_options) {
-  if (runtimes_.empty()) {
-    return Status::FailedPrecondition("no domains registered");
-  }
-  classifier_ = classify::QuestionClassifier(classifier_options);
-  auto docs = MakeTrainingDocs();
-  docs.insert(docs.end(), extra_docs.begin(), extra_docs.end());
-  CQADS_RETURN_NOT_OK(classifier_.Train(docs));
-  classifier_trained_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(
+      builder_.TrainClassifierWithExtra(extra_docs, classifier_options));
+  SwapSnapshotLocked();
   return Status::OK();
+}
+
+std::vector<classify::LabelledDoc> CqadsEngine::MakeTrainingDocs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builder_.MakeTrainingDocs();
+}
+
+EngineSnapshot::Ptr CqadsEngine::snapshot() const {
+  // Readers never take mu_: a retrain holds it for the whole rebuild, and
+  // blocking every Ask on that would defeat the snapshot design.
+  return std::atomic_load(&snapshot_);
 }
 
 Result<std::string> CqadsEngine::ClassifyDomain(
     const std::string& question) const {
-  if (!classifier_trained_) {
-    return Status::FailedPrecondition("classifier not trained");
-  }
-  std::string domain = classifier_.Classify(question);
-  if (domain.empty()) return Status::Internal("classifier returned no class");
-  return domain;
+  return snapshot()->ClassifyDomain(question);
 }
 
 const DomainRuntime* CqadsEngine::runtime(const std::string& domain) const {
-  auto it = runtimes_.find(domain);
-  return it == runtimes_.end() ? nullptr : it->second.get();
+  return snapshot()->runtime(domain);
 }
 
 std::vector<std::string> CqadsEngine::Domains() const {
-  std::vector<std::string> out;
-  for (const auto& [d, rt] : runtimes_) out.push_back(d);
-  return out;
-}
-
-SimilarityContext CqadsEngine::MakeSimilarityContext(
-    const DomainRuntime& rt) const {
-  SimilarityContext ctx;
-  ctx.ti = &rt.ti_matrix;
-  ctx.ws = ws_;
-  ctx.attr_ranges = rt.attr_ranges;
-  return ctx;
+  return snapshot()->Domains();
 }
 
 Result<CqadsEngine::ParsedQuestion> CqadsEngine::Parse(
     const std::string& domain, const std::string& question) const {
-  const DomainRuntime* rt = runtime(domain);
-  if (rt == nullptr) return Status::NotFound("unknown domain: " + domain);
-
-  ParsedQuestion parsed;
-  parsed.tags = rt->tagger->Tag(question);
-  parsed.conditions =
-      BuildConditions(parsed.tags.items, rt->table->schema());
-
-  // §4.2.2 resolver: candidate attributes are those whose observed value
-  // range contains the bare number; '$' restricts to money attributes.
-  const db::Table* table = rt->table;
-  AmbiguousResolver resolver = [table](double value,
-                                       bool is_money) -> std::vector<std::size_t> {
-    std::vector<std::size_t> out;
-    const db::Schema& schema = table->schema();
-    for (std::size_t a : schema.NumericAttrs()) {
-      if (is_money && !IsMoneyAttribute(schema.attribute(a))) continue;
-      auto range = table->NumericRange(a);
-      if (!range.ok()) continue;
-      if (value >= range.value().first && value <= range.value().second) {
-        out.push_back(a);
-      }
-    }
-    return out;
-  };
-
-  auto assembled =
-      AssembleQuery(parsed.conditions, rt->table->schema(), resolver);
-  if (!assembled.ok()) return assembled.status();
-  parsed.assembled = std::move(assembled).value();
-
-  parsed.query.where = parsed.assembled.where;
-  parsed.query.superlative = parsed.assembled.superlative;
-  parsed.query.limit = options_.answer_cap;
-  parsed.sql = db::WriteSql(rt->table->schema(), parsed.query);
-  return parsed;
+  EngineSnapshot::Ptr snap = snapshot();
+  QueryContext ctx(question, domain);
+  Status st = QueryPipeline::ParseOnly().Run(*snap, &ctx);
+  if (!st.ok()) return st;
+  return std::move(ctx.parsed);
 }
 
 Result<CqadsEngine::AskResult> CqadsEngine::AskInDomain(
     const std::string& domain, const std::string& question) const {
-  const DomainRuntime* rt = runtime(domain);
-  if (rt == nullptr) return Status::NotFound("unknown domain: " + domain);
-
-  auto parsed_result = Parse(domain, question);
-  if (!parsed_result.ok()) return parsed_result.status();
-  ParsedQuestion parsed = std::move(parsed_result).value();
-
-  AskResult out;
-  out.domain = domain;
-  out.sql = parsed.sql;
-  out.interpretation = parsed.assembled.interpretation;
-  if (parsed.assembled.contradiction) {
-    out.contradiction = true;
-    return out;
-  }
-
-  // Exact evaluation (§4.3/§4.5).
-  auto exec = rt->executor->Execute(parsed.query);
-  if (!exec.ok()) return exec.status();
-  out.stats = exec.value().stats;
-  const auto& units = parsed.assembled.units;
-  const double exact_score = static_cast<double>(units.size());
-  for (db::RowId row : exec.value().rows) {
-    out.answers.push_back(Answer{row, true, exact_score, ""});
-  }
-  out.exact_count = out.answers.size();
-
-  // Partial matching (§4.3.1): trigger when exact answers are lacking.
-  if (!options_.enable_partial ||
-      out.answers.size() >= options_.partial_trigger || units.empty() ||
-      parsed.query.superlative.has_value()) {
-    return out;
-  }
-
-  const SimilarityContext ctx = MakeSimilarityContext(*rt);
-  std::vector<bool> already(rt->table->num_rows(), false);
-  for (const auto& a : out.answers) already[a.row] = true;
-
-  std::vector<Answer> partials;
-  if (units.size() >= 2) {
-    // N-1: drop each unit in turn and evaluate the remaining conditions.
-    for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
-      std::vector<db::ExprPtr> parts;
-      for (std::size_t u = 0; u < units.size(); ++u) {
-        if (u != dropped) parts.push_back(units[u].expr);
-      }
-      for (const auto& f : parsed.assembled.fixed) parts.push_back(f);
-      db::Query relaxed;
-      relaxed.where = parts.empty() ? nullptr : db::Expr::MakeAnd(parts);
-      relaxed.limit = rt->table->num_rows();  // rank before capping
-      auto rel = rt->executor->Execute(relaxed);
-      if (!rel.ok()) continue;
-      out.stats += rel.value().stats;
-      for (db::RowId row : rel.value().rows) {
-        if (already[row]) continue;
-        already[row] = true;
-        PartialScore score =
-            ScorePartialMatch(*rt->table, row, units, dropped, ctx);
-        partials.push_back(
-            Answer{row, false, score.rank_sim, score.measure});
-      }
-    }
-  } else {
-    // Single-condition questions: similarity-match every record against the
-    // lone condition (§4.3.1 last paragraph).
-    for (db::RowId row = 0; row < rt->table->num_rows(); ++row) {
-      if (already[row]) continue;
-      PartialScore score = ScorePartialMatch(*rt->table, row, units, 0, ctx);
-      if (score.unit_sim <= 0.0) continue;
-      partials.push_back(Answer{row, false, score.rank_sim, score.measure});
-    }
-  }
-
-  std::sort(partials.begin(), partials.end(),
-            [](const Answer& a, const Answer& b) {
-              if (a.rank_sim != b.rank_sim) return a.rank_sim > b.rank_sim;
-              return a.row < b.row;
-            });
-  for (const auto& p : partials) {
-    if (out.answers.size() >= options_.answer_cap) break;
-    out.answers.push_back(p);
-  }
-  return out;
+  EngineSnapshot::Ptr snap = snapshot();
+  QueryContext ctx(question, domain);
+  Status st = QueryPipeline::Full().Run(*snap, &ctx);
+  if (!st.ok()) return st;
+  return std::move(ctx.result);
 }
 
 Result<CqadsEngine::AskResult> CqadsEngine::Ask(
     const std::string& question) const {
-  auto domain = ClassifyDomain(question);
-  if (!domain.ok()) return domain.status();
-  return AskInDomain(domain.value(), question);
+  EngineSnapshot::Ptr snap = snapshot();
+  QueryContext ctx(question);
+  Status st = QueryPipeline::Full().Run(*snap, &ctx);
+  if (!st.ok()) return st;
+  return std::move(ctx.result);
 }
 
 }  // namespace cqads::core

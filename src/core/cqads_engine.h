@@ -1,4 +1,4 @@
-// The CQAds engine: the paper's end-to-end pipeline behind one call.
+// The CQAds engine facade: the paper's end-to-end pipeline behind one call.
 //   Ask(question):
 //     1. classify the question's ads domain (Naive Bayes / JBBSM, §3)
 //     2. tag keywords with the domain trie, repairing spelling, missing
@@ -9,62 +9,59 @@
 //     6. when exact answers are scarce, retrieve N-1 partially-matched
 //        answers and rank them by Rank_Sim (§4.3.1-4.3.2), capping the
 //        total at 30
+//
+// Internally the engine is a thin shell over three layers:
+//   * EngineBuilder accumulates mutable registration state (domains,
+//     classifier training) — core/engine_snapshot.h;
+//   * every mutation freezes an immutable EngineSnapshot that is atomically
+//     swapped in; in-flight queries keep the snapshot they started with;
+//   * Ask/AskInDomain/Parse run the staged QueryPipeline over a snapshot —
+//     core/pipeline.h.
+// Reads (Ask, Parse, ClassifyDomain, ...) are safe from any number of
+// threads, concurrently with writes (AddDomain, TrainClassifier), which are
+// serialized behind an internal mutex. serve/ConcurrentServer builds on
+// this to fan a query stream out across a worker pool.
 #ifndef CQADS_CORE_CQADS_ENGINE_H_
 #define CQADS_CORE_CQADS_ENGINE_H_
 
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "classify/question_classifier.h"
 #include "common/status.h"
-#include "core/boolean_assembler.h"
-#include "core/domain_lexicon.h"
-#include "core/question_tagger.h"
-#include "core/rank_sim.h"
+#include "core/ask_types.h"
+#include "core/engine_snapshot.h"
+#include "core/pipeline.h"
 #include "db/database.h"
-#include "db/executor.h"
 #include "qlog/ti_matrix.h"
 #include "wordsim/ws_matrix.h"
 
 namespace cqads::core {
 
-/// Everything the engine keeps per registered domain.
-struct DomainRuntime {
-  const db::Table* table = nullptr;
-  std::unique_ptr<DomainLexicon> lexicon;
-  std::unique_ptr<QuestionTagger> tagger;
-  std::unique_ptr<db::Executor> executor;
-  qlog::TiMatrix ti_matrix;
-  std::vector<double> attr_ranges;  ///< Eq. 4 normalization
-};
-
 class CqadsEngine {
  public:
-  struct Options {
-    /// §4.3.1: at most 30 answers per question.
-    std::size_t answer_cap = 30;
-    /// Partial (N-1) answers are fetched when exact answers number fewer
-    /// than this.
-    std::size_t partial_trigger = 30;
-    bool enable_partial = true;
-  };
+  using Options = EngineOptions;
+  using ParsedQuestion = core::ParsedQuestion;
+  using Answer = core::Answer;
+  using AskResult = core::AskResult;
 
   CqadsEngine() : CqadsEngine(Options()) {}
-  explicit CqadsEngine(Options options) : options_(options) {}
+  explicit CqadsEngine(Options options)
+      : builder_(options), snapshot_(builder_.Build()) {}
 
-  // Movable, not copyable.
-  CqadsEngine(CqadsEngine&&) = default;
-  CqadsEngine& operator=(CqadsEngine&&) = default;
+  // Neither copyable nor movable: readers may hold references concurrently.
+  CqadsEngine(const CqadsEngine&) = delete;
+  CqadsEngine& operator=(const CqadsEngine&) = delete;
 
   /// Registers a domain: the ads table (indexes built) and its query-log-
   /// derived TI-matrix. Builds the trie lexicon, tagger, executor, and
-  /// attribute ranges.
+  /// attribute ranges, then swaps in a fresh snapshot.
   Status AddDomain(const db::Table* table, qlog::TiMatrix ti_matrix);
 
   /// Shared word-correlation matrix for Feat_Sim. Must outlive the engine.
-  void SetWordSimilarity(const wordsim::WsMatrix* ws) { ws_ = ws; }
+  void SetWordSimilarity(const wordsim::WsMatrix* ws);
 
   /// Trains the domain classifier on the registered tables' ad texts.
   Status TrainClassifier(
@@ -83,58 +80,45 @@ class CqadsEngine {
   /// §3: the ads domain of a question. Fails when untrained.
   Result<std::string> ClassifyDomain(const std::string& question) const;
 
-  /// Full analysis of a question within a known domain.
-  struct ParsedQuestion {
-    TaggingResult tags;
-    BuiltConditions conditions;
-    AssembledQuery assembled;
-    db::Query query;      ///< executable form
-    std::string sql;      ///< §4.5 nested-subquery SQL text
-  };
+  /// Full analysis of a question within a known domain (the parse-side
+  /// pipeline stages only).
   Result<ParsedQuestion> Parse(const std::string& domain,
                                const std::string& question) const;
 
-  /// One retrieved answer.
-  struct Answer {
-    db::RowId row = 0;
-    bool exact = true;
-    double rank_sim = 0.0;     ///< Eq. 5 (exact answers: number of units)
-    std::string measure;       ///< similarity measure used (partial only)
-  };
-
-  struct AskResult {
-    std::string domain;
-    std::string sql;
-    std::string interpretation;
-    bool contradiction = false;  ///< "search retrieved no results"
-    std::vector<Answer> answers;
-    std::size_t exact_count = 0;
-    db::ExecStats stats;
-  };
-
-  /// Classifies, then answers.
+  /// Classifies, then answers: the full pipeline.
   Result<AskResult> Ask(const std::string& question) const;
 
   /// Answers within a known domain (skips classification).
   Result<AskResult> AskInDomain(const std::string& domain,
                                 const std::string& question) const;
 
-  /// Runtime lookup for tests and benches; nullptr when unregistered.
+  /// The current immutable snapshot: one atomic shared_ptr load, no lock
+  /// (writers may hold the mutex for a whole retrain). Callers run
+  /// pipelines against it without further coordination and keep it alive
+  /// across concurrent AddDomain/TrainClassifier swaps.
+  EngineSnapshot::Ptr snapshot() const;
+
+  /// Runtime lookup for tests and benches; nullptr when unregistered. The
+  /// pointer stays valid for the engine's lifetime (domains are never
+  /// removed, only added).
   const DomainRuntime* runtime(const std::string& domain) const;
 
-  const classify::QuestionClassifier& classifier() const {
-    return classifier_;
-  }
+  // The classifier lives on the snapshot: use snapshot()->classifier(),
+  // holding the returned Ptr, so the reference cannot dangle across a
+  // concurrent retrain. (There is intentionally no classifier() accessor
+  // here for that reason.)
+
   std::vector<std::string> Domains() const;
 
  private:
-  SimilarityContext MakeSimilarityContext(const DomainRuntime& rt) const;
+  /// Rebuilds the snapshot from the builder. Caller holds mu_.
+  void SwapSnapshotLocked();
 
-  Options options_;
-  std::map<std::string, std::unique_ptr<DomainRuntime>> runtimes_;
-  classify::QuestionClassifier classifier_;
-  bool classifier_trained_ = false;
-  const wordsim::WsMatrix* ws_ = nullptr;
+  mutable std::mutex mu_;
+  EngineBuilder builder_;  ///< guarded by mu_
+  /// Written via std::atomic_store under mu_, read via std::atomic_load
+  /// with no lock. The pointee is immutable.
+  EngineSnapshot::Ptr snapshot_;
 };
 
 }  // namespace cqads::core

@@ -1,0 +1,103 @@
+#include "core/engine_snapshot.h"
+
+namespace cqads::core {
+
+const DomainRuntime* EngineSnapshot::runtime(const std::string& domain) const {
+  auto it = runtimes_.find(domain);
+  return it == runtimes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> EngineSnapshot::Domains() const {
+  std::vector<std::string> out;
+  out.reserve(runtimes_.size());
+  for (const auto& [d, rt] : runtimes_) out.push_back(d);
+  return out;
+}
+
+Result<std::string> EngineSnapshot::ClassifyDomain(
+    const std::string& question) const {
+  if (!classifier_trained_) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  std::string domain = classifier_.Classify(question);
+  if (domain.empty()) return Status::Internal("classifier returned no class");
+  return domain;
+}
+
+SimilarityContext EngineSnapshot::MakeSimilarityContext(
+    const DomainRuntime& rt) const {
+  SimilarityContext ctx;
+  ctx.ti = &rt.ti_matrix;
+  ctx.ws = ws_;
+  ctx.attr_ranges = rt.attr_ranges;
+  return ctx;
+}
+
+Status EngineBuilder::AddDomain(const db::Table* table,
+                                qlog::TiMatrix ti_matrix) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  CQADS_RETURN_NOT_OK(table->schema().Validate());
+  if (!table->indexes_built()) {
+    return Status::FailedPrecondition("table indexes not built: " +
+                                      table->schema().domain());
+  }
+  const std::string domain = table->schema().domain();
+  if (runtimes_.count(domain) > 0) {
+    return Status::AlreadyExists("domain already registered: " + domain);
+  }
+
+  auto rt = std::make_shared<DomainRuntime>();
+  rt->table = table;
+  auto lexicon = DomainLexicon::Build(table);
+  if (!lexicon.ok()) return lexicon.status();
+  rt->lexicon = std::make_unique<DomainLexicon>(std::move(lexicon).value());
+  rt->tagger = std::make_unique<QuestionTagger>(rt->lexicon.get());
+  rt->executor = std::make_unique<db::Executor>(table);
+  rt->ti_matrix = std::move(ti_matrix);
+  rt->attr_ranges = ComputeAttrRanges(*table);
+  runtimes_.emplace(domain, std::move(rt));
+  classifier_trained_ = false;  // corpus changed
+  return Status::OK();
+}
+
+std::vector<classify::LabelledDoc> EngineBuilder::MakeTrainingDocs() const {
+  std::vector<classify::LabelledDoc> docs;
+  for (const auto& [domain, rt] : runtimes_) {
+    for (db::RowId r = 0; r < rt->table->num_rows(); ++r) {
+      docs.push_back({rt->table->RowText(r), domain});
+    }
+  }
+  return docs;
+}
+
+Status EngineBuilder::TrainClassifier(
+    classify::QuestionClassifier::Options classifier_options) {
+  return TrainClassifierWithExtra({}, classifier_options);
+}
+
+Status EngineBuilder::TrainClassifierWithExtra(
+    const std::vector<classify::LabelledDoc>& extra_docs,
+    classify::QuestionClassifier::Options classifier_options) {
+  if (runtimes_.empty()) {
+    return Status::FailedPrecondition("no domains registered");
+  }
+  classifier_ = classify::QuestionClassifier(classifier_options);
+  auto docs = MakeTrainingDocs();
+  docs.insert(docs.end(), extra_docs.begin(), extra_docs.end());
+  CQADS_RETURN_NOT_OK(classifier_.Train(docs));
+  classifier_trained_ = true;
+  return Status::OK();
+}
+
+EngineSnapshot::Ptr EngineBuilder::Build() {
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->options_ = options_;
+  snap->version_ = next_version_++;
+  snap->runtimes_ = runtimes_;  // shares DomainRuntimes, no rebuild
+  snap->classifier_ = classifier_;
+  snap->classifier_trained_ = classifier_trained_;
+  snap->ws_ = ws_;
+  return snap;
+}
+
+}  // namespace cqads::core

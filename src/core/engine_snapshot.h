@@ -1,0 +1,140 @@
+// Immutable read-side state of the CQAds engine, separated from the request
+// path so queries can fan out across cores without locks.
+//
+// An EngineSnapshot freezes everything a question needs to be answered:
+// per-domain lexicons/tries, taggers, executors, TI-matrices, and Eq. 4
+// attribute ranges (DomainRuntime), plus the trained §3 classifier and the
+// shared WS word-correlation matrix. Snapshots are built by an
+// EngineBuilder and handed out as std::shared_ptr<const EngineSnapshot>:
+// the hot path takes a reference, never a lock, and a snapshot can be
+// atomically swapped when a domain is added or the classifier retrained
+// while in-flight queries keep the old one alive.
+//
+// Thread-safety: every const method of EngineSnapshot and DomainRuntime is
+// safe to call concurrently — all contained state is immutable after Build.
+// EngineBuilder itself is not thread-safe; callers serialize mutations
+// (CqadsEngine does so behind its mutex).
+#ifndef CQADS_CORE_ENGINE_SNAPSHOT_H_
+#define CQADS_CORE_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classify/question_classifier.h"
+#include "common/status.h"
+#include "core/ask_types.h"
+#include "core/domain_lexicon.h"
+#include "core/question_tagger.h"
+#include "core/rank_sim.h"
+#include "db/executor.h"
+#include "db/table.h"
+#include "qlog/ti_matrix.h"
+#include "wordsim/ws_matrix.h"
+
+namespace cqads::core {
+
+/// Everything the engine keeps per registered domain. Immutable once the
+/// owning snapshot is built; shared (never copied) across snapshot
+/// generations, so adding domain B does not rebuild domain A's trie.
+struct DomainRuntime {
+  const db::Table* table = nullptr;
+  std::unique_ptr<DomainLexicon> lexicon;
+  std::unique_ptr<QuestionTagger> tagger;
+  std::unique_ptr<db::Executor> executor;
+  qlog::TiMatrix ti_matrix;
+  std::vector<double> attr_ranges;  ///< Eq. 4 normalization
+};
+
+class EngineSnapshot {
+ public:
+  using Ptr = std::shared_ptr<const EngineSnapshot>;
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Monotonically increasing across Build() calls of one builder. The
+  /// prepared-query cache keys on it so entries parsed against a stale
+  /// snapshot never serve a new one.
+  std::uint64_t version() const { return version_; }
+
+  /// Per-domain state; nullptr when the domain is unregistered.
+  const DomainRuntime* runtime(const std::string& domain) const;
+  std::vector<std::string> Domains() const;
+
+  const classify::QuestionClassifier& classifier() const {
+    return classifier_;
+  }
+  bool classifier_trained() const { return classifier_trained_; }
+  const wordsim::WsMatrix* word_similarity() const { return ws_; }
+
+  /// §3: the ads domain of a question. Fails when untrained.
+  Result<std::string> ClassifyDomain(const std::string& question) const;
+
+  /// Similarity resources for Rank_Sim scoring within one domain.
+  SimilarityContext MakeSimilarityContext(const DomainRuntime& rt) const;
+
+ private:
+  friend class EngineBuilder;
+  EngineSnapshot() = default;
+
+  EngineOptions options_;
+  std::uint64_t version_ = 0;
+  std::map<std::string, std::shared_ptr<const DomainRuntime>> runtimes_;
+  classify::QuestionClassifier classifier_;
+  bool classifier_trained_ = false;
+  const wordsim::WsMatrix* ws_ = nullptr;
+};
+
+/// Accumulates domains and classifier training, then freezes the state into
+/// snapshots. Successive Build() calls share unchanged DomainRuntimes.
+class EngineBuilder {
+ public:
+  EngineBuilder() : EngineBuilder(EngineOptions()) {}
+  explicit EngineBuilder(EngineOptions options) : options_(options) {}
+
+  /// Registers a domain: the ads table (indexes built) and its query-log-
+  /// derived TI-matrix. Builds the trie lexicon, tagger, executor, and
+  /// attribute ranges. Invalidates classifier training (corpus changed).
+  Status AddDomain(const db::Table* table, qlog::TiMatrix ti_matrix);
+
+  /// Shared word-correlation matrix for Feat_Sim. Must outlive every
+  /// snapshot built afterwards.
+  void SetWordSimilarity(const wordsim::WsMatrix* ws) { ws_ = ws; }
+
+  /// Labelled ad texts of every registered domain (exposed so benches can
+  /// train alternative classifiers on identical data).
+  std::vector<classify::LabelledDoc> MakeTrainingDocs() const;
+
+  /// Trains the domain classifier on the registered tables' ad texts.
+  Status TrainClassifier(
+      classify::QuestionClassifier::Options classifier_options = {});
+
+  /// Trains on the registered tables' ad texts plus caller-supplied extra
+  /// documents (e.g. domain-keyword texts real ads would contain).
+  Status TrainClassifierWithExtra(
+      const std::vector<classify::LabelledDoc>& extra_docs,
+      classify::QuestionClassifier::Options classifier_options = {});
+
+  /// Freezes the current state into a new immutable snapshot. Cheap:
+  /// domain runtimes are shared by pointer; only the classifier is copied.
+  EngineSnapshot::Ptr Build();
+
+  const EngineOptions& options() const { return options_; }
+  bool HasDomain(const std::string& domain) const {
+    return runtimes_.count(domain) > 0;
+  }
+
+ private:
+  EngineOptions options_;
+  std::uint64_t next_version_ = 1;
+  std::map<std::string, std::shared_ptr<const DomainRuntime>> runtimes_;
+  classify::QuestionClassifier classifier_;
+  bool classifier_trained_ = false;
+  const wordsim::WsMatrix* ws_ = nullptr;
+};
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_ENGINE_SNAPSHOT_H_

@@ -1,0 +1,234 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "db/sql_writer.h"
+
+namespace cqads::core {
+namespace {
+
+/// Stages after classification all need the domain runtime; resolve it once
+/// per call with a uniform error.
+Result<const DomainRuntime*> RequireRuntime(const EngineSnapshot& s,
+                                            const QueryContext& ctx) {
+  const DomainRuntime* rt = s.runtime(ctx.domain);
+  if (rt == nullptr) return Status::NotFound("unknown domain: " + ctx.domain);
+  return rt;
+}
+
+}  // namespace
+
+QueryContext::QueryContext(std::string question_text, std::string domain_name)
+    : question(std::move(question_text)),
+      domain(std::move(domain_name)),
+      rng(std::hash<std::string>{}(question)) {
+  result.domain = domain;
+}
+
+Status QueryPipeline::Run(const EngineSnapshot& snapshot,
+                          QueryContext* ctx) const {
+  using Clock = std::chrono::steady_clock;
+  for (const auto& stage : stages_) {
+    const auto start = Clock::now();
+    Status st = stage->Run(snapshot, ctx);
+    const auto elapsed =
+        std::chrono::duration<double, std::micro>(Clock::now() - start);
+    ctx->result.timings.push_back(StageTiming{stage->name(), elapsed.count()});
+    if (!st.ok()) return st;
+    if (ctx->done) break;
+  }
+  return Status::OK();
+}
+
+const QueryPipeline& QueryPipeline::Full() {
+  static const QueryPipeline* kPipeline = [] {
+    std::vector<std::unique_ptr<PipelineStage>> stages;
+    stages.push_back(std::make_unique<ClassifyStage>());
+    stages.push_back(std::make_unique<TagStage>());
+    stages.push_back(std::make_unique<ConditionStage>());
+    stages.push_back(std::make_unique<AssembleStage>());
+    stages.push_back(std::make_unique<RenderSqlStage>());
+    stages.push_back(std::make_unique<ExecuteStage>());
+    stages.push_back(std::make_unique<RankStage>());
+    return new QueryPipeline(std::move(stages));
+  }();
+  return *kPipeline;
+}
+
+const QueryPipeline& QueryPipeline::ParseOnly() {
+  static const QueryPipeline* kPipeline = [] {
+    std::vector<std::unique_ptr<PipelineStage>> stages;
+    stages.push_back(std::make_unique<TagStage>());
+    stages.push_back(std::make_unique<ConditionStage>());
+    stages.push_back(std::make_unique<AssembleStage>());
+    stages.push_back(std::make_unique<RenderSqlStage>());
+    return new QueryPipeline(std::move(stages));
+  }();
+  return *kPipeline;
+}
+
+Status ClassifyStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  if (!ctx->domain.empty()) {
+    ctx->result.domain = ctx->domain;
+    return Status::OK();
+  }
+  auto domain = s.ClassifyDomain(ctx->question);
+  if (!domain.ok()) return domain.status();
+  ctx->domain = domain.value();
+  ctx->result.domain = ctx->domain;
+  return Status::OK();
+}
+
+Status TagStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  auto rt = RequireRuntime(s, *ctx);
+  if (!rt.ok()) return rt.status();
+  if (ctx->parsed_from_cache()) return Status::OK();
+  ctx->parsed.tags = rt.value()->tagger->Tag(ctx->question);
+  return Status::OK();
+}
+
+Status ConditionStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  if (ctx->parsed_from_cache()) return Status::OK();
+  auto rt = RequireRuntime(s, *ctx);
+  if (!rt.ok()) return rt.status();
+  ctx->parsed.conditions =
+      BuildConditions(ctx->parsed.tags.items, rt.value()->table->schema());
+  return Status::OK();
+}
+
+Status AssembleStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  if (ctx->parsed_from_cache()) return Status::OK();
+  auto rt = RequireRuntime(s, *ctx);
+  if (!rt.ok()) return rt.status();
+  const db::Table* table = rt.value()->table;
+
+  // §4.2.2 resolver: candidate attributes are those whose observed value
+  // range contains the bare number; '$' restricts to money attributes.
+  AmbiguousResolver resolver =
+      [table](double value, bool is_money) -> std::vector<std::size_t> {
+    std::vector<std::size_t> out;
+    const db::Schema& schema = table->schema();
+    for (std::size_t a : schema.NumericAttrs()) {
+      if (is_money && !IsMoneyAttribute(schema.attribute(a))) continue;
+      auto range = table->NumericRange(a);
+      if (!range.ok()) continue;
+      if (value >= range.value().first && value <= range.value().second) {
+        out.push_back(a);
+      }
+    }
+    return out;
+  };
+
+  auto assembled =
+      AssembleQuery(ctx->parsed.conditions, table->schema(), resolver);
+  if (!assembled.ok()) return assembled.status();
+  ctx->parsed.assembled = std::move(assembled).value();
+  return Status::OK();
+}
+
+Status RenderSqlStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  if (ctx->parsed_from_cache()) return Status::OK();
+  auto rt = RequireRuntime(s, *ctx);
+  if (!rt.ok()) return rt.status();
+  ctx->parsed.query.where = ctx->parsed.assembled.where;
+  ctx->parsed.query.superlative = ctx->parsed.assembled.superlative;
+  ctx->parsed.query.limit = s.options().answer_cap;
+  ctx->parsed.sql =
+      db::WriteSql(rt.value()->table->schema(), ctx->parsed.query);
+  return Status::OK();
+}
+
+Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  auto rt_result = RequireRuntime(s, *ctx);
+  if (!rt_result.ok()) return rt_result.status();
+  const DomainRuntime& rt = *rt_result.value();
+
+  const ParsedQuestion& parsed = ctx->parsed_view();
+  ctx->result.sql = parsed.sql;
+  ctx->result.interpretation = parsed.assembled.interpretation;
+  if (parsed.assembled.contradiction) {
+    ctx->result.contradiction = true;
+    ctx->done = true;
+    return Status::OK();
+  }
+
+  auto exec = db::ExecuteQuery(*rt.table, parsed.query);
+  if (!exec.ok()) return exec.status();
+  ctx->result.stats = exec.value().stats;
+  const double exact_score =
+      static_cast<double>(parsed.assembled.units.size());
+  for (db::RowId row : exec.value().rows) {
+    ctx->result.answers.push_back(Answer{row, true, exact_score, ""});
+  }
+  ctx->result.exact_count = ctx->result.answers.size();
+  return Status::OK();
+}
+
+Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  auto rt_result = RequireRuntime(s, *ctx);
+  if (!rt_result.ok()) return rt_result.status();
+  const DomainRuntime& rt = *rt_result.value();
+  const EngineOptions& options = s.options();
+  AskResult& out = ctx->result;
+  const ParsedQuestion& parsed = ctx->parsed_view();
+  const auto& units = parsed.assembled.units;
+
+  // Partial matching (§4.3.1): trigger when exact answers are lacking.
+  if (!options.enable_partial || out.answers.size() >= options.partial_trigger ||
+      units.empty() || parsed.query.superlative.has_value()) {
+    return Status::OK();
+  }
+
+  const SimilarityContext sim = s.MakeSimilarityContext(rt);
+  std::vector<bool> already(rt.table->num_rows(), false);
+  for (const auto& a : out.answers) already[a.row] = true;
+
+  std::vector<Answer> partials;
+  if (units.size() >= 2) {
+    // N-1: drop each unit in turn and evaluate the remaining conditions.
+    for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
+      std::vector<db::ExprPtr> parts;
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        if (u != dropped) parts.push_back(units[u].expr);
+      }
+      for (const auto& f : parsed.assembled.fixed) parts.push_back(f);
+      db::Query relaxed;
+      relaxed.where = parts.empty() ? nullptr : db::Expr::MakeAnd(parts);
+      relaxed.limit = rt.table->num_rows();  // rank before capping
+      auto rel = db::ExecuteQuery(*rt.table, relaxed);
+      if (!rel.ok()) continue;
+      out.stats += rel.value().stats;
+      for (db::RowId row : rel.value().rows) {
+        if (already[row]) continue;
+        already[row] = true;
+        PartialScore score =
+            ScorePartialMatch(*rt.table, row, units, dropped, sim);
+        partials.push_back(Answer{row, false, score.rank_sim, score.measure});
+      }
+    }
+  } else {
+    // Single-condition questions: similarity-match every record against the
+    // lone condition (§4.3.1 last paragraph).
+    for (db::RowId row = 0; row < rt.table->num_rows(); ++row) {
+      if (already[row]) continue;
+      PartialScore score = ScorePartialMatch(*rt.table, row, units, 0, sim);
+      if (score.unit_sim <= 0.0) continue;
+      partials.push_back(Answer{row, false, score.rank_sim, score.measure});
+    }
+  }
+
+  std::sort(partials.begin(), partials.end(),
+            [](const Answer& a, const Answer& b) {
+              if (a.rank_sim != b.rank_sim) return a.rank_sim > b.rank_sim;
+              return a.row < b.row;
+            });
+  for (const auto& p : partials) {
+    if (out.answers.size() >= options.answer_cap) break;
+    out.answers.push_back(p);
+  }
+  return Status::OK();
+}
+
+}  // namespace cqads::core

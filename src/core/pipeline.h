@@ -1,0 +1,155 @@
+// The staged ask pipeline. The paper's monolithic Ask flow —
+//   classify (§3) -> tag/repair (§4.1-4.2) -> build conditions (§4.1.2)
+//   -> assemble Boolean query (§4.4) -> render SQL (§4.5)
+//   -> execute (§4.3/§4.5) -> Rank_Sim partial ranking (§4.3.1-4.3.2)
+// — decomposed into composable PipelineStages that operate on an immutable
+// EngineSnapshot and a per-request QueryContext. Stages never touch shared
+// mutable state: everything request-scoped (intermediate artifacts, the
+// answer under construction, timings, the request RNG) lives in the
+// context, so one snapshot serves any number of concurrent contexts.
+#ifndef CQADS_CORE_PIPELINE_H_
+#define CQADS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/ask_types.h"
+#include "core/engine_snapshot.h"
+
+namespace cqads::core {
+
+/// Per-request scratch state threaded through the stages.
+struct QueryContext {
+  /// `domain` empty: the classify stage runs. Non-empty: classification is
+  /// skipped (the AskInDomain path, or a cache hit that already knows it).
+  explicit QueryContext(std::string question_text, std::string domain_name = "");
+
+  std::string question;
+  std::string domain;
+
+  /// Parse-side artifacts (tag -> conditions -> assembly -> SQL), filled
+  /// by the parse stages. Unused when `cached_parsed` is set.
+  ParsedQuestion parsed;
+
+  /// A memoized parse injected by the prepared-query cache. When set, the
+  /// parse stages are skipped and the execution stages read through it —
+  /// no copy: the immutable ParsedQuestion is shared across all concurrent
+  /// requests that hit the same entry.
+  std::shared_ptr<const ParsedQuestion> cached_parsed;
+
+  bool parsed_from_cache() const { return cached_parsed != nullptr; }
+
+  /// The parse the execution stages should read: the cached one when
+  /// present, this request's own otherwise.
+  const ParsedQuestion& parsed_view() const {
+    return cached_parsed ? *cached_parsed : parsed;
+  }
+
+  /// The answer under construction; stages fill it incrementally.
+  AskResult result;
+
+  /// Set by a stage to short-circuit the rest of the pipeline (e.g. a rule
+  /// 1c contradiction: "search retrieved no results").
+  bool done = false;
+
+  /// Per-request deterministic RNG (seeded from the question text), so any
+  /// stochastic stage draws from request-local state instead of a shared
+  /// generator — a shared Rng would race under the concurrent server.
+  Rng rng;
+};
+
+/// One stage of the ask pipeline. Implementations must be stateless (or
+/// immutable after construction): a single stage instance runs concurrent
+/// requests.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+  virtual const char* name() const = 0;
+  /// May read anything from the snapshot, mutates only the context.
+  virtual Status Run(const EngineSnapshot& snapshot,
+                     QueryContext* ctx) const = 0;
+};
+
+/// An ordered stage sequence. Run() executes stages in order, records a
+/// per-stage wall-clock timing into ctx->result.timings, and stops early
+/// when a stage fails or sets ctx->done.
+class QueryPipeline {
+ public:
+  explicit QueryPipeline(std::vector<std::unique_ptr<PipelineStage>> stages)
+      : stages_(std::move(stages)) {}
+
+  Status Run(const EngineSnapshot& snapshot, QueryContext* ctx) const;
+
+  const std::vector<std::unique_ptr<PipelineStage>>& stages() const {
+    return stages_;
+  }
+
+  /// The full ask pipeline: classify, tag, conditions, assemble, render,
+  /// execute, rank. Shared immutable instance.
+  static const QueryPipeline& Full();
+
+  /// Parse-side only (tag -> render); what CqadsEngine::Parse and the
+  /// prepared-query cache's fill path run.
+  static const QueryPipeline& ParseOnly();
+
+ private:
+  std::vector<std::unique_ptr<PipelineStage>> stages_;
+};
+
+// --- concrete stages (exposed for tests and custom pipelines) -----------
+
+/// §3: classify the question's ads domain; skipped when ctx->domain preset.
+class ClassifyStage : public PipelineStage {
+ public:
+  const char* name() const override { return "classify"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.1-4.2: trie tagging with spelling/segmentation/shorthand repair.
+class TagStage : public PipelineStage {
+ public:
+  const char* name() const override { return "tag"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.1.2: context-switching analysis merging tags into conditions.
+class ConditionStage : public PipelineStage {
+ public:
+  const char* name() const override { return "conditions"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.4 rules 1-4 plus §4.2.2 ambiguous-number resolution.
+class AssembleStage : public PipelineStage {
+ public:
+  const char* name() const override { return "assemble"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.5: executable query + nested-subquery SQL text.
+class RenderSqlStage : public PipelineStage {
+ public:
+  const char* name() const override { return "render_sql"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.3/§4.5 exact evaluation; short-circuits on a contradiction.
+class ExecuteStage : public PipelineStage {
+ public:
+  const char* name() const override { return "execute"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.3.1-4.3.2: N-1 partial retrieval ranked by Rank_Sim, capped at 30.
+class RankStage : public PipelineStage {
+ public:
+  const char* name() const override { return "rank"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+}  // namespace cqads::core
+
+#endif  // CQADS_CORE_PIPELINE_H_

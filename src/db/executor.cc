@@ -291,4 +291,8 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   return result;
 }
 
+Result<QueryResult> ExecuteQuery(const Table& table, const Query& query) {
+  return Executor(&table).Execute(query);
+}
+
 }  // namespace cqads::db

@@ -3,6 +3,13 @@
 // index, Type II conditions filter it through secondary indexes, Type III
 // boundaries run on what remains, and superlatives are applied last ("the
 // cheapest Honda" = filter Honda, then take cheapest — never the reverse).
+//
+// Thread-safety: the executor is stateless over a const table — it holds
+// only the table pointer and every method is const. Any number of threads
+// may Execute() through one executor (or the ExecuteQuery free function)
+// concurrently, provided the table's indexes were built beforehand and the
+// table is not mutated afterwards (the engine snapshot layer guarantees
+// both).
 #ifndef CQADS_DB_EXECUTOR_H_
 #define CQADS_DB_EXECUTOR_H_
 
@@ -64,6 +71,11 @@ class Executor {
 
   const Table* table_;
 };
+
+/// Stateless entry point: executes `query` against `table` (indexes built).
+/// Exactly Executor(&table).Execute(query); the pipeline's execution stages
+/// use this form to make the no-shared-state contract explicit.
+Result<QueryResult> ExecuteQuery(const Table& table, const Query& query);
 
 }  // namespace cqads::db
 

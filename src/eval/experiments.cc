@@ -155,7 +155,10 @@ ClassificationResult RunClassification(
     classify::QuestionClassifier::Model model) {
   ClassificationResult out;
 
-  const classify::QuestionClassifier* clf = &world.engine().classifier();
+  // Pin the snapshot so the classifier reference stays valid even if the
+  // engine were retrained concurrently.
+  core::EngineSnapshot::Ptr snap = world.engine().snapshot();
+  const classify::QuestionClassifier* clf = &snap->classifier();
   classify::QuestionClassifier alt;
   if (model != classify::QuestionClassifier::Model::kJBBSM) {
     classify::QuestionClassifier::Options opts;

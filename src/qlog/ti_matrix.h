@@ -38,7 +38,9 @@ struct PairFeatures {
   double click_count = 0;
 };
 
-/// Symmetric Type I value-similarity matrix.
+/// Symmetric Type I value-similarity matrix. Immutable after Build(); all
+/// const methods are safe to call from any number of threads concurrently
+/// (the engine snapshot freezes one per domain for the lock-free ask path).
 class TiMatrix {
  public:
   /// Builds the matrix from a log. Pairs never co-observed get similarity 0.

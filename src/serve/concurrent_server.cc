@@ -1,0 +1,84 @@
+#include "serve/concurrent_server.h"
+
+#include <chrono>
+
+#include "core/pipeline.h"
+
+namespace cqads::serve {
+
+ConcurrentServer::ConcurrentServer(const core::CqadsEngine* engine,
+                                   Options options)
+    : engine_(engine),
+      options_(options),
+      cache_(std::make_unique<PreparedQueryCache>(options.cache)),
+      pool_(std::make_unique<WorkerPool>(options.num_workers)) {}
+
+Result<core::AskResult> ConcurrentServer::Ask(
+    const std::string& question) const {
+  return AskImpl("", question);
+}
+
+Result<core::AskResult> ConcurrentServer::AskInDomain(
+    const std::string& domain, const std::string& question) const {
+  return AskImpl(domain, question);
+}
+
+Result<core::AskResult> ConcurrentServer::AskImpl(
+    const std::string& domain_hint, const std::string& question) const {
+  // Pin the snapshot for the whole request: concurrent AddDomain/retrain
+  // swaps don't affect us, and our cache entries are keyed on its version.
+  core::EngineSnapshot::Ptr snap = engine_->snapshot();
+
+  // Classification happens out-of-pipeline because the cache key needs the
+  // domain; its wall-clock is folded back into the pipeline's "classify"
+  // timing entry below so AskResult::timings stays honest.
+  std::string domain = domain_hint;
+  double classify_micros = 0.0;
+  if (domain.empty()) {
+    const auto start = std::chrono::steady_clock::now();
+    auto classified = snap->ClassifyDomain(question);
+    classify_micros = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (!classified.ok()) return classified.status();
+    domain = std::move(classified).value();
+  }
+
+  core::QueryContext ctx(question, domain);
+  std::string normalized;
+  if (options_.enable_cache) {
+    normalized = PreparedQueryCache::NormalizeQuestion(question);
+    // A hit is shared, not copied: the execution stages read through the
+    // immutable memoized ParsedQuestion.
+    ctx.cached_parsed = cache_->Get(domain, normalized, snap->version());
+  }
+
+  Status st = core::QueryPipeline::Full().Run(*snap, &ctx);
+  if (!st.ok()) return st;
+  if (classify_micros > 0.0 && !ctx.result.timings.empty() &&
+      ctx.result.timings.front().stage == "classify") {
+    ctx.result.timings.front().micros += classify_micros;
+  }
+
+  if (options_.enable_cache && !ctx.parsed_from_cache()) {
+    cache_->Put(domain, normalized, snap->version(),
+                std::make_shared<const core::ParsedQuestion>(
+                    std::move(ctx.parsed)));
+  }
+  return std::move(ctx.result);
+}
+
+std::vector<Result<core::AskResult>> ConcurrentServer::AskBatch(
+    const std::vector<std::string>& questions) const {
+  std::vector<Result<core::AskResult>> results(
+      questions.size(), Status::Internal("not executed"));
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    pool_->Submit([this, &results, &questions, i] {
+      results[i] = Ask(questions[i]);
+    });
+  }
+  pool_->Wait();
+  return results;
+}
+
+}  // namespace cqads::serve

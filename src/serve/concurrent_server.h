@@ -1,0 +1,77 @@
+// Concurrent serving over the staged pipeline. A ConcurrentServer owns a
+// worker pool and a sharded prepared-query cache and serves questions
+// against whatever EngineSnapshot the engine currently publishes:
+//
+//   request --> snapshot = engine->snapshot()          (lock-free hot path)
+//           --> classify (or use caller's domain)
+//           --> prepared-query cache probe (domain, normalized question)
+//                 hit:  skip tag/conditions/assembly/SQL, go to execution
+//                 miss: run the parse stages, then memoize
+//           --> execute + Rank_Sim rank on the snapshot
+//
+// AskBatch fans a batch out across the pool; results keep the input order
+// and are byte-identical (CanonicalAskResultString) to what sequential
+// CqadsEngine::Ask produces, because stages are deterministic and share no
+// mutable state. Snapshot swaps (AddDomain / retrain) during a batch are
+// safe: each request pins the snapshot it started with, and cache entries
+// are keyed on the snapshot version.
+#ifndef CQADS_SERVE_CONCURRENT_SERVER_H_
+#define CQADS_SERVE_CONCURRENT_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cqads_engine.h"
+#include "serve/prepared_cache.h"
+#include "serve/worker_pool.h"
+
+namespace cqads::serve {
+
+class ConcurrentServer {
+ public:
+  struct Options {
+    std::size_t num_workers = 4;
+    bool enable_cache = true;
+    PreparedQueryCache::Options cache;
+  };
+
+  /// The engine must outlive the server. The server never mutates it;
+  /// domain additions/retrains go through the engine and are picked up by
+  /// the next request via the snapshot swap.
+  explicit ConcurrentServer(const core::CqadsEngine* engine)
+      : ConcurrentServer(engine, Options()) {}
+  ConcurrentServer(const core::CqadsEngine* engine, Options options);
+
+  /// Classifies, then answers. Thread-safe; uses the prepared-query cache.
+  Result<core::AskResult> Ask(const std::string& question) const;
+
+  /// Answers within a known domain (skips classification).
+  Result<core::AskResult> AskInDomain(const std::string& domain,
+                                      const std::string& question) const;
+
+  /// Answers a batch on the worker pool. results[i] corresponds to
+  /// questions[i] and equals what Ask(questions[i]) returns.
+  std::vector<Result<core::AskResult>> AskBatch(
+      const std::vector<std::string>& questions) const;
+
+  PreparedQueryCache::Stats cache_stats() const { return cache_->stats(); }
+  std::size_t num_workers() const { return pool_->num_threads(); }
+  const Options& options() const { return options_; }
+
+ private:
+  Result<core::AskResult> AskImpl(const std::string& domain_hint,
+                                  const std::string& question) const;
+
+  const core::CqadsEngine* engine_;
+  Options options_;
+  // Internally synchronized; mutable so the logically-const ask path can
+  // enqueue work and update the cache.
+  mutable std::unique_ptr<PreparedQueryCache> cache_;
+  mutable std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace cqads::serve
+
+#endif  // CQADS_SERVE_CONCURRENT_SERVER_H_

@@ -25,7 +25,9 @@ struct WsOptions {
   std::size_t min_doc_freq = 2;
 };
 
-/// Symmetric word-correlation matrix over stemmed vocabulary.
+/// Symmetric word-correlation matrix over stemmed vocabulary. Immutable
+/// after Build(); const methods are safe to share across threads (the
+/// engine snapshot publishes one matrix to every concurrent request).
 class WsMatrix {
  public:
   /// Builds from a corpus of raw documents (tokenization, stopword removal

@@ -1,0 +1,153 @@
+// Staged pipeline and snapshot tests: stage-by-stage equivalence with the
+// engine facade, per-stage timings, contradiction short-circuiting, and
+// snapshot lifecycle (version bumps, runtime sharing across generations).
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cqads_engine.h"
+#include "core/engine_snapshot.h"
+#include "qlog/log_generator.h"
+#include "test_fixtures.h"
+
+namespace cqads::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : table_(cqads::testing::MiniCarTable()) {
+    qlog::LogGenSpec spec;
+    spec.values = {"honda accord", "toyota camry", "chevy malibu",
+                   "ford focus",   "honda civic",  "bmw m3"};
+    spec.cluster_of = {0, 0, 0, 1, 1, 2};
+    spec.num_sessions = 500;
+    Rng rng(99);
+    qlog::TiMatrix ti =
+        qlog::TiMatrix::Build(qlog::GenerateQueryLog(spec, &rng));
+
+    std::vector<std::string> corpus;
+    for (int i = 0; i < 5; ++i) {
+      corpus.push_back(
+          "blue navy paint garage kept excellent condition clean original "
+          "owner quality deal gold tan trim");
+    }
+    ws_ = wordsim::WsMatrix::Build(corpus);
+
+    EXPECT_TRUE(engine_.AddDomain(&table_, std::move(ti)).ok());
+    engine_.SetWordSimilarity(&ws_);
+    EXPECT_TRUE(engine_.TrainClassifier().ok());
+  }
+
+  db::Table table_;
+  wordsim::WsMatrix ws_;
+  CqadsEngine engine_;
+};
+
+TEST_F(PipelineTest, FullPipelineMatchesEngineAsk) {
+  const char* questions[] = {
+      "blue honda accord",
+      "honda accord blue less than 15000 dollars",
+      "cheapest honda",
+      "less than 5000 dollars",
+      "honda accord 2004",
+  };
+  EngineSnapshot::Ptr snap = engine_.snapshot();
+  for (const char* q : questions) {
+    auto via_engine = engine_.Ask(q);
+    ASSERT_TRUE(via_engine.ok()) << q;
+
+    QueryContext ctx(q);
+    ASSERT_TRUE(QueryPipeline::Full().Run(*snap, &ctx).ok()) << q;
+    EXPECT_EQ(CanonicalAskResultString(ctx.result),
+              CanonicalAskResultString(via_engine.value()))
+        << q;
+  }
+}
+
+TEST_F(PipelineTest, TimingsRecordedPerStage) {
+  auto result = engine_.AskInDomain("cars", "blue honda accord");
+  ASSERT_TRUE(result.ok());
+  const auto& timings = result.value().timings;
+  ASSERT_EQ(timings.size(), 7u);
+  const char* expected[] = {"classify", "tag",     "conditions", "assemble",
+                            "render_sql", "execute", "rank"};
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    EXPECT_EQ(timings[i].stage, expected[i]);
+    EXPECT_GE(timings[i].micros, 0.0);
+  }
+}
+
+TEST_F(PipelineTest, ContradictionShortCircuits) {
+  auto result =
+      engine_.AskInDomain("cars", "honda price below 2000 price above 9000");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().contradiction);
+  EXPECT_TRUE(result.value().answers.empty());
+  // The pipeline stopped at execute: no rank timing was recorded.
+  ASSERT_FALSE(result.value().timings.empty());
+  EXPECT_EQ(result.value().timings.back().stage, "execute");
+}
+
+TEST_F(PipelineTest, ParseOnlyPipelineMatchesEngineParse) {
+  auto parsed = engine_.Parse("cars", "blue honda accord");
+  ASSERT_TRUE(parsed.ok());
+
+  QueryContext ctx("blue honda accord", "cars");
+  ASSERT_TRUE(QueryPipeline::ParseOnly().Run(*engine_.snapshot(), &ctx).ok());
+  EXPECT_EQ(ctx.parsed.sql, parsed.value().sql);
+  EXPECT_EQ(ctx.parsed.assembled.interpretation,
+            parsed.value().assembled.interpretation);
+  EXPECT_EQ(ctx.parsed.tags.items.size(), parsed.value().tags.items.size());
+}
+
+TEST_F(PipelineTest, UnknownDomainFailsInTagStage) {
+  QueryContext ctx("blue honda", "boats");
+  Status st = QueryPipeline::Full().Run(*engine_.snapshot(), &ctx);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PipelineTest, SnapshotVersionBumpsOnMutation) {
+  EngineSnapshot::Ptr before = engine_.snapshot();
+  ASSERT_TRUE(engine_.TrainClassifier().ok());
+  EngineSnapshot::Ptr after = engine_.snapshot();
+  EXPECT_GT(after->version(), before->version());
+  // The old snapshot still answers: in-flight queries are unaffected by
+  // the swap.
+  QueryContext ctx("blue honda accord", "cars");
+  EXPECT_TRUE(QueryPipeline::Full().Run(*before, &ctx).ok());
+  EXPECT_FALSE(ctx.result.answers.empty());
+}
+
+TEST_F(PipelineTest, SnapshotsShareDomainRuntimes) {
+  EngineSnapshot::Ptr before = engine_.snapshot();
+  ASSERT_TRUE(engine_.TrainClassifier().ok());
+  EngineSnapshot::Ptr after = engine_.snapshot();
+  // Retraining must not rebuild tries/lexicons: the per-domain runtime is
+  // shared between generations by pointer.
+  EXPECT_EQ(before->runtime("cars"), after->runtime("cars"));
+}
+
+TEST_F(PipelineTest, PerRequestRngIsDeterministic) {
+  QueryContext a("blue honda accord");
+  QueryContext b("blue honda accord");
+  EXPECT_EQ(a.rng.UniformInt(0, 1000000), b.rng.UniformInt(0, 1000000));
+}
+
+TEST_F(PipelineTest, BuilderSnapshotAnswersWithoutEngine) {
+  // The builder/snapshot layer is usable standalone (no facade).
+  db::Table table = cqads::testing::MiniCarTable();
+  EngineBuilder builder;
+  ASSERT_TRUE(builder.AddDomain(&table, qlog::TiMatrix()).ok());
+  ASSERT_TRUE(builder.TrainClassifier().ok());
+  EngineSnapshot::Ptr snap = builder.Build();
+  ASSERT_TRUE(snap->classifier_trained());
+
+  QueryContext ctx("blue honda accord");
+  ASSERT_TRUE(QueryPipeline::Full().Run(*snap, &ctx).ok());
+  EXPECT_EQ(ctx.result.domain, "cars");
+  EXPECT_FALSE(ctx.result.answers.empty());
+}
+
+}  // namespace
+}  // namespace cqads::core
