@@ -1,15 +1,82 @@
 // Figure 6: average query processing time of CQAds and the four compared
-// ranking approaches over the 650 survey questions. Paper: Random is
-// fastest (no similarity computation); CQAds is faster than AIMQ, cosine,
-// and FAQFinder because it retrieves exact matches first and only ranks
-// partial answers when needed.
+// ranking approaches over the survey questions. Paper: Random is fastest
+// (no similarity computation); CQAds is faster than AIMQ, cosine, and
+// FAQFinder because it retrieves exact matches first and only ranks partial
+// answers when needed.
+//
+// This bench also pins the planner/ColumnStore rearchitecture: the whole
+// question stream is answered once through the cost-aware planner and once
+// through the seed §4.3 Type-rank executor; any canonical-answer mismatch
+// fails the run (non-zero exit — the CI smoke step relies on it), and the
+// two ask times quantify the planner's speedup over the PR 2 baseline.
+//
+// Usage: fig6_efficiency [--quick]
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/ask_types.h"
 #include "eval/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cqads;
+  using Clock = std::chrono::steady_clock;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
   auto world = bench::BuildPaperWorld();
-  auto questions = eval::GenerateSurveyQuestions(*world, 80, 82, 660);
+  auto questions = eval::GenerateSurveyQuestions(
+      *world, quick ? 20 : 80, quick ? 20 : 82, 660);
+
+  // ---- planner vs seed-executor parity + ask-time comparison ----------
+  std::vector<std::pair<std::string, std::string>> stream;  // domain, text
+  for (const auto& [domain, qs] : questions) {
+    for (const auto& q : qs) stream.emplace_back(domain, q.text);
+  }
+
+  auto ask_all = [&](std::vector<std::string>* out) {
+    auto start = Clock::now();
+    for (const auto& [domain, text] : stream) {
+      auto r = world->engine().AskInDomain(domain, text);
+      out->push_back(r.ok() ? core::CanonicalAskResultString(r.value())
+                            : "ERROR");
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  core::EngineOptions planner_options;  // defaults: use_planner = true
+  core::EngineOptions seed_options;
+  seed_options.use_planner = false;
+
+  // Untimed warmup so the first timed mode does not absorb one-time costs
+  // (pipeline singletons, allocator, page cache).
+  for (const auto& [domain, text] : stream) {
+    (void)world->engine().AskInDomain(domain, text);
+  }
+
+  world->mutable_engine().SetOptions(seed_options);
+  std::vector<std::string> seed_answers;
+  const double seed_secs = ask_all(&seed_answers);
+
+  world->mutable_engine().SetOptions(planner_options);
+  std::vector<std::string> planned_answers;
+  const double planned_secs = ask_all(&planned_answers);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (seed_answers[i] != planned_answers[i]) ++mismatches;
+  }
+
+  bench::PrintHeader("planner vs seed executor (full ask path)");
+  std::printf("questions: %zu\n", stream.size());
+  std::printf("seed Type-rank executor : %8.1f q/s\n",
+              stream.size() / seed_secs);
+  std::printf("cost-aware planner      : %8.1f q/s   speedup %.2fx\n",
+              stream.size() / planned_secs, seed_secs / planned_secs);
+  std::printf("canonical answer mismatches: %zu\n", mismatches);
+
+  // ---- the paper figure ----------------------------------------------
   auto result = eval::RunEfficiency(*world, questions, 661);
 
   bench::PrintHeader("Figure 6: average query processing time");
@@ -26,5 +93,10 @@ int main() {
   bench::PrintRule();
   std::printf("(paper's shape: Random fastest; CQAds faster than AIMQ, "
               "cosine similarity, and FAQFinder)\n");
+  if (mismatches > 0) {
+    std::printf("FAIL: %zu planner answers differ from the seed executor\n",
+                mismatches);
+    return 1;
+  }
   return 0;
 }

@@ -92,6 +92,9 @@ std::string FormatAnswersText(const db::Table& table,
            std::to_string(result.answers.size() - grid.rows.size()) +
            " more\n";
   }
+  if (options.show_explain && !result.explain.empty()) {
+    out += "\n" + result.explain;
+  }
   return out;
 }
 
@@ -139,6 +142,9 @@ std::string FormatAnswersHtml(const db::Table& table,
     out += "</tr>\n";
   }
   out += "</table>\n";
+  if (options.show_explain && !result.explain.empty()) {
+    out += "<pre>" + HtmlEscape(result.explain) + "</pre>\n";
+  }
   return out;
 }
 

@@ -18,6 +18,9 @@ struct AnswerTableOptions {
   /// dominate otherwise). 0 = all.
   std::size_t max_attributes = 6;
   bool show_rank_sim = true;
+  /// Append the physical-plan dump (AskResult::explain) as a footer when
+  /// the engine recorded one (EngineOptions::explain_plans).
+  bool show_explain = false;
 };
 
 /// Fixed-width text rendering (monospace-aligned, one header row).

@@ -7,6 +7,7 @@
 #define CQADS_CORE_ASK_TYPES_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,13 @@
 #include "core/question_tagger.h"
 #include "db/executor.h"
 #include "db/query.h"
+
+// ParsedQuestion only carries a shared_ptr to a compiled plan; the plan
+// vocabulary (db/exec/plan.h) stays out of this widely-included header.
+namespace cqads::db::exec {
+class PhysicalPlan;
+using PlanPtr = std::shared_ptr<const PhysicalPlan>;
+}  // namespace cqads::db::exec
 
 namespace cqads::core {
 
@@ -26,6 +34,14 @@ struct EngineOptions {
   /// than this.
   std::size_t partial_trigger = 30;
   bool enable_partial = true;
+  /// Execute through compiled cost-aware plans over the column store
+  /// (db/exec). When false, the seed row-at-a-time Executor with the §4.3
+  /// Type-rank order runs instead — answers are identical either way (the
+  /// parity benches and property tests assert it); only the work differs.
+  bool use_planner = true;
+  /// Record the plan dump (PhysicalPlan::Explain) in AskResult::explain.
+  /// Off by default: the hot path should not build strings nobody reads.
+  bool explain_plans = false;
 };
 
 /// Full analysis of a question within a known domain: everything the
@@ -39,6 +55,16 @@ struct ParsedQuestion {
   AssembledQuery assembled;
   db::Query query;      ///< executable form
   std::string sql;      ///< §4.5 nested-subquery SQL text
+  /// Compiled cost-aware plan for `query` (null when planning is disabled).
+  /// Compiled against one snapshot's table/stats; riding on ParsedQuestion
+  /// is what lets the prepared-query cache memoize plans per snapshot
+  /// version for free.
+  db::exec::PlanPtr plan;
+  /// Compiled plans for the §4.3.1 N-1 relaxations (entry d drops unit d),
+  /// precompiled when the question is relaxable (>= 2 units, no
+  /// superlative) so cache hits skip per-request recompilation. Empty
+  /// otherwise.
+  std::vector<db::exec::PlanPtr> relaxed_plans;
 };
 
 /// One retrieved answer.
@@ -65,6 +91,9 @@ struct AskResult {
   db::ExecStats stats;
   /// Per-stage timings in pipeline order (empty for cached parse stages).
   std::vector<StageTiming> timings;
+  /// Physical plan dump (EngineOptions::explain_plans only; not part of the
+  /// canonical result string).
+  std::string explain;
 };
 
 /// Canonical serialization of everything deterministic in an AskResult

@@ -275,6 +275,26 @@ SegmentBuild BuildSegment(const std::vector<Condition>& conds,
 
 }  // namespace
 
+AmbiguousResolver MakeStatsResolver(
+    const db::Schema* schema,
+    std::shared_ptr<const db::exec::TableStats> stats) {
+  return [schema, stats = std::move(stats)](
+             double value, bool is_money) -> std::vector<std::size_t> {
+    std::vector<std::size_t> out;
+    if (stats == nullptr) return out;
+    for (std::size_t a : schema->NumericAttrs()) {
+      if (is_money && !IsMoneyAttribute(schema->attribute(a))) continue;
+      if (a >= stats->columns.size()) continue;
+      const db::exec::ColumnStats& col = stats->columns[a];
+      // No observed values: the attribute cannot vouch for any number
+      // (mirrors the seed's NumericRange NotFound).
+      if (col.histogram.total == 0) continue;
+      if (value >= col.min && value <= col.max) out.push_back(a);
+    }
+    return out;
+  };
+}
+
 Result<AssembledQuery> AssembleQuery(const BuiltConditions& built,
                                      const db::Schema& schema,
                                      const AmbiguousResolver& resolver) {

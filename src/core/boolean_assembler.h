@@ -19,12 +19,14 @@
 #define CQADS_CORE_BOOLEAN_ASSEMBLER_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/condition_builder.h"
+#include "db/exec/table_stats.h"
 #include "db/query.h"
 #include "db/schema.h"
 
@@ -35,6 +37,15 @@ namespace cqads::core {
 /// restricts candidates to money-denominated attributes.
 using AmbiguousResolver =
     std::function<std::vector<std::size_t>(double value, bool is_money)>;
+
+/// The §4.2.2 resolver backed by frozen column statistics: a candidate
+/// attribute's observed [min, max] must contain the number. Equivalent to
+/// probing the table's sorted indexes (the seed behavior) but reads the
+/// min/max the snapshot froze at BuildIndexes time — no index access on the
+/// parse path. `schema` and `stats` must outlive the resolver.
+AmbiguousResolver MakeStatsResolver(
+    const db::Schema* schema,
+    std::shared_ptr<const db::exec::TableStats> stats);
 
 /// A droppable unit for the N-1 partial-match strategy (§4.3.1). The Type I
 /// identity (make+model) counts as ONE unit — Table 2 ranks a Chevy Malibu

@@ -20,6 +20,12 @@ void CqadsEngine::SetWordSimilarity(const wordsim::WsMatrix* ws) {
   SwapSnapshotLocked();
 }
 
+void CqadsEngine::SetOptions(Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  builder_.set_options(options);
+  SwapSnapshotLocked();
+}
+
 Status CqadsEngine::TrainClassifier(
     classify::QuestionClassifier::Options classifier_options) {
   return TrainClassifierWithExtra({}, classifier_options);

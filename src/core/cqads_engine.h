@@ -63,6 +63,13 @@ class CqadsEngine {
   /// Shared word-correlation matrix for Feat_Sim. Must outlive the engine.
   void SetWordSimilarity(const wordsim::WsMatrix* ws);
 
+  /// Replaces the engine-wide knobs and swaps in a fresh snapshot (cheap:
+  /// domain runtimes are shared). The version bump means prepared-cache
+  /// entries — including memoized plans — parsed under the old options are
+  /// never replayed. Used by the parity/efficiency benches to compare the
+  /// cost-aware planner against the seed Type-rank executor on one engine.
+  void SetOptions(Options options);
+
   /// Trains the domain classifier on the registered tables' ad texts.
   Status TrainClassifier(
       classify::QuestionClassifier::Options classifier_options = {});

@@ -53,6 +53,8 @@ Status EngineBuilder::AddDomain(const db::Table* table,
   rt->lexicon = std::make_unique<DomainLexicon>(std::move(lexicon).value());
   rt->tagger = std::make_unique<QuestionTagger>(rt->lexicon.get());
   rt->executor = std::make_unique<db::Executor>(table);
+  rt->stats = table->stats_ptr();
+  rt->planner = std::make_unique<db::exec::Planner>(table);
   rt->ti_matrix = std::move(ti_matrix);
   rt->attr_ranges = ComputeAttrRanges(*table);
   runtimes_.emplace(domain, std::move(rt));

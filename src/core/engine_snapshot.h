@@ -29,6 +29,8 @@
 #include "core/domain_lexicon.h"
 #include "core/question_tagger.h"
 #include "core/rank_sim.h"
+#include "db/exec/planner.h"
+#include "db/exec/table_stats.h"
 #include "db/executor.h"
 #include "db/table.h"
 #include "qlog/ti_matrix.h"
@@ -43,7 +45,14 @@ struct DomainRuntime {
   const db::Table* table = nullptr;
   std::unique_ptr<DomainLexicon> lexicon;
   std::unique_ptr<QuestionTagger> tagger;
+  /// Seed §4.3 Type-rank reference path (rankers, parity checks,
+  /// use_planner=false).
   std::unique_ptr<db::Executor> executor;
+  /// Column statistics frozen at registration: the planner below estimates
+  /// against exactly these even if the table were re-indexed later.
+  std::shared_ptr<const db::exec::TableStats> stats;
+  /// Cost-aware plan compiler over the domain's column store.
+  std::unique_ptr<db::exec::Planner> planner;
   qlog::TiMatrix ti_matrix;
   std::vector<double> attr_ranges;  ///< Eq. 4 normalization
 };
@@ -122,6 +131,11 @@ class EngineBuilder {
   EngineSnapshot::Ptr Build();
 
   const EngineOptions& options() const { return options_; }
+
+  /// Replaces the engine-wide knobs (answer caps, planner on/off, explain
+  /// recording); takes effect in the next Build().
+  void set_options(const EngineOptions& options) { options_ = options; }
+
   bool HasDomain(const std::string& domain) const {
     return runtimes_.count(domain) > 0;
   }

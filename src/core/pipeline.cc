@@ -18,6 +18,33 @@ Result<const DomainRuntime*> RequireRuntime(const EngineSnapshot& s,
   return rt;
 }
 
+/// The §4.3.1 N-1 relaxation of a parsed question: all units except
+/// `dropped`, plus the never-dropped fixed fragments, uncapped (ranking
+/// happens before the answer cap). One definition shared by the plan stage
+/// (precompilation) and the rank stage (seed path).
+db::Query MakeRelaxedQuery(const ParsedQuestion& parsed, std::size_t dropped,
+                           std::size_t table_rows) {
+  const auto& units = parsed.assembled.units;
+  std::vector<db::ExprPtr> parts;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (u != dropped) parts.push_back(units[u].expr);
+  }
+  for (const auto& f : parsed.assembled.fixed) parts.push_back(f);
+  db::Query relaxed;
+  relaxed.where = parts.empty() ? nullptr : db::Expr::MakeAnd(parts);
+  relaxed.limit = table_rows;
+  return relaxed;
+}
+
+/// True when RankStage's N-1 loop can run for this parse (the conditions
+/// knowable before execution; the exact-answer count is checked at rank
+/// time).
+bool IsRelaxable(const ParsedQuestion& parsed) {
+  return parsed.assembled.units.size() >= 2 &&
+         !parsed.query.superlative.has_value() &&
+         !parsed.assembled.contradiction;
+}
+
 }  // namespace
 
 QueryContext::QueryContext(std::string question_text, std::string domain_name)
@@ -50,6 +77,7 @@ const QueryPipeline& QueryPipeline::Full() {
     stages.push_back(std::make_unique<ConditionStage>());
     stages.push_back(std::make_unique<AssembleStage>());
     stages.push_back(std::make_unique<RenderSqlStage>());
+    stages.push_back(std::make_unique<PlanStage>());
     stages.push_back(std::make_unique<ExecuteStage>());
     stages.push_back(std::make_unique<RankStage>());
     return new QueryPipeline(std::move(stages));
@@ -64,6 +92,7 @@ const QueryPipeline& QueryPipeline::ParseOnly() {
     stages.push_back(std::make_unique<ConditionStage>());
     stages.push_back(std::make_unique<AssembleStage>());
     stages.push_back(std::make_unique<RenderSqlStage>());
+    stages.push_back(std::make_unique<PlanStage>());
     return new QueryPipeline(std::move(stages));
   }();
   return *kPipeline;
@@ -104,22 +133,11 @@ Status AssembleStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   if (!rt.ok()) return rt.status();
   const db::Table* table = rt.value()->table;
 
-  // §4.2.2 resolver: candidate attributes are those whose observed value
-  // range contains the bare number; '$' restricts to money attributes.
+  // §4.2.2 resolver over the column statistics frozen into the snapshot:
+  // candidate attributes are those whose observed [min, max] contains the
+  // bare number; '$' restricts to money attributes.
   AmbiguousResolver resolver =
-      [table](double value, bool is_money) -> std::vector<std::size_t> {
-    std::vector<std::size_t> out;
-    const db::Schema& schema = table->schema();
-    for (std::size_t a : schema.NumericAttrs()) {
-      if (is_money && !IsMoneyAttribute(schema.attribute(a))) continue;
-      auto range = table->NumericRange(a);
-      if (!range.ok()) continue;
-      if (value >= range.value().first && value <= range.value().second) {
-        out.push_back(a);
-      }
-    }
-    return out;
-  };
+      MakeStatsResolver(&table->schema(), rt.value()->stats);
 
   auto assembled =
       AssembleQuery(ctx->parsed.conditions, table->schema(), resolver);
@@ -140,6 +158,38 @@ Status RenderSqlStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   return Status::OK();
 }
 
+Status PlanStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
+  if (ctx->parsed_from_cache()) return Status::OK();  // plan memoized
+  if (!s.options().use_planner) return Status::OK();
+  // A rule-1c contradiction never executes: don't compile (or cache) a
+  // plan that cannot run.
+  if (ctx->parsed.assembled.contradiction) return Status::OK();
+  auto rt = RequireRuntime(s, *ctx);
+  if (!rt.ok()) return rt.status();
+  auto plan = rt.value()->planner->Compile(ctx->parsed.query);
+  if (!plan.ok()) return plan.status();
+  ctx->parsed.plan = std::move(plan).value();
+
+  // Precompile the N-1 relaxations too, so a prepared-cache hit replays
+  // partial retrieval without any per-request compilation. Eager by
+  // design: a cached ParsedQuestion is immutable and shared across
+  // threads, so lazy fill-at-rank-time would need synchronization on the
+  // hot path; and on the paper workload most questions do trigger partial
+  // retrieval, so the compile is rarely wasted (the parity benches show a
+  // net speedup even on uncached unique-question streams).
+  if (s.options().enable_partial && IsRelaxable(ctx->parsed)) {
+    const std::size_t n_units = ctx->parsed.assembled.units.size();
+    ctx->parsed.relaxed_plans.reserve(n_units);
+    for (std::size_t dropped = 0; dropped < n_units; ++dropped) {
+      auto relaxed = rt.value()->planner->Compile(MakeRelaxedQuery(
+          ctx->parsed, dropped, rt.value()->table->num_rows()));
+      if (!relaxed.ok()) return relaxed.status();
+      ctx->parsed.relaxed_plans.push_back(std::move(relaxed).value());
+    }
+  }
+  return Status::OK();
+}
+
 Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   auto rt_result = RequireRuntime(s, *ctx);
   if (!rt_result.ok()) return rt_result.status();
@@ -154,7 +204,27 @@ Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
     return Status::OK();
   }
 
-  auto exec = db::ExecuteQuery(*rt.table, parsed.query);
+  // Compiled plan when planning is on, seed Type-rank executor otherwise.
+  // The pipeline always compiles in PlanStage; the compile-here branch is a
+  // defensive fallback for externally-built ParsedQuestions injected
+  // through the prepared cache's public Put() without a plan.
+  Result<db::QueryResult> exec = [&]() -> Result<db::QueryResult> {
+    if (!s.options().use_planner) {
+      return db::ExecuteQuery(*rt.table, parsed.query);
+    }
+    if (parsed.plan != nullptr) {
+      if (s.options().explain_plans) {
+        ctx->result.explain = parsed.plan->Explain();
+      }
+      return parsed.plan->Execute();
+    }
+    auto plan = rt.planner->Compile(parsed.query);
+    if (!plan.ok()) return plan.status();
+    if (s.options().explain_plans) {
+      ctx->result.explain = plan.value()->Explain();
+    }
+    return plan.value()->Execute();
+  }();
   if (!exec.ok()) return exec.status();
   ctx->result.stats = exec.value().stats;
   const double exact_score =
@@ -187,17 +257,22 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
 
   std::vector<Answer> partials;
   if (units.size() >= 2) {
-    // N-1: drop each unit in turn and evaluate the remaining conditions.
+    // N-1: drop each unit in turn and evaluate the remaining conditions —
+    // through the relaxation plans PlanStage precompiled (and the cache
+    // memoized) when available.
     for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
-      std::vector<db::ExprPtr> parts;
-      for (std::size_t u = 0; u < units.size(); ++u) {
-        if (u != dropped) parts.push_back(units[u].expr);
-      }
-      for (const auto& f : parsed.assembled.fixed) parts.push_back(f);
-      db::Query relaxed;
-      relaxed.where = parts.empty() ? nullptr : db::Expr::MakeAnd(parts);
-      relaxed.limit = rt.table->num_rows();  // rank before capping
-      auto rel = db::ExecuteQuery(*rt.table, relaxed);
+      auto rel = [&]() -> Result<db::QueryResult> {
+        if (s.options().use_planner) {
+          if (dropped < parsed.relaxed_plans.size() &&
+              parsed.relaxed_plans[dropped] != nullptr) {
+            return parsed.relaxed_plans[dropped]->Execute();
+          }
+          return rt.planner->Run(
+              MakeRelaxedQuery(parsed, dropped, rt.table->num_rows()));
+        }
+        return db::ExecuteQuery(
+            *rt.table, MakeRelaxedQuery(parsed, dropped, rt.table->num_rows()));
+      }();
       if (!rel.ok()) continue;
       out.stats += rel.value().stats;
       for (db::RowId row : rel.value().rows) {

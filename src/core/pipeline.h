@@ -88,11 +88,11 @@ class QueryPipeline {
   }
 
   /// The full ask pipeline: classify, tag, conditions, assemble, render,
-  /// execute, rank. Shared immutable instance.
+  /// plan, execute, rank. Shared immutable instance.
   static const QueryPipeline& Full();
 
-  /// Parse-side only (tag -> render); what CqadsEngine::Parse and the
-  /// prepared-query cache's fill path run.
+  /// Parse-side only (tag -> render -> plan); what CqadsEngine::Parse and
+  /// the prepared-query cache's fill path run.
   static const QueryPipeline& ParseOnly();
 
  private:
@@ -136,7 +136,20 @@ class RenderSqlStage : public PipelineStage {
   Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
 };
 
-/// §4.3/§4.5 exact evaluation; short-circuits on a contradiction.
+/// Compiles the executable query into a cost-aware physical plan
+/// (db/exec/planner.h) over the domain's column store. Part of the
+/// parse-side pipeline, so the prepared-query cache memoizes compiled plans
+/// per snapshot version along with the rest of the ParsedQuestion. No-op
+/// when EngineOptions::use_planner is off.
+class PlanStage : public PipelineStage {
+ public:
+  const char* name() const override { return "plan"; }
+  Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+};
+
+/// §4.3/§4.5 exact evaluation — through the compiled plan (or the seed
+/// Type-rank executor when planning is off); short-circuits on a
+/// contradiction.
 class ExecuteStage : public PipelineStage {
  public:
   const char* name() const override { return "execute"; }

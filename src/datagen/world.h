@@ -45,6 +45,9 @@ class World {
   }
   const DomainSpec* spec(const std::string& domain) const;
   const core::CqadsEngine& engine() const { return *engine_; }
+  /// Mutable engine access for benches that flip engine options (e.g. the
+  /// planner-vs-seed parity and efficiency comparisons).
+  core::CqadsEngine& mutable_engine() { return *engine_; }
   const wordsim::WsMatrix& ws_matrix() const { return ws_; }
   const qlog::QueryLog* query_log(const std::string& domain) const;
   std::vector<std::string> domains() const { return database_.Domains(); }

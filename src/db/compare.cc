@@ -1,0 +1,55 @@
+#include "db/compare.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cqads::db {
+
+int TypeRank(const Schema& schema, std::size_t attr) {
+  switch (schema.attribute(attr).attr_type) {
+    case AttrType::kTypeI:
+      return 0;
+    case AttrType::kTypeII:
+      return 1;
+    case AttrType::kTypeIII:
+      return 2;
+  }
+  return 3;
+}
+
+std::string CanonicalNumericText(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  return FormatDouble(v, 2);
+}
+
+std::string CanonicalNumericText(std::int64_t v) { return std::to_string(v); }
+
+std::string CanonicalContainsText(const Value& v) {
+  if (v.is_null()) return "";
+  // Numeric payloads already render through CanonicalNumericText (it is the
+  // formatting path behind Value::AsText).
+  if (v.is_numeric()) return v.AsText();
+  const std::string& text = v.text();
+  // A probe that is a complete plain-decimal literal ([-]digits[.digits])
+  // canonicalizes like a stored number: "8900.50", "8900.5", and
+  // Real(8900.5) all render identically. std::from_chars in fixed format is
+  // locale-independent and rejects hex/scientific/whitespace forms, which
+  // stay verbatim text.
+  if (!text.empty()) {
+    double parsed = 0.0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    auto [ptr, ec] =
+        std::from_chars(begin, end, parsed, std::chars_format::fixed);
+    if (ec == std::errc() && ptr == end && std::isfinite(parsed)) {
+      return CanonicalNumericText(parsed);
+    }
+  }
+  return text;
+}
+
+}  // namespace cqads::db

@@ -1,0 +1,46 @@
+// Shared predicate-matching semantics used by BOTH execution paths — the
+// seed row-at-a-time Executor (§4.3 Type-rank reference) and the columnar
+// plan evaluator (db/exec). Centralizing them here is what keeps the two
+// paths answer-identical: any semantic rule that exists in two copies will
+// eventually drift.
+#ifndef CQADS_DB_COMPARE_H_
+#define CQADS_DB_COMPARE_H_
+
+#include <string>
+
+#include "db/query.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace cqads::db {
+
+/// NULL-comparison rule: a NULL cell satisfies a predicate iff the predicate
+/// is a negation (kNe) — "not blue" is true of an ad that lists no color;
+/// every positive comparison (equality, ranges, containment) is false on
+/// NULL. One helper, used by Executor::Matches and the compiled-predicate
+/// evaluator, so the rule cannot diverge between paths.
+inline bool NullComparisonMatches(CompareOp op) { return op == CompareOp::kNe; }
+
+/// The paper's §4.3 evaluation rank of an attribute's type: Type I = 0,
+/// Type II = 1, Type III = 2. The seed executor orders conjunctions by it;
+/// the cost-aware planner uses it as the selectivity tie-break. One copy,
+/// so the two paths can never disagree on tie order.
+int TypeRank(const Schema& schema, std::size_t attr);
+
+/// The single canonical rendering of a numeric quantity as text. This is the
+/// formatting path behind Value::AsText for numerics and the ONLY rendering
+/// kContains may match against on numeric attributes.
+std::string CanonicalNumericText(double v);
+std::string CanonicalNumericText(std::int64_t v);
+
+/// Canonical text a value exposes to substring (kContains) matching on a
+/// numeric attribute. Numeric payloads render through CanonicalNumericText;
+/// text probes that spell a complete number ("8900.5") canonicalize through
+/// the same path, so a probe and a stored cell can never disagree about how
+/// the same quantity is written; other text passes through unchanged
+/// (already lower-cased by Value::Text). NULL renders as "".
+std::string CanonicalContainsText(const Value& v);
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_COMPARE_H_

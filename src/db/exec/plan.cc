@@ -1,0 +1,407 @@
+#include "db/exec/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "db/compare.h"
+#include "db/exec/rowset_ops.h"
+#include "text/shorthand.h"
+
+namespace cqads::db::exec {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string PredicateText(const Table& table, const Predicate& pred) {
+  std::string out = table.schema().attribute(pred.attr).name;
+  out += ' ';
+  out += CompareOpToSql(pred.op);
+  out += ' ';
+  out += pred.value.ToSqlLiteral();
+  if (pred.op == CompareOp::kBetween) {
+    out += " AND ";
+    out += pred.value_hi.ToSqlLiteral();
+  }
+  return out;
+}
+
+void Indent(std::string* out, int depth) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+std::string SelText(double sel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "sel=%.3f", sel);
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ CompiledPredicate
+
+bool CompiledPredicate::Matches(const ColumnStore& store, RowId row) const {
+  if (store.is_null(row, pred.attr)) {
+    // Shared NULL rule: only negations match a NULL cell.
+    return NullComparisonMatches(pred.op);
+  }
+  switch (mode) {
+    case Mode::kNumeric: {
+      const double v = store.numeric_column(pred.attr)[row];
+      switch (pred.op) {
+        case CompareOp::kEq:
+          return v == lo;
+        case CompareOp::kNe:
+          return v != lo;
+        case CompareOp::kLt:
+          return v < lo;
+        case CompareOp::kLe:
+          return v <= lo;
+        case CompareOp::kGt:
+          return v > lo;
+        case CompareOp::kGe:
+          return v >= lo;
+        case CompareOp::kBetween:
+          return v >= lo && v <= hi;
+        case CompareOp::kContains:
+          return false;  // compiled as kNumericContains instead
+      }
+      return false;
+    }
+    case Mode::kNumericContains: {
+      const auto& rendered = store.rendered_dictionary(pred.attr);
+      return rendered[store.dict_code(row, pred.attr)].find(needle) !=
+             std::string::npos;
+    }
+    case Mode::kTextCodes: {
+      auto [begin, end] = store.ElementSpan(row, pred.attr);
+      bool any = false;
+      for (const std::uint32_t* it = begin; it != end && !any; ++it) {
+        any = element_match[*it] != 0;
+      }
+      return pred.op == CompareOp::kNe ? !any : any;
+    }
+    case Mode::kNever:
+      return false;
+  }
+  return false;
+}
+
+CompiledPredicate CompilePredicate(const Table& table, const Predicate& pred,
+                                   const TableStats* stats) {
+  CompiledPredicate cp;
+  cp.pred = pred;
+  const ColumnStore& store = table.store();
+  const bool numeric =
+      table.schema().attribute(pred.attr).data_kind == DataKind::kNumeric;
+
+  if (numeric) {
+    if (pred.op == CompareOp::kContains) {
+      cp.mode = CompiledPredicate::Mode::kNumericContains;
+      cp.needle = CanonicalContainsText(pred.value);
+    } else {
+      cp.mode = CompiledPredicate::Mode::kNumeric;
+      cp.lo = pred.value.AsDouble();
+      cp.hi = pred.op == CompareOp::kBetween ? pred.value_hi.AsDouble() : cp.lo;
+    }
+  } else if (pred.op == CompareOp::kEq || pred.op == CompareOp::kNe ||
+             pred.op == CompareOp::kContains) {
+    // Resolve the needle against the element dictionary once: per-distinct
+    // string work at compile time, per-row integer work at run time.
+    cp.mode = CompiledPredicate::Mode::kTextCodes;
+    const std::string needle = pred.value.AsText();
+    const auto& elems = store.element_dictionary(pred.attr);
+    cp.element_match.assign(elems.size(), 0);
+    if (pred.op == CompareOp::kContains) {
+      for (std::size_t c = 0; c < elems.size(); ++c) {
+        cp.element_match[c] = elems[c].find(needle) != std::string::npos;
+      }
+    } else {
+      // Shorthand matching against cached normalized forms: the needle is
+      // normalized once, each dictionary entry never again.
+      const auto& norms = store.element_shorthand_norms(pred.attr);
+      const std::string needle_norm =
+          pred.allow_shorthand ? text::NormalizeForShorthand(needle)
+                               : std::string();
+      for (std::size_t c = 0; c < elems.size(); ++c) {
+        cp.element_match[c] =
+            elems[c] == needle ||
+            (pred.allow_shorthand &&
+             text::IsShorthandMatchNormalized(norms[c], elems[c],
+                                              needle_norm, needle));
+      }
+    }
+  } else {
+    cp.mode = CompiledPredicate::Mode::kNever;  // range ops on text
+  }
+
+  if (stats == nullptr) stats = table.stats();
+  if (stats != nullptr) {
+    cp.selectivity = stats->EstimateSelectivity(table.schema(), pred);
+  }
+  return cp;
+}
+
+// ------------------------------------------------------------- leaf nodes
+
+IndexScanNode::IndexScanNode(const Table* table, CompiledPredicate cp,
+                             std::vector<std::string> keys)
+    : table_(table), cp_(std::move(cp)), keys_(std::move(keys)) {
+  est_selectivity = cp_.selectivity;
+}
+
+RowSet IndexScanNode::Execute(ExecStats* stats) const {
+  ++stats->index_lookups;
+  const HashIndex* idx = table_->hash_index(cp_.pred.attr);
+  RowSet eq;
+  for (const auto& key : keys_) {
+    eq = UnionSets(eq, idx->Lookup(key), table_->num_rows());
+  }
+  if (cp_.pred.op == CompareOp::kNe) {
+    return DifferenceSets(table_->AllRows(), eq, table_->num_rows());
+  }
+  return eq;
+}
+
+void IndexScanNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "IndexScan(" + PredicateText(*table_, cp_.pred) + ", " +
+          SelText(est_selectivity) + ", keys=" + std::to_string(keys_.size()) +
+          ")\n";
+}
+
+RangeScanNode::RangeScanNode(const Table* table, CompiledPredicate cp)
+    : table_(table), cp_(std::move(cp)) {
+  est_selectivity = cp_.selectivity;
+}
+
+RowSet RangeScanNode::Execute(ExecStats* stats) const {
+  ++stats->index_lookups;
+  const SortedIndex* idx = table_->sorted_index(cp_.pred.attr);
+  const double t = cp_.lo;
+  switch (cp_.pred.op) {
+    case CompareOp::kEq:
+      return idx->Range(t, t);
+    case CompareOp::kNe:
+      return DifferenceSets(table_->AllRows(), idx->Range(t, t),
+                            table_->num_rows());
+    case CompareOp::kLt:
+      return idx->Range(-kInf, std::nextafter(t, -kInf));
+    case CompareOp::kLe:
+      return idx->Range(-kInf, t);
+    case CompareOp::kGt:
+      return idx->Range(std::nextafter(t, kInf), kInf);
+    case CompareOp::kGe:
+      return idx->Range(t, kInf);
+    case CompareOp::kBetween:
+      return idx->Range(t, cp_.hi);
+    case CompareOp::kContains:
+      return {};  // never compiled to a range scan
+  }
+  return {};
+}
+
+void RangeScanNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "RangeScan(" + PredicateText(*table_, cp_.pred) + ", " +
+          SelText(est_selectivity) + ")\n";
+}
+
+SubstringScanNode::SubstringScanNode(const Table* table, CompiledPredicate cp)
+    : table_(table), cp_(std::move(cp)) {
+  est_selectivity = cp_.selectivity;
+}
+
+RowSet SubstringScanNode::Execute(ExecStats* stats) const {
+  ++stats->index_lookups;
+  const NGramIndex* idx = table_->ngram_index(cp_.pred.attr);
+  RowSet candidates = idx->Candidates(cp_.pred.value.AsText());
+  stats->rows_verified += candidates.size();
+  RowSet out;
+  for (RowId row : candidates) {
+    if (cp_.Matches(table_->store(), row)) out.push_back(row);
+  }
+  return out;
+}
+
+void SubstringScanNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "SubstringScan(" + PredicateText(*table_, cp_.pred) + ", " +
+          SelText(est_selectivity) + ")\n";
+}
+
+FullScanFilterNode::FullScanFilterNode(const Table* table,
+                                       CompiledPredicate cp)
+    : table_(table), cp_(std::move(cp)) {
+  est_selectivity = cp_.selectivity;
+}
+
+RowSet FullScanFilterNode::Execute(ExecStats* stats) const {
+  ++stats->full_scans;
+  const std::size_t n = table_->num_rows();
+  stats->rows_verified += n;
+  RowSet out;
+  const ColumnStore& store = table_->store();
+  for (RowId row = 0; row < n; ++row) {
+    if (cp_.Matches(store, row)) out.push_back(row);
+  }
+  return out;
+}
+
+void FullScanFilterNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "FullScan(" + PredicateText(*table_, cp_.pred) + ", " +
+          SelText(est_selectivity) + ")\n";
+}
+
+// ------------------------------------------------------------ inner nodes
+
+FilterNode::FilterNode(const Table* table, PlanNodePtr child,
+                       std::vector<CompiledPredicate> residual)
+    : table_(table), child_(std::move(child)), residual_(std::move(residual)) {
+  est_selectivity = child_->est_selectivity;
+  for (const auto& cp : residual_) est_selectivity *= cp.selectivity;
+}
+
+RowSet FilterNode::Execute(ExecStats* stats) const {
+  RowSet rows = child_->Execute(stats);
+  const ColumnStore& store = table_->store();
+  for (const auto& cp : residual_) {
+    if (rows.empty()) break;
+    stats->rows_verified += rows.size();
+    RowSet next;
+    for (RowId row : rows) {
+      if (cp.Matches(store, row)) next.push_back(row);
+    }
+    rows = std::move(next);
+  }
+  return rows;
+}
+
+void FilterNode::Explain(std::string* out, int depth) const {
+  for (const auto& cp : residual_) {
+    Indent(out, depth);
+    *out += "Filter(" + PredicateText(*table_, cp.pred) + ", " +
+            SelText(cp.selectivity) + ")\n";
+    ++depth;
+  }
+  child_->Explain(out, depth);
+}
+
+IntersectNode::IntersectNode(const Table* table,
+                             std::vector<PlanNodePtr> children)
+    : table_(table), children_(std::move(children)) {
+  est_selectivity = 1.0;
+  for (const auto& c : children_) est_selectivity *= c->est_selectivity;
+}
+
+RowSet IntersectNode::Execute(ExecStats* stats) const {
+  RowSet acc;
+  bool first = true;
+  for (const auto& child : children_) {
+    RowSet s = child->Execute(stats);
+    acc = first ? std::move(s)
+                : IntersectSets(acc, s, table_->num_rows());
+    first = false;
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+void IntersectNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "Intersect(" + SelText(est_selectivity) + ")\n";
+  for (const auto& c : children_) c->Explain(out, depth + 1);
+}
+
+UnionNode::UnionNode(const Table* table, std::vector<PlanNodePtr> children)
+    : table_(table), children_(std::move(children)) {
+  est_selectivity = 0.0;
+  for (const auto& c : children_) est_selectivity += c->est_selectivity;
+  est_selectivity = std::min(1.0, est_selectivity);
+}
+
+RowSet UnionNode::Execute(ExecStats* stats) const {
+  RowSet acc;
+  for (const auto& child : children_) {
+    acc = UnionSets(acc, child->Execute(stats), table_->num_rows());
+  }
+  return acc;
+}
+
+void UnionNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "Union(" + SelText(est_selectivity) + ")\n";
+  for (const auto& c : children_) c->Explain(out, depth + 1);
+}
+
+NotNode::NotNode(const Table* table, PlanNodePtr child)
+    : table_(table), child_(std::move(child)) {
+  est_selectivity = std::max(0.0, 1.0 - child_->est_selectivity);
+}
+
+RowSet NotNode::Execute(ExecStats* stats) const {
+  return DifferenceSets(table_->AllRows(), child_->Execute(stats),
+                        table_->num_rows());
+}
+
+void NotNode::Explain(std::string* out, int depth) const {
+  Indent(out, depth);
+  *out += "Not(" + SelText(est_selectivity) + ")\n";
+  child_->Explain(out, depth + 1);
+}
+
+// ----------------------------------------------------------- PhysicalPlan
+
+PhysicalPlan::PhysicalPlan(const Table* table, PlanNodePtr root,
+                           std::optional<Superlative> superlative,
+                           std::size_t limit)
+    : table_(table),
+      root_(std::move(root)),
+      superlative_(superlative),
+      limit_(limit) {}
+
+Result<QueryResult> PhysicalPlan::Execute() const {
+  if (!table_->indexes_built()) {
+    return Status::FailedPrecondition("table indexes not built");
+  }
+  QueryResult result;
+  RowSet rows =
+      root_ ? root_->Execute(&result.stats) : table_->AllRows();
+
+  if (superlative_) {
+    // §4.3 step 4, verbatim seed semantics: stable sort of the ascending
+    // row set by cell value, so ties keep RowId order.
+    const std::size_t attr = superlative_->attr;
+    const bool asc = superlative_->ascending;
+    std::stable_sort(rows.begin(), rows.end(), [&](RowId a, RowId b) {
+      const Value& va = table_->cell(a, attr);
+      const Value& vb = table_->cell(b, attr);
+      return asc ? va < vb : vb < va;
+    });
+  }
+
+  if (rows.size() > limit_) rows.resize(limit_);
+  result.rows = std::move(rows);
+  return result;
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::string out = "Plan(limit=" + std::to_string(limit_);
+  if (superlative_) {
+    out += ", superlative=" +
+           table_->schema().attribute(superlative_->attr).name +
+           (superlative_->ascending ? " asc" : " desc");
+  }
+  out += ")\n";
+  if (root_) {
+    root_->Explain(&out, 1);
+  } else {
+    out += "  AllRows\n";
+  }
+  return out;
+}
+
+}  // namespace cqads::db::exec

@@ -1,0 +1,165 @@
+#include "db/exec/planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "db/compare.h"
+#include "text/shorthand.h"
+
+namespace cqads::db::exec {
+
+PlanNodePtr Planner::AccessPath(CompiledPredicate cp) const {
+  const Predicate& pred = cp.pred;
+  const Attribute& attr = table_->schema().attribute(pred.attr);
+
+  if (attr.data_kind == DataKind::kNumeric) {
+    if (pred.op != CompareOp::kContains &&
+        table_->sorted_index(pred.attr) != nullptr) {
+      return std::make_unique<RangeScanNode>(table_, std::move(cp));
+    }
+    return std::make_unique<FullScanFilterNode>(table_, std::move(cp));
+  }
+
+  if (pred.op == CompareOp::kEq || pred.op == CompareOp::kNe) {
+    const HashIndex* idx = table_->hash_index(pred.attr);
+    if (idx != nullptr) {
+      // The hash-index keys are exactly the store's element dictionary, so
+      // the compiled element-match set IS the resolved key set (needle plus
+      // shorthand variants, §4.2.3). Execute() only unions postings.
+      const auto& elems = table_->store().element_dictionary(pred.attr);
+      std::vector<std::string> keys;
+      for (std::size_t c = 0; c < cp.element_match.size(); ++c) {
+        if (cp.element_match[c]) keys.push_back(elems[c]);
+      }
+      return std::make_unique<IndexScanNode>(table_, std::move(cp),
+                                             std::move(keys));
+    }
+    return std::make_unique<FullScanFilterNode>(table_, std::move(cp));
+  }
+
+  if (pred.op == CompareOp::kContains) {
+    const NGramIndex* idx = table_->ngram_index(pred.attr);
+    if (idx != nullptr && NGramIndex::CanLookup(pred.value.AsText())) {
+      return std::make_unique<SubstringScanNode>(table_, std::move(cp));
+    }
+    return std::make_unique<FullScanFilterNode>(table_, std::move(cp));
+  }
+
+  // Range operators are undefined on text (match nothing): a full scan of
+  // the never-matching compiled form keeps seed behavior.
+  return std::make_unique<FullScanFilterNode>(table_, std::move(cp));
+}
+
+PlanNodePtr Planner::CompileConjunction(std::vector<Predicate> preds) const {
+  if (preds.empty()) {
+    // Degenerate AND() matches everything: AllRows as Not(Union()).
+    return std::make_unique<NotNode>(
+        table_,
+        std::make_unique<UnionNode>(table_, std::vector<PlanNodePtr>{}));
+  }
+  // Cost-aware order: estimated selectivity ascending; ties fall back to
+  // the paper's §4.3 Type rank, then question order (stable sort).
+  std::vector<CompiledPredicate> compiled;
+  compiled.reserve(preds.size());
+  for (const auto& p : preds) {
+    compiled.push_back(CompilePredicate(*table_, p, stats_.get()));
+  }
+
+  std::vector<std::size_t> order(compiled.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (compiled[a].selectivity != compiled[b].selectivity) {
+                       return compiled[a].selectivity < compiled[b].selectivity;
+                     }
+                     return TypeRank(table_->schema(), compiled[a].pred.attr) <
+                            TypeRank(table_->schema(), compiled[b].pred.attr);
+                   });
+
+  PlanNodePtr seed = AccessPath(std::move(compiled[order[0]]));
+  if (order.size() == 1) return seed;
+
+  std::vector<CompiledPredicate> residual;
+  residual.reserve(order.size() - 1);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    residual.push_back(std::move(compiled[order[i]]));
+  }
+  return std::make_unique<FilterNode>(table_, std::move(seed),
+                                      std::move(residual));
+}
+
+PlanNodePtr Planner::CompileExpr(const Expr& expr) const {
+  switch (expr.kind()) {
+    case Expr::Kind::kPredicate:
+      return AccessPath(
+          CompilePredicate(*table_, expr.predicate(), stats_.get()));
+    case Expr::Kind::kAnd: {
+      if (expr.IsConjunctive()) {
+        std::vector<Predicate> preds;
+        expr.CollectPredicates(&preds);
+        return CompileConjunction(std::move(preds));
+      }
+      std::vector<PlanNodePtr> children;
+      children.reserve(expr.children().size());
+      for (const auto& child : expr.children()) {
+        children.push_back(CompileExpr(*child));
+      }
+      // Most selective child first: the intersection narrows fastest and
+      // empty accumulators short-circuit the rest.
+      std::stable_sort(children.begin(), children.end(),
+                       [](const PlanNodePtr& a, const PlanNodePtr& b) {
+                         return a->est_selectivity < b->est_selectivity;
+                       });
+      return std::make_unique<IntersectNode>(table_, std::move(children));
+    }
+    case Expr::Kind::kOr: {
+      std::vector<PlanNodePtr> children;
+      children.reserve(expr.children().size());
+      for (const auto& child : expr.children()) {
+        children.push_back(CompileExpr(*child));
+      }
+      return std::make_unique<UnionNode>(table_, std::move(children));
+    }
+    case Expr::Kind::kNot:
+      return std::make_unique<NotNode>(table_,
+                                       CompileExpr(*expr.children()[0]));
+  }
+  return nullptr;
+}
+
+Status Planner::ValidateExpr(const Expr& expr) const {
+  if (expr.kind() == Expr::Kind::kPredicate) {
+    if (expr.predicate().attr >= table_->schema().num_attributes()) {
+      return Status::OutOfRange("predicate attribute out of range");
+    }
+    return Status::OK();
+  }
+  for (const auto& child : expr.children()) {
+    CQADS_RETURN_NOT_OK(ValidateExpr(*child));
+  }
+  return Status::OK();
+}
+
+Result<PlanPtr> Planner::Compile(const Query& query) const {
+  if (!table_->indexes_built()) {
+    return Status::FailedPrecondition("table indexes not built");
+  }
+  if (query.where) {
+    CQADS_RETURN_NOT_OK(ValidateExpr(*query.where));
+  }
+  if (query.superlative &&
+      query.superlative->attr >= table_->schema().num_attributes()) {
+    return Status::OutOfRange("superlative attribute out of range");
+  }
+  PlanNodePtr root = query.where ? CompileExpr(*query.where) : nullptr;
+  return std::make_shared<const PhysicalPlan>(table_, std::move(root),
+                                              query.superlative, query.limit);
+}
+
+Result<QueryResult> Planner::Run(const Query& query) const {
+  auto plan = Compile(query);
+  if (!plan.ok()) return plan.status();
+  return plan.value()->Execute();
+}
+
+}  // namespace cqads::db::exec

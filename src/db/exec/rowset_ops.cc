@@ -1,0 +1,78 @@
+#include "db/exec/rowset_ops.h"
+
+namespace cqads::db::exec {
+
+namespace {
+
+bool UseBitmap(const RowSet& a, const RowSet& b, std::size_t universe) {
+  return universe > 0 && (a.size() + b.size()) * kDenseDivisor >= universe;
+}
+
+}  // namespace
+
+RowBitmap RowBitmap::FromSet(const RowSet& set, std::size_t universe) {
+  RowBitmap bm(universe);
+  for (RowId r : set) bm.Set(r);
+  return bm;
+}
+
+void RowBitmap::UnionWith(const RowBitmap& other) {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+}
+
+void RowBitmap::IntersectWith(const RowBitmap& other) {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= other.words_[w];
+  }
+}
+
+void RowBitmap::SubtractWith(const RowBitmap& other) {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] &= ~other.words_[w];
+  }
+}
+
+std::size_t RowBitmap::Count() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += __builtin_popcountll(w);
+  return n;
+}
+
+RowSet RowBitmap::ToSet() const {
+  RowSet out;
+  out.reserve(Count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = __builtin_ctzll(w);
+      out.push_back(static_cast<RowId>(wi * 64 + bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+RowSet UnionSets(const RowSet& a, const RowSet& b, std::size_t universe) {
+  if (!UseBitmap(a, b, universe)) return Union(a, b);
+  RowBitmap bm = RowBitmap::FromSet(a, universe);
+  bm.UnionWith(RowBitmap::FromSet(b, universe));
+  return bm.ToSet();
+}
+
+RowSet IntersectSets(const RowSet& a, const RowSet& b, std::size_t universe) {
+  if (!UseBitmap(a, b, universe)) return Intersect(a, b);
+  RowBitmap bm = RowBitmap::FromSet(a, universe);
+  bm.IntersectWith(RowBitmap::FromSet(b, universe));
+  return bm.ToSet();
+}
+
+RowSet DifferenceSets(const RowSet& a, const RowSet& b, std::size_t universe) {
+  if (!UseBitmap(a, b, universe)) return Difference(a, b);
+  RowBitmap bm = RowBitmap::FromSet(a, universe);
+  bm.SubtractWith(RowBitmap::FromSet(b, universe));
+  return bm.ToSet();
+}
+
+}  // namespace cqads::db::exec

@@ -1,0 +1,61 @@
+// Density-adaptive row-set algebra for the plan evaluator. The seed
+// executor's sorted-vector Intersect/Union/Difference (db/indexes.h) stays
+// the representation of record sets between plan nodes, but set-operation
+// nodes pick the cheaper physical algorithm per call: a sorted-vector merge
+// for sparse inputs, a word-parallel bitmap pass for dense ones. Results are
+// always sorted ascending and duplicate-free, so the two strategies are
+// interchangeable answer-wise — the property tests assert exactly that.
+#ifndef CQADS_DB_EXEC_ROWSET_OPS_H_
+#define CQADS_DB_EXEC_ROWSET_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/indexes.h"
+
+namespace cqads::db::exec {
+
+/// Fixed-universe bitmap over RowIds [0, universe).
+class RowBitmap {
+ public:
+  explicit RowBitmap(std::size_t universe)
+      : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+  static RowBitmap FromSet(const RowSet& set, std::size_t universe);
+
+  std::size_t universe() const { return universe_; }
+
+  void Set(RowId r) { words_[r / 64] |= std::uint64_t{1} << (r % 64); }
+  bool Test(RowId r) const {
+    return (words_[r / 64] >> (r % 64)) & std::uint64_t{1};
+  }
+
+  void UnionWith(const RowBitmap& other);
+  void IntersectWith(const RowBitmap& other);
+  /// this \ other.
+  void SubtractWith(const RowBitmap& other);
+
+  std::size_t Count() const;
+
+  /// Sorted ascending RowSet of the set bits.
+  RowSet ToSet() const;
+
+ private:
+  std::size_t universe_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Inputs at least this dense (combined size * kDenseDivisor >= universe)
+/// take the bitmap path; sparser inputs use the sorted-vector merge.
+inline constexpr std::size_t kDenseDivisor = 4;
+
+/// a ∪ b over universe [0, n). Sorted ascending, duplicate-free.
+RowSet UnionSets(const RowSet& a, const RowSet& b, std::size_t universe);
+/// a ∩ b.
+RowSet IntersectSets(const RowSet& a, const RowSet& b, std::size_t universe);
+/// a \ b.
+RowSet DifferenceSets(const RowSet& a, const RowSet& b, std::size_t universe);
+
+}  // namespace cqads::db::exec
+
+#endif  // CQADS_DB_EXEC_ROWSET_OPS_H_

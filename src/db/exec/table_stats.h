@@ -1,0 +1,77 @@
+// Per-column statistics collected once at Table::BuildIndexes time and
+// frozen alongside the engine snapshot: distinct counts, null counts,
+// min/max, and equi-width histograms for numeric columns; element-posting
+// densities for text columns. The cost-aware Planner orders conjunctive
+// predicates by the selectivities estimated here (most selective first),
+// falling back to the paper's §4.3 Type I/II/III rank only to break ties.
+#ifndef CQADS_DB_EXEC_TABLE_STATS_H_
+#define CQADS_DB_EXEC_TABLE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "db/query.h"
+#include "db/schema.h"
+#include "db/storage/column_store.h"
+
+namespace cqads::db::exec {
+
+/// Equi-width histogram over a numeric column's non-null values.
+struct Histogram {
+  static constexpr std::size_t kDefaultBuckets = 32;
+
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::uint32_t> counts;
+  std::uint64_t total = 0;  ///< non-null values histogrammed
+
+  /// Builds from raw values (NaNs — the packed-column null marker — are
+  /// skipped).
+  static Histogram Build(const std::vector<double>& values,
+                         std::size_t buckets = kDefaultBuckets);
+
+  /// Estimated fraction of values falling in [range_lo, range_hi], with
+  /// linear interpolation inside partially-covered edge buckets. In [0,1].
+  double EstimateRangeFraction(double range_lo, double range_hi) const;
+};
+
+/// Statistics of one column.
+struct ColumnStats {
+  std::size_t row_count = 0;
+  std::size_t null_count = 0;
+  std::size_t distinct_count = 0;  ///< distinct non-null cell values
+
+  // Text columns: pre-tokenized element postings.
+  std::size_t element_distinct = 0;
+  std::size_t element_postings = 0;
+
+  // Numeric columns.
+  bool numeric = false;
+  double min = 0.0;
+  double max = 0.0;
+  Histogram histogram;
+
+  double null_fraction() const {
+    return row_count == 0
+               ? 0.0
+               : static_cast<double>(null_count) / static_cast<double>(row_count);
+  }
+};
+
+/// Frozen per-table statistics (immutable after Collect; safe to share
+/// across threads and snapshot generations).
+struct TableStats {
+  std::size_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  static TableStats Collect(const Schema& schema, const ColumnStore& store);
+
+  /// Estimated fraction of rows satisfying `pred`, in [0,1]. NULL rows are
+  /// counted as matching only negations (the shared NULL-comparison rule).
+  double EstimateSelectivity(const Schema& schema, const Predicate& pred) const;
+};
+
+}  // namespace cqads::db::exec
+
+#endif  // CQADS_DB_EXEC_TABLE_STATS_H_

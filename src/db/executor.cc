@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "db/compare.h"
 #include "text/shorthand.h"
 
 namespace cqads::db {
@@ -11,19 +12,6 @@ namespace cqads::db {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Evaluation priority per §4.3: Type I first, Type II second, Type III last.
-int TypeRank(const Schema& schema, std::size_t attr) {
-  switch (schema.attribute(attr).attr_type) {
-    case AttrType::kTypeI:
-      return 0;
-    case AttrType::kTypeII:
-      return 1;
-    case AttrType::kTypeIII:
-      return 2;
-  }
-  return 3;
-}
 
 bool TextMatches(const std::vector<std::string>& elements,
                  const std::string& needle, bool allow_shorthand) {
@@ -49,28 +37,32 @@ bool Executor::Matches(RowId row, const Predicate& pred) const {
   const bool numeric_attr =
       table_->schema().attribute(pred.attr).data_kind == DataKind::kNumeric;
 
-  if (cell.is_null()) return pred.op == CompareOp::kNe;
+  // Shared NULL rule (db/compare.h): only negations match a NULL cell.
+  if (cell.is_null()) return NullComparisonMatches(pred.op);
 
   if (numeric_attr) {
     double v = cell.AsDouble();
-    double t = pred.value.AsDouble();
     switch (pred.op) {
       case CompareOp::kEq:
-        return v == t;
+        return v == pred.value.AsDouble();
       case CompareOp::kNe:
-        return v != t;
+        return v != pred.value.AsDouble();
       case CompareOp::kLt:
-        return v < t;
+        return v < pred.value.AsDouble();
       case CompareOp::kLe:
-        return v <= t;
+        return v <= pred.value.AsDouble();
       case CompareOp::kGt:
-        return v > t;
+        return v > pred.value.AsDouble();
       case CompareOp::kGe:
-        return v >= t;
+        return v >= pred.value.AsDouble();
       case CompareOp::kBetween:
-        return v >= t && v <= pred.value_hi.AsDouble();
+        return v >= pred.value.AsDouble() && v <= pred.value_hi.AsDouble();
       case CompareOp::kContains:
-        return cell.AsText().find(pred.value.AsText()) != std::string::npos;
+        // Both sides render through the canonical formatting path, so a
+        // probe can never disagree with a stored cell about how the same
+        // quantity is written.
+        return CanonicalContainsText(cell).find(
+                   CanonicalContainsText(pred.value)) != std::string::npos;
     }
     return false;
   }

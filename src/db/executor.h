@@ -1,8 +1,17 @@
-// Query execution over a Table, implementing the paper's evaluation order
-// (§4.3): Type I conditions seed the candidate set through the primary hash
-// index, Type II conditions filter it through secondary indexes, Type III
-// boundaries run on what remains, and superlatives are applied last ("the
-// cheapest Honda" = filter Honda, then take cheapest — never the reverse).
+// Row-at-a-time query execution over a Table, implementing the paper's
+// evaluation order (§4.3): Type I conditions seed the candidate set through
+// the primary hash index, Type II conditions filter it through secondary
+// indexes, Type III boundaries run on what remains, and superlatives are
+// applied last ("the cheapest Honda" = filter Honda, then take cheapest —
+// never the reverse).
+//
+// This is the REFERENCE path. The serving pipeline executes compiled
+// cost-aware plans over the column store (db/exec/planner.h), which must
+// stay answer-identical to this executor — the planner-vs-seed differential
+// property test and the parity benches compare against it, and the rankers
+// still use Matches/MatchesExpr for row-level checks. Predicate semantics
+// shared by both paths (NULL rule, canonical kContains rendering) live in
+// db/compare.h.
 //
 // Thread-safety: the executor is stateless over a const table — it holds
 // only the table pointer and every method is const. Any number of threads

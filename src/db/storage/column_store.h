@@ -1,0 +1,163 @@
+// Columnar storage for one ads relation — the physical layer under
+// db::Table. Replaces the seed's row-major std::vector<Record>:
+//
+//   * every column is dictionary-encoded: a pool of distinct Values plus a
+//     per-row u32 code (kNullCode for NULL), so categorical probes compare
+//     integers instead of strings and repeated values are stored once;
+//   * numeric columns additionally keep a packed double vector (NaN at NULL
+//     positions) and a null bitmap, the layout range scans and histogram
+//     collection stream over;
+//   * text columns keep pre-tokenized element postings: a per-column element
+//     dictionary (trimmed ';'-list members; a categorical cell is its own
+//     single element) and a per-row span of element codes, so
+//     CellElements/equality probes never re-split strings;
+//   * a canonical rendered text per dictionary entry (the
+//     db::CanonicalContainsText single formatting path) serves substring
+//     matching without per-row re-formatting.
+//
+// The row-oriented view the classifier corpus and the TF-IDF baselines need
+// (cell / MaterializeRow / CellElements / RowText) is materialized on demand
+// from the columns; cell() hands out references into the dictionary pool, so
+// it stays cheap and allocation-free.
+//
+// Thread-safety: append-only while loading; immutable afterwards. All const
+// methods are safe to call concurrently once writes stop (the engine
+// snapshot layer guarantees tables are frozen before queries run).
+#ifndef CQADS_DB_STORAGE_COLUMN_STORE_H_
+#define CQADS_DB_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "db/indexes.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace cqads::db {
+
+/// One ad: a tuple of attribute values in schema order (the thin row view).
+using Record = std::vector<Value>;
+
+class ColumnStore {
+ public:
+  /// Per-row dictionary code of a NULL cell.
+  static constexpr std::uint32_t kNullCode = 0xFFFFFFFFu;
+
+  /// Captures the per-column physical kinds; the schema itself need not
+  /// outlive the store (Table stays freely movable).
+  explicit ColumnStore(const Schema& schema);
+
+  std::size_t num_rows() const { return num_rows_; }
+
+  /// Appends a record (already validated against the schema by the caller).
+  /// Returns the new RowId.
+  RowId Append(const Record& record);
+
+  // --- row view (materialized on demand) --------------------------------
+
+  /// The cell value; a reference into the column's dictionary pool (or a
+  /// shared NULL). Valid until the next Append that interns a new distinct
+  /// value for the column (the pool may reallocate); stores are frozen
+  /// before queries run, so query-time references never move.
+  const Value& cell(RowId row, std::size_t attr) const;
+
+  /// Materializes one full record in schema order.
+  Record MaterializeRow(RowId row) const;
+
+  /// Elements of a text cell from the pre-tokenized postings: a TextList
+  /// cell yields its trimmed non-empty ';'-members, a categorical cell its
+  /// single value. Numeric/NULL cells yield an empty list.
+  std::vector<std::string> CellElements(RowId row, std::size_t attr) const;
+
+  /// All text of a row joined with spaces, lower-cased (classifier corpus
+  /// and TF-IDF baselines).
+  std::string RowText(RowId row) const;
+
+  // --- columnar access (the exec layer's surface) -----------------------
+
+  /// Dictionary code of a cell (kNullCode for NULL).
+  std::uint32_t dict_code(RowId row, std::size_t attr) const {
+    return cols_[attr].codes[row];
+  }
+
+  /// Distinct cell values of a column, in first-appearance order.
+  const std::vector<Value>& dictionary(std::size_t attr) const {
+    return cols_[attr].dict;
+  }
+
+  /// Canonical rendered text per dictionary entry of a NUMERIC column
+  /// (single formatting path; what kContains matches against). Empty for
+  /// text columns — their text is already exposed by the element
+  /// dictionary.
+  const std::vector<std::string>& rendered_dictionary(std::size_t attr) const {
+    return cols_[attr].rendered;
+  }
+
+  /// Distinct text elements of a text column, in first-appearance order.
+  /// Empty for numeric columns.
+  const std::vector<std::string>& element_dictionary(std::size_t attr) const {
+    return cols_[attr].elem_dict;
+  }
+
+  /// NormalizeForShorthand of each element, parallel to
+  /// element_dictionary(): shorthand probes normalize the needle once and
+  /// compare against these cached forms (§4.2.3 without per-probe
+  /// re-normalization).
+  const std::vector<std::string>& element_shorthand_norms(
+      std::size_t attr) const {
+    return cols_[attr].elem_norms;
+  }
+
+  /// The element-code span of a text cell: [begin, end) into the column's
+  /// element pool. Empty for NULL cells and numeric columns.
+  std::pair<const std::uint32_t*, const std::uint32_t*> ElementSpan(
+      RowId row, std::size_t attr) const;
+
+  /// Packed values of a numeric column (NaN at NULL rows). Empty for text
+  /// columns.
+  const std::vector<double>& numeric_column(std::size_t attr) const {
+    return cols_[attr].packed;
+  }
+
+  bool is_null(RowId row, std::size_t attr) const {
+    return cols_[attr].codes[row] == kNullCode;
+  }
+
+  /// Word of the column's null bitmap (bit r%64 of word r/64 set = NULL).
+  const std::vector<std::uint64_t>& null_bitmap(std::size_t attr) const {
+    return cols_[attr].null_bits;
+  }
+
+ private:
+  struct Column {
+    std::vector<Value> dict;              ///< distinct values, stable order
+    std::vector<std::string> rendered;    ///< canonical text (numeric cols)
+    std::unordered_map<std::string, std::uint32_t> dict_lookup;
+    std::vector<std::uint32_t> codes;     ///< per row; kNullCode = NULL
+    std::vector<std::uint64_t> null_bits; ///< 1 bit per row, 1 = NULL
+
+    // Text columns: pre-tokenized elements.
+    std::vector<std::string> elem_dict;
+    std::vector<std::string> elem_norms;  ///< NormalizeForShorthand per entry
+    std::unordered_map<std::string, std::uint32_t> elem_lookup;
+    std::vector<std::uint32_t> elem_codes;    ///< pooled spans
+    std::vector<std::uint32_t> elem_offsets;  ///< size num_rows+1
+
+    // Numeric columns: packed scan layout.
+    std::vector<double> packed;  ///< NaN at NULL rows
+  };
+
+  std::uint32_t InternValue(Column* col, const Value& v, bool numeric);
+  std::uint32_t InternElement(Column* col, std::string element);
+
+  std::vector<DataKind> kinds_;  ///< per-column physical kind
+  std::vector<Column> cols_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace cqads::db
+
+#endif  // CQADS_DB_STORAGE_COLUMN_STORE_H_

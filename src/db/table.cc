@@ -1,7 +1,5 @@
 #include "db/table.h"
 
-#include "common/string_util.h"
-
 namespace cqads::db {
 
 Result<RowId> Table::Insert(Record record) {
@@ -23,9 +21,10 @@ Result<RowId> Table::Insert(Record record) {
                                      attr.name);
     }
   }
-  rows_.push_back(std::move(record));
+  const RowId id = store_.Append(record);
   indexes_built_ = false;
-  return static_cast<RowId>(rows_.size() - 1);
+  stats_.reset();
+  return id;
 }
 
 void Table::BuildIndexes() {
@@ -34,58 +33,32 @@ void Table::BuildIndexes() {
   sorted_indexes_.assign(n_attrs, SortedIndex());
   ngram_indexes_.assign(n_attrs, NGramIndex());
 
-  for (RowId row = 0; row < rows_.size(); ++row) {
+  for (RowId row = 0; row < store_.num_rows(); ++row) {
     for (std::size_t a = 0; a < n_attrs; ++a) {
-      const Attribute& attr = schema_.attribute(a);
-      const Value& v = rows_[row][a];
-      if (v.is_null()) continue;
-      if (attr.data_kind == DataKind::kNumeric) {
-        sorted_indexes_[a].Add(v.AsDouble(), row);
+      if (store_.is_null(row, a)) continue;
+      if (schema_.attribute(a).data_kind == DataKind::kNumeric) {
+        sorted_indexes_[a].Add(store_.numeric_column(a)[row], row);
       } else {
-        for (const auto& element : CellElements(row, a)) {
-          hash_indexes_[a].Add(element, row);
-          ngram_indexes_[a].Add(element, row);
+        // Postings come straight from the store's pre-tokenized element
+        // spans — no per-row re-splitting.
+        auto [begin, end] = store_.ElementSpan(row, a);
+        const auto& elem_dict = store_.element_dictionary(a);
+        for (const std::uint32_t* it = begin; it != end; ++it) {
+          hash_indexes_[a].Add(elem_dict[*it], row);
+          ngram_indexes_[a].Add(elem_dict[*it], row);
         }
       }
     }
   }
   for (auto& idx : sorted_indexes_) idx.Seal();
+  stats_ = std::make_shared<const exec::TableStats>(
+      exec::TableStats::Collect(schema_, store_));
   indexes_built_ = true;
 }
 
-std::vector<std::string> Table::CellElements(RowId id,
-                                             std::size_t attr) const {
-  const Value& v = rows_[id][attr];
-  if (!v.is_text()) return {};
-  if (schema_.attribute(attr).data_kind == DataKind::kTextList) {
-    std::vector<std::string> out;
-    for (auto& part : Split(v.text(), ';')) {
-      std::string trimmed = Trim(part);
-      if (!trimmed.empty()) out.push_back(std::move(trimmed));
-    }
-    return out;
-  }
-  return {v.text()};
-}
-
-std::string Table::RowText(RowId id) const {
-  std::string out;
-  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
-    const Value& v = rows_[id][a];
-    if (v.is_null()) continue;
-    if (!out.empty()) out.push_back(' ');
-    if (schema_.attribute(a).data_kind == DataKind::kTextList) {
-      out += ReplaceAll(v.text(), ";", " ");
-    } else {
-      out += v.AsText();
-    }
-  }
-  return ToLower(out);
-}
-
 RowSet Table::AllRows() const {
-  RowSet out(rows_.size());
-  for (RowId i = 0; i < rows_.size(); ++i) out[i] = i;
+  RowSet out(store_.num_rows());
+  for (RowId i = 0; i < store_.num_rows(); ++i) out[i] = i;
   return out;
 }
 

@@ -1,8 +1,7 @@
 #include "db/value.h"
 
-#include <cmath>
-
 #include "common/string_util.h"
+#include "db/compare.h"
 
 namespace cqads::db {
 
@@ -18,14 +17,8 @@ double Value::AsDouble() const {
 
 std::string Value::AsText() const {
   if (is_null()) return "";
-  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
-  if (is_real()) {
-    double d = std::get<double>(v_);
-    if (d == std::floor(d) && std::abs(d) < 1e15) {
-      return std::to_string(static_cast<std::int64_t>(d));
-    }
-    return FormatDouble(d, 2);
-  }
+  if (is_int()) return CanonicalNumericText(std::get<std::int64_t>(v_));
+  if (is_real()) return CanonicalNumericText(std::get<double>(v_));
   return std::get<std::string>(v_);
 }
 

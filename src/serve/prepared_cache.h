@@ -1,14 +1,18 @@
 // Sharded LRU prepared-query cache. Memoizes the parse-side half of the
-// pipeline (tag -> conditions -> assembly -> SQL) keyed on
+// pipeline (tag -> conditions -> assembly -> SQL -> compiled plan) keyed on
 // (snapshot version, domain, normalized question): repeated questions skip
-// straight to execution. Entries are shared_ptr<const ParsedQuestion> —
-// immutable, so a hit is handed to any number of concurrent requests
-// without copying the expression trees (ExprPtr is shared_ptr<const Expr>).
+// straight to execution — including predicate compilation and cost-aware
+// plan construction, since ParsedQuestion carries the PhysicalPlan. Entries
+// are shared_ptr<const ParsedQuestion> — immutable, so a hit is handed to
+// any number of concurrent requests without copying the expression trees
+// (ExprPtr is shared_ptr<const Expr>) or the plan (PlanPtr is
+// shared_ptr<const PhysicalPlan>).
 //
 // Keying on the snapshot version makes swaps safe by construction: a
 // question parsed against snapshot v is never replayed against snapshot
-// v+1 (the domain's lexicon or table may have changed); stale entries age
-// out of the LRU naturally.
+// v+1 (the domain's lexicon, table, column stats, or planner options may
+// have changed — a memoized plan must never execute against a table it was
+// not compiled for); stale entries age out of the LRU naturally.
 #ifndef CQADS_SERVE_PREPARED_CACHE_H_
 #define CQADS_SERVE_PREPARED_CACHE_H_
 

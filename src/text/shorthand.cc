@@ -65,14 +65,18 @@ bool IsSubsequence(std::string_view needle, std::string_view haystack) {
 }
 
 bool IsShorthandMatch(std::string_view a, std::string_view b) {
-  std::string na = NormalizeForShorthand(a);
-  std::string nb = NormalizeForShorthand(b);
+  return IsShorthandMatchNormalized(NormalizeForShorthand(a), a,
+                                    NormalizeForShorthand(b), b);
+}
+
+bool IsShorthandMatchNormalized(std::string_view na, std::string_view a_raw,
+                                std::string_view nb, std::string_view b_raw) {
   if (na.empty() || nb.empty()) return false;
   if (na == nb) return true;
   const bool a_shorter = na.size() <= nb.size();
   std::string_view shorter = a_shorter ? na : nb;
   std::string_view longer = a_shorter ? nb : na;
-  std::string_view longer_raw = a_shorter ? b : a;
+  std::string_view longer_raw = a_shorter ? b_raw : a_raw;
   if (shorter.size() < 2) return false;
   if (shorter.front() != longer.front()) return false;
   if (!IsSubsequence(shorter, longer)) return false;

@@ -23,6 +23,13 @@ std::string NormalizeForShorthand(std::string_view s);
 /// at least 40% of the longer (rejecting accidental one-letter matches).
 bool IsShorthandMatch(std::string_view a, std::string_view b);
 
+/// Prenormalized fast path: `na`/`nb` must be NormalizeForShorthand(a)/(b).
+/// The raw forms are still consulted for multi-word initial matching. The
+/// column store caches each element's normalized form once, so probes pay
+/// normalization only for the needle instead of per dictionary entry.
+bool IsShorthandMatchNormalized(std::string_view na, std::string_view a_raw,
+                                std::string_view nb, std::string_view b_raw);
+
 /// True iff `needle` (already normalized or raw) is an ordered subsequence
 /// of `haystack`. Exposed for tests and for the trie scanner.
 bool IsSubsequence(std::string_view needle, std::string_view haystack);

@@ -69,9 +69,9 @@ TEST_F(PipelineTest, TimingsRecordedPerStage) {
   auto result = engine_.AskInDomain("cars", "blue honda accord");
   ASSERT_TRUE(result.ok());
   const auto& timings = result.value().timings;
-  ASSERT_EQ(timings.size(), 7u);
-  const char* expected[] = {"classify", "tag",     "conditions", "assemble",
-                            "render_sql", "execute", "rank"};
+  ASSERT_EQ(timings.size(), 8u);
+  const char* expected[] = {"classify",   "tag",  "conditions", "assemble",
+                            "render_sql", "plan", "execute",    "rank"};
   for (std::size_t i = 0; i < timings.size(); ++i) {
     EXPECT_EQ(timings[i].stage, expected[i]);
     EXPECT_GE(timings[i].micros, 0.0);

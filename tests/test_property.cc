@@ -1,12 +1,15 @@
 // Property-based tests: randomized differential checks of the executor
-// against a brute-force row-by-row reference, robustness of the question
-// pipeline under garbage input, and invariants of the similarity machinery.
+// against a brute-force row-by-row reference, the cost-aware planner
+// against the seed Type-rank executor across every datagen domain,
+// robustness of the question pipeline under garbage input, and invariants
+// of the similarity machinery.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/cqads_engine.h"
 #include "datagen/ads_generator.h"
 #include "datagen/domain_spec.h"
+#include "db/exec/planner.h"
 #include "db/executor.h"
 #include "test_fixtures.h"
 
@@ -99,6 +102,78 @@ TEST_P(ExecutorDifferentialTest, IndexedExecutionMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDifferentialTest,
                          ::testing::Values(0, 1, 2, 3, 4));
+
+// ------------------------------------------------- planner differential
+
+// The planner reorders conjunctions by estimated selectivity and swaps
+// set-op representations by density; none of that may change answers. Pin
+// planner-ordered execution to the seed §4.3 Type-rank order across every
+// datagen domain and randomized expression trees, superlatives included.
+class PlannerDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerDifferentialTest, PlannedExecutionMatchesSeedAcrossDomains) {
+  for (const auto& spec : datagen::AllDomainSpecs()) {
+    Rng rng(5000 + GetParam());
+    auto table_result = datagen::GenerateAds(spec, 90, &rng);
+    ASSERT_TRUE(table_result.ok()) << spec.schema.domain();
+    const db::Table& table = table_result.value();
+    db::Executor exec(&table);
+    db::exec::Planner planner(&table);
+    RandomExprGen gen(&table, &rng);
+
+    for (int trial = 0; trial < 25; ++trial) {
+      db::Query q;
+      q.where = gen.Generate(3);
+      q.limit = table.num_rows();
+      if (rng.Bernoulli(0.3)) {
+        const auto numeric = table.schema().NumericAttrs();
+        if (!numeric.empty()) {
+          q.superlative = db::Superlative{
+              numeric[rng.UniformIndex(numeric.size())], rng.Bernoulli(0.5)};
+          q.limit = 1 + rng.UniformIndex(10);
+        }
+      }
+      auto seed = exec.Execute(q);
+      auto planned = planner.Run(q);
+      ASSERT_TRUE(seed.ok()) << seed.status();
+      ASSERT_TRUE(planned.ok()) << planned.status();
+      EXPECT_EQ(planned.value().rows, seed.value().rows)
+          << spec.schema.domain() << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerDifferentialTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PlannerDifferentialTest, EngineAnswersIdenticalWithPlannerOnAndOff) {
+  db::Table table = cqads::testing::MiniCarTable();
+  const char* questions[] = {
+      "honda accord blue less than 15000 dollars",
+      "cheapest 2 door",
+      "red or blue toyota",
+      "not manual honda under $9000",
+      "2004 accord",
+      "gold honda except automatic",
+  };
+
+  core::CqadsEngine planner_engine;
+  ASSERT_TRUE(planner_engine.AddDomain(&table, qlog::TiMatrix()).ok());
+  core::EngineOptions seed_options;
+  seed_options.use_planner = false;
+  core::CqadsEngine seed_engine(seed_options);
+  ASSERT_TRUE(seed_engine.AddDomain(&table, qlog::TiMatrix()).ok());
+
+  for (const char* q : questions) {
+    auto with_planner = planner_engine.AskInDomain("cars", q);
+    auto with_seed = seed_engine.AskInDomain("cars", q);
+    ASSERT_TRUE(with_planner.ok()) << q;
+    ASSERT_TRUE(with_seed.ok()) << q;
+    EXPECT_EQ(core::CanonicalAskResultString(with_planner.value()),
+              core::CanonicalAskResultString(with_seed.value()))
+        << q;
+  }
+}
 
 TEST(ExecutorPropertyTest, SuperlativeReturnsExtremeOfFilteredSet) {
   Rng rng(77);
