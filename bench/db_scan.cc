@@ -4,17 +4,22 @@
 // Same table, same predicates, answers asserted identical before timing.
 //
 // Usage: db_scan [rows] [iterations]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "datagen/ads_generator.h"
 #include "datagen/domain_spec.h"
+#include "db/exec/parallel_plan.h"
+#include "db/exec/partitioned_table.h"
 #include "db/exec/plan.h"
 #include "db/exec/planner.h"
 #include "db/executor.h"
+#include "serve/worker_pool.h"
 
 namespace {
 
@@ -84,6 +89,10 @@ int main(int argc, char** argv) {
               "col Mrows/s", "speedup");
   bench::PrintRule();
 
+  bench::BenchJson json("db_scan");
+  json.Add("rows", table.num_rows());
+  json.Add("iterations", iters);
+
   bool mismatch = false;
   for (const Case& c : cases) {
     const db::exec::CompiledPredicate cp =
@@ -120,6 +129,13 @@ int main(int argc, char** argv) {
     std::printf("%-16s %14.2f %14.2f %8.2fx   (hits=%zu)\n", c.name,
                 total / row_secs, total / col_secs, row_secs / col_secs,
                 row_hits);
+    const double scans = static_cast<double>(table.num_rows() * iters);
+    std::string key(c.name);
+    for (char& ch : key) {
+      if (ch == ' ') ch = '_';
+    }
+    json.Add("row_scan_ns_per_row_" + key, row_secs * 1e9 / scans);
+    json.Add("col_scan_ns_per_row_" + key, col_secs * 1e9 / scans);
   }
 
   // Conjunction: planner order vs seed Type-rank order.
@@ -148,14 +164,43 @@ int main(int argc, char** argv) {
   auto plan = planner.Compile(q).value();
   double plan_secs = time_exec([&] { return plan->Execute(); });
 
+  // Partition-sharded execution of the same conjunction: serial morsels and
+  // pool-stolen morsels, answers asserted identical first.
+  const std::size_t partition_rows = std::max<std::size_t>(1, rows / 8);
+  auto pt = db::exec::PartitionedTable::Build(table, partition_rows).value();
+  db::exec::ParallelPlanner pplanner(pt);
+  auto pplan = pplanner.Compile(q).value();
+  serve::WorkerPool pool(4);
+  if (pplan->Execute(nullptr, 1).value().rows != seed_res.value().rows ||
+      pplan->Execute(&pool, 4).value().rows != seed_res.value().rows) {
+    mismatch = true;
+  }
+  double part_serial_secs =
+      time_exec([&] { return pplan->Execute(nullptr, 1); });
+  double part_pooled_secs =
+      time_exec([&] { return pplan->Execute(&pool, 4); });
+
   bench::PrintRule();
+  const double per_iter = 1000.0 / static_cast<double>(iters * 4);
   std::printf("conjunction (make+color+price): seed %.3f ms, planned %.3f "
               "ms, speedup %.2fx, rows=%zu\n",
-              seed_secs * 1000.0 / static_cast<double>(iters * 4),
-              plan_secs * 1000.0 / static_cast<double>(iters * 4),
+              seed_secs * per_iter, plan_secs * per_iter,
               seed_secs / plan_secs, seed_res.value().rows.size());
+  std::printf("partitioned conjunction (%zu shards): serial %.3f ms, "
+              "pooled(4) %.3f ms\n",
+              pt->num_partitions(), part_serial_secs * per_iter,
+              part_pooled_secs * per_iter);
   std::printf("plan:\n%s", plan->Explain().c_str());
   bench::PrintRule();
+
+  json.Add("partition_count", pt->num_partitions());
+  json.Add("conjunction_seed_ms", seed_secs * per_iter);
+  json.Add("conjunction_planned_ms", plan_secs * per_iter);
+  json.Add("conjunction_partitioned_serial_ms", part_serial_secs * per_iter);
+  json.Add("conjunction_partitioned_pooled_ms", part_pooled_secs * per_iter);
+  json.Add("mismatch", static_cast<std::size_t>(mismatch ? 1 : 0));
+  json.Write();
+
   if (mismatch) {
     std::printf("FAIL: columnar path disagrees with the seed executor\n");
     return 1;

@@ -1,12 +1,14 @@
 // Serving throughput: questions/sec for sequential CqadsEngine::Ask vs the
-// ConcurrentServer worker pool, with and without the prepared-query cache.
+// ConcurrentServer worker pool, with and without the prepared-query cache,
+// and with partition-sharded stores (morsel-parallel plan execution).
 // The stream replays the survey questions several times with repeats —
 // heavy-traffic ad search is dominated by popular recurring questions, the
 // workload the prepared-query cache targets. Verifies byte-identical
 // answers (CanonicalAskResultString) across all serving modes before
 // timing, including the seed Type-rank executor (the PR 2 baseline the
 // planner/ColumnStore speedup is measured against) — any mismatch exits
-// non-zero, which the CI smoke step relies on.
+// non-zero, which the CI smoke step relies on. Emits
+// BENCH_serve_throughput.json for the CI perf artifact.
 //
 // Usage: serve_throughput [num_workers] [passes]
 #include <chrono>
@@ -18,6 +20,7 @@
 #include "core/ask_types.h"
 #include "eval/experiments.h"
 #include "serve/concurrent_server.h"
+#include "serve/worker_pool.h"
 
 namespace {
 
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
     if (expected[i] != seed_expected[i]) ++planner_mismatches;
   }
 
+  double last_qps = 0.0;
   auto run_server = [&](bool enable_cache, const char* label) {
     serve::ConcurrentServer::Options options;
     options.num_workers = num_workers;
@@ -105,9 +109,10 @@ int main(int argc, char** argv) {
       if (got != expected[i]) ++mismatches;
     }
     auto stats = server.cache_stats();
+    last_qps = QuestionsPerSec(stream.size(), elapsed);
     std::printf("%-22s %10.1f q/s   %6.2fx   mismatches=%zu   "
                 "cache h/m/e=%llu/%llu/%llu\n",
-                label, QuestionsPerSec(stream.size(), elapsed),
+                label, last_qps,
                 std::chrono::duration<double>(seed_elapsed).count() /
                     std::chrono::duration<double>(elapsed).count(),
                 mismatches,
@@ -136,14 +141,50 @@ int main(int argc, char** argv) {
               planner_mismatches);
   std::size_t bad = planner_mismatches;
   bad += run_server(false, "pooled (no cache)");
+  const double pooled_qps = last_qps;
   bad += run_server(true, "pooled + cache");
+  const double pooled_cache_qps = last_qps;
+
+  // Partition-sharded stores: 4 shards per domain (500 ads / 128), plan
+  // morsels stolen by the dedicated exec pool, with the prepared cache on.
+  // (Paper-scale stores sit below kMinRowsForParallelExec, so shard plans
+  // execute inline per query; the pool still covers inter-query fan-out.)
+  constexpr std::size_t kPartitionRows = 128;
+  serve::WorkerPool exec_pool(num_workers);
+  core::EngineOptions part_options;
+  part_options.partition_rows = kPartitionRows;
+  part_options.exec_parallelism = num_workers;
+  part_options.exec_runner = &exec_pool;
+  world->mutable_engine().SetOptions(part_options);
+  std::size_t partition_count = 0;
+  if (const auto* rt = engine.runtime(engine.Domains().front());
+      rt != nullptr && rt->partitions != nullptr) {
+    partition_count = rt->partitions->num_partitions();
+  }
+  bad += run_server(true, "partitioned + cache");
+  const double partitioned_qps = last_qps;
+  world->mutable_engine().SetOptions(core::EngineOptions());
+
   bench::PrintRule();
+  bench::BenchJson json("serve_throughput");
+  json.Add("workers", num_workers);
+  json.Add("questions", stream.size());
+  json.Add("partition_rows", kPartitionRows);
+  json.Add("partitions_per_domain", partition_count);
+  json.Add("seed_qps", QuestionsPerSec(stream.size(), seed_elapsed));
+  json.Add("planner_qps", QuestionsPerSec(stream.size(), seq_elapsed));
+  json.Add("pooled_qps", pooled_qps);
+  json.Add("pooled_cache_qps", pooled_cache_qps);
+  json.Add("partitioned_cache_qps", partitioned_qps);
+  json.Add("mismatches", bad);
+  json.Write();
+
   if (bad > 0) {
     std::printf("FAIL: %zu results differ across serving paths\n", bad);
     return 1;
   }
   std::printf(
-      "all planner/pooled/cached results byte-identical to the seed "
-      "executor\n");
+      "all planner/pooled/cached/partitioned results byte-identical to the "
+      "seed executor\n");
   return 0;
 }

@@ -15,7 +15,8 @@ struct Grid {
 };
 
 Grid BuildGrid(const db::Table& table, const CqadsEngine::AskResult& result,
-               const AnswerTableOptions& options) {
+               const AnswerTableOptions& options,
+               const db::DeltaStore* delta) {
   Grid grid;
   const db::Schema& schema = table.schema();
   const std::size_t n_attrs =
@@ -41,7 +42,17 @@ Grid BuildGrid(const db::Table& table, const CqadsEngine::AskResult& result,
     row.push_back(std::to_string(shown));
     row.push_back(answer.exact ? "exact" : "partial");
     for (std::size_t a = 0; a < n_attrs; ++a) {
-      row.push_back(table.cell(answer.row, a).AsText());
+      // Delta-store answers (global ids past the base table) read their
+      // row-major record when the caller passed the snapshot's delta; a
+      // placeholder otherwise (never an out-of-range table read).
+      if (answer.row < table.num_rows()) {
+        row.push_back(table.cell(answer.row, a).AsText());
+      } else if (delta != nullptr &&
+                 answer.row < delta->total_rows()) {
+        row.push_back(delta->cell(answer.row, a).AsText());
+      } else {
+        row.push_back("(delta row)");
+      }
     }
     if (options.show_rank_sim) {
       row.push_back(answer.exact ? "-" : FormatDouble(answer.rank_sim, 2));
@@ -56,9 +67,10 @@ Grid BuildGrid(const db::Table& table, const CqadsEngine::AskResult& result,
 
 std::string FormatAnswersText(const db::Table& table,
                               const CqadsEngine::AskResult& result,
-                              const AnswerTableOptions& options) {
+                              const AnswerTableOptions& options,
+                              const db::DeltaStore* delta) {
   if (result.contradiction) return "search retrieved no results\n";
-  Grid grid = BuildGrid(table, result, options);
+  Grid grid = BuildGrid(table, result, options, delta);
 
   std::vector<std::size_t> widths(grid.header.size());
   for (std::size_t c = 0; c < grid.header.size(); ++c) {
@@ -124,11 +136,12 @@ std::string HtmlEscape(std::string_view text) {
 
 std::string FormatAnswersHtml(const db::Table& table,
                               const CqadsEngine::AskResult& result,
-                              const AnswerTableOptions& options) {
+                              const AnswerTableOptions& options,
+                              const db::DeltaStore* delta) {
   if (result.contradiction) {
     return "<p>search retrieved no results</p>\n";
   }
-  Grid grid = BuildGrid(table, result, options);
+  Grid grid = BuildGrid(table, result, options, delta);
   std::string out = "<table>\n  <tr>";
   for (const auto& h : grid.header) {
     out += "<th>" + HtmlEscape(h) + "</th>";

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/cqads_engine.h"
+#include "db/storage/delta_store.h"
 #include "db/table.h"
 
 namespace cqads::core {
@@ -24,16 +25,22 @@ struct AnswerTableOptions {
 };
 
 /// Fixed-width text rendering (monospace-aligned, one header row).
+/// `delta` renders answers whose global RowId lies past the base table
+/// (ads ingested since the last compaction) from their delta records; pass
+/// the asked snapshot's DomainRuntime::delta. With delta omitted such rows
+/// render a placeholder.
 std::string FormatAnswersText(const db::Table& table,
                               const CqadsEngine::AskResult& result,
                               const AnswerTableOptions& options =
-                                  AnswerTableOptions());
+                                  AnswerTableOptions(),
+                              const db::DeltaStore* delta = nullptr);
 
 /// Minimal, well-formed HTML <table> rendering with escaped cell text.
 std::string FormatAnswersHtml(const db::Table& table,
                               const CqadsEngine::AskResult& result,
                               const AnswerTableOptions& options =
-                                  AnswerTableOptions());
+                                  AnswerTableOptions(),
+                              const db::DeltaStore* delta = nullptr);
 
 /// Escapes &, <, >, and double quotes for HTML output.
 std::string HtmlEscape(std::string_view text);

@@ -17,11 +17,15 @@
 #include "db/executor.h"
 #include "db/query.h"
 
-// ParsedQuestion only carries a shared_ptr to a compiled plan; the plan
-// vocabulary (db/exec/plan.h) stays out of this widely-included header.
+// ParsedQuestion only carries shared_ptrs to compiled plans; the plan
+// vocabulary (db/exec/plan.h, db/exec/parallel_plan.h) stays out of this
+// widely-included header.
 namespace cqads::db::exec {
 class PhysicalPlan;
 using PlanPtr = std::shared_ptr<const PhysicalPlan>;
+class PartitionedPlan;
+using PartitionedPlanPtr = std::shared_ptr<const PartitionedPlan>;
+class TaskRunner;
 }  // namespace cqads::db::exec
 
 namespace cqads::core {
@@ -42,6 +46,19 @@ struct EngineOptions {
   /// Record the plan dump (PhysicalPlan::Explain) in AskResult::explain.
   /// Off by default: the hot path should not build strings nobody reads.
   bool explain_plans = false;
+  /// Horizontal partitioning: rows per ColumnStore partition. Each domain's
+  /// store is sharded into fixed-size row partitions (own dictionaries,
+  /// postings, null bitmaps, per-partition stats) and compiled plans run
+  /// per-partition, merged answer-identically. 0 = one monolithic store
+  /// (the seed layout). Requires use_planner.
+  std::size_t partition_rows = 0;
+  /// Threads one query's plan may fan partition morsels across (the calling
+  /// thread included). <= 1 = serial partition execution.
+  std::size_t exec_parallelism = 1;
+  /// Where partition morsels run (e.g. a serve::WorkerPool). Non-owning:
+  /// must outlive the engine. nullptr = morsels run inline on the caller,
+  /// which is also the graceful degradation when the pool is saturated.
+  db::exec::TaskRunner* exec_runner = nullptr;
 };
 
 /// Full analysis of a question within a known domain: everything the
@@ -65,6 +82,11 @@ struct ParsedQuestion {
   /// superlative) so cache hits skip per-request recompilation. Empty
   /// otherwise.
   std::vector<db::exec::PlanPtr> relaxed_plans;
+  /// Partition-parallel forms of `plan` / `relaxed_plans`, compiled instead
+  /// of the monolithic forms when the domain's store is partitioned
+  /// (EngineOptions::partition_rows > 0). Null/empty otherwise.
+  db::exec::PartitionedPlanPtr part_plan;
+  std::vector<db::exec::PartitionedPlanPtr> relaxed_part_plans;
 };
 
 /// One retrieved answer.

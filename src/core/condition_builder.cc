@@ -38,10 +38,15 @@ namespace {
 
 /// Mutable analysis state ("context" in the paper's context-switching).
 struct BuilderState {
-  std::optional<db::CompareOp> pending_op;
+  // Explicit flag+value pairs instead of std::optional: deterministic
+  // payload bytes keep GCC's -Wmaybe-uninitialized quiet at -O2 (the
+  // engaged-byte analysis false-positives on optionals in -Werror builds).
+  bool has_pending_op = false;
+  db::CompareOp pending_op = db::CompareOp::kEq;
   bool pending_negation = false;
   std::size_t pending_attr = kNoAttr;   // from kTypeIIIAttr / kUnit / CB
-  std::optional<bool> pending_super;    // direction of a partial superlative
+  bool has_pending_super = false;       // a partial superlative is waiting
+  bool pending_super_asc = true;        // its direction
   // An open BETWEEN waiting for its second operand.
   bool between_open = false;
   std::size_t between_cond = 0;  // index into out->conditions
@@ -100,7 +105,7 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
     std::size_t attr = st.pending_attr;
     if (attr == kNoAttr && item.is_money) attr = MoneyAttr(schema);
 
-    if (st.pending_op.has_value() && *st.pending_op == db::CompareOp::kBetween) {
+    if (st.has_pending_op && st.pending_op == db::CompareOp::kBetween) {
       c.op = db::CompareOp::kBetween;
       c.hi = c.lo;  // until the second operand arrives
       c.kind = attr == kNoAttr ? Condition::Kind::kAmbiguousNumber
@@ -114,7 +119,7 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
       st.between_open = true;
       st.between_cond = out.conditions.size() - 1;
     } else {
-      c.op = st.pending_op.value_or(db::CompareOp::kEq);
+      c.op = st.has_pending_op ? st.pending_op : db::CompareOp::kEq;
       if (st.pending_negation) {
         c.op = ComplementOp(c.op);  // rule 1a: complement the quantifier
         st.pending_negation = false;
@@ -124,7 +129,7 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
       c.attr = attr;
       emit(std::move(c));
     }
-    st.pending_op.reset();
+    st.has_pending_op = false;
     st.pending_attr = kNoAttr;
   };
 
@@ -159,9 +164,9 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
 
       case TagKind::kTypeIIIAttr:
       case TagKind::kUnit: {
-        if (st.pending_super.has_value()) {
-          resolve_super(item.attr, *st.pending_super);
-          st.pending_super.reset();
+        if (st.has_pending_super) {
+          resolve_super(item.attr, st.pending_super_asc);
+          st.has_pending_super = false;
           break;
         }
         if (try_assign_attr_backward(item.attr, item.token_begin)) break;
@@ -178,11 +183,13 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
           st.pending_negation = false;
         }
         st.pending_op = op;
+        st.has_pending_op = true;
         break;
       }
 
       case TagKind::kOpBetween:
         st.pending_op = db::CompareOp::kBetween;
+        st.has_pending_op = true;
         break;
 
       case TagKind::kBoundaryComplete: {
@@ -192,6 +199,7 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
           st.pending_negation = false;
         }
         st.pending_op = op;
+        st.has_pending_op = true;
         st.pending_attr = item.attr;
         break;
       }
@@ -205,7 +213,8 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
           resolve_super(st.pending_attr, item.ascending);
           st.pending_attr = kNoAttr;
         } else {
-          st.pending_super = item.ascending;
+          st.pending_super_asc = item.ascending;
+          st.has_pending_super = true;
         }
         break;
 
@@ -234,9 +243,9 @@ BuiltConditions BuildConditions(const std::vector<TaggedItem>& items,
   // Dangling partial superlative: fall back to the domain's dominant
   // quantitative attribute ("cheapest"-style intent is by far the most
   // common in ads questions).
-  if (st.pending_super.has_value()) {
+  if (st.has_pending_super) {
     std::size_t attr = DefaultSuperlativeAttr(schema);
-    if (attr != kNoAttr) resolve_super(attr, *st.pending_super);
+    if (attr != kNoAttr) resolve_super(attr, st.pending_super_asc);
   }
 
   // An unfinished BETWEEN ("between 2000"): degrade to >= lo.

@@ -14,6 +14,33 @@ Status CqadsEngine::AddDomain(const db::Table* table,
   return Status::OK();
 }
 
+Result<db::RowId> CqadsEngine::IngestAd(const std::string& domain,
+                                        db::Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto row = builder_.IngestAd(domain, std::move(record));
+  if (!row.ok()) return row.status();
+  SwapSnapshotLocked();
+  return row;
+}
+
+Status CqadsEngine::RetireAd(const std::string& domain, db::RowId row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(builder_.RetireAd(domain, row));
+  SwapSnapshotLocked();
+  return Status::OK();
+}
+
+Status CqadsEngine::CompactDomain(const std::string& domain) {
+  // The merge + index/lexicon/partition rebuild runs under mu_ — writers
+  // (ingest, retrain, other compactions) serialize, exactly like AddDomain.
+  // READERS never block: they run on the snapshot they pinned, and the new
+  // generation becomes visible only at the final atomic swap.
+  std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(builder_.CompactDomain(domain));
+  SwapSnapshotLocked();
+  return Status::OK();
+}
+
 void CqadsEngine::SetWordSimilarity(const wordsim::WsMatrix* ws) {
   std::lock_guard<std::mutex> lock(mu_);
   builder_.SetWordSimilarity(ws);

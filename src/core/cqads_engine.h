@@ -60,6 +60,25 @@ class CqadsEngine {
   /// attribute ranges, then swaps in a fresh snapshot.
   Status AddDomain(const db::Table* table, qlog::TiMatrix ti_matrix);
 
+  /// Incremental ingestion: appends an ad to the domain's delta store and
+  /// publishes a new snapshot — no index, lexicon, or partition rebuild.
+  /// Queries transparently union the delta (tombstones masked) until
+  /// CompactDomain folds it into a fresh base table. Returns the ad's
+  /// global RowId (stable until the next compaction).
+  Result<db::RowId> IngestAd(const std::string& domain, db::Record record);
+
+  /// Tombstones an ad by global RowId and publishes a new snapshot. The
+  /// row stops matching queries immediately.
+  Status RetireAd(const std::string& domain, db::RowId row);
+
+  /// Merges the domain's delta into a fresh (re-partitioned) base table and
+  /// publishes a new version-stamped snapshot. Heavy, but safe to run from
+  /// a background thread: in-flight queries keep the snapshot they pinned
+  /// and are never blocked — only other writers serialize. Post-compaction
+  /// answers are byte-identical to an engine rebuilt from scratch on the
+  /// merged rows. No-op when the domain has no pending delta.
+  Status CompactDomain(const std::string& domain);
+
   /// Shared word-correlation matrix for Feat_Sim. Must outlive the engine.
   void SetWordSimilarity(const wordsim::WsMatrix* ws);
 
@@ -105,9 +124,12 @@ class CqadsEngine {
   /// across concurrent AddDomain/TrainClassifier swaps.
   EngineSnapshot::Ptr snapshot() const;
 
-  /// Runtime lookup for tests and benches; nullptr when unregistered. The
-  /// pointer stays valid for the engine's lifetime (domains are never
-  /// removed, only added).
+  /// Runtime lookup for tests and benches; nullptr when unregistered.
+  /// LIFETIME: the pointer is valid only until the next engine mutation —
+  /// IngestAd, RetireAd, CompactDomain, SetOptions, and retraining all
+  /// publish a REPLACEMENT runtime generation, after which the old one dies
+  /// with its last snapshot. Callers that must hold domain state across
+  /// mutations should pin snapshot() and read runtime() off it instead.
   const DomainRuntime* runtime(const std::string& domain) const;
 
   // The classifier lives on the snapshot: use snapshot()->classifier(),

@@ -1,5 +1,7 @@
 #include "core/engine_snapshot.h"
 
+#include <utility>
+
 namespace cqads::core {
 
 const DomainRuntime* EngineSnapshot::runtime(const std::string& domain) const {
@@ -27,10 +29,37 @@ Result<std::string> EngineSnapshot::ClassifyDomain(
 SimilarityContext EngineSnapshot::MakeSimilarityContext(
     const DomainRuntime& rt) const {
   SimilarityContext ctx;
-  ctx.ti = &rt.ti_matrix;
+  ctx.ti = rt.ti_matrix.get();
   ctx.ws = ws_;
   ctx.attr_ranges = rt.attr_ranges;
   return ctx;
+}
+
+Result<std::shared_ptr<DomainRuntime>> EngineBuilder::MakeRuntime(
+    const db::Table* table, std::shared_ptr<const db::Table> owned,
+    std::shared_ptr<const qlog::TiMatrix> ti) const {
+  auto rt = std::make_shared<DomainRuntime>();
+  rt->table = table;
+  rt->owned_table = std::move(owned);
+  auto lexicon = DomainLexicon::Build(table);
+  if (!lexicon.ok()) return lexicon.status();
+  rt->lexicon =
+      std::make_shared<const DomainLexicon>(std::move(lexicon).value());
+  rt->tagger = std::make_shared<const QuestionTagger>(rt->lexicon.get());
+  rt->executor = std::make_shared<const db::Executor>(table);
+  rt->stats = table->stats_ptr();
+  rt->planner = std::make_shared<const db::exec::Planner>(table);
+  if (options_.partition_rows > 0) {
+    auto parts = db::exec::PartitionedTable::Build(*table,
+                                                   options_.partition_rows);
+    if (!parts.ok()) return parts.status();
+    rt->partitions = std::move(parts).value();
+    rt->parallel_planner =
+        std::make_shared<const db::exec::ParallelPlanner>(rt->partitions);
+  }
+  rt->ti_matrix = std::move(ti);
+  rt->attr_ranges = ComputeAttrRanges(*table);
+  return rt;
 }
 
 Status EngineBuilder::AddDomain(const db::Table* table,
@@ -46,20 +75,124 @@ Status EngineBuilder::AddDomain(const db::Table* table,
     return Status::AlreadyExists("domain already registered: " + domain);
   }
 
-  auto rt = std::make_shared<DomainRuntime>();
-  rt->table = table;
-  auto lexicon = DomainLexicon::Build(table);
-  if (!lexicon.ok()) return lexicon.status();
-  rt->lexicon = std::make_unique<DomainLexicon>(std::move(lexicon).value());
-  rt->tagger = std::make_unique<QuestionTagger>(rt->lexicon.get());
-  rt->executor = std::make_unique<db::Executor>(table);
-  rt->stats = table->stats_ptr();
-  rt->planner = std::make_unique<db::exec::Planner>(table);
-  rt->ti_matrix = std::move(ti_matrix);
-  rt->attr_ranges = ComputeAttrRanges(*table);
-  runtimes_.emplace(domain, std::move(rt));
+  auto rt = MakeRuntime(
+      table, nullptr,
+      std::make_shared<const qlog::TiMatrix>(std::move(ti_matrix)));
+  if (!rt.ok()) return rt.status();
+  runtimes_.emplace(domain, std::move(rt).value());
   classifier_trained_ = false;  // corpus changed
   return Status::OK();
+}
+
+Result<db::DeltaStore*> EngineBuilder::PendingDelta(
+    const std::string& domain) {
+  auto rt_it = runtimes_.find(domain);
+  if (rt_it == runtimes_.end()) {
+    return Status::NotFound("unknown domain: " + domain);
+  }
+  auto it = pending_deltas_.find(domain);
+  if (it == pending_deltas_.end()) {
+    const db::Table* table = rt_it->second->table;
+    it = pending_deltas_
+             .emplace(domain, std::make_unique<db::DeltaStore>(
+                                  table->schema(), table->num_rows()))
+             .first;
+  }
+  return it->second.get();
+}
+
+void EngineBuilder::RefreshDeltaRuntime(const std::string& domain) {
+  // A new runtime generation: every heavy component shared, only the frozen
+  // delta copy differs. The copy is what keeps the hot path lock-free — the
+  // pending delta stays mutable here, snapshots only ever see immutable
+  // copies. Each publication costs O(pending delta) record copies, so a
+  // stream of N ingests between compactions is O(N^2) total; compaction
+  // cadence bounds N by design (bulk loads should go through
+  // Table::Insert + AddDomain/CompactDomain, not row-at-a-time IngestAd).
+  auto& slot = runtimes_[domain];
+  auto rt = std::make_shared<DomainRuntime>(*slot);
+  rt->delta =
+      std::make_shared<const db::DeltaStore>(*pending_deltas_[domain]);
+  slot = std::move(rt);
+}
+
+Result<db::RowId> EngineBuilder::IngestAd(const std::string& domain,
+                                          db::Record record) {
+  auto delta = PendingDelta(domain);
+  if (!delta.ok()) return delta.status();
+  auto row = delta.value()->Insert(std::move(record));
+  if (!row.ok()) return row.status();
+  RefreshDeltaRuntime(domain);
+  return row;
+}
+
+Status EngineBuilder::RetireAd(const std::string& domain, db::RowId row) {
+  auto delta = PendingDelta(domain);
+  if (!delta.ok()) return delta.status();
+  CQADS_RETURN_NOT_OK(delta.value()->Retire(row));
+  RefreshDeltaRuntime(domain);
+  return Status::OK();
+}
+
+bool EngineBuilder::HasPendingDelta(const std::string& domain) const {
+  auto it = pending_deltas_.find(domain);
+  return it != pending_deltas_.end() && !it->second->empty();
+}
+
+Status EngineBuilder::CompactDomain(const std::string& domain) {
+  auto rt_it = runtimes_.find(domain);
+  if (rt_it == runtimes_.end()) {
+    return Status::NotFound("unknown domain: " + domain);
+  }
+  auto delta_it = pending_deltas_.find(domain);
+  if (delta_it == pending_deltas_.end() || delta_it->second->empty()) {
+    pending_deltas_.erase(domain);
+    return Status::OK();  // nothing to merge
+  }
+
+  const DomainRuntime& old = *rt_it->second;
+  // Merge order = surviving base rows in RowId order, then surviving delta
+  // rows in insertion order: exactly the sequence a from-scratch rebuild
+  // would insert, which is what makes post-compaction answers byte-
+  // identical to that rebuild.
+  auto merged = std::make_shared<db::Table>(old.table->schema());
+  for (auto& rec : delta_it->second->MergedRecords(*old.table)) {
+    auto inserted = merged->Insert(std::move(rec));
+    if (!inserted.ok()) return inserted.status();
+  }
+  merged->BuildIndexes();
+
+  auto rt = MakeRuntime(merged.get(), merged, old.ti_matrix);
+  if (!rt.ok()) return rt.status();
+  rt_it->second = std::move(rt).value();
+  pending_deltas_.erase(domain);
+  return Status::OK();
+}
+
+void EngineBuilder::set_options(const EngineOptions& options) {
+  const bool reshard = options.partition_rows != options_.partition_rows;
+  options_ = options;
+  if (!reshard) return;
+  // Re-shard every registered domain around the new partition size, sharing
+  // everything else of the current generation. A shard-build failure (only
+  // possible when a caller-owned table was mutated without re-indexing)
+  // degrades THAT domain to the always-correct monolithic layout — never a
+  // stale differently-sized sharding.
+  for (auto& [domain, slot] : runtimes_) {
+    auto rt = std::make_shared<DomainRuntime>(*slot);
+    rt->partitions = nullptr;
+    rt->parallel_planner = nullptr;
+    if (options_.partition_rows > 0) {
+      auto parts = db::exec::PartitionedTable::Build(*rt->table,
+                                                     options_.partition_rows);
+      if (parts.ok()) {
+        rt->partitions = std::move(parts).value();
+        rt->parallel_planner =
+            std::make_shared<const db::exec::ParallelPlanner>(rt->partitions);
+      }
+    }
+    slot = std::move(rt);
+  }
 }
 
 std::vector<classify::LabelledDoc> EngineBuilder::MakeTrainingDocs() const {

@@ -2,13 +2,21 @@
 // path so queries can fan out across cores without locks.
 //
 // An EngineSnapshot freezes everything a question needs to be answered:
-// per-domain lexicons/tries, taggers, executors, TI-matrices, and Eq. 4
+// per-domain lexicons/tries, taggers, executors, partitioned stores and
+// planners, the domain's frozen ingest delta, TI-matrices, and Eq. 4
 // attribute ranges (DomainRuntime), plus the trained §3 classifier and the
 // shared WS word-correlation matrix. Snapshots are built by an
 // EngineBuilder and handed out as std::shared_ptr<const EngineSnapshot>:
 // the hot path takes a reference, never a lock, and a snapshot can be
-// atomically swapped when a domain is added or the classifier retrained
-// while in-flight queries keep the old one alive.
+// atomically swapped when a domain is added, an ad ingested or retired, a
+// delta compacted, or the classifier retrained, while in-flight queries
+// keep the old one alive.
+//
+// Every DomainRuntime component is held by shared_ptr so a runtime
+// GENERATION is cheap: ingesting one ad publishes a new DomainRuntime that
+// shares the lexicon, tagger, planner, stats, and partitions of the old one
+// and differs only in the frozen delta. Compaction is the expensive
+// generation: it rebuilds everything from the merged table.
 //
 // Thread-safety: every const method of EngineSnapshot and DomainRuntime is
 // safe to call concurrently — all contained state is immutable after Build.
@@ -29,9 +37,12 @@
 #include "core/domain_lexicon.h"
 #include "core/question_tagger.h"
 #include "core/rank_sim.h"
+#include "db/exec/parallel_plan.h"
+#include "db/exec/partitioned_table.h"
 #include "db/exec/planner.h"
 #include "db/exec/table_stats.h"
 #include "db/executor.h"
+#include "db/storage/delta_store.h"
 #include "db/table.h"
 #include "qlog/ti_matrix.h"
 #include "wordsim/ws_matrix.h"
@@ -39,22 +50,43 @@
 namespace cqads::core {
 
 /// Everything the engine keeps per registered domain. Immutable once the
-/// owning snapshot is built; shared (never copied) across snapshot
-/// generations, so adding domain B does not rebuild domain A's trie.
+/// owning snapshot is built; components are shared (never copied) across
+/// snapshot generations, so adding domain B does not rebuild domain A's
+/// trie, and ingesting an ad republishes the runtime without rebuilding
+/// anything.
 struct DomainRuntime {
+  /// The domain's CURRENT base table: the registered table, or the merged
+  /// table of the latest compaction.
   const db::Table* table = nullptr;
-  std::unique_ptr<DomainLexicon> lexicon;
-  std::unique_ptr<QuestionTagger> tagger;
+  /// Set when `table` is a compaction product the engine owns (registered
+  /// tables are caller-owned); keeps it alive for snapshots that pin this
+  /// runtime generation.
+  std::shared_ptr<const db::Table> owned_table;
+  std::shared_ptr<const DomainLexicon> lexicon;
+  std::shared_ptr<const QuestionTagger> tagger;
   /// Seed §4.3 Type-rank reference path (rankers, parity checks,
   /// use_planner=false).
-  std::unique_ptr<db::Executor> executor;
+  std::shared_ptr<const db::Executor> executor;
   /// Column statistics frozen at registration: the planner below estimates
   /// against exactly these even if the table were re-indexed later.
   std::shared_ptr<const db::exec::TableStats> stats;
-  /// Cost-aware plan compiler over the domain's column store.
-  std::unique_ptr<db::exec::Planner> planner;
-  qlog::TiMatrix ti_matrix;
+  /// Cost-aware plan compiler over the domain's monolithic column store.
+  std::shared_ptr<const db::exec::Planner> planner;
+  /// Fixed-size row partitions of the store (EngineOptions::partition_rows
+  /// > 0 only) and the per-partition plan compiler. Null when monolithic.
+  std::shared_ptr<const db::exec::PartitionedTable> partitions;
+  std::shared_ptr<const db::exec::ParallelPlanner> parallel_planner;
+  /// Frozen ingest delta riding on `table`: rows inserted/retired since the
+  /// last compaction. Null or empty() when the domain has no pending delta;
+  /// queries then skip the hybrid union path entirely.
+  std::shared_ptr<const db::DeltaStore> delta;
+  std::shared_ptr<const qlog::TiMatrix> ti_matrix;
   std::vector<double> attr_ranges;  ///< Eq. 4 normalization
+
+  /// The delta when it actually changes answers, nullptr otherwise.
+  const db::DeltaStore* live_delta() const {
+    return (delta != nullptr && !delta->empty()) ? delta.get() : nullptr;
+  }
 };
 
 class EngineSnapshot {
@@ -96,17 +128,45 @@ class EngineSnapshot {
   const wordsim::WsMatrix* ws_ = nullptr;
 };
 
-/// Accumulates domains and classifier training, then freezes the state into
-/// snapshots. Successive Build() calls share unchanged DomainRuntimes.
+/// Accumulates domains, classifier training, and the ingest deltas, then
+/// freezes the state into snapshots. Successive Build() calls share
+/// unchanged DomainRuntimes.
 class EngineBuilder {
  public:
   EngineBuilder() : EngineBuilder(EngineOptions()) {}
   explicit EngineBuilder(EngineOptions options) : options_(options) {}
 
   /// Registers a domain: the ads table (indexes built) and its query-log-
-  /// derived TI-matrix. Builds the trie lexicon, tagger, executor, and
-  /// attribute ranges. Invalidates classifier training (corpus changed).
+  /// derived TI-matrix. Builds the trie lexicon, tagger, executor,
+  /// partitions (when partition_rows > 0), and attribute ranges.
+  /// Invalidates classifier training (corpus changed).
   Status AddDomain(const db::Table* table, qlog::TiMatrix ti_matrix);
+
+  /// Incremental ingestion: appends the record to the domain's delta store
+  /// and republishes the runtime generation — no index, lexicon, or
+  /// partition rebuild. Returns the ad's global RowId (stable until the
+  /// next compaction). Note: the delta rides on the registration-time
+  /// lexicon, so genuinely NEW vocabulary in the record becomes taggable
+  /// only after CompactDomain.
+  Result<db::RowId> IngestAd(const std::string& domain, db::Record record);
+
+  /// Tombstones an ad by global RowId (a base row or a delta row). The row
+  /// stops matching queries immediately; storage is reclaimed at
+  /// compaction.
+  Status RetireAd(const std::string& domain, db::RowId row);
+
+  /// Merges the domain's delta into a fresh base table (surviving base rows
+  /// in RowId order, then surviving delta rows in insertion order), rebuilds
+  /// indexes, stats, lexicon, tagger, planner, and partitions from it, and
+  /// clears the delta. After this, answers are byte-identical to an engine
+  /// rebuilt from scratch on the merged rows — the ingest differential
+  /// tests pin exactly that. No-op (OK) when the domain has no delta.
+  /// Classifier training is NOT invalidated (the stale classifier keeps
+  /// serving); callers may retrain when corpus drift matters.
+  Status CompactDomain(const std::string& domain);
+
+  /// True when the domain has pending delta rows or tombstones.
+  bool HasPendingDelta(const std::string& domain) const;
 
   /// Shared word-correlation matrix for Feat_Sim. Must outlive every
   /// snapshot built afterwards.
@@ -133,17 +193,33 @@ class EngineBuilder {
   const EngineOptions& options() const { return options_; }
 
   /// Replaces the engine-wide knobs (answer caps, planner on/off, explain
-  /// recording); takes effect in the next Build().
-  void set_options(const EngineOptions& options) { options_ = options; }
+  /// recording, partitioning); takes effect in the next Build(). Changing
+  /// partition_rows re-shards every registered domain's store (sharing all
+  /// other runtime components).
+  void set_options(const EngineOptions& options);
 
   bool HasDomain(const std::string& domain) const {
     return runtimes_.count(domain) > 0;
   }
 
  private:
+  /// Builds a full runtime around `table` (every component fresh).
+  Result<std::shared_ptr<DomainRuntime>> MakeRuntime(
+      const db::Table* table, std::shared_ptr<const db::Table> owned,
+      std::shared_ptr<const qlog::TiMatrix> ti) const;
+
+  /// The domain's mutable pending delta, created on first use.
+  Result<db::DeltaStore*> PendingDelta(const std::string& domain);
+
+  /// Republishes `domain`'s runtime with the current pending delta frozen
+  /// in (all other components shared).
+  void RefreshDeltaRuntime(const std::string& domain);
+
   EngineOptions options_;
   std::uint64_t next_version_ = 1;
   std::map<std::string, std::shared_ptr<const DomainRuntime>> runtimes_;
+  /// Mutable ingest state per domain; frozen copies go into runtimes.
+  std::map<std::string, std::unique_ptr<db::DeltaStore>> pending_deltas_;
   classify::QuestionClassifier classifier_;
   bool classifier_trained_ = false;
   const wordsim::WsMatrix* ws_ = nullptr;

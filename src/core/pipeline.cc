@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 
+#include "db/exec/delta_exec.h"
 #include "db/sql_writer.h"
 
 namespace cqads::core {
@@ -43,6 +44,70 @@ bool IsRelaxable(const ParsedQuestion& parsed) {
   return parsed.assembled.units.size() >= 2 &&
          !parsed.query.superlative.has_value() &&
          !parsed.assembled.contradiction;
+}
+
+/// The partitioned execution path applies iff the runtime is sharded (the
+/// prepared cache keys on the snapshot version, so cached plans always
+/// match the runtime's layout).
+bool UsePartitions(const DomainRuntime& rt) {
+  return rt.partitions != nullptr && rt.parallel_planner != nullptr;
+}
+
+/// Executes `query` over the runtime through the fastest applicable path:
+/// the given precompiled plans when present (compiling is the caller's
+/// defensive fallback), the delta-union path when a live delta rides on the
+/// table, the seed executor when planning is off.
+Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
+                                 const DomainRuntime& rt,
+                                 const db::Query& query,
+                                 const db::exec::PartitionedPlan* part_plan,
+                                 const db::exec::PhysicalPlan* plan,
+                                 std::string* explain_out) {
+  const EngineOptions& options = s.options();
+  db::exec::BaseRowSource src;
+  src.runner = options.exec_runner;
+  src.parallelism = options.exec_parallelism;
+  // Morsel-sizing rule: tiny stores execute their shards inline — the
+  // enqueue + completion-latch cost of fanning out exceeds the scan.
+  if (rt.table->num_rows() < db::exec::kMinRowsForParallelExec) {
+    src.runner = nullptr;
+  }
+  // Keep defensively-compiled plans alive through execution.
+  db::exec::PartitionedPlanPtr compiled_part;
+  db::exec::PlanPtr compiled_mono;
+  if (options.use_planner) {
+    if (UsePartitions(rt)) {
+      if (part_plan == nullptr) {
+        auto compiled = rt.parallel_planner->Compile(query);
+        if (!compiled.ok()) return compiled.status();
+        compiled_part = std::move(compiled).value();
+        part_plan = compiled_part.get();
+      }
+      src.part_plan = part_plan;
+    } else {
+      if (plan == nullptr) {
+        auto compiled = rt.planner->Compile(query);
+        if (!compiled.ok()) return compiled.status();
+        compiled_mono = std::move(compiled).value();
+        plan = compiled_mono.get();
+      }
+      src.plan = plan;
+    }
+    if (explain_out != nullptr) {
+      *explain_out = src.part_plan != nullptr ? src.part_plan->Explain()
+                                              : src.plan->Explain();
+    }
+  }
+
+  const db::DeltaStore* delta = rt.live_delta();
+  if (delta != nullptr) {
+    return db::exec::ExecuteHybrid(*rt.table, *delta, query, src);
+  }
+  if (src.part_plan != nullptr) {
+    return src.part_plan->Execute(src.runner, src.parallelism);
+  }
+  if (src.plan != nullptr) return src.plan->Execute();
+  return db::ExecuteQuery(*rt.table, query);
 }
 
 }  // namespace
@@ -164,11 +229,24 @@ Status PlanStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   // A rule-1c contradiction never executes: don't compile (or cache) a
   // plan that cannot run.
   if (ctx->parsed.assembled.contradiction) return Status::OK();
-  auto rt = RequireRuntime(s, *ctx);
-  if (!rt.ok()) return rt.status();
-  auto plan = rt.value()->planner->Compile(ctx->parsed.query);
-  if (!plan.ok()) return plan.status();
-  ctx->parsed.plan = std::move(plan).value();
+  auto rt_result = RequireRuntime(s, *ctx);
+  if (!rt_result.ok()) return rt_result.status();
+  const DomainRuntime& rt = *rt_result.value();
+
+  // Sharded runtimes compile the partition-parallel plan form; monolithic
+  // runtimes the single-store form. Either way the compiled artifacts ride
+  // on ParsedQuestion, so the prepared cache memoizes them per snapshot
+  // version.
+  const bool partitioned = UsePartitions(rt);
+  if (partitioned) {
+    auto plan = rt.parallel_planner->Compile(ctx->parsed.query);
+    if (!plan.ok()) return plan.status();
+    ctx->parsed.part_plan = std::move(plan).value();
+  } else {
+    auto plan = rt.planner->Compile(ctx->parsed.query);
+    if (!plan.ok()) return plan.status();
+    ctx->parsed.plan = std::move(plan).value();
+  }
 
   // Precompile the N-1 relaxations too, so a prepared-cache hit replays
   // partial retrieval without any per-request compilation. Eager by
@@ -179,12 +257,18 @@ Status PlanStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   // net speedup even on uncached unique-question streams).
   if (s.options().enable_partial && IsRelaxable(ctx->parsed)) {
     const std::size_t n_units = ctx->parsed.assembled.units.size();
-    ctx->parsed.relaxed_plans.reserve(n_units);
     for (std::size_t dropped = 0; dropped < n_units; ++dropped) {
-      auto relaxed = rt.value()->planner->Compile(MakeRelaxedQuery(
-          ctx->parsed, dropped, rt.value()->table->num_rows()));
-      if (!relaxed.ok()) return relaxed.status();
-      ctx->parsed.relaxed_plans.push_back(std::move(relaxed).value());
+      db::Query relaxed_query =
+          MakeRelaxedQuery(ctx->parsed, dropped, rt.table->num_rows());
+      if (partitioned) {
+        auto relaxed = rt.parallel_planner->Compile(relaxed_query);
+        if (!relaxed.ok()) return relaxed.status();
+        ctx->parsed.relaxed_part_plans.push_back(std::move(relaxed).value());
+      } else {
+        auto relaxed = rt.planner->Compile(relaxed_query);
+        if (!relaxed.ok()) return relaxed.status();
+        ctx->parsed.relaxed_plans.push_back(std::move(relaxed).value());
+      }
     }
   }
   return Status::OK();
@@ -204,27 +288,14 @@ Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
     return Status::OK();
   }
 
-  // Compiled plan when planning is on, seed Type-rank executor otherwise.
-  // The pipeline always compiles in PlanStage; the compile-here branch is a
-  // defensive fallback for externally-built ParsedQuestions injected
-  // through the prepared cache's public Put() without a plan.
-  Result<db::QueryResult> exec = [&]() -> Result<db::QueryResult> {
-    if (!s.options().use_planner) {
-      return db::ExecuteQuery(*rt.table, parsed.query);
-    }
-    if (parsed.plan != nullptr) {
-      if (s.options().explain_plans) {
-        ctx->result.explain = parsed.plan->Explain();
-      }
-      return parsed.plan->Execute();
-    }
-    auto plan = rt.planner->Compile(parsed.query);
-    if (!plan.ok()) return plan.status();
-    if (s.options().explain_plans) {
-      ctx->result.explain = plan.value()->Explain();
-    }
-    return plan.value()->Execute();
-  }();
+  // Compiled (possibly partition-parallel) plan when planning is on, the
+  // seed Type-rank executor otherwise; both union a live ingest delta when
+  // one rides on the table. RunQuery recompiles defensively for
+  // externally-built ParsedQuestions injected through the prepared cache's
+  // public Put() without plans.
+  Result<db::QueryResult> exec =
+      RunQuery(s, rt, parsed.query, parsed.part_plan.get(), parsed.plan.get(),
+               s.options().explain_plans ? &ctx->result.explain : nullptr);
   if (!exec.ok()) return exec.status();
   ctx->result.stats = exec.value().stats;
   const double exact_score =
@@ -252,43 +323,64 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   }
 
   const SimilarityContext sim = s.MakeSimilarityContext(rt);
-  std::vector<bool> already(rt.table->num_rows(), false);
+  const db::DeltaStore* delta = rt.live_delta();
+  const std::size_t base_rows = rt.table->num_rows();
+  const std::size_t total_rows =
+      base_rows + (delta != nullptr ? delta->num_rows() : 0);
+  std::vector<bool> already(total_rows, false);
   for (const auto& a : out.answers) already[a.row] = true;
+
+  // Scoring over the global id space: base rows read the column store,
+  // delta rows their row-major record — identical semantics either way
+  // (core/rank_sim.h record overloads).
+  auto score_row = [&](db::RowId row, std::size_t dropped) {
+    if (row < base_rows) {
+      return ScorePartialMatch(*rt.table, row, units, dropped, sim);
+    }
+    return ScorePartialMatch(rt.table->schema(),
+                             delta->record(row - base_rows), units, dropped,
+                             sim);
+  };
+  // Tombstoned rows never rank (the exact path masks them already; the
+  // similarity sweep below must too).
+  auto is_live = [&](db::RowId row) {
+    if (delta == nullptr) return true;
+    if (row >= base_rows) return !delta->delta_retired(row - base_rows);
+    const auto& retired = delta->retired_base();
+    return !std::binary_search(retired.begin(), retired.end(), row);
+  };
 
   std::vector<Answer> partials;
   if (units.size() >= 2) {
     // N-1: drop each unit in turn and evaluate the remaining conditions —
     // through the relaxation plans PlanStage precompiled (and the cache
-    // memoized) when available.
+    // memoized) when available; RunQuery unions the delta when one is live.
     for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
-      auto rel = [&]() -> Result<db::QueryResult> {
-        if (s.options().use_planner) {
-          if (dropped < parsed.relaxed_plans.size() &&
-              parsed.relaxed_plans[dropped] != nullptr) {
-            return parsed.relaxed_plans[dropped]->Execute();
-          }
-          return rt.planner->Run(
-              MakeRelaxedQuery(parsed, dropped, rt.table->num_rows()));
-        }
-        return db::ExecuteQuery(
-            *rt.table, MakeRelaxedQuery(parsed, dropped, rt.table->num_rows()));
-      }();
+      const db::exec::PartitionedPlan* part_plan =
+          dropped < parsed.relaxed_part_plans.size()
+              ? parsed.relaxed_part_plans[dropped].get()
+              : nullptr;
+      const db::exec::PhysicalPlan* plan =
+          dropped < parsed.relaxed_plans.size()
+              ? parsed.relaxed_plans[dropped].get()
+              : nullptr;
+      auto rel = RunQuery(s, rt, MakeRelaxedQuery(parsed, dropped, total_rows),
+                          part_plan, plan, nullptr);
       if (!rel.ok()) continue;
       out.stats += rel.value().stats;
       for (db::RowId row : rel.value().rows) {
         if (already[row]) continue;
         already[row] = true;
-        PartialScore score =
-            ScorePartialMatch(*rt.table, row, units, dropped, sim);
+        PartialScore score = score_row(row, dropped);
         partials.push_back(Answer{row, false, score.rank_sim, score.measure});
       }
     }
   } else {
     // Single-condition questions: similarity-match every record against the
     // lone condition (§4.3.1 last paragraph).
-    for (db::RowId row = 0; row < rt.table->num_rows(); ++row) {
-      if (already[row]) continue;
-      PartialScore score = ScorePartialMatch(*rt.table, row, units, 0, sim);
+    for (db::RowId row = 0; row < total_rows; ++row) {
+      if (already[row] || !is_live(row)) continue;
+      PartialScore score = score_row(row, 0);
       if (score.unit_sim <= 0.0) continue;
       partials.push_back(Answer{row, false, score.rank_sim, score.measure});
     }

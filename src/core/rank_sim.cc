@@ -4,11 +4,31 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "db/row_match.h"
 #include "text/tokenizer.h"
 
 namespace cqads::core {
 
 namespace {
+
+/// One row behind either representation: a table row read through the
+/// column store, or a row-major delta Record. Scoring below goes through
+/// this adapter only, so the two paths cannot drift.
+struct RowAccess {
+  const db::Schema* schema = nullptr;
+  const db::Table* table = nullptr;  ///< table path when non-null
+  db::RowId row = 0;
+  const db::Record* record = nullptr;  ///< record path otherwise
+
+  const db::Value& cell(std::size_t attr) const {
+    return table != nullptr ? table->cell(row, attr) : (*record)[attr];
+  }
+  std::vector<std::string> elements(std::size_t attr) const {
+    return table != nullptr
+               ? table->CellElements(row, attr)
+               : db::ValueElements(*schema, attr, (*record)[attr]);
+  }
+};
 
 std::string Capitalize(const std::string& s) {
   std::string out = s;
@@ -56,8 +76,8 @@ double FeatSim(const wordsim::WsMatrix* ws, const std::string& a,
 /// Identity-level TI_Sim with a part-wise fallback: the combined identity
 /// strings are tried first; unknown pairs fall back to the best similarity
 /// among the individual Type I values.
-double IdentitySim(const qlog::TiMatrix* ti, const db::Table& table,
-                   db::RowId row, const MatchUnit& unit) {
+double IdentitySim(const qlog::TiMatrix* ti, const RowAccess& access,
+                   const MatchUnit& unit) {
   if (ti == nullptr || ti->MaxSim() <= 0.0) return 0.0;
 
   // Record identity: the row's values of the unit's Type I attributes, in
@@ -69,7 +89,7 @@ double IdentitySim(const qlog::TiMatrix* ti, const db::Table& table,
   std::string record_identity;
   std::vector<std::string> record_parts;
   for (std::size_t a : attrs) {
-    const db::Value& v = table.cell(row, a);
+    const db::Value& v = access.cell(a);
     if (!v.is_text()) continue;
     if (!record_identity.empty()) record_identity += " ";
     record_identity += v.text();
@@ -88,6 +108,96 @@ double IdentitySim(const qlog::TiMatrix* ti, const db::Table& table,
     }
   }
   return std::min(1.0, sim / ti->MaxSim());
+}
+
+double UnitSimilarityImpl(const RowAccess& access, const MatchUnit& unit,
+                          const SimilarityContext& ctx) {
+  switch (unit.kind) {
+    case MatchUnit::Kind::kIdentity:
+      return IdentitySim(ctx.ti, access, unit);
+
+    case MatchUnit::Kind::kTypeII: {
+      // Best Feat_Sim between the requested value(s) and the record's
+      // value/elements for the attribute.
+      double best = 0.0;
+      for (const auto& c : unit.conds) {
+        for (const auto& element : access.elements(c.attr)) {
+          best = std::max(best, FeatSim(ctx.ws, c.value, element));
+        }
+      }
+      return best;
+    }
+
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous: {
+      // Target scalar: an equality's value, a bound's threshold, or a
+      // range's midpoint.
+      double best = 0.0;
+      for (const auto& c : unit.conds) {
+        std::size_t attr = c.attr == kNoAttr ? unit.attr : c.attr;
+        const db::Value& v = access.cell(attr);
+        if (!v.is_numeric()) continue;
+        double target =
+            c.op == db::CompareOp::kBetween ? (c.lo + c.hi) / 2.0 : c.lo;
+        double range =
+            attr < ctx.attr_ranges.size() ? ctx.attr_ranges[attr] : 0.0;
+        best = std::max(best, NumSim(target, v.AsDouble(), range));
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+PartialScore ScorePartialMatchImpl(const RowAccess& access,
+                                   const std::vector<MatchUnit>& units,
+                                   std::size_t dropped_unit,
+                                   const SimilarityContext& ctx) {
+  PartialScore out;
+  const MatchUnit& unit = units[dropped_unit];
+  out.unit_sim = UnitSimilarityImpl(access, unit, ctx);
+  out.rank_sim = static_cast<double>(units.size()) - 1.0 + out.unit_sim;
+
+  const db::Schema& schema = *access.schema;
+  switch (unit.kind) {
+    case MatchUnit::Kind::kIdentity: {
+      std::vector<std::string> names;
+      std::vector<std::size_t> attrs;
+      for (const auto& c : unit.conds) attrs.push_back(c.attr);
+      std::sort(attrs.begin(), attrs.end());
+      attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+      for (std::size_t a : attrs) {
+        names.push_back(Capitalize(schema.attribute(a).name));
+      }
+      out.measure = "TI_Sim on " + Join(names, " and ");
+      break;
+    }
+    case MatchUnit::Kind::kTypeII:
+      out.measure =
+          "Feat_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+      break;
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous:
+      out.measure =
+          "Num_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+      break;
+  }
+  return out;
+}
+
+RowAccess TableRow(const db::Table& table, db::RowId row) {
+  RowAccess access;
+  access.schema = &table.schema();
+  access.table = &table;
+  access.row = row;
+  return access;
+}
+
+RowAccess RecordRow(const db::Schema& schema, const db::Record& record) {
+  RowAccess access;
+  access.schema = &schema;
+  access.record = &record;
+  return access;
 }
 
 }  // namespace
@@ -125,79 +235,28 @@ std::vector<double> ComputeAttrRanges(const db::Table& table) {
 
 double UnitSimilarity(const db::Table& table, db::RowId row,
                       const MatchUnit& unit, const SimilarityContext& ctx) {
-  switch (unit.kind) {
-    case MatchUnit::Kind::kIdentity:
-      return IdentitySim(ctx.ti, table, row, unit);
+  return UnitSimilarityImpl(TableRow(table, row), unit, ctx);
+}
 
-    case MatchUnit::Kind::kTypeII: {
-      // Best Feat_Sim between the requested value(s) and the record's
-      // value/elements for the attribute.
-      double best = 0.0;
-      for (const auto& c : unit.conds) {
-        for (const auto& element : table.CellElements(row, c.attr)) {
-          best = std::max(best, FeatSim(ctx.ws, c.value, element));
-        }
-      }
-      return best;
-    }
-
-    case MatchUnit::Kind::kTypeIII:
-    case MatchUnit::Kind::kAmbiguous: {
-      // Target scalar: an equality's value, a bound's threshold, or a
-      // range's midpoint.
-      double best = 0.0;
-      for (const auto& c : unit.conds) {
-        std::size_t attr =
-            c.attr == kNoAttr ? unit.attr : c.attr;
-        const db::Value& v = table.cell(row, attr);
-        if (!v.is_numeric()) continue;
-        double target = c.op == db::CompareOp::kBetween
-                            ? (c.lo + c.hi) / 2.0
-                            : c.lo;
-        double range = attr < ctx.attr_ranges.size() ? ctx.attr_ranges[attr]
-                                                     : 0.0;
-        best = std::max(best, NumSim(target, v.AsDouble(), range));
-      }
-      return best;
-    }
-  }
-  return 0.0;
+double UnitSimilarity(const db::Schema& schema, const db::Record& record,
+                      const MatchUnit& unit, const SimilarityContext& ctx) {
+  return UnitSimilarityImpl(RecordRow(schema, record), unit, ctx);
 }
 
 PartialScore ScorePartialMatch(const db::Table& table, db::RowId row,
                                const std::vector<MatchUnit>& units,
                                std::size_t dropped_unit,
                                const SimilarityContext& ctx) {
-  PartialScore out;
-  const MatchUnit& unit = units[dropped_unit];
-  out.unit_sim = UnitSimilarity(table, row, unit, ctx);
-  out.rank_sim = static_cast<double>(units.size()) - 1.0 + out.unit_sim;
+  return ScorePartialMatchImpl(TableRow(table, row), units, dropped_unit, ctx);
+}
 
-  const db::Schema& schema = table.schema();
-  switch (unit.kind) {
-    case MatchUnit::Kind::kIdentity: {
-      std::vector<std::string> names;
-      std::vector<std::size_t> attrs;
-      for (const auto& c : unit.conds) attrs.push_back(c.attr);
-      std::sort(attrs.begin(), attrs.end());
-      attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
-      for (std::size_t a : attrs) {
-        names.push_back(Capitalize(schema.attribute(a).name));
-      }
-      out.measure = "TI_Sim on " + Join(names, " and ");
-      break;
-    }
-    case MatchUnit::Kind::kTypeII:
-      out.measure =
-          "Feat_Sim on " + Capitalize(schema.attribute(unit.attr).name);
-      break;
-    case MatchUnit::Kind::kTypeIII:
-    case MatchUnit::Kind::kAmbiguous:
-      out.measure =
-          "Num_Sim on " + Capitalize(schema.attribute(unit.attr).name);
-      break;
-  }
-  return out;
+PartialScore ScorePartialMatch(const db::Schema& schema,
+                               const db::Record& record,
+                               const std::vector<MatchUnit>& units,
+                               std::size_t dropped_unit,
+                               const SimilarityContext& ctx) {
+  return ScorePartialMatchImpl(RecordRow(schema, record), units, dropped_unit,
+                               ctx);
 }
 
 }  // namespace cqads::core

@@ -41,9 +41,23 @@ struct PartialScore {
 double UnitSimilarity(const db::Table& table, db::RowId row,
                       const MatchUnit& unit, const SimilarityContext& ctx);
 
+/// Record-level form for rows that live outside a Table (delta-store rows
+/// awaiting compaction). Same semantics cell-for-cell: the same record
+/// scores identically through either overload, which is what keeps partial
+/// rankings stable across a compaction.
+double UnitSimilarity(const db::Schema& schema, const db::Record& record,
+                      const MatchUnit& unit, const SimilarityContext& ctx);
+
 /// Full Eq. 5 score: (num_units - 1) + UnitSimilarity, with the measure
 /// label used in Table 2.
 PartialScore ScorePartialMatch(const db::Table& table, db::RowId row,
+                               const std::vector<MatchUnit>& units,
+                               std::size_t dropped_unit,
+                               const SimilarityContext& ctx);
+
+/// Record-level form (delta rows).
+PartialScore ScorePartialMatch(const db::Schema& schema,
+                               const db::Record& record,
                                const std::vector<MatchUnit>& units,
                                std::size_t dropped_unit,
                                const SimilarityContext& ctx);

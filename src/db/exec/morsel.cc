@@ -1,0 +1,69 @@
+#include "db/exec/morsel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace cqads::db::exec {
+
+namespace {
+
+/// Shared state of one RunMorsels call. Helpers may outlive the call's
+/// stack frame only in the sense that a queued-but-unstarted helper task
+/// can run after the caller returned — hence shared_ptr ownership.
+struct MorselBatch {
+  MorselBatch(std::size_t n, std::function<void(std::size_t)> b)
+      : count(n), body(std::move(b)) {}
+
+  const std::size_t count;
+  /// Owned by the batch (not referenced from the caller's frame) so a
+  /// helper task that starts only after the caller returned still holds
+  /// valid state; it finds the dispenser exhausted and exits without ever
+  /// invoking it.
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};  ///< the work dispenser
+  std::atomic<std::size_t> done{0};  ///< morsels fully executed
+  std::mutex mu;
+  std::condition_variable all_done;
+
+  /// Steals morsels until the dispenser is exhausted.
+  void Drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      body(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mu);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
+                const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (runner == nullptr || parallelism <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<MorselBatch>(count, body);
+  const std::size_t helpers = std::min(parallelism - 1, count - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    runner->Submit([batch] { batch->Drain(); });
+  }
+  batch->Drain();
+
+  // The dispenser is empty, but helpers may still be executing their last
+  // claimed morsel; wait for completion, not just exhaustion.
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->all_done.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == batch->count;
+  });
+}
+
+}  // namespace cqads::db::exec

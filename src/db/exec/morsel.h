@@ -1,0 +1,42 @@
+// Morsel-style work-stealing scheduler for partition-parallel plan
+// execution. Work is a range of morsel indices behind one shared atomic
+// dispenser: every participating thread (the CALLER plus up to
+// `parallelism - 1` helper tasks submitted to a TaskRunner) loops stealing
+// the next unclaimed morsel until the dispenser is exhausted. That caller
+// participation is the deadlock-freedom argument for sharing the serving
+// WorkerPool: even if every pool thread is busy (or the helpers are queued
+// behind the very queries that spawned them), the caller alone drains all
+// morsels; late-starting helpers find the dispenser empty and exit.
+//
+// TaskRunner is the minimal submission hook the exec layer needs — it keeps
+// db/ free of any dependency on the serving layer; serve::WorkerPool
+// implements it.
+#ifndef CQADS_DB_EXEC_MORSEL_H_
+#define CQADS_DB_EXEC_MORSEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cqads::db::exec {
+
+/// Anything that can run a task on some other thread, eventually. Submit
+/// must be safe from any thread, including from inside a task.
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+  virtual void Submit(std::function<void()> task) = 0;
+};
+
+/// Runs body(0..count-1), each index exactly once, stealing work from a
+/// shared dispenser. Blocks until every morsel has FINISHED (not merely been
+/// claimed). `body` must be safe to call concurrently for distinct indices
+/// and must not throw.
+///
+/// With runner == nullptr or parallelism <= 1 the caller runs everything
+/// inline — the serial path, no atomics contended, no tasks submitted.
+void RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
+                const std::function<void(std::size_t)>& body);
+
+}  // namespace cqads::db::exec
+
+#endif  // CQADS_DB_EXEC_MORSEL_H_

@@ -1,0 +1,36 @@
+#include "db/exec/partitioned_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cqads::db::exec {
+
+Result<std::shared_ptr<const PartitionedTable>> PartitionedTable::Build(
+    const Table& base, std::size_t rows_per_partition) {
+  if (rows_per_partition == 0) {
+    return Status::InvalidArgument("rows_per_partition must be positive");
+  }
+  if (!base.indexes_built()) {
+    return Status::FailedPrecondition("base table indexes not built");
+  }
+
+  auto pt = std::shared_ptr<PartitionedTable>(new PartitionedTable());
+  pt->base_ = &base;
+  pt->rows_per_partition_ = rows_per_partition;
+
+  const std::size_t n = base.num_rows();
+  for (std::size_t lo = 0; lo < n; lo += rows_per_partition) {
+    const std::size_t hi = std::min(n, lo + rows_per_partition);
+    auto part = std::make_unique<Table>(base.schema());
+    for (std::size_t r = lo; r < hi; ++r) {
+      auto inserted = part->Insert(base.row(static_cast<RowId>(r)));
+      if (!inserted.ok()) return inserted.status();
+    }
+    part->BuildIndexes();
+    pt->bases_.push_back(static_cast<RowId>(lo));
+    pt->parts_.push_back(std::move(part));
+  }
+  return std::shared_ptr<const PartitionedTable>(std::move(pt));
+}
+
+}  // namespace cqads::db::exec

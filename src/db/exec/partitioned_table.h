@@ -1,0 +1,64 @@
+// Horizontal partitioning of one ads relation. The base table's rows are
+// split into fixed-size contiguous RowId ranges; each partition is a full
+// db::Table of its own — its own ColumnStore (dictionaries, element
+// postings, null bitmaps), its own hash/sorted/n-gram indexes, and its own
+// per-partition TableStats — so partition-local plan execution touches no
+// shared structure and partitions scan independently across cores.
+//
+// RowId mapping is purely additive: partition p covers global rows
+// [base_of(p), base_of(p) + partition(p).num_rows()), and a partition-local
+// row r corresponds to global row base_of(p) + r. Because partitions tile
+// the table in order, concatenating per-partition (sorted) row sets offset
+// by their bases yields the globally sorted row set — the property the
+// parallel plan executor's merge relies on.
+//
+// The base table remains the engine's row view (rankers, classifier corpus,
+// superlative cell compares) and the seed executor's reference surface;
+// partitions are the scan-side shards.
+//
+// Thread-safety: immutable after Build; all const methods are safe
+// concurrently.
+#ifndef CQADS_DB_EXEC_PARTITIONED_TABLE_H_
+#define CQADS_DB_EXEC_PARTITIONED_TABLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+
+namespace cqads::db::exec {
+
+class PartitionedTable {
+ public:
+  /// Splits `base` (indexes built) into ceil(num_rows / rows_per_partition)
+  /// partitions of at most `rows_per_partition` rows each and builds every
+  /// partition's indexes and statistics. An empty base yields zero
+  /// partitions. The base table must outlive the result.
+  static Result<std::shared_ptr<const PartitionedTable>> Build(
+      const Table& base, std::size_t rows_per_partition);
+
+  const Table& base() const { return *base_; }
+  std::size_t rows_per_partition() const { return rows_per_partition_; }
+  std::size_t num_partitions() const { return parts_.size(); }
+
+  const Table& partition(std::size_t p) const { return *parts_[p]; }
+
+  /// Global RowId of partition p's local row 0.
+  RowId base_of(std::size_t p) const { return bases_[p]; }
+
+ private:
+  PartitionedTable() = default;
+
+  const Table* base_ = nullptr;
+  std::size_t rows_per_partition_ = 0;
+  std::vector<std::unique_ptr<Table>> parts_;
+  std::vector<RowId> bases_;
+};
+
+using PartitionedTablePtr = std::shared_ptr<const PartitionedTable>;
+
+}  // namespace cqads::db::exec
+
+#endif  // CQADS_DB_EXEC_PARTITIONED_TABLE_H_

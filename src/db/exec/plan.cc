@@ -363,27 +363,22 @@ PhysicalPlan::PhysicalPlan(const Table* table, PlanNodePtr root,
       superlative_(superlative),
       limit_(limit) {}
 
-Result<QueryResult> PhysicalPlan::Execute() const {
+Result<RowSet> PhysicalPlan::ExecuteRowSet(ExecStats* stats) const {
   if (!table_->indexes_built()) {
     return Status::FailedPrecondition("table indexes not built");
   }
+  return root_ ? root_->Execute(stats) : table_->AllRows();
+}
+
+Result<QueryResult> PhysicalPlan::Execute() const {
   QueryResult result;
-  RowSet rows =
-      root_ ? root_->Execute(&result.stats) : table_->AllRows();
-
-  if (superlative_) {
-    // §4.3 step 4, verbatim seed semantics: stable sort of the ascending
-    // row set by cell value, so ties keep RowId order.
-    const std::size_t attr = superlative_->attr;
-    const bool asc = superlative_->ascending;
-    std::stable_sort(rows.begin(), rows.end(), [&](RowId a, RowId b) {
-      const Value& va = table_->cell(a, attr);
-      const Value& vb = table_->cell(b, attr);
-      return asc ? va < vb : vb < va;
-    });
-  }
-
-  if (rows.size() > limit_) rows.resize(limit_);
+  auto row_result = ExecuteRowSet(&result.stats);
+  if (!row_result.ok()) return row_result.status();
+  RowSet rows = std::move(row_result).value();
+  ApplySuperlativeAndCap(
+      &rows, superlative_,
+      [&](RowId r, std::size_t a) -> const Value& { return table_->cell(r, a); },
+      limit_);
   result.rows = std::move(rows);
   return result;
 }

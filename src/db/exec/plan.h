@@ -194,6 +194,17 @@ class PhysicalPlan {
   /// byte-identical for identical row sets.
   Result<QueryResult> Execute() const;
 
+  /// The constraint tree's raw row set — sorted, duplicate-free, BEFORE the
+  /// superlative sort and the answer cap. The partition-parallel executor
+  /// merges these across shards, and the delta-union path combines one with
+  /// the delta scan, before applying the final §4.3 step-4 semantics
+  /// globally (applying a per-shard cap first would drop rows the global
+  /// superlative should have kept).
+  Result<RowSet> ExecuteRowSet(ExecStats* stats) const;
+
+  const std::optional<Superlative>& superlative() const { return superlative_; }
+  std::size_t limit() const { return limit_; }
+
   /// Human-readable plan dump:
   ///   Plan(limit=30, superlative=price asc)
   ///     Filter(color = 'blue', sel=0.385)

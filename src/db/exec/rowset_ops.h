@@ -8,12 +8,39 @@
 #ifndef CQADS_DB_EXEC_ROWSET_OPS_H_
 #define CQADS_DB_EXEC_ROWSET_OPS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "db/indexes.h"
+#include "db/query.h"
 
 namespace cqads::db::exec {
+
+/// §4.3 step 4, the SINGLE definition shared by every execution path (seed
+/// executor, monolithic plan, partitioned plan, delta union): stable sort
+/// of an ascending row set by the superlative attribute's cell value —
+/// ties keep row order — then the answer cap. `cell_at(row, attr)` returns
+/// the row's cell as `const Value&`; the caller binds whatever storage the
+/// row ids live in (table, base∪delta, …). Centralizing this is what makes
+/// the answer-identity invariant a property of ONE block of code instead
+/// of four copies that must never drift.
+template <typename CellAt>
+void ApplySuperlativeAndCap(RowSet* rows,
+                            const std::optional<Superlative>& superlative,
+                            const CellAt& cell_at, std::size_t limit) {
+  if (superlative) {
+    const std::size_t attr = superlative->attr;
+    const bool asc = superlative->ascending;
+    std::stable_sort(rows->begin(), rows->end(), [&](RowId a, RowId b) {
+      const Value& va = cell_at(a, attr);
+      const Value& vb = cell_at(b, attr);
+      return asc ? va < vb : vb < va;
+    });
+  }
+  if (rows->size() > limit) rows->resize(limit);
+}
 
 /// Fixed-universe bitmap over RowIds [0, universe).
 class RowBitmap {

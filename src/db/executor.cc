@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "db/compare.h"
+#include "db/exec/rowset_ops.h"
+#include "db/row_match.h"
 #include "text/shorthand.h"
 
 namespace cqads::db {
@@ -13,22 +15,9 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-bool TextMatches(const std::vector<std::string>& elements,
-                 const std::string& needle, bool allow_shorthand) {
-  for (const auto& e : elements) {
-    if (e == needle) return true;
-    if (allow_shorthand && text::IsShorthandMatch(e, needle)) return true;
-  }
-  return false;
-}
-
-bool TextContains(const std::vector<std::string>& elements,
-                  const std::string& needle) {
-  for (const auto& e : elements) {
-    if (e.find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
+// Numeric predicates never read elements; share one empty vector instead of
+// materializing the cell's element list just to ignore it.
+const std::vector<std::string> kNoElements;
 
 }  // namespace
 
@@ -36,49 +25,11 @@ bool Executor::Matches(RowId row, const Predicate& pred) const {
   const Value& cell = table_->cell(row, pred.attr);
   const bool numeric_attr =
       table_->schema().attribute(pred.attr).data_kind == DataKind::kNumeric;
-
-  // Shared NULL rule (db/compare.h): only negations match a NULL cell.
-  if (cell.is_null()) return NullComparisonMatches(pred.op);
-
-  if (numeric_attr) {
-    double v = cell.AsDouble();
-    switch (pred.op) {
-      case CompareOp::kEq:
-        return v == pred.value.AsDouble();
-      case CompareOp::kNe:
-        return v != pred.value.AsDouble();
-      case CompareOp::kLt:
-        return v < pred.value.AsDouble();
-      case CompareOp::kLe:
-        return v <= pred.value.AsDouble();
-      case CompareOp::kGt:
-        return v > pred.value.AsDouble();
-      case CompareOp::kGe:
-        return v >= pred.value.AsDouble();
-      case CompareOp::kBetween:
-        return v >= pred.value.AsDouble() && v <= pred.value_hi.AsDouble();
-      case CompareOp::kContains:
-        // Both sides render through the canonical formatting path, so a
-        // probe can never disagree with a stored cell about how the same
-        // quantity is written.
-        return CanonicalContainsText(cell).find(
-                   CanonicalContainsText(pred.value)) != std::string::npos;
-    }
-    return false;
+  if (numeric_attr || cell.is_null()) {
+    return MatchesCell(table_->schema(), pred, cell, kNoElements);
   }
-
-  auto elements = table_->CellElements(row, pred.attr);
-  const std::string needle = pred.value.AsText();
-  switch (pred.op) {
-    case CompareOp::kEq:
-      return TextMatches(elements, needle, pred.allow_shorthand);
-    case CompareOp::kNe:
-      return !TextMatches(elements, needle, pred.allow_shorthand);
-    case CompareOp::kContains:
-      return TextContains(elements, needle);
-    default:
-      return false;  // range operators are undefined on text
-  }
+  return MatchesCell(table_->schema(), pred, cell,
+                     table_->CellElements(row, pred.attr));
 }
 
 bool Executor::MatchesExpr(RowId row, const Expr& expr) const {
@@ -266,19 +217,11 @@ Result<QueryResult> Executor::Execute(const Query& query) const {
   RowSet rows = query.where ? EvalExpr(*query.where, &result.stats)
                             : table_->AllRows();
 
-  if (query.superlative) {
-    // §4.3 step 4: superlatives run on the records produced by steps 1-3.
-    const std::size_t attr = query.superlative->attr;
-    const bool asc = query.superlative->ascending;
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&](RowId a, RowId b) {
-                       const Value& va = table_->cell(a, attr);
-                       const Value& vb = table_->cell(b, attr);
-                       return asc ? va < vb : vb < va;
-                     });
-  }
-
-  if (rows.size() > query.limit) rows.resize(query.limit);
+  // §4.3 step 4: superlatives run on the records produced by steps 1-3.
+  exec::ApplySuperlativeAndCap(
+      &rows, query.superlative,
+      [&](RowId r, std::size_t a) -> const Value& { return table_->cell(r, a); },
+      query.limit);
   result.rows = std::move(rows);
   return result;
 }

@@ -1,26 +1,11 @@
 #include "db/table.h"
 
+#include "db/row_match.h"
+
 namespace cqads::db {
 
 Result<RowId> Table::Insert(Record record) {
-  if (record.size() != schema_.num_attributes()) {
-    return Status::InvalidArgument(
-        "record arity " + std::to_string(record.size()) + " != schema arity " +
-        std::to_string(schema_.num_attributes()));
-  }
-  for (std::size_t i = 0; i < record.size(); ++i) {
-    const Attribute& attr = schema_.attribute(i);
-    const Value& v = record[i];
-    if (v.is_null()) continue;
-    if (attr.data_kind == DataKind::kNumeric && !v.is_numeric()) {
-      return Status::InvalidArgument("non-numeric value for numeric attribute " +
-                                     attr.name);
-    }
-    if (attr.data_kind != DataKind::kNumeric && !v.is_text()) {
-      return Status::InvalidArgument("non-text value for text attribute " +
-                                     attr.name);
-    }
-  }
+  CQADS_RETURN_NOT_OK(ValidateRecord(schema_, record));
   const RowId id = store_.Append(record);
   indexes_built_ = false;
   stats_.reset();

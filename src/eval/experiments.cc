@@ -374,7 +374,7 @@ RankingResult RunRanking(const datagen::World& world,
         *spec, *table, questions_per_domain * 8, opts, &qrng);
 
     core::SimilarityContext ctx;
-    ctx.ti = &rt->ti_matrix;
+    ctx.ti = rt->ti_matrix.get();
     ctx.ws = &world.ws_matrix();
     ctx.attr_ranges = rt->attr_ranges;
 
@@ -476,7 +476,7 @@ EfficiencyResult RunEfficiency(
     if (table == nullptr || rt == nullptr) continue;
 
     core::SimilarityContext ctx;
-    ctx.ti = &rt->ti_matrix;
+    ctx.ti = rt->ti_matrix.get();
     ctx.ws = &world.ws_matrix();
     ctx.attr_ranges = rt->attr_ranges;
 

@@ -1,7 +1,11 @@
 // A fixed-size worker pool with a FIFO task queue. Deliberately minimal:
-// the ConcurrentServer fans AskBatch out over it, and tests drive it
-// directly. Tasks must not throw (library code is exception-free across
-// module boundaries; see common/status.h).
+// the ConcurrentServer fans AskBatch out over it, tests drive it directly,
+// and — as a db::exec::TaskRunner — the partition-parallel plan executor
+// submits morsel helpers to it (safe to share with the serving fan-out: the
+// morsel scheduler's caller participates, so queued-behind-queries helpers
+// can never deadlock a batch; see db/exec/morsel.h). Tasks must not throw
+// (library code is exception-free across module boundaries; see
+// common/status.h).
 #ifndef CQADS_SERVE_WORKER_POOL_H_
 #define CQADS_SERVE_WORKER_POOL_H_
 
@@ -13,21 +17,23 @@
 #include <thread>
 #include <vector>
 
+#include "db/exec/morsel.h"
+
 namespace cqads::serve {
 
-class WorkerPool {
+class WorkerPool : public db::exec::TaskRunner {
  public:
   /// Spawns `num_threads` workers (at least one).
   explicit WorkerPool(std::size_t num_threads);
 
   /// Drains outstanding tasks, then joins the workers.
-  ~WorkerPool();
+  ~WorkerPool() override;
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Enqueues a task. Safe from any thread, including from inside a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) override;
 
   /// Blocks until every task submitted so far has finished.
   void Wait();

@@ -50,8 +50,8 @@ TEST_F(WorldTest, WsMatrixLearnedGroups) {
 TEST_F(WorldTest, TiMatrixLearnedSegments) {
   const auto* rt = world_->engine().runtime("cars");
   ASSERT_NE(rt, nullptr);
-  double same = rt->ti_matrix.Sim("honda accord", "toyota camry");
-  double cross = rt->ti_matrix.Sim("honda accord", "chevy silverado");
+  double same = rt->ti_matrix->Sim("honda accord", "toyota camry");
+  double cross = rt->ti_matrix->Sim("honda accord", "chevy silverado");
   EXPECT_GT(same, cross);
 }
 

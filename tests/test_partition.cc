@@ -1,0 +1,327 @@
+// Partition-sharded store + parallel plan execution: edge cases (rows
+// exactly at a partition boundary, empty tables/partitions, single-row
+// partitions) and differential parity — partitioned execution must be
+// answer-identical to the monolithic planner and the seed executor for
+// every query shape, serial or morsel-parallel on a WorkerPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cqads_engine.h"
+#include "datagen/ads_generator.h"
+#include "datagen/domain_spec.h"
+#include "db/exec/morsel.h"
+#include "db/exec/parallel_plan.h"
+#include "db/exec/partitioned_table.h"
+#include "db/exec/planner.h"
+#include "db/executor.h"
+#include "serve/worker_pool.h"
+#include "test_fixtures.h"
+
+namespace cqads {
+namespace {
+
+using db::exec::ParallelPlanner;
+using db::exec::PartitionedTable;
+
+db::Predicate TextPred(std::size_t attr, const char* v,
+                       db::CompareOp op = db::CompareOp::kEq) {
+  db::Predicate p;
+  p.attr = attr;
+  p.op = op;
+  p.value = db::Value::Text(v);
+  return p;
+}
+
+db::Predicate NumPred(std::size_t attr, db::CompareOp op, double v) {
+  db::Predicate p;
+  p.attr = attr;
+  p.op = op;
+  p.value = db::Value::Real(v);
+  return p;
+}
+
+// ------------------------------------------------------------ morsels
+
+TEST(MorselSchedulerTest, InlineWhenNoRunner) {
+  std::vector<int> hits(17, 0);
+  db::exec::RunMorsels(17, 4, nullptr,
+                       [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(MorselSchedulerTest, EveryMorselRunsExactlyOnceOnPool) {
+  serve::WorkerPool pool(4);
+  constexpr std::size_t kMorsels = 250;
+  std::vector<std::atomic<int>> hits(kMorsels);
+  for (auto& h : hits) h = 0;
+  db::exec::RunMorsels(kMorsels, 4, &pool, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MorselSchedulerTest, ZeroMorselsIsANoop) {
+  serve::WorkerPool pool(2);
+  db::exec::RunMorsels(0, 4, &pool, [&](std::size_t) { FAIL(); });
+}
+
+// ------------------------------------------------- partition structure
+
+TEST(PartitionedTableTest, TilesRowsInOrder) {
+  db::Table table = testing::MiniCarTable();  // 13 rows
+  auto pt = PartitionedTable::Build(table, 5);
+  ASSERT_TRUE(pt.ok());
+  const PartitionedTable& parts = *pt.value();
+  ASSERT_EQ(parts.num_partitions(), 3u);  // 5 + 5 + 3
+  EXPECT_EQ(parts.partition(0).num_rows(), 5u);
+  EXPECT_EQ(parts.partition(1).num_rows(), 5u);
+  EXPECT_EQ(parts.partition(2).num_rows(), 3u);
+  EXPECT_EQ(parts.base_of(0), 0u);
+  EXPECT_EQ(parts.base_of(1), 5u);
+  EXPECT_EQ(parts.base_of(2), 10u);
+  // Every partition row materializes to the same record as its global row.
+  for (std::size_t p = 0; p < parts.num_partitions(); ++p) {
+    for (db::RowId r = 0; r < parts.partition(p).num_rows(); ++r) {
+      EXPECT_EQ(parts.partition(p).row(r), table.row(parts.base_of(p) + r));
+    }
+  }
+}
+
+TEST(PartitionedTableTest, RowsExactlyAtTheBoundary) {
+  db::Table table = testing::MiniCarTable();  // 13 rows
+  // 13 % 13 == 0: one full partition, no empty trailing partition.
+  auto exact = PartitionedTable::Build(table, 13);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value()->num_partitions(), 1u);
+  EXPECT_EQ(exact.value()->partition(0).num_rows(), 13u);
+
+  // Partition size 1: every row its own shard with its own dictionaries.
+  auto singles = PartitionedTable::Build(table, 1);
+  ASSERT_TRUE(singles.ok());
+  ASSERT_EQ(singles.value()->num_partitions(), 13u);
+  for (std::size_t p = 0; p < 13; ++p) {
+    EXPECT_EQ(singles.value()->partition(p).num_rows(), 1u);
+  }
+
+  // Larger than the table: one partition holding everything.
+  auto one = PartitionedTable::Build(table, 1000);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value()->num_partitions(), 1u);
+}
+
+TEST(PartitionedTableTest, EmptyTableYieldsZeroPartitions) {
+  db::Table table(testing::MiniCarSchema());
+  table.BuildIndexes();
+  auto pt = PartitionedTable::Build(table, 4);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value()->num_partitions(), 0u);
+
+  // A plan over zero partitions executes to the empty set.
+  ParallelPlanner planner(pt.value());
+  db::Query q;
+  q.where = db::Expr::MakePredicate(TextPred(0, "honda"));
+  q.limit = 30;
+  auto plan = planner.Compile(q);
+  ASSERT_TRUE(plan.ok());
+  auto res = plan.value()->Execute(nullptr, 1);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().rows.empty());
+}
+
+TEST(PartitionedTableTest, RejectsZeroPartitionSizeAndUnbuiltIndexes) {
+  db::Table table = testing::MiniCarTable();
+  EXPECT_FALSE(PartitionedTable::Build(table, 0).ok());
+  db::Table unbuilt(testing::MiniCarSchema());
+  EXPECT_FALSE(PartitionedTable::Build(unbuilt, 4).ok());
+}
+
+// ------------------------------------------------- answer-identity
+
+/// Partitioned execution vs the monolithic planner vs the seed executor on
+/// hand-picked query shapes, across partition sizes bracketing the
+/// boundary cases.
+TEST(PartitionedPlanTest, HandPickedQueriesMatchMonolith) {
+  db::Table table = testing::MiniCarTable();
+  db::Executor exec(&table);
+  db::exec::Planner mono(&table);
+  serve::WorkerPool pool(3);
+
+  std::vector<db::Query> queries;
+  {
+    db::Query q;  // conjunction
+    q.where = db::Expr::MakeAnd(
+        {db::Expr::MakePredicate(TextPred(0, "honda")),
+         db::Expr::MakePredicate(NumPred(3, db::CompareOp::kLt, 10000))});
+    queries.push_back(q);
+  }
+  {
+    db::Query q;  // superlative over everything
+    q.superlative = db::Superlative{3, true};
+    q.limit = 4;
+    queries.push_back(q);
+  }
+  {
+    db::Query q;  // superlative + filter, small cap straddling partitions
+    q.where = db::Expr::MakePredicate(TextPred(5, "blue"));
+    q.superlative = db::Superlative{4, false};
+    q.limit = 3;
+    queries.push_back(q);
+  }
+  {
+    db::Query q;  // negation + disjunction
+    q.where = db::Expr::MakeOr(
+        {db::Expr::MakeNot(db::Expr::MakePredicate(TextPred(0, "honda"))),
+         db::Expr::MakePredicate(TextPred(9, "gps", db::CompareOp::kContains))});
+    queries.push_back(q);
+  }
+  {
+    db::Query q;  // shorthand equality
+    q.where = db::Expr::MakePredicate(TextPred(7, "4dr"));
+    queries.push_back(q);
+  }
+
+  for (std::size_t rows_per_part : {1u, 4u, 5u, 13u, 64u}) {
+    auto pt = PartitionedTable::Build(table, rows_per_part);
+    ASSERT_TRUE(pt.ok());
+    ParallelPlanner planner(pt.value());
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      auto expected = exec.Execute(queries[qi]);
+      auto mono_plan = mono.Run(queries[qi]);
+      auto plan = planner.Compile(queries[qi]);
+      ASSERT_TRUE(expected.ok() && mono_plan.ok() && plan.ok());
+      auto serial = plan.value()->Execute(nullptr, 1);
+      auto parallel = plan.value()->Execute(&pool, 3);
+      ASSERT_TRUE(serial.ok() && parallel.ok());
+      EXPECT_EQ(mono_plan.value().rows, expected.value().rows)
+          << "query " << qi;
+      EXPECT_EQ(serial.value().rows, expected.value().rows)
+          << "query " << qi << " parts=" << rows_per_part;
+      EXPECT_EQ(parallel.value().rows, expected.value().rows)
+          << "query " << qi << " parts=" << rows_per_part;
+    }
+  }
+}
+
+/// Randomized differential over datagen domains: partitioned (serial and
+/// pooled) == seed executor for arbitrary expression trees.
+TEST(PartitionedPlanTest, RandomizedDifferentialAcrossDomains) {
+  serve::WorkerPool pool(4);
+  for (const auto& spec : datagen::AllDomainSpecs()) {
+    Rng rng(4242);
+    auto table_result = datagen::GenerateAds(spec, 70, &rng);
+    ASSERT_TRUE(table_result.ok()) << spec.schema.domain();
+    const db::Table& table = table_result.value();
+    db::Executor exec(&table);
+    auto pt = PartitionedTable::Build(table, 16);  // 70 -> 16,16,16,16,6
+    ASSERT_TRUE(pt.ok());
+    ParallelPlanner planner(pt.value());
+
+    const db::Schema& schema = table.schema();
+    for (int trial = 0; trial < 25; ++trial) {
+      db::Query q;
+      std::vector<db::ExprPtr> parts;
+      for (std::size_t a = 0; a < schema.num_attributes() && parts.size() < 2;
+           ++a) {
+        if (schema.attribute(a).data_kind == db::DataKind::kNumeric) {
+          auto range = table.NumericRange(a);
+          if (!range.ok()) continue;
+          double t = rng.UniformReal(range.value().first,
+                                     range.value().second);
+          parts.push_back(db::Expr::MakePredicate(
+              NumPred(a, trial % 2 == 0 ? db::CompareOp::kLt
+                                        : db::CompareOp::kGe,
+                      t)));
+        } else {
+          const db::HashIndex* idx = table.hash_index(a);
+          auto keys = idx->Keys();
+          if (keys.empty()) continue;
+          parts.push_back(db::Expr::MakePredicate(TextPred(
+              a, keys[rng.UniformIndex(keys.size())].c_str(),
+              trial % 3 == 0 ? db::CompareOp::kNe : db::CompareOp::kEq)));
+        }
+      }
+      if (parts.empty()) continue;
+      q.where = parts.size() == 1 ? parts[0] : db::Expr::MakeAnd(parts);
+      q.limit = table.num_rows();
+      if (trial % 4 == 0) {
+        for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+          if (schema.attribute(a).data_kind == db::DataKind::kNumeric) {
+            q.superlative = db::Superlative{a, trial % 8 == 0};
+            q.limit = 10;
+            break;
+          }
+        }
+      }
+
+      auto expected = exec.Execute(q);
+      auto plan = planner.Compile(q);
+      ASSERT_TRUE(expected.ok() && plan.ok());
+      auto got = plan.value()->Execute(&pool, 4);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got.value().rows, expected.value().rows)
+          << spec.schema.domain() << " trial " << trial;
+    }
+  }
+}
+
+// ------------------------------------------------- engine integration
+
+class PartitionedEngineTest : public ::testing::Test {
+ protected:
+  PartitionedEngineTest() : table_(testing::MiniCarTable()) {
+    EXPECT_TRUE(engine_.AddDomain(&table_, qlog::TiMatrix()).ok());
+    EXPECT_TRUE(engine_.TrainClassifier().ok());
+  }
+
+  std::string CanonicalAsk(const std::string& q) {
+    auto r = engine_.AskInDomain("cars", q);
+    return r.ok() ? core::CanonicalAskResultString(r.value()) : "ERROR";
+  }
+
+  db::Table table_;
+  core::CqadsEngine engine_;
+};
+
+TEST_F(PartitionedEngineTest, SetOptionsReshardsAndAnswersAreIdentical) {
+  const std::vector<std::string> questions = {
+      "blue honda accord",
+      "honda under 10000 dollars",
+      "cheapest toyota",
+      "manual red car with cd player",
+      "4dr automatic",
+  };
+  std::vector<std::string> mono;
+  for (const auto& q : questions) mono.push_back(CanonicalAsk(q));
+
+  serve::WorkerPool pool(3);
+  core::EngineOptions options;
+  options.partition_rows = 4;
+  options.exec_parallelism = 3;
+  options.exec_runner = &pool;
+  engine_.SetOptions(options);
+
+  const core::DomainRuntime* rt = engine_.runtime("cars");
+  ASSERT_NE(rt, nullptr);
+  ASSERT_NE(rt->partitions, nullptr);
+  EXPECT_EQ(rt->partitions->num_partitions(), 4u);  // 13 rows / 4
+
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    EXPECT_EQ(CanonicalAsk(questions[i]), mono[i]) << questions[i];
+  }
+
+  // Back to monolithic: partitions drop, answers unchanged.
+  engine_.SetOptions(core::EngineOptions());
+  rt = engine_.runtime("cars");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->partitions, nullptr);
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    EXPECT_EQ(CanonicalAsk(questions[i]), mono[i]) << questions[i];
+  }
+}
+
+}  // namespace
+}  // namespace cqads

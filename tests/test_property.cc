@@ -277,7 +277,9 @@ TEST_F(PipelineRobustnessTest, AnswersAlwaysUniqueAndCapped) {
     bool saw_partial = false;
     for (const auto& a : result.value().answers) {
       if (!a.exact) saw_partial = true;
-      if (saw_partial) EXPECT_FALSE(a.exact) << q;
+      if (saw_partial) {
+        EXPECT_FALSE(a.exact) << q;
+      }
     }
   }
 }
