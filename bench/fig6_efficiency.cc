@@ -71,13 +71,25 @@ int main(int argc, char** argv) {
   world->mutable_engine().SetOptions(partitioned_options);
   std::vector<std::string> partitioned_answers;
   const double partitioned_secs = ask_all(&partitioned_answers);
+
+  // Term-substrate parity: the whole stream once more with the interned
+  // substrate forced OFF (legacy pointer-trie tagging + string-keyed Eq. 5
+  // scoring). Every mode above ran with the substrate ON (the default), so
+  // any byte difference here is a substrate bug.
+  core::EngineOptions legacy_options;
+  legacy_options.use_term_substrate = false;
+  world->mutable_engine().SetOptions(legacy_options);
+  std::vector<std::string> legacy_answers;
+  const double legacy_secs = ask_all(&legacy_answers);
   world->mutable_engine().SetOptions(planner_options);
 
   std::size_t mismatches = 0;
   std::size_t partitioned_mismatches = 0;
+  std::size_t substrate_mismatches = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     if (seed_answers[i] != planned_answers[i]) ++mismatches;
     if (seed_answers[i] != partitioned_answers[i]) ++partitioned_mismatches;
+    if (seed_answers[i] != legacy_answers[i]) ++substrate_mismatches;
   }
 
   bench::PrintHeader("planner vs seed executor (full ask path)");
@@ -89,8 +101,12 @@ int main(int argc, char** argv) {
   std::printf("partitioned (128/shard) : %8.1f q/s   speedup %.2fx\n",
               stream.size() / partitioned_secs,
               seed_secs / partitioned_secs);
-  std::printf("canonical answer mismatches: planner=%zu partitioned=%zu\n",
-              mismatches, partitioned_mismatches);
+  std::printf("legacy string substrate : %8.1f q/s   speedup %.2fx\n",
+              stream.size() / legacy_secs, seed_secs / legacy_secs);
+  std::printf(
+      "canonical answer mismatches: planner=%zu partitioned=%zu "
+      "substrate=%zu\n",
+      mismatches, partitioned_mismatches, substrate_mismatches);
 
   // ---- the paper figure ----------------------------------------------
   auto result = eval::RunEfficiency(*world, questions, 661);
@@ -115,18 +131,20 @@ int main(int argc, char** argv) {
   json.Add("seed_qps", stream.size() / seed_secs);
   json.Add("planner_qps", stream.size() / planned_secs);
   json.Add("partitioned_qps", stream.size() / partitioned_secs);
+  json.Add("legacy_substrate_qps", stream.size() / legacy_secs);
   json.Add("planner_mismatches", mismatches);
   json.Add("partitioned_mismatches", partitioned_mismatches);
+  json.Add("substrate_mismatches", substrate_mismatches);
   for (const auto& [name, ms] : result.avg_ms) {
     json.Add("avg_ms_" + name, ms);
   }
   json.Write();
 
-  if (mismatches + partitioned_mismatches > 0) {
+  if (mismatches + partitioned_mismatches + substrate_mismatches > 0) {
     std::printf(
         "FAIL: answers differ from the seed executor (planner=%zu, "
-        "partitioned=%zu)\n",
-        mismatches, partitioned_mismatches);
+        "partitioned=%zu, substrate=%zu)\n",
+        mismatches, partitioned_mismatches, substrate_mismatches);
     return 1;
   }
   return 0;

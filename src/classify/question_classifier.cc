@@ -29,9 +29,10 @@ bool IsOperatorWord(const std::string& w) {
 
 }  // namespace
 
-std::vector<std::string> ExtractFeatures(std::string_view raw_text) {
+std::vector<std::string> ExtractFeaturesFromTokens(
+    const text::TokenList& tokens) {
   std::vector<std::string> out;
-  for (const auto& tok : text::Tokenize(raw_text)) {
+  for (const auto& tok : tokens) {
     if (tok.kind == text::TokenKind::kWord &&
         (text::IsStopword(tok.text) || IsOperatorWord(tok.text))) {
       continue;
@@ -44,6 +45,10 @@ std::vector<std::string> ExtractFeatures(std::string_view raw_text) {
                       : tok.text);
   }
   return out;
+}
+
+std::vector<std::string> ExtractFeatures(std::string_view raw_text) {
+  return ExtractFeaturesFromTokens(text::Tokenize(raw_text));
 }
 
 namespace {
@@ -158,15 +163,10 @@ double QuestionClassifier::ScoreClass(
   return score;
 }
 
-std::vector<std::pair<std::string, double>> QuestionClassifier::Scores(
-    std::string_view text) const {
-  std::vector<std::pair<std::string, double>> out;
-  if (models_.empty()) return out;
-  auto feats = ExtractFeatures(text);
-  auto counts = CountFeatures(feats);
-  for (const auto& [label, model] : models_) {
-    out.emplace_back(label, ScoreClass(model, counts, feats.size()));
-  }
+namespace {
+
+std::vector<std::pair<std::string, double>> SortScores(
+    std::vector<std::pair<std::string, double>> out) {
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second > b.second;
     return a.first < b.first;
@@ -174,9 +174,32 @@ std::vector<std::pair<std::string, double>> QuestionClassifier::Scores(
   return out;
 }
 
-std::string QuestionClassifier::Classify(std::string_view text) const {
-  auto scores = Scores(text);
+}  // namespace
+
+std::vector<std::pair<std::string, double>> QuestionClassifier::Scores(
+    const text::TokenList& tokens) const {
+  if (models_.empty()) return {};
+  auto feats = ExtractFeaturesFromTokens(tokens);
+  auto counts = CountFeatures(feats);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [label, model] : models_) {
+    out.emplace_back(label, ScoreClass(model, counts, feats.size()));
+  }
+  return SortScores(std::move(out));
+}
+
+std::vector<std::pair<std::string, double>> QuestionClassifier::Scores(
+    std::string_view text) const {
+  return Scores(text::Tokenize(text));
+}
+
+std::string QuestionClassifier::Classify(const text::TokenList& tokens) const {
+  auto scores = Scores(tokens);
   return scores.empty() ? std::string() : scores.front().first;
+}
+
+std::string QuestionClassifier::Classify(std::string_view text) const {
+  return Classify(text::Tokenize(text));
 }
 
 }  // namespace cqads::classify

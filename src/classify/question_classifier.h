@@ -17,12 +17,20 @@
 
 #include "common/status.h"
 #include "classify/beta_binomial.h"
+#include "text/token.h"
 
 namespace cqads::classify {
 
 /// Tokenize + stopword-drop + Porter-stem, the feature pipeline used for
 /// both training corpora (ads text) and questions.
 std::vector<std::string> ExtractFeatures(std::string_view raw_text);
+
+/// Same feature pipeline over an already-tokenized stream (the pipeline
+/// tokenizes each question once into QueryContext and classifies from those
+/// tokens). ExtractFeatures(raw) == ExtractFeaturesFromTokens(Tokenize(raw))
+/// by construction.
+std::vector<std::string> ExtractFeaturesFromTokens(
+    const text::TokenList& tokens);
 
 /// A labelled training document.
 struct LabelledDoc {
@@ -54,10 +62,14 @@ class QuestionClassifier {
 
   /// Most probable class for the text; empty string when untrained.
   std::string Classify(std::string_view text) const;
+  /// Token-stream form (identical result on identical tokenizations).
+  std::string Classify(const text::TokenList& tokens) const;
 
   /// Log-posterior (up to a shared constant) per class, sorted descending.
   std::vector<std::pair<std::string, double>> Scores(
       std::string_view text) const;
+  std::vector<std::pair<std::string, double>> Scores(
+      const text::TokenList& tokens) const;
 
   const std::vector<std::string>& classes() const { return classes_; }
   std::size_t vocabulary_size() const { return vocab_.size(); }

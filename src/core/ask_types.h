@@ -46,6 +46,13 @@ struct EngineOptions {
   /// Record the plan dump (PhysicalPlan::Explain) in AskResult::explain.
   /// Off by default: the hot path should not build strings nobody reads.
   bool explain_plans = false;
+  /// Parse/rank on the interned-term substrate: the tagger walks the frozen
+  /// FlatTrie and Eq. 5 partial scoring runs id-to-id through a per-request
+  /// SimScorer (no per-candidate stemming or string-pair keys). When false,
+  /// the seed string paths run instead — answers are byte-identical either
+  /// way (the fig6 substrate parity gate and the differential tests pin
+  /// it); only the work differs.
+  bool use_term_substrate = true;
   /// Horizontal partitioning: rows per ColumnStore partition. Each domain's
   /// store is sharded into fixed-size row partitions (own dictionaries,
   /// postings, null bitmaps, per-partition stats) and compiled plans run

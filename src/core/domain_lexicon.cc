@@ -7,6 +7,39 @@
 
 namespace cqads::core {
 
+namespace {
+
+/// One phrase-match scan, generic over the trie representation (both expose
+/// the same Cursor/Step/Walk/IsTerminal/Handles API and return identical
+/// results).
+template <typename TrieT>
+std::optional<DomainLexicon::PhraseMatch> PhraseMatchIn(
+    const TrieT& trie, const text::TokenList& tokens, std::size_t i,
+    std::size_t max_tokens) {
+  if (i >= tokens.size()) return std::nullopt;
+  typename TrieT::Cursor cursor = trie.Root();
+  std::optional<DomainLexicon::PhraseMatch> best;
+  const std::size_t end = std::min(tokens.size(), i + max_tokens);
+  for (std::size_t j = i; j < end; ++j) {
+    if (j > i) {
+      cursor = trie.Step(cursor, ' ');
+      if (!cursor.valid()) break;
+    }
+    cursor = trie.Walk(cursor, tokens[j].text);
+    if (!cursor.valid()) break;
+    if (trie.IsTerminal(cursor)) {
+      DomainLexicon::PhraseMatch m;
+      m.token_count = j - i + 1;
+      const auto& handles = trie.Handles(cursor);
+      m.handles.assign(handles.begin(), handles.end());
+      best = std::move(m);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 std::int32_t DomainLexicon::AddEntry(TaggedItem item) {
   entries_.push_back(std::move(item));
   return static_cast<std::int32_t>(entries_.size() - 1);
@@ -15,6 +48,7 @@ std::int32_t DomainLexicon::AddEntry(TaggedItem item) {
 void DomainLexicon::InsertKeyword(const std::string& keyword,
                                   TaggedItem item) {
   if (keyword.empty()) return;
+  terms_.Intern(keyword);
   trie_.Insert(keyword, AddEntry(std::move(item)));
 }
 
@@ -43,7 +77,8 @@ Result<DomainLexicon> DomainLexicon::Build(const db::Table* table) {
                       : TagKind::kTypeIIValue;
       item.attr = a;
       item.value = value;
-      lex.categorical_values_.emplace_back(a, value);
+      lex.categorical_values_.push_back(
+          CatValue{a, value, lex.terms_.Intern(value)});
       lex.InsertKeyword(value, std::move(item));
     }
   }
@@ -87,32 +122,30 @@ Result<DomainLexicon> DomainLexicon::Build(const db::Table* table) {
     lex.InsertKeyword(rule.keyword, std::move(item));
   }
 
-  std::sort(lex.categorical_values_.begin(), lex.categorical_values_.end());
+  std::sort(lex.categorical_values_.begin(), lex.categorical_values_.end(),
+            [](const CatValue& x, const CatValue& y) {
+              if (x.attr != y.attr) return x.attr < y.attr;
+              return x.value < y.value;
+            });
+
+  // Freeze the term substrate: compile the pointer trie into its flat
+  // serve-time form and seal the dict (resolving stem links).
+  lex.flat_trie_ = trie::FlatTrie::Compile(lex.trie_);
+  lex.terms_.Freeze();
   return lex;
 }
 
 std::optional<DomainLexicon::PhraseMatch> DomainLexicon::LongestPhraseMatch(
     const text::TokenList& tokens, std::size_t i,
     std::size_t max_tokens) const {
-  if (i >= tokens.size()) return std::nullopt;
-  trie::KeywordTrie::Cursor cursor = trie_.Root();
-  std::optional<PhraseMatch> best;
-  const std::size_t end = std::min(tokens.size(), i + max_tokens);
-  for (std::size_t j = i; j < end; ++j) {
-    if (j > i) {
-      cursor = trie_.Step(cursor, ' ');
-      if (!cursor.valid()) break;
-    }
-    cursor = trie_.Walk(cursor, tokens[j].text);
-    if (!cursor.valid()) break;
-    if (trie_.IsTerminal(cursor)) {
-      PhraseMatch m;
-      m.token_count = j - i + 1;
-      m.handles = trie_.Handles(cursor);
-      best = std::move(m);
-    }
-  }
-  return best;
+  return PhraseMatchIn(trie_, tokens, i, max_tokens);
+}
+
+std::optional<DomainLexicon::PhraseMatch>
+DomainLexicon::LongestPhraseMatchFlat(const text::TokenList& tokens,
+                                      std::size_t i,
+                                      std::size_t max_tokens) const {
+  return PhraseMatchIn(flat_trie_, tokens, i, max_tokens);
 }
 
 std::optional<TaggedItem> DomainLexicon::FindShorthand(
@@ -120,15 +153,20 @@ std::optional<TaggedItem> DomainLexicon::FindShorthand(
   const TaggedItem* best = nullptr;
   std::size_t best_len = 0;
   const std::string norm_token = text::NormalizeForShorthand(token);
-  for (const auto& [attr, value] : categorical_values_) {
+  for (const CatValue& cat : categorical_values_) {
+    const std::string& value = cat.value;
     if (value == token) continue;
+    // Cached norm: the per-value NormalizeForShorthand the seed recomputed
+    // on every probe.
+    const std::string& norm_value = terms_.shorthand_norm(cat.id);
     // A shorthand abbreviates: the token must not be longer than the value
     // it stands for (longer unknown tokens are missing-space or misspelling
     // cases, handled elsewhere).
-    if (norm_token.size() > text::NormalizeForShorthand(value).size()) {
+    if (norm_token.size() > norm_value.size()) continue;
+    if (!text::IsShorthandMatchNormalized(norm_token, token, norm_value,
+                                          value)) {
       continue;
     }
-    if (!text::IsShorthandMatch(token, value)) continue;
     if (value.size() > best_len) {
       const auto* handles = trie_.Find(value);
       if (handles == nullptr || handles->empty()) continue;
@@ -142,8 +180,8 @@ std::optional<TaggedItem> DomainLexicon::FindShorthand(
 
 std::vector<std::string> DomainLexicon::ValuesOf(std::size_t attr) const {
   std::vector<std::string> out;
-  for (const auto& [a, value] : categorical_values_) {
-    if (a == attr) out.push_back(value);
+  for (const CatValue& cat : categorical_values_) {
+    if (cat.attr == attr) out.push_back(cat.value);
   }
   return out;
 }

@@ -2,6 +2,15 @@
 // prototypes its handles point at. Built from the domain's relational schema
 // and the distinct attribute values observed in its ads table, plus the
 // shared identifiers table — exactly the ingredients §4.1.4 lists.
+//
+// Two trie representations coexist deliberately: the pointer KeywordTrie is
+// the mutable build-side structure (and the oracle the differential suite
+// checks against); Build() compiles it into an immutable FlatTrie whose
+// contiguous node/edge arrays the serve-time tagger walks. Every keyword is
+// also interned into the per-domain TermDict, which caches each term's
+// Porter stem, stopword flag, and normalized shorthand form — shorthand
+// probes read the cached norms instead of re-normalizing every categorical
+// value per unknown token.
 #ifndef CQADS_CORE_DOMAIN_LEXICON_H_
 #define CQADS_CORE_DOMAIN_LEXICON_H_
 
@@ -12,7 +21,9 @@
 #include "common/status.h"
 #include "core/tags.h"
 #include "db/table.h"
+#include "text/term_dict.h"
 #include "text/token.h"
+#include "trie/flat_trie.h"
 #include "trie/keyword_trie.h"
 
 namespace cqads::core {
@@ -25,7 +36,13 @@ class DomainLexicon {
   static Result<DomainLexicon> Build(const db::Table* table);
 
   const db::Schema& schema() const { return *schema_; }
+  /// Mutable-representation trie (build side; differential oracle).
   const trie::KeywordTrie& trie() const { return trie_; }
+  /// Frozen flat compile of trie() — the serve-time representation.
+  const trie::FlatTrie& flat_trie() const { return flat_trie_; }
+  /// Interned keywords/values with cached stems, stopword flags, and
+  /// shorthand norms. Frozen; snapshots publish it per domain.
+  const text::TermDict& terms() const { return terms_; }
 
   /// Tag prototype behind a trie handle.
   const TaggedItem& entry(std::int32_t handle) const {
@@ -42,9 +59,15 @@ class DomainLexicon {
   std::optional<PhraseMatch> LongestPhraseMatch(
       const text::TokenList& tokens, std::size_t i,
       std::size_t max_tokens = 5) const;
+  /// Identical semantics over the flat trie (serve-time path).
+  std::optional<PhraseMatch> LongestPhraseMatchFlat(
+      const text::TokenList& tokens, std::size_t i,
+      std::size_t max_tokens = 5) const;
 
   /// Shorthand-notation resolution (§4.2.3): finds a categorical value of
   /// which `token` is a shorthand ("2dr" -> "2 door"). Longest value wins.
+  /// Value norms come precomputed from the TermDict; only the probe token
+  /// is normalized per call.
   std::optional<TaggedItem> FindShorthand(const std::string& token) const;
 
   /// All categorical values of one attribute (sorted), for generators and
@@ -59,9 +82,17 @@ class DomainLexicon {
 
   const db::Schema* schema_ = nullptr;
   trie::KeywordTrie trie_;
+  trie::FlatTrie flat_trie_;
+  text::TermDict terms_;
   std::vector<TaggedItem> entries_;
-  /// (attr, value) pairs of categorical values, for shorthand scans.
-  std::vector<std::pair<std::size_t, std::string>> categorical_values_;
+  /// One categorical value: its attribute, surface form, and interned id
+  /// (the id indexes the cached shorthand norm). Sorted by (attr, value).
+  struct CatValue {
+    std::size_t attr = 0;
+    std::string value;
+    text::TermId id = text::kInvalidTerm;
+  };
+  std::vector<CatValue> categorical_values_;
 };
 
 }  // namespace cqads::core

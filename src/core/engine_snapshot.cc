@@ -26,6 +26,16 @@ Result<std::string> EngineSnapshot::ClassifyDomain(
   return domain;
 }
 
+Result<std::string> EngineSnapshot::ClassifyDomainTokens(
+    const text::TokenList& tokens) const {
+  if (!classifier_trained_) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  std::string domain = classifier_.Classify(tokens);
+  if (domain.empty()) return Status::Internal("classifier returned no class");
+  return domain;
+}
+
 SimilarityContext EngineSnapshot::MakeSimilarityContext(
     const DomainRuntime& rt) const {
   SimilarityContext ctx;
@@ -45,6 +55,10 @@ Result<std::shared_ptr<DomainRuntime>> EngineBuilder::MakeRuntime(
   if (!lexicon.ok()) return lexicon.status();
   rt->lexicon =
       std::make_shared<const DomainLexicon>(std::move(lexicon).value());
+  // Aliasing: the published dict IS the lexicon's member — one frozen
+  // instance per lexicon generation, no copy.
+  rt->terms = std::shared_ptr<const text::TermDict>(rt->lexicon,
+                                                    &rt->lexicon->terms());
   rt->tagger = std::make_shared<const QuestionTagger>(rt->lexicon.get());
   rt->executor = std::make_shared<const db::Executor>(table);
   rt->stats = table->stats_ptr();

@@ -45,6 +45,8 @@
 #include "db/storage/delta_store.h"
 #include "db/table.h"
 #include "qlog/ti_matrix.h"
+#include "text/term_dict.h"
+#include "text/token.h"
 #include "wordsim/ws_matrix.h"
 
 namespace cqads::core {
@@ -63,6 +65,12 @@ struct DomainRuntime {
   /// runtime generation.
   std::shared_ptr<const db::Table> owned_table;
   std::shared_ptr<const DomainLexicon> lexicon;
+  /// The domain's interned-term dictionary (trie keywords + categorical
+  /// values with cached stems/stopword flags/shorthand norms). Aliases the
+  /// lexicon's dict — one instance per lexicon generation, shared across
+  /// snapshots; ingest republishes runtimes WITHOUT rebuilding it, and
+  /// compaction swaps in the fresh lexicon's copy.
+  std::shared_ptr<const text::TermDict> terms;
   std::shared_ptr<const QuestionTagger> tagger;
   /// Seed §4.3 Type-rank reference path (rankers, parity checks,
   /// use_planner=false).
@@ -110,8 +118,16 @@ class EngineSnapshot {
   bool classifier_trained() const { return classifier_trained_; }
   const wordsim::WsMatrix* word_similarity() const { return ws_; }
 
+  /// The shared-corpus term dictionary (the WS matrix's interned stem
+  /// vocabulary); nullptr when no WS matrix is installed.
+  const text::TermDict* shared_terms() const {
+    return ws_ == nullptr ? nullptr : &ws_->term_dict();
+  }
+
   /// §3: the ads domain of a question. Fails when untrained.
   Result<std::string> ClassifyDomain(const std::string& question) const;
+  /// Token-stream form (the pipeline's tokenize-once path).
+  Result<std::string> ClassifyDomainTokens(const text::TokenList& tokens) const;
 
   /// Similarity resources for Rank_Sim scoring within one domain.
   SimilarityContext MakeSimilarityContext(const DomainRuntime& rt) const;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <optional>
 
 #include "db/exec/delta_exec.h"
 #include "db/sql_writer.h"
+#include "text/tokenizer.h"
 
 namespace cqads::core {
 namespace {
@@ -119,6 +121,14 @@ QueryContext::QueryContext(std::string question_text, std::string domain_name)
   result.domain = domain;
 }
 
+const text::TokenList& QueryContext::tokens() {
+  if (!tokens_ready_) {
+    tokens_ = text::Tokenize(question);
+    tokens_ready_ = true;
+  }
+  return tokens_;
+}
+
 Status QueryPipeline::Run(const EngineSnapshot& snapshot,
                           QueryContext* ctx) const {
   using Clock = std::chrono::steady_clock;
@@ -168,7 +178,9 @@ Status ClassifyStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
     ctx->result.domain = ctx->domain;
     return Status::OK();
   }
-  auto domain = s.ClassifyDomain(ctx->question);
+  // The shared once-per-request token stream feeds classification; the tag
+  // stage reuses it instead of re-tokenizing the raw question.
+  auto domain = s.ClassifyDomainTokens(ctx->tokens());
   if (!domain.ok()) return domain.status();
   ctx->domain = domain.value();
   ctx->result.domain = ctx->domain;
@@ -179,7 +191,8 @@ Status TagStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   auto rt = RequireRuntime(s, *ctx);
   if (!rt.ok()) return rt.status();
   if (ctx->parsed_from_cache()) return Status::OK();
-  ctx->parsed.tags = rt.value()->tagger->Tag(ctx->question);
+  ctx->parsed.tags = rt.value()->tagger->TagTokens(
+      ctx->tokens(), s.options().use_term_substrate);
   return Status::OK();
 }
 
@@ -332,8 +345,21 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
 
   // Scoring over the global id space: base rows read the column store,
   // delta rows their row-major record — identical semantics either way
-  // (core/rank_sim.h record overloads).
+  // (core/rank_sim.h record overloads). On the term substrate, a
+  // per-request SimScorer resolves the question side to TermIds once and
+  // memoizes record-side strings, so the per-candidate loop below performs
+  // no stemming and builds no string-pair keys; the legacy free functions
+  // remain the parity oracle.
+  std::optional<SimScorer> scorer;
+  if (options.use_term_substrate) {
+    scorer.emplace(rt.table->schema(), units, sim);
+  }
   auto score_row = [&](db::RowId row, std::size_t dropped) {
+    if (scorer.has_value()) {
+      if (row < base_rows) return scorer->Score(*rt.table, row, dropped);
+      return scorer->Score(rt.table->schema(),
+                           delta->record(row - base_rows), dropped);
+    }
     if (row < base_rows) {
       return ScorePartialMatch(*rt.table, row, units, dropped, sim);
     }

@@ -18,6 +18,8 @@
 #include "common/status.h"
 #include "core/ask_types.h"
 #include "core/engine_snapshot.h"
+#include "text/term_dict.h"
+#include "text/token.h"
 
 namespace cqads::core {
 
@@ -29,6 +31,11 @@ struct QueryContext {
 
   std::string question;
   std::string domain;
+
+  /// The question's token stream, produced ONCE on first use and shared by
+  /// every stage (§3 classification features, §4.1 tagging). Before the
+  /// term substrate, classify and tag each re-tokenized the raw string.
+  const text::TokenList& tokens();
 
   /// Parse-side artifacts (tag -> conditions -> assembly -> SQL), filled
   /// by the parse stages. Unused when `cached_parsed` is set.
@@ -59,6 +66,10 @@ struct QueryContext {
   /// stochastic stage draws from request-local state instead of a shared
   /// generator — a shared Rng would race under the concurrent server.
   Rng rng;
+
+ private:
+  bool tokens_ready_ = false;
+  text::TokenList tokens_;
 };
 
 /// One stage of the ask pipeline. Implementations must be stateless (or

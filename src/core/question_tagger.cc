@@ -23,34 +23,66 @@ int KindPriority(TagKind kind) {
   }
 }
 
+/// Phrase-match dispatch per trie representation (the two lexicon methods
+/// are separate names, not overloads, so the template impl routes here).
+std::optional<DomainLexicon::PhraseMatch> PhraseMatch(
+    const DomainLexicon& lexicon, const trie::KeywordTrie&,
+    const text::TokenList& tokens, std::size_t i) {
+  return lexicon.LongestPhraseMatch(tokens, i);
+}
+std::optional<DomainLexicon::PhraseMatch> PhraseMatch(
+    const DomainLexicon& lexicon, const trie::FlatTrie&,
+    const text::TokenList& tokens, std::size_t i) {
+  return lexicon.LongestPhraseMatchFlat(tokens, i);
+}
+
+/// Uniform handle lookup: KeywordTrie::Find returns vector* (nullable),
+/// FlatTrie::Find a span by value.
+trie::HandleSpan FindHandles(const trie::KeywordTrie& trie,
+                             const std::string& keyword) {
+  const auto* v = trie.Find(keyword);
+  if (v == nullptr) return trie::HandleSpan{};
+  return trie::HandleSpan{v->data(), v->size()};
+}
+trie::HandleSpan FindHandles(const trie::FlatTrie& trie,
+                             const std::string& keyword) {
+  return trie.Find(keyword);
+}
+
 }  // namespace
 
 QuestionTagger::QuestionTagger(const DomainLexicon* lexicon, Options options)
     : lexicon_(lexicon),
       options_(options),
       corrector_(&lexicon->trie(),
-                 trie::SpellCorrector::Options{options.min_correction_percent,
-                                               512}) {}
+                 trie::SpellCorrectorOptions{options.min_correction_percent,
+                                             512}),
+      flat_corrector_(
+          &lexicon->flat_trie(),
+          trie::SpellCorrectorOptions{options.min_correction_percent, 512}) {}
 
-const TaggedItem& QuestionTagger::PreferredEntry(
-    const std::vector<std::int32_t>& handles) const {
+const TaggedItem& QuestionTagger::PreferredEntry(const std::int32_t* handles,
+                                                 std::size_t count) const {
   const TaggedItem* best = &lexicon_->entry(handles[0]);
-  for (std::int32_t h : handles) {
-    const TaggedItem& e = lexicon_->entry(h);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TaggedItem& e = lexicon_->entry(handles[i]);
     if (KindPriority(e.kind) < KindPriority(best->kind)) best = &e;
   }
   return *best;
 }
 
-TaggingResult QuestionTagger::Tag(const std::string& question) const {
+template <typename TrieT, typename CorrectorT>
+TaggingResult QuestionTagger::TagImpl(text::TokenList tokens,
+                                      const TrieT& trie,
+                                      const CorrectorT& corrector) const {
   TaggingResult result;
-  text::TokenList tokens = text::Tokenize(question);
 
   std::size_t i = 0;
   while (i < tokens.size()) {
     // 1. Longest trie phrase starting here (values, operators, attr names).
-    if (auto match = lexicon_->LongestPhraseMatch(tokens, i)) {
-      TaggedItem item = PreferredEntry(match->handles);
+    if (auto match = PhraseMatch(*lexicon_, trie, tokens, i)) {
+      TaggedItem item =
+          PreferredEntry(match->handles.data(), match->handles.size());
       item.token_begin = i;
       item.token_end = i + match->token_count;
       result.items.push_back(std::move(item));
@@ -101,7 +133,7 @@ TaggingResult QuestionTagger::Tag(const std::string& question) const {
     //    resolution: "hondaaccord" is a missing space, not an abbreviation,
     //    and segmentation demands a full keyword decomposition (higher
     //    precision than subsequence matching).
-    auto segments = trie::SegmentWord(lexicon_->trie(), tok.text);
+    auto segments = trie::SegmentWord(trie, tok.text);
     if (!segments.empty()) {
       result.segmentations.push_back(tok.text + " -> " +
                                      Join(segments, " "));
@@ -137,13 +169,13 @@ TaggingResult QuestionTagger::Tag(const std::string& question) const {
 
     // 6. Spelling correction against the trie.
     if (tok.text.size() >= options_.min_correction_length) {
-      if (auto corrected = corrector_.Correct(tok.text)) {
+      if (auto corrected = corrector.Correct(tok.text)) {
         result.corrections.push_back(
             tok.text + " -> " + corrected->keyword + " (" +
             FormatDouble(corrected->percent, 0) + "%)");
-        const auto* handles = lexicon_->trie().Find(corrected->keyword);
-        if (handles != nullptr && !handles->empty()) {
-          TaggedItem item = PreferredEntry(*handles);
+        const trie::HandleSpan handles = FindHandles(trie, corrected->keyword);
+        if (!handles.empty()) {
+          TaggedItem item = PreferredEntry(handles.begin(), handles.size());
           item.token_begin = i;
           item.token_end = i + 1;
           result.items.push_back(std::move(item));
@@ -158,6 +190,18 @@ TaggingResult QuestionTagger::Tag(const std::string& question) const {
     ++i;
   }
   return result;
+}
+
+TaggingResult QuestionTagger::Tag(const std::string& question) const {
+  return TagImpl(text::Tokenize(question), lexicon_->trie(), corrector_);
+}
+
+TaggingResult QuestionTagger::TagTokens(const text::TokenList& tokens,
+                                        bool use_flat) const {
+  if (use_flat) {
+    return TagImpl(tokens, lexicon_->flat_trie(), flat_corrector_);
+  }
+  return TagImpl(tokens, lexicon_->trie(), corrector_);
 }
 
 }  // namespace cqads::core

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "db/row_match.h"
+#include "text/porter_stemmer.h"
 #include "text/tokenizer.h"
 
 namespace cqads::core {
@@ -34,6 +35,34 @@ std::string Capitalize(const std::string& s) {
   std::string out = s;
   if (!out.empty()) out[0] = static_cast<char>(std::toupper(out[0]));
   return out;
+}
+
+/// Sorted unique attributes of a unit's conditions (the identity shape).
+std::vector<std::size_t> UniqueCondAttrs(const MatchUnit& unit) {
+  std::vector<std::size_t> attrs;
+  for (const auto& c : unit.conds) attrs.push_back(c.attr);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+/// The Table 2 measure label of a unit (shared by both scoring paths).
+std::string MakeMeasure(const db::Schema& schema, const MatchUnit& unit) {
+  switch (unit.kind) {
+    case MatchUnit::Kind::kIdentity: {
+      std::vector<std::string> names;
+      for (std::size_t a : UniqueCondAttrs(unit)) {
+        names.push_back(Capitalize(schema.attribute(a).name));
+      }
+      return "TI_Sim on " + Join(names, " and ");
+    }
+    case MatchUnit::Kind::kTypeII:
+      return "Feat_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous:
+      return "Num_Sim on " + Capitalize(schema.attribute(unit.attr).name);
+  }
+  return std::string();
 }
 
 /// Word-level Feat_Sim between two possibly multi-word values: each word of
@@ -82,13 +111,9 @@ double IdentitySim(const qlog::TiMatrix* ti, const RowAccess& access,
 
   // Record identity: the row's values of the unit's Type I attributes, in
   // schema order.
-  std::vector<std::size_t> attrs;
-  for (const auto& c : unit.conds) attrs.push_back(c.attr);
-  std::sort(attrs.begin(), attrs.end());
-  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
   std::string record_identity;
   std::vector<std::string> record_parts;
-  for (std::size_t a : attrs) {
+  for (std::size_t a : UniqueCondAttrs(unit)) {
     const db::Value& v = access.cell(a);
     if (!v.is_text()) continue;
     if (!record_identity.empty()) record_identity += " ";
@@ -157,31 +182,7 @@ PartialScore ScorePartialMatchImpl(const RowAccess& access,
   const MatchUnit& unit = units[dropped_unit];
   out.unit_sim = UnitSimilarityImpl(access, unit, ctx);
   out.rank_sim = static_cast<double>(units.size()) - 1.0 + out.unit_sim;
-
-  const db::Schema& schema = *access.schema;
-  switch (unit.kind) {
-    case MatchUnit::Kind::kIdentity: {
-      std::vector<std::string> names;
-      std::vector<std::size_t> attrs;
-      for (const auto& c : unit.conds) attrs.push_back(c.attr);
-      std::sort(attrs.begin(), attrs.end());
-      attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
-      for (std::size_t a : attrs) {
-        names.push_back(Capitalize(schema.attribute(a).name));
-      }
-      out.measure = "TI_Sim on " + Join(names, " and ");
-      break;
-    }
-    case MatchUnit::Kind::kTypeII:
-      out.measure =
-          "Feat_Sim on " + Capitalize(schema.attribute(unit.attr).name);
-      break;
-    case MatchUnit::Kind::kTypeIII:
-    case MatchUnit::Kind::kAmbiguous:
-      out.measure =
-          "Num_Sim on " + Capitalize(schema.attribute(unit.attr).name);
-      break;
-  }
+  out.measure = MakeMeasure(*access.schema, unit);
   return out;
 }
 
@@ -257,6 +258,224 @@ PartialScore ScorePartialMatch(const db::Schema& schema,
                                const SimilarityContext& ctx) {
   return ScorePartialMatchImpl(RecordRow(schema, record), units, dropped_unit,
                                ctx);
+}
+
+// ---------------------------------------------------------------------------
+// SimScorer: the id-keyed per-request path.
+// ---------------------------------------------------------------------------
+
+/// Table-or-record adapter for the scorer (mirrors RowAccess; private type
+/// so the header stays free of scoring internals).
+struct SimScorer::RowRef {
+  const db::Schema* schema = nullptr;
+  const db::Table* table = nullptr;
+  db::RowId row = 0;
+  const db::Record* record = nullptr;
+
+  const db::Value& cell(std::size_t attr) const {
+    return table != nullptr ? table->cell(row, attr) : (*record)[attr];
+  }
+  std::vector<std::string> elements(std::size_t attr) const {
+    return table != nullptr
+               ? table->CellElements(row, attr)
+               : db::ValueElements(*schema, attr, (*record)[attr]);
+  }
+};
+
+// Tokenizes a value and resolves each word against the WS vocabulary:
+// stemming happens HERE, once per distinct string per request, never inside
+// the row loop. The stem string is kept for the equal-stem rule when the id
+// is out of vocabulary.
+const SimScorer::ValueToks& SimScorer::ElementToks(const std::string& element) {
+  auto it = element_toks_.find(element);
+  if (it != element_toks_.end()) return it->second;
+  ValueToks toks;
+  for (const auto& tok : text::Tokenize(element)) {
+    TokenSim t;
+    t.text = tok.text;
+    t.stem = text::PorterStem(tok.text);
+    if (ctx_->ws != nullptr) t.ws_id = ctx_->ws->ResolveStem(t.stem);
+    if (tok.kind == text::TokenKind::kNumber) {
+      toks.digits += tok.text;
+      toks.digits += " ";
+    }
+    toks.tokens.push_back(std::move(t));
+  }
+  return element_toks_.emplace(element, std::move(toks)).first->second;
+}
+
+text::TermId SimScorer::TiId(const std::string& value) {
+  auto it = ti_ids_.find(value);
+  if (it != ti_ids_.end()) return it->second;
+  const text::TermId id =
+      ctx_->ti != nullptr ? ctx_->ti->Resolve(value) : text::kInvalidTerm;
+  ti_ids_.emplace(value, id);
+  return id;
+}
+
+SimScorer::SimScorer(const db::Schema& schema,
+                     const std::vector<MatchUnit>& units,
+                     const SimilarityContext& ctx)
+    : ctx_(&ctx) {
+  units_.reserve(units.size());
+  for (const MatchUnit& unit : units) {
+    UnitSim u;
+    u.unit = &unit;
+    u.measure = MakeMeasure(schema, unit);
+    if (unit.kind == MatchUnit::Kind::kIdentity) {
+      u.identity_attrs = UniqueCondAttrs(unit);
+      u.value_ti_id = TiId(unit.value);
+    }
+    for (const Condition& cond : unit.conds) {
+      CondSim cs;
+      cs.cond = &cond;
+      switch (unit.kind) {
+        case MatchUnit::Kind::kIdentity:
+          cs.ti_id = TiId(cond.value);
+          break;
+        case MatchUnit::Kind::kTypeII:
+          // Seed the memo with the question-side value; the row loop then
+          // reuses the same tokenization machinery for both sides.
+          cs.value_toks = ElementToks(cond.value);
+          break;
+        case MatchUnit::Kind::kTypeIII:
+        case MatchUnit::Kind::kAmbiguous:
+          break;  // numeric: no string state
+      }
+      u.conds.push_back(std::move(cs));
+    }
+    units_.push_back(std::move(u));
+  }
+}
+
+double SimScorer::FeatSimIds(const ValueToks& a, const std::string& a_raw,
+                             const std::string& b_raw) {
+  if (a_raw == b_raw) return 1.0;
+  const wordsim::WsMatrix* ws = ctx_->ws;
+  if (ws == nullptr || ws->MaxSim() <= 0.0) return 0.0;
+  if (a.tokens.empty()) return 0.0;
+  const ValueToks& b = ElementToks(b_raw);
+  if (b.tokens.empty()) return 0.0;
+  // Conflicting numeric qualifiers are exclusive, not similar (the seed
+  // FeatSim's digit-signature guard, signatures precomputed here).
+  if (!a.digits.empty() && !b.digits.empty() && a.digits != b.digits) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const TokenSim& wa : a.tokens) {
+    double best = 0.0;
+    for (const TokenSim& wb : b.tokens) {
+      double s;
+      if (wa.text == wb.text) {
+        s = ws->MaxSim();
+      } else if (wa.stem == wb.stem) {
+        s = 1.0;  // equal stems score 1.0 even out of vocabulary
+      } else {
+        s = ws->SimById(wa.ws_id, wb.ws_id);
+      }
+      best = std::max(best, s);
+    }
+    sum += best;
+  }
+  double mean = sum / static_cast<double>(a.tokens.size());
+  return std::min(1.0, mean / ws->MaxSim());
+}
+
+double SimScorer::IdentitySimIds(const RowRef& row, const UnitSim& unit) {
+  const qlog::TiMatrix* ti = ctx_->ti;
+  if (ti == nullptr || ti->MaxSim() <= 0.0) return 0.0;
+
+  // Record identity: the row's values of the unit's Type I attributes, in
+  // schema order (attrs were deduped and sorted at construction).
+  std::string record_identity;
+  std::vector<const std::string*> record_parts;
+  for (std::size_t a : unit.identity_attrs) {
+    const db::Value& v = row.cell(a);
+    if (!v.is_text()) continue;
+    if (!record_identity.empty()) record_identity += " ";
+    record_identity += v.text();
+    record_parts.push_back(&v.text());
+  }
+  if (record_identity == unit.unit->value) return 1.0;
+
+  const text::TermId rid = TiId(record_identity);
+  double sim = ti->SimById(unit.value_ti_id, rid);
+  if (sim <= 0.0) {
+    for (const CondSim& cs : unit.conds) {
+      for (const std::string* rp : record_parts) {
+        sim = std::max(sim, ti->SimById(cs.ti_id, TiId(*rp)));
+      }
+      sim = std::max(sim, ti->SimById(cs.ti_id, rid));
+      if (!cs.cond->value.empty()) {
+        sim = std::max(sim, ti->SimById(unit.value_ti_id, rid));
+      }
+    }
+  }
+  return std::min(1.0, sim / ti->MaxSim());
+}
+
+double SimScorer::UnitSimImpl(const RowRef& row, const UnitSim& unit) {
+  switch (unit.unit->kind) {
+    case MatchUnit::Kind::kIdentity:
+      return IdentitySimIds(row, unit);
+
+    case MatchUnit::Kind::kTypeII: {
+      double best = 0.0;
+      for (const CondSim& cs : unit.conds) {
+        for (const auto& element : row.elements(cs.cond->attr)) {
+          best = std::max(best,
+                          FeatSimIds(cs.value_toks, cs.cond->value, element));
+        }
+      }
+      return best;
+    }
+
+    case MatchUnit::Kind::kTypeIII:
+    case MatchUnit::Kind::kAmbiguous: {
+      double best = 0.0;
+      for (const CondSim& cs : unit.conds) {
+        const Condition& c = *cs.cond;
+        std::size_t attr = c.attr == kNoAttr ? unit.unit->attr : c.attr;
+        const db::Value& v = row.cell(attr);
+        if (!v.is_numeric()) continue;
+        double target =
+            c.op == db::CompareOp::kBetween ? (c.lo + c.hi) / 2.0 : c.lo;
+        double range =
+            attr < ctx_->attr_ranges.size() ? ctx_->attr_ranges[attr] : 0.0;
+        best = std::max(best, NumSim(target, v.AsDouble(), range));
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+PartialScore SimScorer::Score(const db::Table& table, db::RowId row,
+                              std::size_t dropped_unit) {
+  RowRef ref;
+  ref.schema = &table.schema();
+  ref.table = &table;
+  ref.row = row;
+  PartialScore out;
+  const UnitSim& unit = units_[dropped_unit];
+  out.unit_sim = UnitSimImpl(ref, unit);
+  out.rank_sim = static_cast<double>(units_.size()) - 1.0 + out.unit_sim;
+  out.measure = unit.measure;
+  return out;
+}
+
+PartialScore SimScorer::Score(const db::Schema& schema,
+                              const db::Record& record,
+                              std::size_t dropped_unit) {
+  RowRef ref;
+  ref.schema = &schema;
+  ref.record = &record;
+  PartialScore out;
+  const UnitSim& unit = units_[dropped_unit];
+  out.unit_sim = UnitSimImpl(ref, unit);
+  out.rank_sim = static_cast<double>(units_.size()) - 1.0 + out.unit_sim;
+  out.measure = unit.measure;
+  return out;
 }
 
 }  // namespace cqads::core

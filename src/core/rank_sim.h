@@ -4,15 +4,27 @@
 //   Type I   TI_Sim from the query-log matrix (normalized by its maximum)
 //   Type II  Feat_Sim from the WS word-correlation matrix (normalized)
 //   Type III Num_Sim(T,V) = 1 - |T-V| / AttributeValueRange (Eq. 4)
+//
+// Two scoring paths coexist:
+//   * the seed free functions below (string-keyed: every call re-stems and
+//     re-tokenizes) — kept as the parity oracle;
+//   * SimScorer, the id-keyed per-request scorer: question-side values are
+//     tokenized and resolved to TermIds once per request, record-side
+//     strings are memoized on first sight (dictionary-encoded stores repeat
+//     them heavily), and every similarity probe is an id-to-id CSR lookup.
+// Both produce byte-identical PartialScores; the differential tests and the
+// fig6 substrate parity gate pin it.
 #ifndef CQADS_CORE_RANK_SIM_H_
 #define CQADS_CORE_RANK_SIM_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/boolean_assembler.h"
 #include "db/table.h"
 #include "qlog/ti_matrix.h"
+#include "text/term_dict.h"
 #include "wordsim/ws_matrix.h"
 
 namespace cqads::core {
@@ -64,6 +76,75 @@ PartialScore ScorePartialMatch(const db::Schema& schema,
 
 /// Num_Sim (Eq. 4), clamped to [0, 1]. `range` <= 0 yields 0.
 double NumSim(double t, double v, double range);
+
+/// Id-keyed Eq. 5 scorer for one request's candidate loop. Construction
+/// resolves everything question-side ONCE: each Type II condition value is
+/// tokenized, stemmed, and mapped to WS vocabulary ids; each Type I value
+/// to its TI id; each unit's Table 2 measure label is prebuilt. Scoring a
+/// row then performs zero stemming and zero map-key materialization —
+/// record-side strings resolve through per-request memo tables (misses
+/// included, satisfying the "memoize unknown-word misses" contract).
+///
+/// NOT thread-safe (the memo tables mutate): one instance per request,
+/// which is exactly how RankStage uses it. Byte-identical to the free
+/// functions above on every input.
+class SimScorer {
+ public:
+  SimScorer(const db::Schema& schema, const std::vector<MatchUnit>& units,
+            const SimilarityContext& ctx);
+
+  /// Eq. 5 for a column-store row.
+  PartialScore Score(const db::Table& table, db::RowId row,
+                     std::size_t dropped_unit);
+  /// Eq. 5 for a row-major record (delta rows).
+  PartialScore Score(const db::Schema& schema, const db::Record& record,
+                     std::size_t dropped_unit);
+
+ private:
+  /// One tokenized word with its resolved WS id; the stem is kept for the
+  /// equal-stem rule when the id is out of vocabulary.
+  struct TokenSim {
+    std::string text;
+    std::string stem;
+    text::TermId ws_id = text::kInvalidTerm;
+  };
+  /// A tokenized value string: its tokens plus the concatenated numeric
+  /// token signature (the "2 door" vs "4 door" exclusivity guard).
+  struct ValueToks {
+    std::vector<TokenSim> tokens;
+    std::string digits;
+  };
+  /// Precomputed question-side state of one condition.
+  struct CondSim {
+    const Condition* cond = nullptr;
+    ValueToks value_toks;               ///< Type II: tokenized c.value
+    text::TermId ti_id = text::kInvalidTerm;  ///< Type I: resolved c.value
+  };
+  /// Precomputed question-side state of one unit.
+  struct UnitSim {
+    const MatchUnit* unit = nullptr;
+    std::vector<CondSim> conds;
+    std::vector<std::size_t> identity_attrs;  ///< sorted unique Type I attrs
+    text::TermId value_ti_id = text::kInvalidTerm;  ///< unit.value in TI
+    std::string measure;                      ///< Table 2 label
+  };
+
+  struct RowRef;  // table-or-record adapter (defined in the .cc)
+
+  double UnitSimImpl(const RowRef& row, const UnitSim& unit);
+  double IdentitySimIds(const RowRef& row, const UnitSim& unit);
+  double FeatSimIds(const ValueToks& a, const std::string& a_raw,
+                    const std::string& b_raw);
+
+  const ValueToks& ElementToks(const std::string& element);
+  text::TermId TiId(const std::string& value);
+
+  const SimilarityContext* ctx_;
+  std::vector<UnitSim> units_;
+  /// Record-side memo tables (hits AND misses are cached).
+  std::unordered_map<std::string, ValueToks> element_toks_;
+  std::unordered_map<std::string, text::TermId> ti_ids_;
+};
 
 }  // namespace cqads::core
 

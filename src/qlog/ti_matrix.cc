@@ -1,6 +1,7 @@
 #include "qlog/ti_matrix.h"
 
 #include <algorithm>
+#include <set>
 
 namespace cqads::qlog {
 
@@ -57,8 +58,38 @@ TiMatrix TiMatrix::Build(const QueryLog& log) {
     max_click = std::max(max_click, f.click_count);
   }
 
-  // Pass 3: TI_Sim = sum of the five normalized features (Eq. 3). Time is
-  // inverted (shorter gap -> higher feature); Rank already uses 1/position.
+  // Intern every observed value in sorted order, so ids are lexicographic
+  // ranks (which keeps AllPairs/MostSimilar ordering identical to the
+  // seed's string-pair map iteration).
+  {
+    std::set<std::string_view> values;
+    for (const auto& [key, f] : m.features_) {
+      values.insert(key.first);
+      values.insert(key.second);
+    }
+    for (std::string_view v : values) m.dict_.Intern(v);
+    m.dict_.Freeze();
+  }
+
+  // Pass 3: TI_Sim = sum of the five normalized features (Eq. 3), stored in
+  // CSR adjacency rows. Time is inverted (shorter gap -> higher feature);
+  // Rank already uses 1/position. features_ iterates lexicographic pairs
+  // (first < second), and ids are lexicographic, so each row's neighbor
+  // list comes out sorted without an extra sort.
+  m.pair_count_ = m.features_.size();
+  m.row_begin_.assign(m.dict_.size() + 1, 0);
+  for (const auto& [key, f] : m.features_) {
+    (void)f;
+    ++m.row_begin_[m.dict_.Find(key.first) + 1];
+    ++m.row_begin_[m.dict_.Find(key.second) + 1];
+  }
+  for (std::size_t i = 1; i < m.row_begin_.size(); ++i) {
+    m.row_begin_[i] += m.row_begin_[i - 1];
+  }
+  m.neighbor_.resize(m.row_begin_.back());
+  m.sim_.resize(m.row_begin_.back());
+  std::vector<std::uint32_t> fill(m.row_begin_.begin(),
+                                  m.row_begin_.end() - 1);
   for (const auto& [key, f] : m.features_) {
     double sim = 0.0;
     if (max_mod > 0) sim += f.mod_count / max_mod;
@@ -72,16 +103,33 @@ TiMatrix TiMatrix::Build(const QueryLog& log) {
       sim += (f.rank_sum / f.rank_obs) / max_rank;
     }
     if (max_click > 0) sim += f.click_count / max_click;
-    m.sims_[key] = sim;
     m.max_sim_ = std::max(m.max_sim_, sim);
+
+    const text::TermId a = m.dict_.Find(key.first);
+    const text::TermId b = m.dict_.Find(key.second);
+    m.neighbor_[fill[a]] = b;
+    m.sim_[fill[a]++] = sim;
+    m.neighbor_[fill[b]] = a;
+    m.sim_[fill[b]++] = sim;
   }
   return m;
 }
 
+double TiMatrix::SimById(text::TermId a, text::TermId b) const {
+  if (a == text::kInvalidTerm || b == text::kInvalidTerm || a == b) {
+    return 0.0;
+  }
+  const std::uint32_t begin = row_begin_[a];
+  const std::uint32_t end = row_begin_[a + 1];
+  auto it = std::lower_bound(neighbor_.begin() + begin,
+                             neighbor_.begin() + end, b);
+  if (it == neighbor_.begin() + end || *it != b) return 0.0;
+  return sim_[static_cast<std::size_t>(it - neighbor_.begin())];
+}
+
 double TiMatrix::Sim(std::string_view a, std::string_view b) const {
   if (a == b) return 0.0;
-  auto it = sims_.find(MakeKey(a, b));
-  return it == sims_.end() ? 0.0 : it->second;
+  return SimById(dict_.Find(a), dict_.Find(b));
 }
 
 PairFeatures TiMatrix::Features(std::string_view a, std::string_view b) const {
@@ -91,23 +139,29 @@ PairFeatures TiMatrix::Features(std::string_view a, std::string_view b) const {
 
 std::vector<std::tuple<std::string, std::string, double>> TiMatrix::AllPairs()
     const {
+  // Ids are lexicographic and rows are id-sorted, so walking rows ascending
+  // and keeping the upper triangle reproduces the seed's map order.
   std::vector<std::tuple<std::string, std::string, double>> out;
-  out.reserve(sims_.size());
-  for (const auto& [key, sim] : sims_) {
-    out.emplace_back(key.first, key.second, sim);
+  out.reserve(pair_count_);
+  for (std::size_t a = 0; a + 1 < row_begin_.size(); ++a) {
+    const text::TermId a_id = static_cast<text::TermId>(a);
+    for (std::uint32_t i = row_begin_[a]; i < row_begin_[a + 1]; ++i) {
+      if (neighbor_[i] <= a_id) continue;
+      out.emplace_back(dict_.term(a_id), dict_.term(neighbor_[i]), sim_[i]);
+    }
   }
   return out;
 }
 
-std::vector<std::pair<std::string, double>> TiMatrix::MostSimilar(
-    std::string_view a, std::size_t limit) const {
+std::vector<std::pair<std::string, double>> TiMatrix::MostSimilarById(
+    text::TermId id, std::size_t limit) const {
   std::vector<std::pair<std::string, double>> out;
-  for (const auto& [key, sim] : sims_) {
-    if (key.first == a) {
-      out.emplace_back(key.second, sim);
-    } else if (key.second == a) {
-      out.emplace_back(key.first, sim);
-    }
+  if (id == text::kInvalidTerm || row_begin_.empty()) return out;
+  const std::uint32_t begin = row_begin_[id];
+  const std::uint32_t end = row_begin_[id + 1];
+  out.reserve(end - begin);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    out.emplace_back(dict_.term(neighbor_[i]), sim_[i]);
   }
   std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
     if (x.second != y.second) return x.second > y.second;
@@ -115,6 +169,16 @@ std::vector<std::pair<std::string, double>> TiMatrix::MostSimilar(
   });
   if (out.size() > limit) out.resize(limit);
   return out;
+}
+
+std::vector<std::pair<std::string, double>> TiMatrix::MostSimilar(
+    std::string_view a, std::size_t limit) const {
+  return MostSimilarById(dict_.Find(a), limit);
+}
+
+std::size_t TiMatrix::RowDegree(text::TermId id) const {
+  if (id == text::kInvalidTerm || row_begin_.empty()) return 0;
+  return row_begin_[id + 1] - row_begin_[id];
 }
 
 }  // namespace cqads::qlog

@@ -12,6 +12,13 @@
 // *inverted* during normalization — shorter gaps and higher (numerically
 // smaller) ranks mean more similar — so that, like the other three, larger
 // normalized values mean more related.
+//
+// Values are interned into a per-matrix TermDict (sorted interning, so ids
+// are lexicographic ranks) and similarities live in CSR-style sorted
+// adjacency rows: SimById is O(log degree) with no string-pair key
+// materialization, MostSimilar is one O(degree) row scan. The string API
+// remains as a resolve-then-lookup wrapper; raw feature accumulators keep
+// their map (diagnostics only, never on the ask path).
 #ifndef CQADS_QLOG_TI_MATRIX_H_
 #define CQADS_QLOG_TI_MATRIX_H_
 
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "qlog/query_log.h"
+#include "text/term_dict.h"
 
 namespace cqads::qlog {
 
@@ -46,22 +54,48 @@ class TiMatrix {
   /// Builds the matrix from a log. Pairs never co-observed get similarity 0.
   static TiMatrix Build(const QueryLog& log);
 
+  // --- legacy string API (resolve-then-lookup wrappers) ------------------
+
   /// TI_Sim(A, B) in [0, 5]; 0 for unknown pairs and for A == B (an equal
   /// value is an exact match, handled outside the partial-match path).
   double Sim(std::string_view a, std::string_view b) const;
+
+  /// The `limit` most similar values to `a`, most similar first.
+  std::vector<std::pair<std::string, double>> MostSimilar(
+      std::string_view a, std::size_t limit) const;
+
+  // --- id-keyed API (the hot path) ---------------------------------------
+
+  /// Id of a value string observed in the log; kInvalidTerm otherwise.
+  text::TermId Resolve(std::string_view value) const {
+    return dict_.Find(value);
+  }
+
+  /// TI_Sim by id: equal ids and any invalid id score 0.0 (matching the
+  /// string form's A == B and unknown-pair rules); otherwise a binary
+  /// search of a's adjacency row.
+  double SimById(text::TermId a, text::TermId b) const;
+
+  /// Most-similar by id (same ordering contract as the string form).
+  std::vector<std::pair<std::string, double>> MostSimilarById(
+      text::TermId id, std::size_t limit) const;
+
+  std::size_t RowDegree(text::TermId id) const;
 
   /// Largest similarity in the matrix (normalization factor for Eq. 5).
   double MaxSim() const { return max_sim_; }
 
   /// Number of pairs with nonzero similarity.
-  std::size_t pair_count() const { return sims_.size(); }
+  std::size_t pair_count() const { return pair_count_; }
+
+  /// Number of distinct values observed in pairs.
+  std::size_t value_count() const { return dict_.size(); }
+
+  /// The per-domain value dictionary (ids in lexicographic order).
+  const text::TermDict& term_dict() const { return dict_; }
 
   /// Raw features for a pair (zeros when unobserved); for diagnostics.
   PairFeatures Features(std::string_view a, std::string_view b) const;
-
-  /// The `limit` most similar values to `a`, most similar first.
-  std::vector<std::pair<std::string, double>> MostSimilar(
-      std::string_view a, std::size_t limit) const;
 
   /// Every stored pair with its similarity, in deterministic (lexicographic)
   /// order. Used by the CSV exporter and diagnostics.
@@ -71,7 +105,14 @@ class TiMatrix {
   using Key = std::pair<std::string, std::string>;  // lexicographic order
   static Key MakeKey(std::string_view a, std::string_view b);
 
-  std::map<Key, double> sims_;
+  text::TermDict dict_;
+  /// CSR over value ids; per-row neighbors ascending (== lexicographic).
+  /// Each unordered pair is stored in both rows.
+  std::vector<std::uint32_t> row_begin_;
+  std::vector<text::TermId> neighbor_;
+  std::vector<double> sim_;
+  std::size_t pair_count_ = 0;
+  /// Raw accumulators, kept string-keyed: Features()/diagnostics only.
   std::map<Key, PairFeatures> features_;
   double max_sim_ = 0.0;
 };

@@ -1,0 +1,69 @@
+#include "text/term_dict.h"
+
+#include <cassert>
+
+#include "text/porter_stemmer.h"
+#include "text/shorthand.h"
+#include "text/stopwords.h"
+
+namespace cqads::text {
+
+TermId TermDict::Intern(std::string_view term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  assert(!frozen_ && "Intern() after Freeze()");
+
+  Entry entry;
+  entry.text.assign(term);
+  entry.stem = PorterStem(term);
+  entry.shorthand_norm = NormalizeForShorthand(term);
+  entry.stopword = IsStopword(term);
+  entries_.push_back(std::move(entry));
+
+  const TermId id = static_cast<TermId>(entries_.size() - 1);
+  index_.emplace(std::string_view(entries_.back().text), id);
+  return id;
+}
+
+void TermDict::Freeze() {
+  if (frozen_) return;
+  frozen_ = true;
+  // Cross-term links resolve only here, so callers interning a sorted
+  // vocabulary get contiguous lexicographic ids — no stem entries spliced
+  // in between (the stem of a vocabulary term need not be interned at all).
+  for (Entry& entry : entries_) {
+    auto it = index_.find(std::string_view(entry.stem));
+    entry.stem_id = it == index_.end() ? kInvalidTerm : it->second;
+  }
+}
+
+TermId TermDict::Find(std::string_view term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+TermId TermDict::FindStemOf(std::string_view word) const {
+  // Fast path: the word itself is interned and its stem link is resolved.
+  auto it = index_.find(word);
+  if (it != index_.end()) {
+    const Entry& entry = entries_[it->second];
+    if (frozen_) return entry.stem_id;
+    return Find(entry.stem);
+  }
+  return Find(PorterStem(word));
+}
+
+std::size_t TermDict::ApproxMemoryBytes() const {
+  std::size_t bytes = entries_.size() * sizeof(Entry);
+  for (const Entry& e : entries_) {
+    bytes += e.text.capacity() + e.stem.capacity() +
+             e.shorthand_norm.capacity();
+  }
+  // unordered_map node + bucket overhead, approximated.
+  bytes += index_.size() * (sizeof(void*) * 2 + sizeof(std::string_view) +
+                            sizeof(TermId));
+  bytes += index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
+}  // namespace cqads::text

@@ -1,0 +1,109 @@
+// Interned-term substrate. A TermDict is an append-during-build,
+// frozen-at-snapshot bidirectional mapping between strings and dense
+// TermIds, with per-term derived forms cached once at intern time:
+//   * the Porter stem (and, after Freeze(), the stem's own TermId when the
+//     stem itself is interned),
+//   * the stopword flag,
+//   * the normalized shorthand form (§4.2.3 canonicalization).
+// Consumers that used to re-derive these per call on the hot path
+// (WsMatrix::Sim stemming both arguments per candidate row,
+// DomainLexicon::FindShorthand normalizing every categorical value per
+// probe) resolve once and work id-to-id instead.
+//
+// Ownership pattern mirrors the rest of the engine (PR 2/3): an EngineBuilder
+// (or a matrix Build()) interns into a mutable dict, calls Freeze(), and
+// publishes it behind shared_ptr<const TermDict> inside the EngineSnapshot —
+// per-domain instances (categorical values and trie keywords) plus the
+// shared-corpus instance owned by the WS matrix. Ingest/compaction republish
+// fresh copies; readers on old snapshots keep the dict they started with.
+//
+// Thread-safety: Intern()/Freeze() must be externally serialized; every
+// const method is safe from any number of threads once the dict is frozen
+// (or, more precisely, once no further Intern() call can run concurrently).
+#ifndef CQADS_TEXT_TERM_DICT_H_
+#define CQADS_TEXT_TERM_DICT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cqads::text {
+
+/// Dense id of an interned term. Ids are assigned in intern order, so a
+/// caller interning a sorted vocabulary gets ids in lexicographic order —
+/// the property the CSR matrices rely on for deterministic tie-breaking.
+using TermId = std::uint32_t;
+
+/// "Not interned" sentinel.
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+class TermDict {
+ public:
+  TermDict() = default;
+
+  // Movable, not copyable (owns the entry table; copies would be silent
+  // per-request allocations of the exact kind this layer removes).
+  TermDict(TermDict&&) = default;
+  TermDict& operator=(TermDict&&) = default;
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+
+  /// Interns `term`, returning its id (existing id when already present).
+  /// Derived forms are computed once here, never on lookup. Must not be
+  /// called after Freeze().
+  TermId Intern(std::string_view term);
+
+  /// Resolves cross-term links (each entry's stem_id, when the stem string
+  /// is itself interned) and seals the dict against further Intern() calls.
+  /// Idempotent.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// Id of `term`, or kInvalidTerm when absent. Never interns.
+  TermId Find(std::string_view term) const;
+
+  /// Id of the Porter stem of raw word `word` (the WS-matrix resolve path:
+  /// stem the needle once, look it up once). kInvalidTerm when the stem is
+  /// not interned.
+  TermId FindStemOf(std::string_view word) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // --- per-term cached forms (id must be < size()) -----------------------
+  const std::string& term(TermId id) const { return entries_[id].text; }
+  const std::string& stem(TermId id) const { return entries_[id].stem; }
+  /// Id of stem(id) when interned (valid only after Freeze()).
+  TermId stem_id(TermId id) const { return entries_[id].stem_id; }
+  bool is_stopword(TermId id) const { return entries_[id].stopword; }
+  /// NormalizeForShorthand(term(id)), cached.
+  const std::string& shorthand_norm(TermId id) const {
+    return entries_[id].shorthand_norm;
+  }
+
+  /// Approximate heap footprint, for the bench footprint claims.
+  std::size_t ApproxMemoryBytes() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    std::string stem;
+    std::string shorthand_norm;
+    TermId stem_id = kInvalidTerm;
+    bool stopword = false;
+  };
+
+  /// Deque, not vector: growth must not relocate entries, because index_
+  /// keys are views into entries_[i].text (short strings live inline via
+  /// SSO, so a moved Entry would dangle its key).
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string_view, TermId> index_;
+  bool frozen_ = false;
+};
+
+}  // namespace cqads::text
+
+#endif  // CQADS_TEXT_TERM_DICT_H_

@@ -1,0 +1,185 @@
+#include "trie/flat_trie.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cqads::trie {
+
+FlatTrie FlatTrie::Compile(const KeywordTrie& source) {
+  // Enumerate (keyword, handle) pairs through the public API: lexicographic
+  // keyword order with handles in insertion order — exactly the layout the
+  // sorted-key build below wants, and no friend access into the node tree.
+  auto pairs = source.Completions(source.Root(), "",
+                                  std::numeric_limits<std::size_t>::max());
+  std::vector<BuildKey> keys;
+  for (auto& [keyword, handle] : pairs) {
+    if (keys.empty() || keys.back().keyword != keyword) {
+      keys.push_back(BuildKey{keyword, {}});
+    }
+    keys.back().handles.push_back(handle);
+  }
+
+  FlatTrie trie;
+  trie.keyword_count_ = keys.size();
+  trie.nodes_.reserve(source.node_count());
+  trie.handles_.reserve(pairs.size());
+  trie.BuildNode(keys, 0, keys.size(), 0);
+  return trie;
+}
+
+std::uint32_t FlatTrie::BuildNode(const std::vector<BuildKey>& keys,
+                                  std::size_t lo, std::size_t hi,
+                                  std::size_t depth) {
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // The keyword equal to this node's path, if any, sorts first in the range.
+  if (lo < hi && keys[lo].keyword.size() == depth) {
+    nodes_[id].handle_begin = static_cast<std::uint32_t>(handles_.size());
+    nodes_[id].handle_count =
+        static_cast<std::uint32_t>(keys[lo].handles.size());
+    handles_.insert(handles_.end(), keys[lo].handles.begin(),
+                    keys[lo].handles.end());
+    ++lo;
+  }
+
+  // Group the remaining range by next character (ranges are contiguous:
+  // keys are sorted).
+  struct ChildRange {
+    char label;
+    std::size_t lo, hi;
+  };
+  std::vector<ChildRange> children;
+  std::size_t i = lo;
+  while (i < hi) {
+    const char c = keys[i].keyword[depth];
+    std::size_t j = i + 1;
+    while (j < hi && keys[j].keyword[depth] == c) ++j;
+    children.push_back(ChildRange{c, i, j});
+    i = j;
+  }
+
+  // Reserve this node's contiguous edge span BEFORE recursing, so child
+  // subtrees (which append their own edges) cannot interleave with it.
+  const std::uint32_t edge_begin = static_cast<std::uint32_t>(edges_.size());
+  nodes_[id].edge_begin = edge_begin;
+  nodes_[id].edge_count = static_cast<std::uint16_t>(children.size());
+  for (const ChildRange& child : children) {
+    edges_.push_back(Edge{0, child.label});
+  }
+  for (std::size_t k = 0; k < children.size(); ++k) {
+    edges_[edge_begin + k].target =
+        BuildNode(keys, children[k].lo, children[k].hi, depth + 1);
+  }
+  return id;
+}
+
+FlatTrie::Cursor FlatTrie::Step(Cursor cursor, char c) const {
+  if (!cursor.valid()) return Cursor();
+  const Node& node = nodes_[cursor.node_];
+  const Edge* begin = edges_.data() + node.edge_begin;
+  const Edge* end = begin + node.edge_count;
+  // Binary-searched edge span; labels within a span are sorted (the build
+  // walks keys in lexicographic order).
+  const Edge* it = std::lower_bound(
+      begin, end, c, [](const Edge& e, char label) { return e.label < label; });
+  if (it == end || it->label != c) return Cursor();
+  return Cursor(it->target);
+}
+
+FlatTrie::Cursor FlatTrie::Walk(Cursor cursor, std::string_view s) const {
+  for (char c : s) {
+    cursor = Step(cursor, c);
+    if (!cursor.valid()) return cursor;
+  }
+  return cursor;
+}
+
+bool FlatTrie::IsTerminal(Cursor cursor) const {
+  return cursor.valid() && nodes_[cursor.node_].handle_count > 0;
+}
+
+HandleSpan FlatTrie::Handles(Cursor cursor) const {
+  if (!IsTerminal(cursor)) return HandleSpan{};
+  const Node& node = nodes_[cursor.node_];
+  return HandleSpan{handles_.data() + node.handle_begin, node.handle_count};
+}
+
+bool FlatTrie::HasChildren(Cursor cursor) const {
+  return cursor.valid() && nodes_[cursor.node_].edge_count > 0;
+}
+
+bool FlatTrie::Contains(std::string_view keyword) const {
+  return IsTerminal(Walk(Root(), keyword));
+}
+
+HandleSpan FlatTrie::Find(std::string_view keyword) const {
+  return Handles(Walk(Root(), keyword));
+}
+
+std::vector<std::pair<std::string, std::int32_t>> FlatTrie::Completions(
+    Cursor cursor, std::string_view prefix, std::size_t limit) const {
+  std::vector<std::pair<std::string, std::int32_t>> out;
+  if (!cursor.valid() || limit == 0) return out;
+  std::string scratch(prefix);
+
+  // Iterative preorder mirroring KeywordTrie::CollectFrom: emit this node's
+  // handles, then descend edges in label order.
+  struct Frame {
+    std::uint32_t node;
+    std::uint16_t next_edge;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{cursor.node_, 0});
+  // Emit the anchor node's handles before any descent.
+  auto emit = [&](std::uint32_t node_id) {
+    const Node& node = nodes_[node_id];
+    for (std::uint32_t h = 0; h < node.handle_count; ++h) {
+      if (out.size() >= limit) return false;
+      out.emplace_back(scratch, handles_[node.handle_begin + h]);
+    }
+    return out.size() < limit;
+  };
+  if (!emit(cursor.node_)) return out;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const Node& node = nodes_[top.node];
+    if (top.next_edge >= node.edge_count) {
+      stack.pop_back();
+      if (!stack.empty()) scratch.pop_back();
+      continue;
+    }
+    const Edge& edge = edges_[node.edge_begin + top.next_edge];
+    ++top.next_edge;
+    scratch.push_back(edge.label);
+    if (!emit(edge.target)) return out;
+    stack.push_back(Frame{edge.target, 0});
+  }
+  return out;
+}
+
+std::size_t FlatTrie::LongestMatchLength(std::string_view s,
+                                         std::size_t from) const {
+  Cursor c = Root();
+  std::size_t best = 0;
+  for (std::size_t i = from; i < s.size(); ++i) {
+    c = Step(c, s[i]);
+    if (!c.valid()) break;
+    if (IsTerminal(c)) best = i - from + 1;
+  }
+  return best;
+}
+
+std::vector<std::size_t> FlatTrie::AllMatchLengths(std::string_view s,
+                                                   std::size_t from) const {
+  std::vector<std::size_t> out;
+  Cursor c = Root();
+  for (std::size_t i = from; i < s.size(); ++i) {
+    c = Step(c, s[i]);
+    if (!c.valid()) break;
+    if (IsTerminal(c)) out.push_back(i - from + 1);
+  }
+  return out;
+}
+
+}  // namespace cqads::trie

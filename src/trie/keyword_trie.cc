@@ -95,6 +95,26 @@ std::vector<std::pair<std::string, std::int32_t>> KeywordTrie::Completions(
   return out;
 }
 
+std::size_t KeywordTrie::ApproxMemoryBytes() const {
+  // Walk via the public cursor API-equivalent internals: each node costs its
+  // struct, each edge a std::map red-black node (payload pair + three
+  // pointers + color, ~= 40 bytes of overhead on mainstream allocators),
+  // each terminal its handle storage.
+  struct Walker {
+    static std::size_t Visit(const Node& node) {
+      std::size_t bytes = sizeof(Node) + node.handles.capacity() *
+                                             sizeof(std::int32_t);
+      for (const auto& [c, child] : node.children) {
+        (void)c;
+        bytes += sizeof(std::pair<const char, std::unique_ptr<Node>>) + 40;
+        bytes += Visit(*child);
+      }
+      return bytes;
+    }
+  };
+  return Walker::Visit(*root_);
+}
+
 std::size_t KeywordTrie::LongestMatchLength(std::string_view s,
                                             std::size_t from) const {
   Cursor c = Root();

@@ -49,6 +49,11 @@ class KeywordTrie {
   /// Number of trie nodes (for the §4.1.3 footprint claim and tests).
   std::size_t node_count() const { return node_count_; }
 
+  /// Approximate heap footprint of the pointer tree (nodes, red-black map
+  /// nodes per edge, handle vectors). The parse_rank bench compares this
+  /// against FlatTrie::MemoryBytes for the §4.1.3 footprint claim.
+  std::size_t ApproxMemoryBytes() const;
+
   /// Walk state for incremental scanning. A default cursor is invalid.
   class Cursor {
    public:

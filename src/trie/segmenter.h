@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trie/flat_trie.h"
 #include "trie/keyword_trie.h"
 
 namespace cqads::trie {
@@ -20,6 +21,10 @@ namespace cqads::trie {
 /// decomposition exists (callers then treat the word as one unit and hand it
 /// to the spell corrector).
 std::vector<std::string> SegmentWord(const KeywordTrie& trie,
+                                     std::string_view word);
+
+/// Identical semantics over the frozen flat trie (the serve-time path).
+std::vector<std::string> SegmentWord(const FlatTrie& trie,
                                      std::string_view word);
 
 }  // namespace cqads::trie

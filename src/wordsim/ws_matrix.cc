@@ -1,6 +1,7 @@
 #include "wordsim/ws_matrix.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -9,12 +10,6 @@
 #include "text/tokenizer.h"
 
 namespace cqads::wordsim {
-
-WsMatrix::Key WsMatrix::MakeKey(std::string_view a, std::string_view b) {
-  std::string sa(a), sb(b);
-  if (sb < sa) std::swap(sa, sb);
-  return {std::move(sa), std::move(sb)};
-}
 
 WsMatrix WsMatrix::Build(const std::vector<std::string>& corpus,
                          const WsOptions& options) {
@@ -36,24 +31,31 @@ WsMatrix WsMatrix::Build(const std::vector<std::string>& corpus,
     docs.push_back(std::move(stems));
   }
 
-  // Vocabulary after the document-frequency floor.
+  // Vocabulary after the document-frequency floor, interned in sorted order
+  // so TermIds ARE lexicographic ranks (deterministic tie-breaking below).
   std::set<std::string> vocab_set;
   for (const auto& [word, df] : doc_freq) {
     if (df >= options.min_doc_freq) vocab_set.insert(word);
   }
-  m.vocab_.assign(vocab_set.begin(), vocab_set.end());
+  for (const auto& word : vocab_set) m.dict_.Intern(word);
+  m.dict_.Freeze();
 
   // Accumulate co-occurrence weight: frequency x 1/distance inside a window.
-  std::map<Key, double> raw;
+  // Ids replace the seed's string-pair map keys; the per-document id
+  // resolution happens once per token.
+  std::map<std::pair<text::TermId, text::TermId>, double> raw;
+  std::vector<text::TermId> ids;
   for (const auto& doc : docs) {
-    for (std::size_t i = 0; i < doc.size(); ++i) {
-      if (vocab_set.count(doc[i]) == 0) continue;
-      const std::size_t end = std::min(doc.size(), i + 1 + options.window);
+    ids.clear();
+    ids.reserve(doc.size());
+    for (const auto& s : doc) ids.push_back(m.dict_.Find(s));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == text::kInvalidTerm) continue;
+      const std::size_t end = std::min(ids.size(), i + 1 + options.window);
       for (std::size_t j = i + 1; j < end; ++j) {
-        if (doc[i] == doc[j]) continue;
-        if (vocab_set.count(doc[j]) == 0) continue;
-        raw[MakeKey(doc[i], doc[j])] +=
-            1.0 / static_cast<double>(j - i);
+        if (ids[j] == text::kInvalidTerm || ids[i] == ids[j]) continue;
+        auto key = std::minmax(ids[i], ids[j]);
+        raw[{key.first, key.second}] += 1.0 / static_cast<double>(j - i);
       }
     }
   }
@@ -61,41 +63,96 @@ WsMatrix WsMatrix::Build(const std::vector<std::string>& corpus,
   // Normalize by the global maximum so similarities land in (0, 1].
   double max_raw = 0.0;
   for (const auto& [key, w] : raw) max_raw = std::max(max_raw, w);
+  m.pair_count_ = max_raw > 0.0 ? raw.size() : 0;
+
+  // CSR build: count degrees (each pair contributes to both rows), then
+  // fill. The raw map iterates (a, b) with a < b ascending, so per-row
+  // neighbor order comes out sorted without an extra sort.
+  m.row_begin_.assign(m.dict_.size() + 1, 0);
   if (max_raw > 0.0) {
     for (const auto& [key, w] : raw) {
-      double sim = w / max_raw;
-      m.sims_[key] = sim;
+      ++m.row_begin_[key.first + 1];
+      ++m.row_begin_[key.second + 1];
+    }
+    for (std::size_t i = 1; i < m.row_begin_.size(); ++i) {
+      m.row_begin_[i] += m.row_begin_[i - 1];
+    }
+    m.neighbor_.resize(m.row_begin_.back());
+    m.sim_.resize(m.row_begin_.back());
+    std::vector<std::uint32_t> fill(m.row_begin_.begin(),
+                                    m.row_begin_.end() - 1);
+    for (const auto& [key, w] : raw) {
+      const double sim = w / max_raw;
       m.max_sim_ = std::max(m.max_sim_, sim);
+      m.neighbor_[fill[key.first]] = key.second;
+      m.sim_[fill[key.first]++] = sim;
+      m.neighbor_[fill[key.second]] = key.first;
+      m.sim_[fill[key.second]++] = sim;
     }
   }
   return m;
 }
 
-double WsMatrix::Sim(std::string_view a, std::string_view b) const {
-  std::string sa = text::PorterStem(a);
-  std::string sb = text::PorterStem(b);
-  if (sa == sb) return 1.0;
-  auto it = sims_.find(MakeKey(sa, sb));
-  return it == sims_.end() ? 0.0 : it->second;
+double WsMatrix::SimById(text::TermId a, text::TermId b) const {
+  if (a == text::kInvalidTerm || b == text::kInvalidTerm) return 0.0;
+  if (a == b) return 1.0;  // equal interned stems
+  const std::uint32_t begin = row_begin_[a];
+  const std::uint32_t end = row_begin_[a + 1];
+  auto it = std::lower_bound(neighbor_.begin() + begin,
+                             neighbor_.begin() + end, b);
+  if (it == neighbor_.begin() + end || *it != b) return 0.0;
+  return sim_[static_cast<std::size_t>(it - neighbor_.begin())];
 }
 
-std::vector<std::pair<std::string, double>> WsMatrix::MostSimilar(
-    std::string_view word, std::size_t limit) const {
-  std::string stem = text::PorterStem(word);
+double WsMatrix::Sim(std::string_view a, std::string_view b) const {
+  return SimStemmed(text::PorterStem(a), text::PorterStem(b));
+}
+
+double WsMatrix::SimStemmed(std::string_view stem_a,
+                            std::string_view stem_b) const {
+  if (stem_a == stem_b) return 1.0;
+  return SimById(dict_.Find(stem_a), dict_.Find(stem_b));
+}
+
+std::vector<std::pair<std::string, double>> WsMatrix::MostSimilarById(
+    text::TermId id, std::size_t limit) const {
   std::vector<std::pair<std::string, double>> out;
-  for (const auto& [key, sim] : sims_) {
-    if (key.first == stem) {
-      out.emplace_back(key.second, sim);
-    } else if (key.second == stem) {
-      out.emplace_back(key.first, sim);
-    }
+  if (id == text::kInvalidTerm || row_begin_.empty()) return out;
+  // One O(degree) row scan replaces the seed's O(total pairs) full-map scan
+  // with a string compare per entry (the parse_rank bench asserts the
+  // difference so the regression cannot quietly come back).
+  const std::uint32_t begin = row_begin_[id];
+  const std::uint32_t end = row_begin_[id + 1];
+  out.reserve(end - begin);
+  for (std::uint32_t i = begin; i < end; ++i) {
+    out.emplace_back(dict_.term(neighbor_[i]), sim_[i]);
   }
+  // Row neighbors are id-ascending == lexicographic, so this comparator
+  // reproduces the seed's (sim desc, stem asc) order exactly.
   std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
     if (x.second != y.second) return x.second > y.second;
     return x.first < y.first;
   });
   if (out.size() > limit) out.resize(limit);
   return out;
+}
+
+std::vector<std::pair<std::string, double>> WsMatrix::MostSimilar(
+    std::string_view word, std::size_t limit) const {
+  return MostSimilarById(Resolve(word), limit);
+}
+
+std::size_t WsMatrix::RowDegree(text::TermId id) const {
+  if (id == text::kInvalidTerm || row_begin_.empty()) return 0;
+  return row_begin_[id + 1] - row_begin_[id];
+}
+
+std::size_t WsMatrix::MaxRowDegree() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i + 1 < row_begin_.size(); ++i) {
+    best = std::max<std::size_t>(best, row_begin_[i + 1] - row_begin_[i]);
+  }
+  return best;
 }
 
 }  // namespace cqads::wordsim

@@ -6,14 +6,24 @@
 // supplies an ad-like synthetic corpus): for every pair of non-stop stemmed
 // words co-occurring in a document within a window, accumulate 1/d where d
 // is their token distance, then normalize rows into a symmetric matrix.
+//
+// Storage is id-keyed: the vocabulary is interned into a TermDict (the
+// snapshot's shared-corpus instance; ids are lexicographic because stems are
+// interned sorted) and similarities live in CSR-style sorted adjacency rows.
+// SimById is O(log degree), MostSimilar is O(degree log degree) — at the
+// paper's 54,625-stem scale the seed's string-pair std::map would pay a
+// string-pair allocation per Sim call and a full-matrix scan per
+// MostSimilar. The legacy string API remains as a thin resolve-then-lookup
+// wrapper so callers migrate incrementally.
 #ifndef CQADS_WORDSIM_WS_MATRIX_H_
 #define CQADS_WORDSIM_WS_MATRIX_H_
 
-#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "text/term_dict.h"
 
 namespace cqads::wordsim {
 
@@ -35,26 +45,65 @@ class WsMatrix {
   static WsMatrix Build(const std::vector<std::string>& corpus,
                         const WsOptions& options = WsOptions());
 
+  // --- legacy string API (resolve-then-lookup wrappers) ------------------
+
   /// Similarity of two raw words (stemmed internally). 1.0 when the stems
   /// are equal; 0.0 for unknown pairs.
   double Sim(std::string_view a, std::string_view b) const;
 
-  /// Largest off-diagonal similarity (normalization factor for Eq. 5).
-  double MaxSim() const { return max_sim_; }
-
-  std::size_t vocabulary_size() const { return vocab_.size(); }
-  std::size_t pair_count() const { return sims_.size(); }
+  /// Sim over words already Porter-stemmed by the caller — the hoisted form
+  /// for loops that would otherwise re-stem an invariant argument per call.
+  double SimStemmed(std::string_view stem_a, std::string_view stem_b) const;
 
   /// The `limit` most similar vocabulary stems to `word`, best first.
   std::vector<std::pair<std::string, double>> MostSimilar(
       std::string_view word, std::size_t limit) const;
 
- private:
-  using Key = std::pair<std::string, std::string>;
-  static Key MakeKey(std::string_view a, std::string_view b);
+  // --- id-keyed API (the hot path) ---------------------------------------
 
-  std::vector<std::string> vocab_;
-  std::map<Key, double> sims_;
+  /// Vocabulary id of raw `word` (stems internally); kInvalidTerm when the
+  /// stem is out of vocabulary.
+  text::TermId Resolve(std::string_view word) const {
+    return dict_.FindStemOf(word);
+  }
+  /// Vocabulary id of an already-stemmed word.
+  text::TermId ResolveStem(std::string_view stem) const {
+    return dict_.Find(stem);
+  }
+
+  /// Similarity by vocabulary id: equal valid ids score 1.0 (equal stems);
+  /// any invalid id scores 0.0; otherwise a binary search of a's adjacency
+  /// row. Byte-identical to Sim() on the words the ids resolve from.
+  double SimById(text::TermId a, text::TermId b) const;
+
+  /// Most-similar by id (same ordering contract as the string form).
+  std::vector<std::pair<std::string, double>> MostSimilarById(
+      text::TermId id, std::size_t limit) const;
+
+  /// Degree of one vocabulary row (bench/regression instrumentation).
+  std::size_t RowDegree(text::TermId id) const;
+  std::size_t MaxRowDegree() const;
+
+  /// Largest off-diagonal similarity (normalization factor for Eq. 5).
+  double MaxSim() const { return max_sim_; }
+
+  std::size_t vocabulary_size() const { return dict_.size(); }
+  std::size_t pair_count() const { return pair_count_; }
+
+  /// The shared-corpus term dictionary (interned vocabulary stems, ids in
+  /// lexicographic order). Published by the engine snapshot.
+  const text::TermDict& term_dict() const { return dict_; }
+
+ private:
+  text::TermDict dict_;
+  /// CSR: row_begin_[id] .. row_begin_[id+1] index the (neighbor, sim)
+  /// arrays; each row's neighbors are sorted ascending (== lexicographic,
+  /// since ids are). Each unordered pair is stored twice, once per
+  /// direction, so lookups never canonicalize a key.
+  std::vector<std::uint32_t> row_begin_;
+  std::vector<text::TermId> neighbor_;
+  std::vector<double> sim_;
+  std::size_t pair_count_ = 0;
   double max_sim_ = 0.0;
 };
 

@@ -1,0 +1,276 @@
+// FlatTrie vs KeywordTrie: the frozen flat compile must reproduce the
+// pointer trie's behaviour byte-for-byte — unit cases first, then a
+// randomized differential over the lexicon tries of all eight datagen
+// domains (Step/Walk/IsTerminal/Handles/Completions order/LongestMatch/
+// AllMatchLengths), plus the segmenter and spell corrector running on both
+// representations.
+#include "trie/flat_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "datagen/domain_spec.h"
+#include "datagen/world.h"
+#include "trie/keyword_trie.h"
+#include "trie/segmenter.h"
+#include "trie/spell_corrector.h"
+
+namespace cqads::trie {
+namespace {
+
+KeywordTrie MakeCarTrie() {
+  KeywordTrie t;
+  t.Insert("honda", 1);
+  t.Insert("honda shadow", 2);
+  t.Insert("accord", 3);
+  t.Insert("less than", 4);
+  t.Insert("blue", 5);
+  t.Insert("2 door", 6);
+  t.Insert("gold", 7);
+  t.Insert("gold", 8);  // second handle, insertion order must survive
+  return t;
+}
+
+TEST(FlatTrieTest, DefaultConstructedIsSafeNoMatch) {
+  FlatTrie never_compiled;
+  EXPECT_FALSE(never_compiled.Root().valid());
+  EXPECT_FALSE(never_compiled.Contains("x"));
+  EXPECT_TRUE(never_compiled.Find("x").empty());
+  EXPECT_FALSE(never_compiled.Step(never_compiled.Root(), 'a').valid());
+  EXPECT_EQ(never_compiled.LongestMatchLength("abc", 0), 0u);
+  EXPECT_TRUE(never_compiled.AllMatchLengths("abc", 0).empty());
+  EXPECT_TRUE(
+      never_compiled.Completions(never_compiled.Root(), "", 5).empty());
+}
+
+TEST(FlatTrieTest, EmptyTrie) {
+  KeywordTrie empty;
+  FlatTrie flat = FlatTrie::Compile(empty);
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.size(), 0u);
+  EXPECT_EQ(flat.node_count(), 1u);  // root
+  EXPECT_FALSE(flat.Contains("anything"));
+  EXPECT_FALSE(flat.IsTerminal(flat.Root()));
+  EXPECT_FALSE(flat.HasChildren(flat.Root()));
+  EXPECT_TRUE(flat.Completions(flat.Root(), "", 10).empty());
+}
+
+TEST(FlatTrieTest, BasicLookupsMatchSource) {
+  KeywordTrie t = MakeCarTrie();
+  FlatTrie flat = FlatTrie::Compile(t);
+  EXPECT_EQ(flat.size(), t.size());
+  EXPECT_EQ(flat.node_count(), t.node_count());
+  EXPECT_TRUE(flat.Contains("honda"));
+  EXPECT_TRUE(flat.Contains("less than"));
+  EXPECT_FALSE(flat.Contains("hond"));
+  EXPECT_FALSE(flat.Contains("hondas"));
+  auto handles = flat.Find("gold");
+  ASSERT_EQ(handles.size(), 2u);
+  EXPECT_EQ(handles[0], 7);  // insertion order preserved
+  EXPECT_EQ(handles[1], 8);
+  EXPECT_TRUE(flat.Find("missing").empty());
+}
+
+TEST(FlatTrieTest, CursorWalkMatchesSource) {
+  KeywordTrie t = MakeCarTrie();
+  FlatTrie flat = FlatTrie::Compile(t);
+  auto c = flat.Walk(flat.Root(), "honda");
+  ASSERT_TRUE(c.valid());
+  EXPECT_TRUE(flat.IsTerminal(c));
+  EXPECT_TRUE(flat.HasChildren(c));  // "honda shadow" continues
+  auto c2 = flat.Step(c, ' ');
+  ASSERT_TRUE(c2.valid());
+  EXPECT_FALSE(flat.IsTerminal(c2));
+  EXPECT_FALSE(flat.Step(c, 'x').valid());
+  EXPECT_FALSE(flat.Walk(flat.Root(), "zzz").valid());
+  // Stepping an invalid cursor stays invalid.
+  EXPECT_FALSE(flat.Step(FlatTrie::Cursor(), 'a').valid());
+}
+
+TEST(FlatTrieTest, CompletionsOrderAndLimit) {
+  KeywordTrie t = MakeCarTrie();
+  FlatTrie flat = FlatTrie::Compile(t);
+  auto full = t.Completions(t.Root(), "", 100);
+  auto flat_full = flat.Completions(flat.Root(), "", 100);
+  ASSERT_EQ(full, flat_full);
+  for (std::size_t limit = 0; limit <= full.size() + 1; ++limit) {
+    EXPECT_EQ(t.Completions(t.Root(), "", limit),
+              flat.Completions(flat.Root(), "", limit))
+        << "limit " << limit;
+  }
+  // Anchored completions under a prefix.
+  auto anchor = t.Walk(t.Root(), "ho");
+  auto flat_anchor = flat.Walk(flat.Root(), "ho");
+  EXPECT_EQ(t.Completions(anchor, "ho", 10),
+            flat.Completions(flat_anchor, "ho", 10));
+}
+
+TEST(FlatTrieTest, MatchLengths) {
+  KeywordTrie t = MakeCarTrie();
+  FlatTrie flat = FlatTrie::Compile(t);
+  const std::string s = "honda shadow rider";
+  for (std::size_t from = 0; from <= s.size(); ++from) {
+    EXPECT_EQ(t.LongestMatchLength(s, from), flat.LongestMatchLength(s, from));
+    EXPECT_EQ(t.AllMatchLengths(s, from), flat.AllMatchLengths(s, from));
+  }
+}
+
+// ---- randomized differential over the eight datagen domains --------------
+
+class FlatTrieDomainTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::WorldOptions options;
+    options.seed = 20260727;
+    options.ads_per_domain = 150;
+    options.sessions_per_domain = 100;
+    options.corpus_docs_per_domain = 30;
+    auto built = datagen::World::Build(options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    world_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static datagen::World* world_;
+};
+
+datagen::World* FlatTrieDomainTest::world_ = nullptr;
+
+/// All keywords of a trie (differential corpus seed).
+std::vector<std::string> Keywords(const KeywordTrie& t) {
+  std::vector<std::string> out;
+  for (auto& [kw, handle] : t.Completions(t.Root(), "", 1u << 20)) {
+    (void)handle;
+    if (out.empty() || out.back() != kw) out.push_back(kw);
+  }
+  return out;
+}
+
+TEST_P(FlatTrieDomainTest, RandomizedDifferential) {
+  const auto* rt = world_->engine().runtime(GetParam());
+  ASSERT_NE(rt, nullptr);
+  const KeywordTrie& oracle = rt->lexicon->trie();
+  const FlatTrie& flat = rt->lexicon->flat_trie();
+
+  EXPECT_EQ(flat.size(), oracle.size());
+  EXPECT_EQ(flat.node_count(), oracle.node_count());
+  ASSERT_GT(flat.size(), 0u);
+
+  // Full keyword enumeration must agree, handles included.
+  EXPECT_EQ(oracle.Completions(oracle.Root(), "", 1u << 20),
+            flat.Completions(flat.Root(), "", 1u << 20));
+
+  const std::vector<std::string> keywords = Keywords(oracle);
+  std::mt19937 rng(1234 + keywords.size());
+  auto rand_index = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+
+  // Probe corpus: real keywords, mutations, truncations, concatenations,
+  // and garbage.
+  std::vector<std::string> probes;
+  for (int i = 0; i < 400; ++i) {
+    std::string s = keywords[rand_index(keywords.size())];
+    switch (rng() % 5) {
+      case 0:
+        break;  // exact keyword
+      case 1:  // point mutation
+        if (!s.empty()) s[rand_index(s.size())] = static_cast<char>('a' + rng() % 26);
+        break;
+      case 2:  // truncation
+        s = s.substr(0, rand_index(s.size() + 1));
+        break;
+      case 3:  // concatenation (missing-space shape)
+        s += keywords[rand_index(keywords.size())];
+        break;
+      default:  // keyword with noise suffix
+        s += static_cast<char>('a' + rng() % 26);
+        break;
+    }
+    probes.push_back(std::move(s));
+  }
+
+  for (const std::string& p : probes) {
+    EXPECT_EQ(oracle.Contains(p), flat.Contains(p)) << p;
+
+    // Walk char-by-char, comparing cursor state at every step.
+    auto oc = oracle.Root();
+    auto fc = flat.Root();
+    for (char c : p) {
+      oc = oracle.Step(oc, c);
+      fc = flat.Step(fc, c);
+      ASSERT_EQ(oc.valid(), fc.valid()) << p;
+      if (!oc.valid()) break;
+      ASSERT_EQ(oracle.IsTerminal(oc), flat.IsTerminal(fc)) << p;
+      ASSERT_EQ(oracle.HasChildren(oc), flat.HasChildren(fc)) << p;
+      const auto& oh = oracle.Handles(oc);
+      const auto fh = flat.Handles(fc);
+      ASSERT_EQ(std::vector<std::int32_t>(oh.begin(), oh.end()),
+                std::vector<std::int32_t>(fh.begin(), fh.end()))
+          << p;
+    }
+
+    for (std::size_t from = 0; from < p.size(); from += 1 + rng() % 3) {
+      EXPECT_EQ(oracle.LongestMatchLength(p, from),
+                flat.LongestMatchLength(p, from))
+          << p << " @" << from;
+      EXPECT_EQ(oracle.AllMatchLengths(p, from), flat.AllMatchLengths(p, from))
+          << p << " @" << from;
+    }
+
+    // Completions under the probe's deepest valid prefix, random limit.
+    std::size_t depth = 0;
+    auto a = oracle.Root();
+    while (depth < p.size()) {
+      auto next = oracle.Step(a, p[depth]);
+      if (!next.valid()) break;
+      a = next;
+      ++depth;
+    }
+    const std::string prefix = p.substr(0, depth);
+    const std::size_t limit = 1 + rng() % 64;
+    EXPECT_EQ(
+        oracle.Completions(oracle.Walk(oracle.Root(), prefix), prefix, limit),
+        flat.Completions(flat.Walk(flat.Root(), prefix), prefix, limit))
+        << prefix;
+
+    // Segmenter and spell corrector must agree through either trie.
+    EXPECT_EQ(SegmentWord(oracle, p), SegmentWord(flat, p)) << p;
+  }
+
+  // Spell corrector differential on mutated keywords.
+  SpellCorrector oracle_corr(&oracle);
+  FlatSpellCorrector flat_corr(&flat);
+  for (int i = 0; i < 150; ++i) {
+    std::string w = keywords[rand_index(keywords.size())];
+    if (!w.empty()) w[rand_index(w.size())] = static_cast<char>('a' + rng() % 26);
+    auto a = oracle_corr.Correct(w);
+    auto b = flat_corr.Correct(w);
+    ASSERT_EQ(a.has_value(), b.has_value()) << w;
+    if (a.has_value()) {
+      EXPECT_EQ(a->keyword, b->keyword) << w;
+      EXPECT_EQ(a->percent, b->percent) << w;
+    }
+  }
+
+  // The flat compile should be materially smaller than the pointer tree.
+  EXPECT_LT(flat.MemoryBytes(), oracle.ApproxMemoryBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, FlatTrieDomainTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& spec : datagen::AllDomainSpecs()) {
+        names.push_back(spec.schema.domain());
+      }
+      return names;
+    }()));
+
+}  // namespace
+}  // namespace cqads::trie
