@@ -1,0 +1,189 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cqads {
+
+namespace {
+
+struct SiteState {
+  FailPoints::Config config;
+  std::uint64_t hits = 0;      ///< evaluations since armed
+  std::uint64_t triggers = 0;  ///< injections performed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// Reverse of StatusCodeToString for the spec parser; kOk when unknown.
+StatusCode ParseStatusCode(const std::string& name) {
+  static const std::vector<StatusCode> kCodes = {
+      StatusCode::kInvalidArgument,  StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,    StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+      StatusCode::kInternal,         StatusCode::kDeadlineExceeded,
+      StatusCode::kOverloaded,
+  };
+  for (StatusCode code : kCodes) {
+    if (EqualsIgnoreCase(name, StatusCodeToString(code))) return code;
+  }
+  return StatusCode::kOk;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& FailPoints::armed_count() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+void FailPoints::Arm(const std::string& name, Config config) {
+  if (config.every_n == 0) config.every_n = 1;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(name, SiteState{config, 0, 0});
+  (void)it;
+  if (inserted) armed_count().fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(name) > 0) {
+    armed_count().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  armed_count().fetch_sub(r.sites.size(), std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::uint64_t FailPoints::Hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(name);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+Status FailPoints::Evaluate(const char* site) {
+  std::chrono::microseconds delay{0};
+  Status injected = Status::OK();
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it == r.sites.end()) return Status::OK();
+    SiteState& state = it->second;
+    ++state.hits;
+    const Config& cfg = state.config;
+    if (state.hits <= cfg.skip) return Status::OK();
+    if ((state.hits - cfg.skip - 1) % cfg.every_n != 0) return Status::OK();
+    if (cfg.limit != 0 && state.triggers >= cfg.limit) return Status::OK();
+    ++state.triggers;
+    delay = cfg.delay;
+    if (cfg.error != StatusCode::kOk) {
+      // Build the Status via the matching factory semantics: code + a
+      // message naming the site so chaos-test failures are attributable.
+      const std::string msg = std::string("failpoint ") + site;
+      switch (cfg.error) {
+        case StatusCode::kInvalidArgument:
+          injected = Status::InvalidArgument(msg);
+          break;
+        case StatusCode::kNotFound:
+          injected = Status::NotFound(msg);
+          break;
+        case StatusCode::kAlreadyExists:
+          injected = Status::AlreadyExists(msg);
+          break;
+        case StatusCode::kOutOfRange:
+          injected = Status::OutOfRange(msg);
+          break;
+        case StatusCode::kFailedPrecondition:
+          injected = Status::FailedPrecondition(msg);
+          break;
+        case StatusCode::kUnimplemented:
+          injected = Status::Unimplemented(msg);
+          break;
+        case StatusCode::kDeadlineExceeded:
+          injected = Status::DeadlineExceeded(msg);
+          break;
+        case StatusCode::kOverloaded:
+          injected = Status::Overloaded(msg);
+          break;
+        case StatusCode::kInternal:
+        default:
+          injected = Status::Internal(msg);
+          break;
+      }
+    }
+  }
+  // Sleep outside the registry lock: an injected delay must stall only the
+  // thread that hit the site, never other sites (or Arm/Disarm).
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return injected;
+}
+
+void FailPoints::ArmFromSpec(const std::string& spec) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    const std::string name = entry.substr(0, eq);
+    Config config;
+
+    std::size_t kpos = eq + 1;
+    while (kpos < entry.size()) {
+      std::size_t comma = entry.find(',', kpos);
+      if (comma == std::string::npos) comma = entry.size();
+      const std::string kv = entry.substr(kpos, comma - kpos);
+      kpos = comma + 1;
+      const std::size_t colon = kv.find(':');
+      if (colon == std::string::npos) continue;
+      const std::string key = kv.substr(0, colon);
+      const std::string value = kv.substr(colon + 1);
+      char* end = nullptr;
+      const std::uint64_t num = std::strtoull(value.c_str(), &end, 10);
+      if (key == "delay_us") {
+        config.delay = std::chrono::microseconds(num);
+      } else if (key == "error") {
+        config.error = ParseStatusCode(value);
+      } else if (key == "skip") {
+        config.skip = num;
+      } else if (key == "every") {
+        config.every_n = num;
+      } else if (key == "limit") {
+        config.limit = num;
+      }
+      // Unknown keys are ignored by design.
+    }
+    Arm(name, config);
+  }
+}
+
+void FailPoints::ArmFromEnv() {
+  const char* spec = std::getenv("CQADS_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') ArmFromSpec(spec);
+}
+
+}  // namespace cqads

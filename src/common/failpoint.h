@@ -1,0 +1,108 @@
+// Named failpoints: a process-wide registry of fault-injection sites for
+// chaos testing. A site in library code is one macro invocation:
+//
+//   CQADS_RETURN_NOT_OK(CQADS_FAILPOINT("engine.compact"));   // Status site
+//   CQADS_FAILPOINT_HIT("worker_pool.task");                  // void site
+//
+// Disarmed (the production state) a site costs ONE relaxed atomic load of a
+// global armed-site counter — no string is built, no map is touched, no
+// clock is read. Tests (or the environment, see ArmFromEnv) arm a site by
+// name with a Config describing what to inject:
+//
+//   delay      sleep this long on every triggering hit (widens race windows
+//              so TSan can see ingest/compaction/snapshot-swap interleavings
+//              that are otherwise nanoseconds wide)
+//   error      return this StatusCode from Status sites (kOk = no error;
+//              void sites apply the delay and drop the error)
+//   skip       let the first `skip` hits pass untouched (activate "later")
+//   every_n    then trigger only every Nth eligible hit (1 = every hit)
+//   limit      deactivate after this many triggers (1 = one-shot)
+//
+// Sites are evaluated under a registry mutex (cheap: only armed processes
+// ever reach it; the sleep itself happens outside the lock). Hit counters
+// keep counting while a site is armed so tests can assert coverage.
+//
+// Thread-safety: all static methods are safe from any thread. Arm/Disarm
+// while other threads evaluate is the designed use (chaos tests race them).
+#ifndef CQADS_COMMON_FAILPOINT_H_
+#define CQADS_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cqads {
+
+class FailPoints {
+ public:
+  struct Config {
+    /// Injected latency per triggering hit.
+    std::chrono::microseconds delay{0};
+    /// Injected failure for Status sites; kOk injects nothing.
+    StatusCode error = StatusCode::kOk;
+    /// Hits to let through untouched before the site becomes eligible.
+    std::uint64_t skip = 0;
+    /// Of the eligible hits, trigger every Nth (1 = all). 0 behaves as 1.
+    std::uint64_t every_n = 1;
+    /// Triggers after which the site deactivates (stays armed for hit
+    /// counting, stops injecting). 1 = one-shot. 0 = unlimited.
+    std::uint64_t limit = 0;
+  };
+
+  /// Arms (or re-arms, resetting counters) the named site.
+  static void Arm(const std::string& name, Config config);
+
+  /// Disarms one site / every site. Safe when not armed.
+  static void Disarm(const std::string& name);
+  static void DisarmAll();
+
+  /// Total evaluations of the site since it was (re-)armed, triggering or
+  /// not. 0 when the site is not armed.
+  static std::uint64_t Hits(const std::string& name);
+
+  /// True when any site is armed — the macro's fast-path gate.
+  static bool AnyArmed() {
+    return armed_count().load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path behind the macros: applies the armed config for `site`, if
+  /// any. Returns the injected error (Status sites propagate it) or OK.
+  static Status Evaluate(const char* site);
+
+  /// Arms sites from a spec string, the shape the env hook uses:
+  ///   "site=key:value,key:value;site2=..."
+  /// keys: delay_us, error (a StatusCodeToString name, case-insensitive),
+  /// skip, every, limit. Unknown keys/malformed entries are ignored (chaos
+  /// arming must never break the process under test). Example:
+  ///   CQADS_FAILPOINTS="pipeline.execute=delay_us:500,every:3;engine.compact=error:INTERNAL,limit:1"
+  static void ArmFromSpec(const std::string& spec);
+
+  /// ArmFromSpec(getenv("CQADS_FAILPOINTS")); call once at startup if the
+  /// binary opts into env-armed chaos. No-op when unset.
+  static void ArmFromEnv();
+
+ private:
+  static std::atomic<std::uint64_t>& armed_count();
+};
+
+}  // namespace cqads
+
+/// Status-site failpoint: evaluates to the injected Status (or OK).
+/// Zero-cost when nothing is armed.
+#define CQADS_FAILPOINT(site)                         \
+  (::cqads::FailPoints::AnyArmed()                    \
+       ? ::cqads::FailPoints::Evaluate(site)          \
+       : ::cqads::Status::OK())
+
+/// Void-site failpoint: applies delay, drops any injected error.
+#define CQADS_FAILPOINT_HIT(site)                                        \
+  do {                                                                   \
+    if (::cqads::FailPoints::AnyArmed()) {                               \
+      (void)::cqads::FailPoints::Evaluate(site);                         \
+    }                                                                    \
+  } while (false)
+
+#endif  // CQADS_COMMON_FAILPOINT_H_

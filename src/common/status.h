@@ -21,6 +21,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// The request's deadline passed before an answer was produced; partial
+  /// work was abandoned cooperatively (common/deadline.h).
+  kDeadlineExceeded,
+  /// Admission control shed the request: the serving queue was saturated
+  /// and executing it would only have made every queued request late.
+  kOverloaded,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -56,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -115,6 +115,14 @@ struct AskResult {
   std::string sql;
   std::string interpretation;
   bool contradiction = false;  ///< "search retrieved no results"
+  /// True when the request's deadline forced graceful degradation: the
+  /// exact answers are complete and correct, but partial (N-1) retrieval
+  /// stopped at the best-so-far pass (or was skipped) instead of running
+  /// all relaxations. Never set without a deadline, so deadline-free
+  /// serving stays byte-identical to the pre-deadline engine. Deliberately
+  /// NOT part of CanonicalAskResultString: it describes how much work ran,
+  /// not which rows match.
+  bool degraded = false;
   std::vector<Answer> answers;
   std::size_t exact_count = 0;
   db::ExecStats stats;

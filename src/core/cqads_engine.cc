@@ -1,8 +1,13 @@
 #include "core/cqads_engine.h"
 
+#include "common/failpoint.h"
+
 namespace cqads::core {
 
 void CqadsEngine::SwapSnapshotLocked() {
+  // Chaos hook: delay between building the new snapshot's state and
+  // publishing it — the widest window for readers racing a swap.
+  CQADS_FAILPOINT_HIT("engine.snapshot_swap");
   std::atomic_store(&snapshot_, builder_.Build());
 }
 
@@ -17,6 +22,7 @@ Status CqadsEngine::AddDomain(const db::Table* table,
 Result<db::RowId> CqadsEngine::IngestAd(const std::string& domain,
                                         db::Record record) {
   std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(CQADS_FAILPOINT("engine.ingest"));
   auto row = builder_.IngestAd(domain, std::move(record));
   if (!row.ok()) return row.status();
   SwapSnapshotLocked();
@@ -25,6 +31,7 @@ Result<db::RowId> CqadsEngine::IngestAd(const std::string& domain,
 
 Status CqadsEngine::RetireAd(const std::string& domain, db::RowId row) {
   std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(CQADS_FAILPOINT("engine.retire"));
   CQADS_RETURN_NOT_OK(builder_.RetireAd(domain, row));
   SwapSnapshotLocked();
   return Status::OK();
@@ -36,6 +43,7 @@ Status CqadsEngine::CompactDomain(const std::string& domain) {
   // READERS never block: they run on the snapshot they pinned, and the new
   // generation becomes visible only at the final atomic swap.
   std::lock_guard<std::mutex> lock(mu_);
+  CQADS_RETURN_NOT_OK(CQADS_FAILPOINT("engine.compact"));
   CQADS_RETURN_NOT_OK(builder_.CompactDomain(domain));
   SwapSnapshotLocked();
   return Status::OK();

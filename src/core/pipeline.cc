@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/failpoint.h"
 #include "db/exec/delta_exec.h"
 #include "db/sql_writer.h"
 #include "text/tokenizer.h"
@@ -64,11 +65,13 @@ Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
                                  const db::Query& query,
                                  const db::exec::PartitionedPlan* part_plan,
                                  const db::exec::PhysicalPlan* plan,
-                                 std::string* explain_out) {
+                                 std::string* explain_out,
+                                 const ExecControl* control) {
   const EngineOptions& options = s.options();
   db::exec::BaseRowSource src;
   src.runner = options.exec_runner;
   src.parallelism = options.exec_parallelism;
+  src.control = control;
   // Morsel-sizing rule: tiny stores execute their shards inline — the
   // enqueue + completion-latch cost of fanning out exceeds the scan.
   if (rt.table->num_rows() < db::exec::kMinRowsForParallelExec) {
@@ -106,7 +109,7 @@ Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
     return db::exec::ExecuteHybrid(*rt.table, *delta, query, src);
   }
   if (src.part_plan != nullptr) {
-    return src.part_plan->Execute(src.runner, src.parallelism);
+    return src.part_plan->Execute(src.runner, src.parallelism, control);
   }
   if (src.plan != nullptr) return src.plan->Execute();
   return db::ExecuteQuery(*rt.table, query);
@@ -133,6 +136,26 @@ Status QueryPipeline::Run(const EngineSnapshot& snapshot,
                           QueryContext* ctx) const {
   using Clock = std::chrono::steady_clock;
   for (const auto& stage : stages_) {
+    // Chaos hook: tests arm "pipeline.<stage>" to inject latency (widening
+    // the window a deadline can expire in) or an error. One relaxed load
+    // when nothing is armed; the site string is only built when armed.
+    if (FailPoints::AnyArmed()) {
+      Status fp = FailPoints::Evaluate(
+          (std::string("pipeline.") + stage->name()).c_str());
+      if (!fp.ok()) return fp;
+    }
+    // Deadline check at the stage boundary. An expired budget fails the
+    // request — unless the remaining work only improves an already-complete
+    // answer (RankStage), in which case the answer ships as degraded.
+    if (ctx->deadline.expired()) {
+      ctx->cancel.Cancel();
+      if (stage->degradable()) {
+        ctx->result.degraded = true;
+        continue;
+      }
+      return Status::DeadlineExceeded(std::string("budget exhausted before ") +
+                                      stage->name() + " stage");
+    }
     const auto start = Clock::now();
     Status st = stage->Run(snapshot, ctx);
     const auto elapsed =
@@ -305,10 +328,14 @@ Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   // seed Type-rank executor otherwise; both union a live ingest delta when
   // one rides on the table. RunQuery recompiles defensively for
   // externally-built ParsedQuestions injected through the prepared cache's
-  // public Put() without plans.
+  // public Put() without plans. The request's cancellation context rides
+  // along so partition morsels and delta scans stop mid-flight when the
+  // deadline passes.
+  const ExecControl control = ctx->control();
   Result<db::QueryResult> exec =
       RunQuery(s, rt, parsed.query, parsed.part_plan.get(), parsed.plan.get(),
-               s.options().explain_plans ? &ctx->result.explain : nullptr);
+               s.options().explain_plans ? &ctx->result.explain : nullptr,
+               &control);
   if (!exec.ok()) return exec.status();
   ctx->result.stats = exec.value().stats;
   const double exact_score =
@@ -376,12 +403,22 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
     return !std::binary_search(retired.begin(), retired.end(), row);
   };
 
+  // Graceful degradation: each N-1 relaxation pass (and each chunk of the
+  // single-condition sweep) re-checks the deadline. On expiry the stage
+  // keeps whatever passes completed — the best-so-far partials still rank
+  // and ship below — and marks the result degraded instead of failing a
+  // request whose exact answers are already correct.
+  const ExecControl control = ctx->control();
   std::vector<Answer> partials;
   if (units.size() >= 2) {
     // N-1: drop each unit in turn and evaluate the remaining conditions —
     // through the relaxation plans PlanStage precompiled (and the cache
     // memoized) when available; RunQuery unions the delta when one is live.
     for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
+      if (control.Expired()) {
+        out.degraded = true;
+        break;
+      }
       const db::exec::PartitionedPlan* part_plan =
           dropped < parsed.relaxed_part_plans.size()
               ? parsed.relaxed_part_plans[dropped].get()
@@ -391,8 +428,14 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
               ? parsed.relaxed_plans[dropped].get()
               : nullptr;
       auto rel = RunQuery(s, rt, MakeRelaxedQuery(parsed, dropped, total_rows),
-                          part_plan, plan, nullptr);
-      if (!rel.ok()) continue;
+                          part_plan, plan, nullptr, &control);
+      if (!rel.ok()) {
+        if (rel.status().code() == StatusCode::kDeadlineExceeded) {
+          out.degraded = true;
+          break;
+        }
+        continue;
+      }
       out.stats += rel.value().stats;
       for (db::RowId row : rel.value().rows) {
         if (already[row]) continue;
@@ -404,7 +447,12 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   } else {
     // Single-condition questions: similarity-match every record against the
     // lone condition (§4.3.1 last paragraph).
+    constexpr db::RowId kCancelCheckRows = 512;
     for (db::RowId row = 0; row < total_rows; ++row) {
+      if (row % kCancelCheckRows == 0 && control.Expired()) {
+        out.degraded = true;
+        break;
+      }
       if (already[row] || !is_live(row)) continue;
       PartialScore score = score_row(row, 0);
       if (score.unit_sim <= 0.0) continue;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/ask_types.h"
@@ -62,6 +63,21 @@ struct QueryContext {
   /// 1c contradiction: "search retrieved no results").
   bool done = false;
 
+  /// The request's budget. Default-infinite: the no-deadline path never
+  /// reads the clock and behaves byte-identically to the pre-deadline
+  /// engine. The pipeline checks it at stage boundaries; the execution
+  /// layers at morsel/chunk boundaries through control().
+  Deadline deadline;
+
+  /// Request-scoped cancellation flag shared by every thread cooperating
+  /// on this request (partition morsel helpers). Raised by the first
+  /// deadline observer; never reset.
+  CancelToken cancel;
+
+  /// The (deadline, token) pair the execution layers thread through
+  /// db/exec. Valid while this context is alive.
+  ExecControl control() { return ExecControl{deadline, &cancel}; }
+
   /// Per-request deterministic RNG (seeded from the question text), so any
   /// stochastic stage draws from request-local state instead of a shared
   /// generator — a shared Rng would race under the concurrent server.
@@ -82,6 +98,11 @@ class PipelineStage {
   /// May read anything from the snapshot, mutates only the context.
   virtual Status Run(const EngineSnapshot& snapshot,
                      QueryContext* ctx) const = 0;
+  /// True when the stage only IMPROVES an answer that is already complete
+  /// and correct without it (RankStage's partial retrieval). When the
+  /// deadline expires before such a stage, the pipeline skips it and marks
+  /// the result degraded instead of failing the whole request.
+  virtual bool degradable() const { return false; }
 };
 
 /// An ordered stage sequence. Run() executes stages in order, records a
@@ -168,10 +189,14 @@ class ExecuteStage : public PipelineStage {
 };
 
 /// §4.3.1-4.3.2: N-1 partial retrieval ranked by Rank_Sim, capped at 30.
+/// Degradable: under deadline pressure it stops after the best-so-far
+/// relaxation pass (the partials collected so far are still sorted and
+/// appended) and marks the result degraded rather than returning nothing.
 class RankStage : public PipelineStage {
  public:
   const char* name() const override { return "rank"; }
   Status Run(const EngineSnapshot& s, QueryContext* ctx) const override;
+  bool degradable() const override { return true; }
 };
 
 }  // namespace cqads::core

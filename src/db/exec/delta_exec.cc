@@ -23,8 +23,8 @@ Result<QueryResult> ExecuteHybrid(const Table& base, const DeltaStore& delta,
   //    (plain ascending RowIds).
   RowSet rows;
   if (source.part_plan != nullptr) {
-    auto r = source.part_plan->ExecuteRowSet(source.runner,
-                                             source.parallelism, &result.stats);
+    auto r = source.part_plan->ExecuteRowSet(
+        source.runner, source.parallelism, &result.stats, source.control);
     if (!r.ok()) return r.status();
     rows = std::move(r).value();
   } else if (source.plan != nullptr) {
@@ -48,10 +48,16 @@ Result<QueryResult> ExecuteHybrid(const Table& base, const DeltaStore& delta,
     rows = DifferenceSets(rows, delta.retired_base(), base_rows);
   }
 
-  // 3. Scan the live delta rows with the seed row-at-a-time semantics.
+  // 3. Scan the live delta rows with the seed row-at-a-time semantics. The
+  //    deadline is re-checked every chunk so an expired request abandons a
+  //    large delta within a few hundred row probes.
+  constexpr std::size_t kCancelCheckRows = 256;
   const Schema& schema = base.schema();
   std::size_t scanned = 0;
   for (std::size_t i = 0; i < delta.num_rows(); ++i) {
+    if (i % kCancelCheckRows == 0 && ExecControl::Expired(source.control)) {
+      return Status::DeadlineExceeded("delta scan cancelled");
+    }
     if (delta.delta_retired(i)) continue;
     ++scanned;
     if (query.where == nullptr ||

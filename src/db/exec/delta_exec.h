@@ -36,6 +36,9 @@ struct BaseRowSource {
   const PhysicalPlan* plan = nullptr;
   TaskRunner* runner = nullptr;
   std::size_t parallelism = 1;
+  /// Cooperative cancellation (common/deadline.h): checked per partition
+  /// morsel and per delta-scan chunk. Null = run to completion.
+  const ExecControl* control = nullptr;
 };
 
 /// Cell of a global row id: a base-table cell or a delta record's value.

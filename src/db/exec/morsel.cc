@@ -13,8 +13,9 @@ namespace {
 /// stack frame only in the sense that a queued-but-unstarted helper task
 /// can run after the caller returned — hence shared_ptr ownership.
 struct MorselBatch {
-  MorselBatch(std::size_t n, std::function<void(std::size_t)> b)
-      : count(n), body(std::move(b)) {}
+  MorselBatch(std::size_t n, std::function<void(std::size_t)> b,
+              const ExecControl* c)
+      : count(n), body(std::move(b)), control(c) {}
 
   const std::size_t count;
   /// Owned by the batch (not referenced from the caller's frame) so a
@@ -22,17 +23,29 @@ struct MorselBatch {
   /// valid state; it finds the dispenser exhausted and exits without ever
   /// invoking it.
   const std::function<void(std::size_t)> body;
-  std::atomic<std::size_t> next{0};  ///< the work dispenser
-  std::atomic<std::size_t> done{0};  ///< morsels fully executed
+  /// Cancellation context; the POINTEE lives on the caller's frame, which
+  /// is safe: after cancellation every claimed index is still counted
+  /// `done`, so the caller's completion wait covers every dereference.
+  const ExecControl* const control;
+  std::atomic<std::size_t> next{0};     ///< the work dispenser
+  std::atomic<std::size_t> done{0};     ///< morsels claimed and retired
+  std::atomic<bool> cancelled{false};   ///< some morsel was skipped
   std::mutex mu;
   std::condition_variable all_done;
 
-  /// Steals morsels until the dispenser is exhausted.
+  /// Steals morsels until the dispenser is exhausted. Once the control
+  /// reports expiry, remaining claims retire WITHOUT running the body —
+  /// that is the bounded-time worker-release guarantee: at most one
+  /// in-flight morsel per participant runs to completion after expiry.
   void Drain() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
-      body(i);
+      if (control != nullptr && control->Expired()) {
+        cancelled.store(true, std::memory_order_relaxed);
+      } else {
+        body(i);
+      }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
         std::lock_guard<std::mutex> lock(mu);
         all_done.notify_all();
@@ -43,15 +56,19 @@ struct MorselBatch {
 
 }  // namespace
 
-void RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
-                const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
+bool RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
+                const std::function<void(std::size_t)>& body,
+                const ExecControl* control) {
+  if (count == 0) return true;
   if (runner == nullptr || parallelism <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (ExecControl::Expired(control)) return false;
+      body(i);
+    }
+    return true;
   }
 
-  auto batch = std::make_shared<MorselBatch>(count, body);
+  auto batch = std::make_shared<MorselBatch>(count, body, control);
   const std::size_t helpers = std::min(parallelism - 1, count - 1);
   for (std::size_t h = 0; h < helpers; ++h) {
     runner->Submit([batch] { batch->Drain(); });
@@ -64,6 +81,7 @@ void RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
   batch->all_done.wait(lock, [&] {
     return batch->done.load(std::memory_order_acquire) == batch->count;
   });
+  return !batch->cancelled.load(std::memory_order_relaxed);
 }
 
 }  // namespace cqads::db::exec

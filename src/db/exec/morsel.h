@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/deadline.h"
+
 namespace cqads::db::exec {
 
 /// Anything that can run a task on some other thread, eventually. Submit
@@ -34,8 +36,19 @@ class TaskRunner {
 ///
 /// With runner == nullptr or parallelism <= 1 the caller runs everything
 /// inline — the serial path, no atomics contended, no tasks submitted.
-void RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
-                const std::function<void(std::size_t)>& body);
+///
+/// Cooperative cancellation: when `control` is non-null, every participant
+/// re-checks it before claiming the next morsel (the shared CancelToken
+/// makes that one relaxed load once any thread saw the deadline pass).
+/// After cancellation UNSTARTED morsels are skipped — their indices are
+/// never passed to `body` — while already-claimed morsels finish, so the
+/// call still returns only when no body invocation is in flight. Returns
+/// false iff the batch was cut short this way; the caller decides what a
+/// partial batch means (the partitioned executor maps it to
+/// kDeadlineExceeded and discards the partial row sets).
+bool RunMorsels(std::size_t count, std::size_t parallelism, TaskRunner* runner,
+                const std::function<void(std::size_t)>& body,
+                const ExecControl* control = nullptr);
 
 }  // namespace cqads::db::exec
 

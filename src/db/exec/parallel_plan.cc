@@ -18,14 +18,21 @@ PartitionedPlan::PartitionedPlan(PartitionedTablePtr partitions,
 
 Result<RowSet> PartitionedPlan::ExecuteRowSet(TaskRunner* runner,
                                               std::size_t parallelism,
-                                              ExecStats* stats) const {
+                                              ExecStats* stats,
+                                              const ExecControl* control)
+    const {
   const std::size_t n = shards_.size();
 
   // Serial fast path: no morsel state, no per-shard slots — shards append
   // straight into the result (still globally sorted: shards tile in order).
+  // The deadline is re-checked per shard, the same cancellation grain as
+  // the morsel path below.
   if (runner == nullptr || parallelism <= 1 || n <= 1) {
     RowSet rows;
     for (std::size_t p = 0; p < n; ++p) {
+      if (ExecControl::Expired(control)) {
+        return Status::DeadlineExceeded("partitioned scan cancelled");
+      }
       auto local = shards_[p]->ExecuteRowSet(stats);
       if (!local.ok()) return local.status();
       const RowId base = partitions_->base_of(p);
@@ -40,17 +47,23 @@ Result<RowSet> PartitionedPlan::ExecuteRowSet(TaskRunner* runner,
   std::vector<ExecStats> slot_stats(n);
   std::vector<Status> slot_status(n, Status::OK());
 
-  RunMorsels(n, parallelism, runner, [&](std::size_t p) {
-    auto local = shards_[p]->ExecuteRowSet(&slot_stats[p]);
-    if (!local.ok()) {
-      slot_status[p] = local.status();
-      return;
-    }
-    const RowId base = partitions_->base_of(p);
-    RowSet& out = slots[p];
-    out = std::move(local).value();
-    for (RowId& r : out) r += base;
-  });
+  const bool complete =
+      RunMorsels(n, parallelism, runner, [&](std::size_t p) {
+        auto local = shards_[p]->ExecuteRowSet(&slot_stats[p]);
+        if (!local.ok()) {
+          slot_status[p] = local.status();
+          return;
+        }
+        const RowId base = partitions_->base_of(p);
+        RowSet& out = slots[p];
+        out = std::move(local).value();
+        for (RowId& r : out) r += base;
+      }, control);
+  if (!complete) {
+    // Partial shard coverage is not an answer; the deadline outcome
+    // replaces it (the caller never sees a silently truncated row set).
+    return Status::DeadlineExceeded("partitioned scan cancelled");
+  }
 
   RowSet rows;
   std::size_t total = 0;
@@ -67,9 +80,10 @@ Result<RowSet> PartitionedPlan::ExecuteRowSet(TaskRunner* runner,
 }
 
 Result<QueryResult> PartitionedPlan::Execute(TaskRunner* runner,
-                                             std::size_t parallelism) const {
+                                             std::size_t parallelism,
+                                             const ExecControl* control) const {
   QueryResult result;
-  auto row_result = ExecuteRowSet(runner, parallelism, &result.stats);
+  auto row_result = ExecuteRowSet(runner, parallelism, &result.stats, control);
   if (!row_result.ok()) return row_result.status();
   RowSet rows = std::move(row_result).value();
   // §4.3 step 4 runs once, globally, over the BASE table's cells — never

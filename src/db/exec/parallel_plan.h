@@ -52,15 +52,19 @@ class PartitionedPlan {
 
   /// Raw global row set (sorted, duplicate-free, uncapped): morsels across
   /// the partitions on `runner`, caller participating. Per-shard ExecStats
-  /// are summed into *stats.
+  /// are summed into *stats. When `control` carries an expired (or
+  /// expiring) deadline, unstarted shard morsels are skipped and the call
+  /// returns kDeadlineExceeded — the request releases its workers within
+  /// one shard's scan instead of finishing a doomed sweep.
   Result<RowSet> ExecuteRowSet(TaskRunner* runner, std::size_t parallelism,
-                               ExecStats* stats) const;
+                               ExecStats* stats,
+                               const ExecControl* control = nullptr) const;
 
   /// Full execution: ExecuteRowSet, then the global superlative sort (base-
   /// table cells, stable ties by RowId) and the answer cap — byte-identical
   /// to the monolithic plan's Execute.
-  Result<QueryResult> Execute(TaskRunner* runner,
-                              std::size_t parallelism) const;
+  Result<QueryResult> Execute(TaskRunner* runner, std::size_t parallelism,
+                              const ExecControl* control = nullptr) const;
 
   const PartitionedTable& partitions() const { return *partitions_; }
   std::size_t num_shards() const { return shards_.size(); }

@@ -1,6 +1,7 @@
 #include "serve/concurrent_server.h"
 
 #include <chrono>
+#include <utility>
 
 #include "core/pipeline.h"
 
@@ -13,18 +14,115 @@ ConcurrentServer::ConcurrentServer(const core::CqadsEngine* engine,
       cache_(std::make_unique<PreparedQueryCache>(options.cache)),
       pool_(std::make_unique<WorkerPool>(options.num_workers)) {}
 
+ConcurrentServer::~ConcurrentServer() = default;
+
+Deadline ConcurrentServer::EffectiveDeadline(Deadline deadline) const {
+  if (!deadline.is_infinite() || options_.default_budget.count() <= 0) {
+    return deadline;
+  }
+  return Deadline::After(options_.default_budget);
+}
+
+bool ConcurrentServer::Admit() const {
+  // Optimistic increment with rollback: two relaxed RMWs on the shed path,
+  // one on the admit path. A transiently stale depth can shed one request
+  // a slot early or admit one late — admission is a load-shedding valve,
+  // not an exact semaphore.
+  const std::size_t depth =
+      queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_queue > 0 && depth > options_.max_queue) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ConcurrentServer::DequeueStarted(
+    Deadline::Clock::time_point enqueued) const {
+  const auto age_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Deadline::Clock::now() - enqueued)
+          .count());
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  dequeued_.fetch_add(1, std::memory_order_relaxed);
+  total_queue_age_us_.fetch_add(age_us, std::memory_order_relaxed);
+  std::uint64_t seen = max_queue_age_us_.load(std::memory_order_relaxed);
+  while (age_us > seen && !max_queue_age_us_.compare_exchange_weak(
+                              seen, age_us, std::memory_order_relaxed)) {
+  }
+}
+
+void ConcurrentServer::RecordOutcome(
+    const Result<core::AskResult>& result) const {
+  if (result.ok()) {
+    if (result.value().degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      answered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  switch (result.status().code()) {
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kOverloaded:
+      // Counted at the admission site; nothing to do here.
+      break;
+    default:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+ConcurrentServer::Stats ConcurrentServer::stats() const {
+  Stats s;
+  s.answered = answered_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.max_queue_age_micros =
+      static_cast<double>(max_queue_age_us_.load(std::memory_order_relaxed));
+  s.total_queue_age_micros =
+      static_cast<double>(total_queue_age_us_.load(std::memory_order_relaxed));
+  s.dequeued = dequeued_.load(std::memory_order_relaxed);
+  return s;
+}
+
 Result<core::AskResult> ConcurrentServer::Ask(
     const std::string& question) const {
-  return AskImpl("", question);
+  return Ask(question, Deadline::Infinite());
+}
+
+Result<core::AskResult> ConcurrentServer::Ask(const std::string& question,
+                                              Deadline deadline) const {
+  auto result = AskImpl("", question, EffectiveDeadline(deadline));
+  RecordOutcome(result);
+  return result;
 }
 
 Result<core::AskResult> ConcurrentServer::AskInDomain(
     const std::string& domain, const std::string& question) const {
-  return AskImpl(domain, question);
+  return AskInDomain(domain, question, Deadline::Infinite());
+}
+
+Result<core::AskResult> ConcurrentServer::AskInDomain(
+    const std::string& domain, const std::string& question,
+    Deadline deadline) const {
+  auto result = AskImpl(domain, question, EffectiveDeadline(deadline));
+  RecordOutcome(result);
+  return result;
 }
 
 Result<core::AskResult> ConcurrentServer::AskImpl(
-    const std::string& domain_hint, const std::string& question) const {
+    const std::string& domain_hint, const std::string& question,
+    Deadline deadline) const {
+  if (question.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
   // Pin the snapshot for the whole request: concurrent AddDomain/retrain
   // swaps don't affect us, and our cache entries are keyed on its version.
   core::EngineSnapshot::Ptr snap = engine_->snapshot();
@@ -35,6 +133,9 @@ Result<core::AskResult> ConcurrentServer::AskImpl(
   std::string domain = domain_hint;
   double classify_micros = 0.0;
   if (domain.empty()) {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("budget exhausted before classify");
+    }
     const auto start = std::chrono::steady_clock::now();
     auto classified = snap->ClassifyDomain(question);
     classify_micros = std::chrono::duration<double, std::micro>(
@@ -45,6 +146,7 @@ Result<core::AskResult> ConcurrentServer::AskImpl(
   }
 
   core::QueryContext ctx(question, domain);
+  ctx.deadline = deadline;
   std::string normalized;
   if (options_.enable_cache) {
     normalized = PreparedQueryCache::NormalizeQuestion(question);
@@ -60,6 +162,8 @@ Result<core::AskResult> ConcurrentServer::AskImpl(
     ctx.result.timings.front().micros += classify_micros;
   }
 
+  // A degraded parse is still a complete parse — cache it. (Degradation
+  // only ever truncates rank-stage work, which is never memoized.)
   if (options_.enable_cache && !ctx.parsed_from_cache()) {
     cache_->Put(domain, normalized, snap->version(),
                 std::make_shared<const core::ParsedQuestion>(
@@ -70,15 +174,63 @@ Result<core::AskResult> ConcurrentServer::AskImpl(
 
 std::vector<Result<core::AskResult>> ConcurrentServer::AskBatch(
     const std::vector<std::string>& questions) const {
+  return AskBatch(questions, {});
+}
+
+std::vector<Result<core::AskResult>> ConcurrentServer::AskBatch(
+    const std::vector<std::string>& questions,
+    const std::vector<Deadline>& deadlines) const {
   std::vector<Result<core::AskResult>> results(
       questions.size(), Status::Internal("not executed"));
   for (std::size_t i = 0; i < questions.size(); ++i) {
-    pool_->Submit([this, &results, &questions, i] {
-      results[i] = Ask(questions[i]);
+    const Deadline deadline = EffectiveDeadline(
+        i < deadlines.size() ? deadlines[i] : Deadline::Infinite());
+    if (!Admit()) {
+      results[i] = Status::Overloaded("serving queue saturated");
+      continue;
+    }
+    const auto enqueued = Deadline::Clock::now();
+    pool_->Submit([this, &results, &questions, i, deadline, enqueued] {
+      DequeueStarted(enqueued);
+      // A request that expired while queued never executes: dropping it
+      // here costs one clock read instead of a full doomed pipeline run.
+      if (deadline.expired()) {
+        results[i] =
+            Status::DeadlineExceeded("request expired in serving queue");
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      results[i] = AskImpl("", questions[i], deadline);
+      RecordOutcome(results[i]);
     });
   }
   pool_->Wait();
   return results;
+}
+
+void ConcurrentServer::AskAsync(
+    std::string question, Deadline deadline,
+    std::function<void(Result<core::AskResult>)> done) const {
+  deadline = EffectiveDeadline(deadline);
+  if (!Admit()) {
+    done(Status::Overloaded("serving queue saturated"));
+    return;
+  }
+  const auto enqueued = Deadline::Clock::now();
+  pool_->Submit([this, question = std::move(question), deadline, enqueued,
+                 done = std::move(done)] {
+    DequeueStarted(enqueued);
+    if (deadline.expired()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      done(Status::DeadlineExceeded("request expired in serving queue"));
+      return;
+    }
+    auto result = AskImpl("", question, deadline);
+    RecordOutcome(result);
+    done(std::move(result));
+  });
 }
 
 }  // namespace cqads::serve

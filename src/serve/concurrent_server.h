@@ -2,12 +2,17 @@
 // worker pool and a sharded prepared-query cache and serves questions
 // against whatever EngineSnapshot the engine currently publishes:
 //
-//   request --> snapshot = engine->snapshot()          (lock-free hot path)
+//   request --> admission (bounded queue; saturated => shed kOverloaded)
+//           --> snapshot = engine->snapshot()          (lock-free hot path)
+//           --> expired-in-queue check at dequeue      (kDeadlineExceeded,
+//               the doomed request never touches a snapshot)
 //           --> classify (or use caller's domain)
 //           --> prepared-query cache probe (domain, normalized question)
 //                 hit:  skip tag/conditions/assembly/SQL, go to execution
 //                 miss: run the parse stages, then memoize
-//           --> execute + Rank_Sim rank on the snapshot
+//           --> execute + Rank_Sim rank on the snapshot, cooperatively
+//               cancelled at stage/morsel boundaries when the deadline
+//               passes (common/deadline.h)
 //
 // AskBatch fans a batch out across the pool; results keep the input order
 // and are byte-identical (CanonicalAskResultString) to what sequential
@@ -15,13 +20,30 @@
 // mutable state. Snapshot swaps (AddDomain / retrain) during a batch are
 // safe: each request pins the snapshot it started with, and cache entries
 // are keyed on the snapshot version.
+//
+// Deadlines and overload: every request carries a Deadline (explicit, or
+// Options::default_budget, or infinite). With no deadline and no queue
+// bound — the defaults — behavior is byte-identical to the pre-deadline
+// server: no clock reads, no admission state transitions, the parity
+// benches pin it. Under pressure every request ends in exactly one of four
+// outcomes, counted in stats():
+//   answered           ok, full work
+//   degraded           ok, exact answers complete but partial (N-1)
+//                      retrieval cut short (AskResult::degraded)
+//   deadline exceeded  kDeadlineExceeded — expired in queue or mid-pipeline
+//   shed               kOverloaded — never admitted, O(1) rejection
 #ifndef CQADS_SERVE_CONCURRENT_SERVER_H_
 #define CQADS_SERVE_CONCURRENT_SERVER_H_
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/cqads_engine.h"
 #include "serve/prepared_cache.h"
@@ -35,6 +57,33 @@ class ConcurrentServer {
     std::size_t num_workers = 4;
     bool enable_cache = true;
     PreparedQueryCache::Options cache;
+    /// Budget applied to requests that do not carry an explicit deadline.
+    /// zero = unlimited (the pre-deadline behavior, and the default).
+    std::chrono::microseconds default_budget{0};
+    /// Admission control: maximum requests queued-or-executing at once.
+    /// A request arriving with the queue full is shed immediately with
+    /// kOverloaded — O(1), no snapshot touched, no worker burned — so
+    /// overload degrades by shedding instead of collapsing into unbounded
+    /// queue growth where every admitted request is late. 0 = unbounded
+    /// (the default; synchronous Ask/AskInDomain are never queued and
+    /// never shed).
+    std::size_t max_queue = 0;
+  };
+
+  /// Outcome and queue-health counters since construction. Monotonic;
+  /// cheap relaxed atomics, so concurrent snapshots may be slightly torn
+  /// (fine for monitoring and benches).
+  struct Stats {
+    std::uint64_t answered = 0;           ///< ok, full work
+    std::uint64_t degraded = 0;           ///< ok, partials cut short
+    std::uint64_t deadline_exceeded = 0;  ///< in-queue or mid-pipeline
+    std::uint64_t shed = 0;               ///< rejected at admission
+    std::uint64_t expired_in_queue = 0;   ///< subset of deadline_exceeded
+                                          ///< dropped at dequeue, unexecuted
+    std::uint64_t errors = 0;             ///< any other non-OK status
+    double max_queue_age_micros = 0.0;    ///< worst admission->dequeue wait
+    double total_queue_age_micros = 0.0;  ///< sum over dequeued requests
+    std::uint64_t dequeued = 0;           ///< divisor for the mean age
   };
 
   /// The engine must outlive the server. The server never mutates it;
@@ -44,25 +93,69 @@ class ConcurrentServer {
       : ConcurrentServer(engine, Options()) {}
   ConcurrentServer(const core::CqadsEngine* engine, Options options);
 
+  /// Destruction drains the pool: queued async requests still complete
+  /// (their callbacks fire) before the workers join — deterministic
+  /// teardown under load (see WorkerPool::~WorkerPool).
+  ~ConcurrentServer();
+
   /// Classifies, then answers. Thread-safe; uses the prepared-query cache.
+  /// Synchronous calls run on the caller's thread (no queue, no shedding);
+  /// the deadline still bounds pipeline/execution work.
   Result<core::AskResult> Ask(const std::string& question) const;
+  Result<core::AskResult> Ask(const std::string& question,
+                              Deadline deadline) const;
 
   /// Answers within a known domain (skips classification).
   Result<core::AskResult> AskInDomain(const std::string& domain,
                                       const std::string& question) const;
+  Result<core::AskResult> AskInDomain(const std::string& domain,
+                                      const std::string& question,
+                                      Deadline deadline) const;
 
   /// Answers a batch on the worker pool. results[i] corresponds to
   /// questions[i] and equals what Ask(questions[i]) returns.
   std::vector<Result<core::AskResult>> AskBatch(
       const std::vector<std::string>& questions) const;
 
+  /// Per-request deadlines; deadlines[i] governs questions[i] (the vectors
+  /// must be the same length, or every extra question runs undeadlined).
+  /// Entries whose deadline passes while they wait in the queue return
+  /// kDeadlineExceeded without executing; the rest are unaffected and stay
+  /// byte-identical to sequential Ask.
+  std::vector<Result<core::AskResult>> AskBatch(
+      const std::vector<std::string>& questions,
+      const std::vector<Deadline>& deadlines) const;
+
+  /// Open-loop entry point: admission happens NOW on the caller's thread
+  /// (a shed invokes `done` with kOverloaded before returning); otherwise
+  /// the request is queued and `done` fires on a worker thread with the
+  /// outcome. `done` must not block long — it runs on the serving pool.
+  void AskAsync(std::string question, Deadline deadline,
+                std::function<void(Result<core::AskResult>)> done) const;
+
   PreparedQueryCache::Stats cache_stats() const { return cache_->stats(); }
+  /// Outcome counters; see Stats.
+  Stats stats() const;
+  /// Requests admitted but not yet finished dequeuing (the admission
+  /// controller's live queue depth).
+  std::size_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
   std::size_t num_workers() const { return pool_->num_threads(); }
   const Options& options() const { return options_; }
 
  private:
   Result<core::AskResult> AskImpl(const std::string& domain_hint,
-                                  const std::string& question) const;
+                                  const std::string& question,
+                                  Deadline deadline) const;
+  /// Applies Options::default_budget to an infinite deadline.
+  Deadline EffectiveDeadline(Deadline deadline) const;
+  /// Admission: true = a queue slot was taken (release via DequeueStarted).
+  bool Admit() const;
+  /// Records the queue age and frees the admission slot.
+  void DequeueStarted(Deadline::Clock::time_point enqueued) const;
+  /// Folds a finished request's outcome into the counters.
+  void RecordOutcome(const Result<core::AskResult>& result) const;
 
   const core::CqadsEngine* engine_;
   Options options_;
@@ -70,6 +163,19 @@ class ConcurrentServer {
   // enqueue work and update the cache.
   mutable std::unique_ptr<PreparedQueryCache> cache_;
   mutable std::unique_ptr<WorkerPool> pool_;
+
+  // Admission + outcome state (all relaxed: monotonic counters and a queue
+  // depth whose transient staleness only sheds one request early/late).
+  mutable std::atomic<std::size_t> queued_{0};
+  mutable std::atomic<std::uint64_t> answered_{0};
+  mutable std::atomic<std::uint64_t> degraded_{0};
+  mutable std::atomic<std::uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<std::uint64_t> shed_{0};
+  mutable std::atomic<std::uint64_t> expired_in_queue_{0};
+  mutable std::atomic<std::uint64_t> errors_{0};
+  mutable std::atomic<std::uint64_t> max_queue_age_us_{0};   ///< integer µs
+  mutable std::atomic<std::uint64_t> total_queue_age_us_{0};
+  mutable std::atomic<std::uint64_t> dequeued_{0};
 };
 
 }  // namespace cqads::serve

@@ -1,5 +1,9 @@
 #include "serve/worker_pool.h"
 
+#include <utility>
+
+#include "common/failpoint.h"
+
 namespace cqads::serve {
 
 WorkerPool::WorkerPool(std::size_t num_threads) {
@@ -33,6 +37,20 @@ void WorkerPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+std::size_t WorkerPool::CancelPending() {
+  // The dropped callables are destroyed OUTSIDE the lock: a task's captures
+  // may run arbitrary destructors (even re-enter Submit), which must not
+  // deadlock against the pool mutex.
+  std::deque<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+    in_flight_ -= dropped.size();
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+  return dropped.size();
+}
+
 void WorkerPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -43,6 +61,10 @@ void WorkerPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Chaos hook: arm "worker_pool.task" with a delay to simulate slow /
+    // descheduled workers (error injection is meaningless here — a worker
+    // cannot fail a task it merely runs).
+    CQADS_FAILPOINT_HIT("worker_pool.task");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -26,7 +26,12 @@ class WorkerPool : public db::exec::TaskRunner {
   /// Spawns `num_threads` workers (at least one).
   explicit WorkerPool(std::size_t num_threads);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// DRAINS, then joins: every task queued before destruction — including
+  /// tasks never started — still RUNS to completion before the workers
+  /// exit. That is the contract async serving relies on (a queued request's
+  /// completion callback always fires); owners that instead want teardown
+  /// without running the backlog call CancelPending() first. Pinned by
+  /// DestructorRunsQueuedTasks / CancelPendingSkipsUnstartedTasks.
   ~WorkerPool() override;
 
   WorkerPool(const WorkerPool&) = delete;
@@ -37,6 +42,17 @@ class WorkerPool : public db::exec::TaskRunner {
 
   /// Blocks until every task submitted so far has finished.
   void Wait();
+
+  /// Explicit teardown helper: blocks until the queue is empty AND every
+  /// started task finished. Equivalent to Wait(); named separately so
+  /// server shutdown paths read as what they are.
+  void Drain() { Wait(); }
+
+  /// Drops every queued-but-unstarted task (their callables are destroyed,
+  /// never invoked) and returns how many were dropped. Tasks already
+  /// executing are unaffected — follow with Drain() for a deterministic
+  /// "nothing running, nothing pending" state. Safe from any thread.
+  std::size_t CancelPending();
 
   std::size_t num_threads() const { return threads_.size(); }
 
