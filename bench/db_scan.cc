@@ -1,7 +1,10 @@
 // Microbench: columnar predicate evaluation (db/exec CompiledPredicate over
-// the ColumnStore) vs the seed row-at-a-time Executor::Matches, and the
-// cost-aware planned conjunction vs the seed §4.3 Type-rank conjunction.
-// Same table, same predicates, answers asserted identical before timing.
+// the ColumnStore) vs the seed row-at-a-time Executor::Matches, the
+// vectorized block kernels (db/exec/vector_kernels.h) vs both, and the
+// cost-aware planned conjunction vs the seed §4.3 Type-rank conjunction —
+// scalar and block-at-a-time. Same table, same predicates, answers asserted
+// identical before timing. The dense-conjunction vectorized speedup is a
+// GATE: below kVectorSpeedupFloor the bench exits nonzero.
 //
 // Usage: db_scan [rows] [iterations]
 #include <algorithm>
@@ -18,6 +21,7 @@
 #include "db/exec/partitioned_table.h"
 #include "db/exec/plan.h"
 #include "db/exec/planner.h"
+#include "db/exec/vector_kernels.h"
 #include "db/executor.h"
 #include "serve/worker_pool.h"
 
@@ -45,6 +49,22 @@ db::Predicate NumPred(std::size_t attr, db::CompareOp op, double v) {
   p.op = op;
   p.value = db::Value::Real(v);
   return p;
+}
+
+/// Minimum vectorized-over-scalar speedup on the dense planned conjunction
+/// below; regressing past this fails the bench (and CI's smoke run).
+constexpr double kVectorSpeedupFloor = 1.5;
+
+const char* SimdLevelName(db::exec::SimdLevel l) {
+  switch (l) {
+    case db::exec::SimdLevel::kAvx2:
+      return "avx2";
+    case db::exec::SimdLevel::kSse2:
+      return "sse2";
+    case db::exec::SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -82,29 +102,43 @@ int main(int argc, char** argv) {
   };
 
   bench::PrintHeader("db_scan: columnar vs row-at-a-time predicate scan");
-  std::printf("rows: %zu, iterations per case: %zu\n", table.num_rows(),
-              iters);
+  std::printf("rows: %zu, iterations per case: %zu, simd: %s\n",
+              table.num_rows(), iters,
+              SimdLevelName(db::exec::ActiveSimdLevel()));
   bench::PrintRule();
-  std::printf("%-16s %14s %14s %9s\n", "predicate", "row Mrows/s",
-              "col Mrows/s", "speedup");
+  std::printf("%-16s %13s %13s %13s %9s\n", "predicate", "row Mrows/s",
+              "col Mrows/s", "vec Mrows/s", "vec/col");
   bench::PrintRule();
 
   bench::BenchJson json("db_scan");
   json.Add("rows", table.num_rows());
   json.Add("iterations", iters);
+  json.Add("simd_level", std::string(SimdLevelName(db::exec::ActiveSimdLevel())));
 
   bool mismatch = false;
   for (const Case& c : cases) {
     const db::exec::CompiledPredicate cp =
         db::exec::CompilePredicate(table, c.pred);
+    const db::exec::BlockPredicate bp(table.store(), cp);
 
-    // Answer parity first.
-    std::size_t row_hits = 0, col_hits = 0;
+    // Answer parity first: seed row path, compiled column path, and the
+    // block-kernel mask must agree bit-for-bit on every row.
+    std::size_t row_hits = 0;
     for (db::RowId r = 0; r < table.num_rows(); ++r) {
       row_hits += executor.Matches(r, c.pred);
-      col_hits += cp.Matches(table.store(), r);
       if (executor.Matches(r, c.pred) != cp.Matches(table.store(), r)) {
         mismatch = true;
+      }
+    }
+    for (std::size_t base = 0; base < table.num_rows();
+         base += db::exec::kBlockRows) {
+      const std::size_t n =
+          std::min(db::exec::kBlockRows, table.num_rows() - base);
+      db::exec::SelMask mask;
+      bp.EvalBlock(base, n, &mask);
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = (mask.words[i / 64] >> (i % 64)) & 1u;
+        if (bit != cp.Matches(table.store(), base + i)) mismatch = true;
       }
     }
 
@@ -119,16 +153,36 @@ int main(int argc, char** argv) {
       if (sink == std::size_t(-1)) std::printf("!");
       return secs;
     };
+    // The block-kernel pass counts selected rows per block mask instead of
+    // probing row-by-row; same work unit (rows scanned per iteration).
+    auto time_blocks = [&] {
+      std::size_t sink = 0;
+      auto start = Clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        for (std::size_t base = 0; base < table.num_rows();
+             base += db::exec::kBlockRows) {
+          const std::size_t n =
+              std::min(db::exec::kBlockRows, table.num_rows() - base);
+          db::exec::SelMask mask;
+          bp.EvalBlock(base, n, &mask);
+          sink += mask.Count();
+        }
+      }
+      double secs = Secs(Clock::now() - start);
+      if (sink == std::size_t(-1)) std::printf("!");
+      return secs;
+    };
 
     double row_secs =
         time_scan([&](db::RowId r) { return executor.Matches(r, c.pred); });
     double col_secs =
         time_scan([&](db::RowId r) { return cp.Matches(table.store(), r); });
+    double vec_secs = time_blocks();
     const double total =
         static_cast<double>(table.num_rows() * iters) / 1e6;
-    std::printf("%-16s %14.2f %14.2f %8.2fx   (hits=%zu)\n", c.name,
-                total / row_secs, total / col_secs, row_secs / col_secs,
-                row_hits);
+    std::printf("%-16s %13.2f %13.2f %13.2f %8.2fx   (hits=%zu)\n", c.name,
+                total / row_secs, total / col_secs, total / vec_secs,
+                col_secs / vec_secs, row_hits);
     const double scans = static_cast<double>(table.num_rows() * iters);
     std::string key(c.name);
     for (char& ch : key) {
@@ -136,6 +190,7 @@ int main(int argc, char** argv) {
     }
     json.Add("row_scan_ns_per_row_" + key, row_secs * 1e9 / scans);
     json.Add("col_scan_ns_per_row_" + key, col_secs * 1e9 / scans);
+    json.Add("vec_scan_ns_per_row_" + key, vec_secs * 1e9 / scans);
   }
 
   // Conjunction: planner order vs seed Type-rank order.
@@ -164,6 +219,39 @@ int main(int argc, char** argv) {
   auto plan = planner.Compile(q).value();
   double plan_secs = time_exec([&] { return plan->Execute(); });
 
+  // Dense numeric conjunction: low-selectivity ranges drive the planner
+  // into the block-at-a-time path end to end (dense RangeScan bitmap +
+  // mask-folded residual filter), which is where the vector kernels must
+  // earn their keep against the PR 4 scalar loops. Row sets asserted
+  // identical before timing; the speedup is gated.
+  db::Query dense;
+  dense.where = db::Expr::MakeAnd(
+      {db::Expr::MakePredicate(NumPred(3, db::CompareOp::kLt, 1e9)),
+       db::Expr::MakePredicate(NumPred(2, db::CompareOp::kGt, 1900)),
+       db::Expr::MakePredicate(NumPred(4, db::CompareOp::kLt, 1e9))});
+  dense.limit = table.num_rows();
+  auto dense_plan = planner.Compile(dense).value();
+  db::ExecStats dense_stats;
+  auto dense_vec = dense_plan->ExecuteRowSet(&dense_stats, true);
+  auto dense_scalar = dense_plan->ExecuteRowSet(&dense_stats, false);
+  if (!dense_vec.ok() || !dense_scalar.ok() ||
+      dense_vec.value() != dense_scalar.value()) {
+    mismatch = true;
+  }
+  auto time_rowset = [&](bool vectorize) {
+    auto start = Clock::now();
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < iters * 4; ++i) {
+      db::ExecStats stats;
+      sink += dense_plan->ExecuteRowSet(&stats, vectorize).value().size();
+    }
+    if (sink == std::size_t(-1)) std::printf("!");
+    return Secs(Clock::now() - start);
+  };
+  const double dense_scalar_secs = time_rowset(false);
+  const double dense_vec_secs = time_rowset(true);
+  const double vector_speedup = dense_scalar_secs / dense_vec_secs;
+
   // Partition-sharded execution of the same conjunction: serial morsels and
   // pool-stolen morsels, answers asserted identical first.
   const std::size_t partition_rows = std::max<std::size_t>(1, rows / 8);
@@ -190,6 +278,10 @@ int main(int argc, char** argv) {
               "pooled(4) %.3f ms\n",
               pt->num_partitions(), part_serial_secs * per_iter,
               part_pooled_secs * per_iter);
+  std::printf("dense conjunction (year+price+mileage): scalar %.3f ms, "
+              "vectorized %.3f ms, speedup %.2fx (floor %.1fx), rows=%zu\n",
+              dense_scalar_secs * per_iter, dense_vec_secs * per_iter,
+              vector_speedup, kVectorSpeedupFloor, dense_vec.value().size());
   std::printf("plan:\n%s", plan->Explain().c_str());
   bench::PrintRule();
 
@@ -198,11 +290,20 @@ int main(int argc, char** argv) {
   json.Add("conjunction_planned_ms", plan_secs * per_iter);
   json.Add("conjunction_partitioned_serial_ms", part_serial_secs * per_iter);
   json.Add("conjunction_partitioned_pooled_ms", part_pooled_secs * per_iter);
+  json.Add("dense_conjunction_scalar_ms", dense_scalar_secs * per_iter);
+  json.Add("dense_conjunction_vector_ms", dense_vec_secs * per_iter);
+  json.Add("vector_conjunction_speedup", vector_speedup);
   json.Add("mismatch", static_cast<std::size_t>(mismatch ? 1 : 0));
   json.Write();
 
   if (mismatch) {
     std::printf("FAIL: columnar path disagrees with the seed executor\n");
+    return 1;
+  }
+  if (vector_speedup < kVectorSpeedupFloor) {
+    std::printf("FAIL: vectorized dense conjunction only %.2fx over scalar "
+                "(floor %.1fx)\n",
+                vector_speedup, kVectorSpeedupFloor);
     return 1;
   }
   std::printf("all columnar answers identical to the seed executor\n");

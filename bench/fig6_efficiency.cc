@@ -81,15 +81,27 @@ int main(int argc, char** argv) {
   world->mutable_engine().SetOptions(legacy_options);
   std::vector<std::string> legacy_answers;
   const double legacy_secs = ask_all(&legacy_answers);
+
+  // Vector-kernel parity: the stream once more with block-at-a-time
+  // execution and batched Eq. 5 scoring forced OFF (the scalar row-at-a-
+  // time reference loops). Every mode above ran vectorized (the default),
+  // so any byte difference here is a kernel bug.
+  core::EngineOptions scalar_options;
+  scalar_options.use_vector_kernels = false;
+  world->mutable_engine().SetOptions(scalar_options);
+  std::vector<std::string> scalar_answers;
+  const double scalar_secs = ask_all(&scalar_answers);
   world->mutable_engine().SetOptions(planner_options);
 
   std::size_t mismatches = 0;
   std::size_t partitioned_mismatches = 0;
   std::size_t substrate_mismatches = 0;
+  std::size_t vector_mismatches = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     if (seed_answers[i] != planned_answers[i]) ++mismatches;
     if (seed_answers[i] != partitioned_answers[i]) ++partitioned_mismatches;
     if (seed_answers[i] != legacy_answers[i]) ++substrate_mismatches;
+    if (seed_answers[i] != scalar_answers[i]) ++vector_mismatches;
   }
 
   bench::PrintHeader("planner vs seed executor (full ask path)");
@@ -103,10 +115,13 @@ int main(int argc, char** argv) {
               seed_secs / partitioned_secs);
   std::printf("legacy string substrate : %8.1f q/s   speedup %.2fx\n",
               stream.size() / legacy_secs, seed_secs / legacy_secs);
+  std::printf("scalar (no vec kernels) : %8.1f q/s   speedup %.2fx\n",
+              stream.size() / scalar_secs, seed_secs / scalar_secs);
   std::printf(
       "canonical answer mismatches: planner=%zu partitioned=%zu "
-      "substrate=%zu\n",
-      mismatches, partitioned_mismatches, substrate_mismatches);
+      "substrate=%zu vector=%zu\n",
+      mismatches, partitioned_mismatches, substrate_mismatches,
+      vector_mismatches);
 
   // ---- the paper figure ----------------------------------------------
   auto result = eval::RunEfficiency(*world, questions, 661);
@@ -132,19 +147,24 @@ int main(int argc, char** argv) {
   json.Add("planner_qps", stream.size() / planned_secs);
   json.Add("partitioned_qps", stream.size() / partitioned_secs);
   json.Add("legacy_substrate_qps", stream.size() / legacy_secs);
+  json.Add("scalar_kernels_qps", stream.size() / scalar_secs);
   json.Add("planner_mismatches", mismatches);
   json.Add("partitioned_mismatches", partitioned_mismatches);
   json.Add("substrate_mismatches", substrate_mismatches);
+  json.Add("vector_mismatches", vector_mismatches);
   for (const auto& [name, ms] : result.avg_ms) {
     json.Add("avg_ms_" + name, ms);
   }
   json.Write();
 
-  if (mismatches + partitioned_mismatches + substrate_mismatches > 0) {
+  if (mismatches + partitioned_mismatches + substrate_mismatches +
+          vector_mismatches >
+      0) {
     std::printf(
         "FAIL: answers differ from the seed executor (planner=%zu, "
-        "partitioned=%zu, substrate=%zu)\n",
-        mismatches, partitioned_mismatches, substrate_mismatches);
+        "partitioned=%zu, substrate=%zu, vector=%zu)\n",
+        mismatches, partitioned_mismatches, substrate_mismatches,
+        vector_mismatches);
     return 1;
   }
   return 0;

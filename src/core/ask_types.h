@@ -53,6 +53,13 @@ struct EngineOptions {
   /// way (the fig6 substrate parity gate and the differential tests pin
   /// it); only the work differs.
   bool use_term_substrate = true;
+  /// Execute plans block-at-a-time through the branch-free selection-mask
+  /// kernels (db/exec/vector_kernels.h) and score rank candidates in
+  /// batches (SimScorer::ScoreBlock). When false, the scalar row-at-a-time
+  /// loops run instead — answers are byte-identical either way (the fig6
+  /// vector parity gate and the differential tests pin it); only the work
+  /// differs.
+  bool use_vector_kernels = true;
   /// Horizontal partitioning: rows per ColumnStore partition. Each domain's
   /// store is sharded into fixed-size row partitions (own dictionaries,
   /// postings, null bitmaps, per-partition stats) and compiled plans run

@@ -72,6 +72,7 @@ Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
   src.runner = options.exec_runner;
   src.parallelism = options.exec_parallelism;
   src.control = control;
+  src.vectorize = options.use_vector_kernels;
   // Morsel-sizing rule: tiny stores execute their shards inline — the
   // enqueue + completion-latch cost of fanning out exceeds the scan.
   if (rt.table->num_rows() < db::exec::kMinRowsForParallelExec) {
@@ -109,9 +110,10 @@ Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
     return db::exec::ExecuteHybrid(*rt.table, *delta, query, src);
   }
   if (src.part_plan != nullptr) {
-    return src.part_plan->Execute(src.runner, src.parallelism, control);
+    return src.part_plan->Execute(src.runner, src.parallelism, control,
+                                  src.vectorize);
   }
-  if (src.plan != nullptr) return src.plan->Execute();
+  if (src.plan != nullptr) return src.plan->Execute(src.vectorize);
   return db::ExecuteQuery(*rt.table, query);
 }
 
@@ -338,6 +340,15 @@ Status ExecuteStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
                &control);
   if (!exec.ok()) return exec.status();
   ctx->result.stats = exec.value().stats;
+  // The plan dump above is static; append the run's block-level work so an
+  // Explain reader sees how much the vectorized path actually touched
+  // (never part of the canonical result string).
+  if (!ctx->result.explain.empty()) {
+    const db::ExecStats& st = ctx->result.stats;
+    ctx->result.explain +=
+        "exec: rows_visited=" + std::to_string(st.rows_visited) +
+        " blocks_visited=" + std::to_string(st.blocks_visited) + "\n";
+  }
   const double exact_score =
       static_cast<double>(parsed.assembled.units.size());
   for (db::RowId row : exec.value().rows) {
@@ -410,6 +421,28 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   // request whose exact answers are already correct.
   const ExecControl control = ctx->control();
   std::vector<Answer> partials;
+  // Batched Eq. 5 (SimScorer::ScoreBlock) for base-table candidates: the
+  // RowRef adapter, code-tuple memo, and measure string are hoisted out of
+  // the per-row loop. Reordering pushes into `partials` is safe — the final
+  // sort's (rank_sim, row) key is a total order over the unique rows. Delta
+  // rows are row-major and keep the per-row path.
+  const bool batch_scoring =
+      scorer.has_value() && options.use_vector_kernels;
+  std::vector<db::RowId> batch;
+  std::vector<double> batch_rank, batch_unit;
+  auto flush_batch = [&](std::size_t dropped, bool require_positive) {
+    if (batch.empty()) return;
+    batch_rank.resize(batch.size());
+    batch_unit.resize(batch.size());
+    scorer->ScoreBlock(*rt.table, batch.data(), batch.size(), dropped,
+                       batch_rank.data(), batch_unit.data());
+    const std::string& measure = scorer->unit_measure(dropped);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (require_positive && batch_unit[i] <= 0.0) continue;
+      partials.push_back(Answer{batch[i], false, batch_rank[i], measure});
+    }
+    batch.clear();
+  };
   if (units.size() >= 2) {
     // N-1: drop each unit in turn and evaluate the remaining conditions —
     // through the relaxation plans PlanStage precompiled (and the cache
@@ -440,24 +473,40 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
       for (db::RowId row : rel.value().rows) {
         if (already[row]) continue;
         already[row] = true;
+        if (batch_scoring && row < base_rows) {
+          batch.push_back(row);
+          continue;
+        }
         PartialScore score = score_row(row, dropped);
         partials.push_back(Answer{row, false, score.rank_sim, score.measure});
       }
+      flush_batch(dropped, /*require_positive=*/false);
     }
   } else {
     // Single-condition questions: similarity-match every record against the
     // lone condition (§4.3.1 last paragraph).
     constexpr db::RowId kCancelCheckRows = 512;
+    constexpr std::size_t kScoreBatchRows = 1024;
     for (db::RowId row = 0; row < total_rows; ++row) {
       if (row % kCancelCheckRows == 0 && control.Expired()) {
         out.degraded = true;
         break;
       }
       if (already[row] || !is_live(row)) continue;
+      if (batch_scoring && row < base_rows) {
+        batch.push_back(row);
+        if (batch.size() >= kScoreBatchRows) {
+          flush_batch(0, /*require_positive=*/true);
+        }
+        continue;
+      }
       PartialScore score = score_row(row, 0);
       if (score.unit_sim <= 0.0) continue;
       partials.push_back(Answer{row, false, score.rank_sim, score.measure});
     }
+    // Rows gathered before a deadline break were already visited: score
+    // them (the scalar path would have, too, before reaching the break).
+    flush_batch(0, /*require_positive=*/true);
   }
 
   std::sort(partials.begin(), partials.end(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/string_util.h"
 #include "db/row_match.h"
@@ -344,8 +345,30 @@ SimScorer::SimScorer(const db::Schema& schema,
       }
       u.conds.push_back(std::move(cs));
     }
+    // ScoreBlock memo key: the sorted unique attributes the unit's
+    // similarity reads (kNoAttr placeholders resolve to the unit's own
+    // attribute, mirroring UnitSimImpl's numeric case).
+    switch (unit.kind) {
+      case MatchUnit::Kind::kIdentity:
+        u.read_attrs = u.identity_attrs;
+        break;
+      case MatchUnit::Kind::kTypeII:
+        u.read_attrs = UniqueCondAttrs(unit);
+        break;
+      case MatchUnit::Kind::kTypeIII:
+      case MatchUnit::Kind::kAmbiguous:
+        for (const Condition& c : unit.conds) {
+          u.read_attrs.push_back(c.attr == kNoAttr ? unit.attr : c.attr);
+        }
+        std::sort(u.read_attrs.begin(), u.read_attrs.end());
+        u.read_attrs.erase(
+            std::unique(u.read_attrs.begin(), u.read_attrs.end()),
+            u.read_attrs.end());
+        break;
+    }
     units_.push_back(std::move(u));
   }
+  unit_memo_.resize(units_.size());
 }
 
 double SimScorer::FeatSimIds(const ValueToks& a, const std::string& a_raw,
@@ -462,6 +485,51 @@ PartialScore SimScorer::Score(const db::Table& table, db::RowId row,
   out.rank_sim = static_cast<double>(units_.size()) - 1.0 + out.unit_sim;
   out.measure = unit.measure;
   return out;
+}
+
+void SimScorer::ScoreBlock(const db::Table& table, const db::RowId* rows,
+                           std::size_t n, std::size_t dropped_unit,
+                           double* rank_sims, double* unit_sims) {
+  const UnitSim& unit = units_[dropped_unit];
+  const double exact_part = static_cast<double>(units_.size()) - 1.0;
+  RowRef ref;
+  ref.schema = &table.schema();
+  ref.table = &table;
+
+  const std::size_t num_attrs = unit.read_attrs.size();
+  if (num_attrs == 0 || num_attrs > 2) {
+    // No cells read, or too wide for the u64 code-tuple key: score row by
+    // row (question shapes never get here in practice — units read one or
+    // two attributes).
+    for (std::size_t i = 0; i < n; ++i) {
+      ref.row = rows[i];
+      const double s = UnitSimImpl(ref, unit);
+      rank_sims[i] = exact_part + s;
+      if (unit_sims != nullptr) unit_sims[i] = s;
+    }
+    return;
+  }
+
+  // Dictionary codes determine cells, cells determine elements, so the
+  // code tuple over read_attrs determines the similarity. kNullCode keys
+  // like any other code (the null cell's similarity is memoized too).
+  const std::uint32_t* c0 = table.store().code_column(unit.read_attrs[0]).data();
+  const std::uint32_t* c1 =
+      num_attrs == 2 ? table.store().code_column(unit.read_attrs[1]).data()
+                     : nullptr;
+  auto& memo = unit_memo_[dropped_unit];
+  for (std::size_t i = 0; i < n; ++i) {
+    const db::RowId r = rows[i];
+    std::uint64_t key = c0[r];
+    if (c1 != nullptr) key = (key << 32) | c1[r];
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      ref.row = r;
+      it = memo.emplace(key, UnitSimImpl(ref, unit)).first;
+    }
+    rank_sims[i] = exact_part + it->second;
+    if (unit_sims != nullptr) unit_sims[i] = it->second;
+  }
 }
 
 PartialScore SimScorer::Score(const db::Schema& schema,

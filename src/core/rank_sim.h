@@ -17,6 +17,7 @@
 #ifndef CQADS_CORE_RANK_SIM_H_
 #define CQADS_CORE_RANK_SIM_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +101,26 @@ class SimScorer {
   PartialScore Score(const db::Schema& schema, const db::Record& record,
                      std::size_t dropped_unit);
 
+  /// Batched Eq. 5 over BASE-table rows for one dropped unit: fills
+  /// rank_sims[i] (and unit_sims[i] when non-null) for rows[i]. A unit's
+  /// similarity is a pure function of the row's dictionary codes on the
+  /// unit's read attributes (same codes → same cells → same elements), so
+  /// scores are memoized per distinct code tuple when the unit reads at
+  /// most two attributes — byte-identical to Score() row by row, with the
+  /// RowRef adapter, memo probes, and measure-string composition hoisted
+  /// out of the candidate loop. RankStage's full-table and relaxation
+  /// sweeps use this under EngineOptions::use_vector_kernels.
+  void ScoreBlock(const db::Table& table, const db::RowId* rows,
+                  std::size_t n, std::size_t dropped_unit, double* rank_sims,
+                  double* unit_sims);
+
+  /// The Table 2 measure label of one unit (identical for every row a
+  /// ScoreBlock call scores).
+  const std::string& unit_measure(std::size_t unit) const {
+    return units_[unit].measure;
+  }
+  std::size_t num_units() const { return units_.size(); }
+
  private:
   /// One tokenized word with its resolved WS id; the stem is kept for the
   /// equal-stem rule when the id is out of vocabulary.
@@ -127,6 +148,9 @@ class SimScorer {
     std::vector<std::size_t> identity_attrs;  ///< sorted unique Type I attrs
     text::TermId value_ti_id = text::kInvalidTerm;  ///< unit.value in TI
     std::string measure;                      ///< Table 2 label
+    /// Sorted unique attributes this unit's similarity reads — the code
+    /// tuple over these is ScoreBlock's memo key.
+    std::vector<std::size_t> read_attrs;
   };
 
   struct RowRef;  // table-or-record adapter (defined in the .cc)
@@ -144,6 +168,9 @@ class SimScorer {
   /// Record-side memo tables (hits AND misses are cached).
   std::unordered_map<std::string, ValueToks> element_toks_;
   std::unordered_map<std::string, text::TermId> ti_ids_;
+  /// Per unit: similarity by the code tuple of the unit's read attributes
+  /// (ScoreBlock only; (c0 << 32) | c1, or c0 for single-attribute units).
+  std::vector<std::unordered_map<std::uint64_t, double>> unit_memo_;
 };
 
 }  // namespace cqads::core

@@ -23,12 +23,13 @@ Result<QueryResult> ExecuteHybrid(const Table& base, const DeltaStore& delta,
   //    (plain ascending RowIds).
   RowSet rows;
   if (source.part_plan != nullptr) {
-    auto r = source.part_plan->ExecuteRowSet(
-        source.runner, source.parallelism, &result.stats, source.control);
+    auto r = source.part_plan->ExecuteRowSet(source.runner, source.parallelism,
+                                             &result.stats, source.control,
+                                             source.vectorize);
     if (!r.ok()) return r.status();
     rows = std::move(r).value();
   } else if (source.plan != nullptr) {
-    auto r = source.plan->ExecuteRowSet(&result.stats);
+    auto r = source.plan->ExecuteRowSet(&result.stats, source.vectorize);
     if (!r.ok()) return r.status();
     rows = std::move(r).value();
   } else {

@@ -39,6 +39,10 @@ struct BaseRowSource {
   /// Cooperative cancellation (common/deadline.h): checked per partition
   /// morsel and per delta-scan chunk. Null = run to completion.
   const ExecControl* control = nullptr;
+  /// Block-at-a-time kernels for the base plan paths
+  /// (EngineOptions::use_vector_kernels); false runs the scalar loops.
+  /// Delta rows are row-major and always scan row-at-a-time.
+  bool vectorize = true;
 };
 
 /// Cell of a global row id: a base-table cell or a delta record's value.

@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <limits>
 
+#include <cstring>
+
 #include "db/compare.h"
 #include "db/exec/rowset_ops.h"
+#include "db/exec/vector_kernels.h"
 #include "text/shorthand.h"
 
 namespace cqads::db::exec {
@@ -14,6 +17,27 @@ namespace cqads::db::exec {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// RangeScanNode::ExecuteLazy switches from the sorted-index probe to the
+/// vectorized packed-column scan at this estimated selectivity: past it the
+/// index path's row-id gather + sort costs more than streaming the column.
+constexpr double kRangeScanDenseThreshold = 1.0 / 16.0;
+
+/// Loads the word-aligned window of a whole-table bitmap covering rows
+/// [base, base+n) into a block mask (tail words zeroed).
+void LoadBlockMask(const RowBitmap& bm, std::size_t base, std::size_t n,
+                   SelMask* out) {
+  out->Clear();
+  std::memcpy(out->words, bm.word_data() + base / 64,
+              (n + 63) / 64 * sizeof(std::uint64_t));
+}
+
+/// Stores a block mask back into the bitmap window it was loaded from.
+void StoreBlockMask(const SelMask& mask, std::size_t base, std::size_t n,
+                    RowBitmap* bm) {
+  std::memcpy(bm->word_data() + base / 64, mask.words,
+              (n + 63) / 64 * sizeof(std::uint64_t));
+}
 
 std::string PredicateText(const Table& table, const Predicate& pred) {
   std::string out = table.schema().attribute(pred.attr).name;
@@ -177,6 +201,26 @@ RangeScanNode::RangeScanNode(const Table* table, CompiledPredicate cp)
   est_selectivity = cp_.selectivity;
 }
 
+LazyRowSet RangeScanNode::ExecuteLazy(ExecStats* stats) const {
+  if (est_selectivity < kRangeScanDenseThreshold ||
+      cp_.mode != CompiledPredicate::Mode::kNumeric) {
+    return PlanNode::ExecuteLazy(stats);  // index probe, sparse result
+  }
+  ++stats->full_scans;
+  const std::size_t n = table_->num_rows();
+  stats->rows_verified += n;
+  const BlockPredicate bp(table_->store(), cp_);
+  RowBitmap bm(n);
+  SelMask mask;
+  for (std::size_t base = 0; base < n; base += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, n - base);
+    bp.EvalBlock(base, count, &mask);
+    StoreBlockMask(mask, base, count, &bm);
+    ++stats->blocks_visited;
+  }
+  return LazyRowSet::FromBitmap(std::move(bm));
+}
+
 RowSet RangeScanNode::Execute(ExecStats* stats) const {
   ++stats->index_lookups;
   const SortedIndex* idx = table_->sorted_index(cp_.pred.attr);
@@ -220,8 +264,27 @@ RowSet SubstringScanNode::Execute(ExecStats* stats) const {
   RowSet candidates = idx->Candidates(cp_.pred.value.AsText());
   stats->rows_verified += candidates.size();
   RowSet out;
+  const ColumnStore& store = table_->store();
+  if (cp_.mode == CompiledPredicate::Mode::kNumericContains) {
+    // Candidates repeat dictionary codes heavily (n-gram postings point at
+    // rows, values dedupe at intern time), so probe each DISTINCT code's
+    // canonical rendered text once and replay the memo per row instead of
+    // re-running find() per candidate. -1 = not probed yet.
+    const auto& rendered = store.rendered_dictionary(cp_.pred.attr);
+    std::vector<signed char> memo(rendered.size(), -1);
+    for (RowId row : candidates) {
+      const std::uint32_t code = store.dict_code(row, cp_.pred.attr);
+      if (code == ColumnStore::kNullCode) continue;  // NULL: kContains false
+      signed char& m = memo[code];
+      if (m < 0) {
+        m = rendered[code].find(cp_.needle) != std::string::npos ? 1 : 0;
+      }
+      if (m != 0) out.push_back(row);
+    }
+    return out;
+  }
   for (RowId row : candidates) {
-    if (cp_.Matches(table_->store(), row)) out.push_back(row);
+    if (cp_.Matches(store, row)) out.push_back(row);
   }
   return out;
 }
@@ -250,6 +313,22 @@ RowSet FullScanFilterNode::Execute(ExecStats* stats) const {
   return out;
 }
 
+LazyRowSet FullScanFilterNode::ExecuteLazy(ExecStats* stats) const {
+  ++stats->full_scans;
+  const std::size_t n = table_->num_rows();
+  stats->rows_verified += n;
+  const BlockPredicate bp(table_->store(), cp_);
+  RowBitmap bm(n);
+  SelMask mask;
+  for (std::size_t base = 0; base < n; base += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, n - base);
+    bp.EvalBlock(base, count, &mask);
+    StoreBlockMask(mask, base, count, &bm);
+    ++stats->blocks_visited;
+  }
+  return LazyRowSet::FromBitmap(std::move(bm));
+}
+
 void FullScanFilterNode::Explain(std::string* out, int depth) const {
   Indent(out, depth);
   *out += "FullScan(" + PredicateText(*table_, cp_.pred) + ", " +
@@ -267,17 +346,76 @@ FilterNode::FilterNode(const Table* table, PlanNodePtr child,
 
 RowSet FilterNode::Execute(ExecStats* stats) const {
   RowSet rows = child_->Execute(stats);
+  if (rows.empty() || residual_.empty()) return rows;
+  // One pass: each row runs the residual conjunction with early-out, in the
+  // planner's selectivity order — no per-predicate re-scan of the surviving
+  // set (the old shape rebuilt the RowSet once per predicate).
   const ColumnStore& store = table_->store();
-  for (const auto& cp : residual_) {
-    if (rows.empty()) break;
-    stats->rows_verified += rows.size();
-    RowSet next;
-    for (RowId row : rows) {
-      if (cp.Matches(store, row)) next.push_back(row);
+  stats->rows_verified += rows.size();
+  stats->rows_visited += rows.size();
+  RowSet out;
+  for (RowId row : rows) {
+    bool keep = true;
+    for (const auto& cp : residual_) {
+      if (!cp.Matches(store, row)) {
+        keep = false;
+        break;
+      }
     }
-    rows = std::move(next);
+    if (keep) out.push_back(row);
   }
-  return rows;
+  return out;
+}
+
+LazyRowSet FilterNode::ExecuteLazy(ExecStats* stats) const {
+  LazyRowSet child = child_->ExecuteLazy(stats);
+  if (residual_.empty()) return child;
+  const ColumnStore& store = table_->store();
+
+  if (!child.is_bitmap()) {
+    // Sparse survivors: per-distinct-cell tables would not amortize over a
+    // few probes, so run the scalar single-pass conjunction.
+    if (child.rows.empty()) return child;
+    stats->rows_verified += child.rows.size();
+    stats->rows_visited += child.rows.size();
+    RowSet out;
+    for (RowId row : child.rows) {
+      bool keep = true;
+      for (const auto& cp : residual_) {
+        if (!cp.Matches(store, row)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out.push_back(row);
+    }
+    return LazyRowSet::FromRows(std::move(out));
+  }
+
+  // Dense survivors: AND every residual's selection mask into the child's
+  // bitmap block by block. Blocks the child already zeroed are skipped
+  // without evaluating any predicate, and a block goes dark the moment its
+  // mask empties mid-conjunction.
+  std::vector<BlockPredicate> bps;
+  bps.reserve(residual_.size());
+  for (const auto& cp : residual_) bps.emplace_back(store, cp);
+
+  RowBitmap bm = std::move(*child.bitmap);
+  const std::size_t n = bm.universe();
+  SelMask mask;
+  for (std::size_t base = 0; base < n; base += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, n - base);
+    LoadBlockMask(bm, base, count, &mask);
+    if (!mask.AnySet()) continue;
+    ++stats->blocks_visited;
+    stats->rows_visited += mask.Count();
+    for (const auto& bp : bps) {
+      bp.AndBlock(base, count, &mask);
+      if (!mask.AnySet()) break;
+    }
+    StoreBlockMask(mask, base, count, &bm);
+  }
+  return LazyRowSet::FromBitmap(std::move(bm));
 }
 
 void FilterNode::Explain(std::string* out, int depth) const {
@@ -310,6 +448,22 @@ RowSet IntersectNode::Execute(ExecStats* stats) const {
   return acc;
 }
 
+LazyRowSet IntersectNode::ExecuteLazy(ExecStats* stats) const {
+  LazyRowSet acc;
+  bool first = true;
+  for (const auto& child : children_) {
+    LazyRowSet s = child->ExecuteLazy(stats);
+    if (first) {
+      acc = std::move(s);
+      first = false;
+    } else {
+      acc.IntersectWith(std::move(s), table_->num_rows());
+    }
+    if (acc.Count() == 0) break;
+  }
+  return acc;
+}
+
 void IntersectNode::Explain(std::string* out, int depth) const {
   Indent(out, depth);
   *out += "Intersect(" + SelText(est_selectivity) + ")\n";
@@ -331,6 +485,14 @@ RowSet UnionNode::Execute(ExecStats* stats) const {
   return acc;
 }
 
+LazyRowSet UnionNode::ExecuteLazy(ExecStats* stats) const {
+  LazyRowSet acc;
+  for (const auto& child : children_) {
+    acc.UnionWith(child->ExecuteLazy(stats), table_->num_rows());
+  }
+  return acc;
+}
+
 void UnionNode::Explain(std::string* out, int depth) const {
   Indent(out, depth);
   *out += "Union(" + SelText(est_selectivity) + ")\n";
@@ -345,6 +507,12 @@ NotNode::NotNode(const Table* table, PlanNodePtr child)
 RowSet NotNode::Execute(ExecStats* stats) const {
   return DifferenceSets(table_->AllRows(), child_->Execute(stats),
                         table_->num_rows());
+}
+
+LazyRowSet NotNode::ExecuteLazy(ExecStats* stats) const {
+  LazyRowSet s = child_->ExecuteLazy(stats);
+  s.ComplementWithin(table_->num_rows());
+  return s;
 }
 
 void NotNode::Explain(std::string* out, int depth) const {
@@ -363,16 +531,19 @@ PhysicalPlan::PhysicalPlan(const Table* table, PlanNodePtr root,
       superlative_(superlative),
       limit_(limit) {}
 
-Result<RowSet> PhysicalPlan::ExecuteRowSet(ExecStats* stats) const {
+Result<RowSet> PhysicalPlan::ExecuteRowSet(ExecStats* stats,
+                                           bool vectorize) const {
   if (!table_->indexes_built()) {
     return Status::FailedPrecondition("table indexes not built");
   }
-  return root_ ? root_->Execute(stats) : table_->AllRows();
+  if (root_ == nullptr) return table_->AllRows();
+  if (vectorize) return root_->ExecuteLazy(stats).ToRows();
+  return root_->Execute(stats);
 }
 
-Result<QueryResult> PhysicalPlan::Execute() const {
+Result<QueryResult> PhysicalPlan::Execute(bool vectorize) const {
   QueryResult result;
-  auto row_result = ExecuteRowSet(&result.stats);
+  auto row_result = ExecuteRowSet(&result.stats, vectorize);
   if (!row_result.ok()) return row_result.status();
   RowSet rows = std::move(row_result).value();
   ApplySuperlativeAndCap(

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "db/exec/rowset_ops.h"
 #include "db/executor.h"
 #include "db/query.h"
 #include "db/table.h"
@@ -73,7 +74,22 @@ class PlanNode {
   virtual ~PlanNode() = default;
 
   /// Evaluates to a sorted, duplicate-free RowSet.
+  ///
+  /// This is the scalar REFERENCE path: row-at-a-time predicate loops, kept
+  /// byte-identical forever so the vectorized path below always has an
+  /// oracle to diff against (EngineOptions::use_vector_kernels = false runs
+  /// it end to end).
   virtual RowSet Execute(ExecStats* stats) const = 0;
+
+  /// Block-at-a-time evaluation: scans run 1024-row selection masks through
+  /// the branch-free kernels (db/exec/vector_kernels.h) and set operations
+  /// stay word-parallel across adjacent nodes via LazyRowSet. Denotes
+  /// exactly the same set as Execute on every node — only the work differs.
+  /// The default forwards to Execute, so index-seeded leaves (sparse
+  /// results, nothing to vectorize) participate unchanged.
+  virtual LazyRowSet ExecuteLazy(ExecStats* stats) const {
+    return LazyRowSet::FromRows(Execute(stats));
+  }
 
   /// Appends this node's Explain() line(s): two-space indentation per
   /// depth, children below their parent.
@@ -105,6 +121,13 @@ class RangeScanNode : public PlanNode {
  public:
   RangeScanNode(const Table* table, CompiledPredicate cp);
   RowSet Execute(ExecStats* stats) const override;
+  /// Non-selective ranges (est. selectivity >= 1/16) run a branch-free
+  /// block scan of the packed column into a bitmap instead of the sorted
+  /// index probe: past that density the index path's gather-and-sort of
+  /// row ids costs more than streaming every double through SIMD compares,
+  /// and the bitmap output feeds word-parallel set ops downstream. Selective
+  /// ranges keep the index probe (sparse vector).
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -127,6 +150,8 @@ class FullScanFilterNode : public PlanNode {
  public:
   FullScanFilterNode(const Table* table, CompiledPredicate cp);
   RowSet Execute(ExecStats* stats) const override;
+  /// Block-at-a-time scan into a bitmap via the selection-mask kernels.
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -140,7 +165,13 @@ class FilterNode : public PlanNode {
   /// (selectivity) order.
   FilterNode(const Table* table, PlanNodePtr child,
              std::vector<CompiledPredicate> residual);
+  /// Single pass: every residual is applied per row with early-out, not one
+  /// full re-scan of the surviving set per predicate.
   RowSet Execute(ExecStats* stats) const override;
+  /// Dense child: AND each residual's block mask into the child's bitmap,
+  /// skipping blocks whose mask is already empty. Sparse child: one scalar
+  /// pass (building per-distinct-cell tables wouldn't amortize).
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -153,6 +184,7 @@ class IntersectNode : public PlanNode {
  public:
   IntersectNode(const Table* table, std::vector<PlanNodePtr> children);
   RowSet Execute(ExecStats* stats) const override;
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -164,6 +196,7 @@ class UnionNode : public PlanNode {
  public:
   UnionNode(const Table* table, std::vector<PlanNodePtr> children);
   RowSet Execute(ExecStats* stats) const override;
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -175,6 +208,7 @@ class NotNode : public PlanNode {
  public:
   NotNode(const Table* table, PlanNodePtr child);
   RowSet Execute(ExecStats* stats) const override;
+  LazyRowSet ExecuteLazy(ExecStats* stats) const override;
   void Explain(std::string* out, int depth) const override;
 
  private:
@@ -191,8 +225,10 @@ class PhysicalPlan {
 
   /// Runs the plan. Superlative ordering and the answer cap are applied
   /// exactly as the seed executor does (§4.3 step 4), so results are
-  /// byte-identical for identical row sets.
-  Result<QueryResult> Execute() const;
+  /// byte-identical for identical row sets. `vectorize` selects the
+  /// block-at-a-time kernels (EngineOptions::use_vector_kernels); false
+  /// runs the scalar reference loops — same rows either way.
+  Result<QueryResult> Execute(bool vectorize = true) const;
 
   /// The constraint tree's raw row set — sorted, duplicate-free, BEFORE the
   /// superlative sort and the answer cap. The partition-parallel executor
@@ -200,7 +236,7 @@ class PhysicalPlan {
   /// the delta scan, before applying the final §4.3 step-4 semantics
   /// globally (applying a per-shard cap first would drop rows the global
   /// superlative should have kept).
-  Result<RowSet> ExecuteRowSet(ExecStats* stats) const;
+  Result<RowSet> ExecuteRowSet(ExecStats* stats, bool vectorize = true) const;
 
   const std::optional<Superlative>& superlative() const { return superlative_; }
   std::size_t limit() const { return limit_; }

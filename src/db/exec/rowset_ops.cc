@@ -34,6 +34,15 @@ void RowBitmap::SubtractWith(const RowBitmap& other) {
   }
 }
 
+void RowBitmap::ComplementAll() {
+  for (std::uint64_t& w : words_) w = ~w;
+  // Bits past the universe must stay clear (ToSet/Count would count ghost
+  // rows otherwise).
+  if (universe_ % 64 != 0) {
+    words_.back() &= (std::uint64_t{1} << (universe_ % 64)) - 1;
+  }
+}
+
 std::size_t RowBitmap::Count() const {
   std::size_t n = 0;
   for (std::uint64_t w : words_) n += __builtin_popcountll(w);
@@ -52,6 +61,90 @@ RowSet RowBitmap::ToSet() const {
     }
   }
   return out;
+}
+
+LazyRowSet LazyRowSet::FromRows(RowSet r) {
+  LazyRowSet out;
+  out.rows = std::move(r);
+  return out;
+}
+
+LazyRowSet LazyRowSet::FromBitmap(RowBitmap bm) {
+  LazyRowSet out;
+  out.bitmap.emplace(std::move(bm));
+  return out;
+}
+
+std::size_t LazyRowSet::Count() const {
+  return bitmap ? bitmap->Count() : rows.size();
+}
+
+RowSet LazyRowSet::ToRows() && {
+  if (bitmap) return bitmap->ToSet();
+  return std::move(rows);
+}
+
+void LazyRowSet::IntersectWith(LazyRowSet other, std::size_t universe) {
+  if (bitmap && other.bitmap) {
+    bitmap->IntersectWith(*other.bitmap);
+    return;
+  }
+  if (bitmap) {
+    // bitmap ∩ vector: the result is a subset of the (sparse) vector side —
+    // probe the bitmap per element and demote to the vector form.
+    RowSet out;
+    out.reserve(other.rows.size());
+    for (RowId r : other.rows) {
+      if (bitmap->Test(r)) out.push_back(r);
+    }
+    bitmap.reset();
+    rows = std::move(out);
+    return;
+  }
+  if (other.bitmap) {
+    RowSet out;
+    out.reserve(rows.size());
+    for (RowId r : rows) {
+      if (other.bitmap->Test(r)) out.push_back(r);
+    }
+    rows = std::move(out);
+    return;
+  }
+  rows = IntersectSets(rows, other.rows, universe);
+}
+
+void LazyRowSet::UnionWith(LazyRowSet other, std::size_t universe) {
+  if (bitmap && other.bitmap) {
+    bitmap->UnionWith(*other.bitmap);
+    return;
+  }
+  if (bitmap) {
+    for (RowId r : other.rows) bitmap->Set(r);
+    return;
+  }
+  if (other.bitmap) {
+    for (RowId r : rows) other.bitmap->Set(r);
+    bitmap = std::move(other.bitmap);
+    rows.clear();
+    return;
+  }
+  if (UseBitmap(rows, other.rows, universe)) {
+    // Dense union: promote to a bitmap and STAY there for downstream ops.
+    RowBitmap bm = RowBitmap::FromSet(rows, universe);
+    for (RowId r : other.rows) bm.Set(r);
+    bitmap.emplace(std::move(bm));
+    rows.clear();
+    return;
+  }
+  rows = Union(rows, other.rows);
+}
+
+void LazyRowSet::ComplementWithin(std::size_t universe) {
+  if (!bitmap) {
+    bitmap.emplace(RowBitmap::FromSet(rows, universe));
+    rows.clear();
+  }
+  bitmap->ComplementAll();
 }
 
 RowSet UnionSets(const RowSet& a, const RowSet& b, std::size_t universe) {

@@ -61,15 +61,56 @@ class RowBitmap {
   void IntersectWith(const RowBitmap& other);
   /// this \ other.
   void SubtractWith(const RowBitmap& other);
+  /// this = [0, universe) \ this.
+  void ComplementAll();
 
   std::size_t Count() const;
 
   /// Sorted ascending RowSet of the set bits.
   RowSet ToSet() const;
 
+  /// Raw word access for the block-at-a-time executor: selection masks of
+  /// 1024-row blocks are word-aligned views of this array (1024 % 64 == 0),
+  /// so block results land with a word copy instead of per-row Set calls.
+  std::uint64_t* word_data() { return words_.data(); }
+  const std::uint64_t* word_data() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
+
  private:
   std::size_t universe_;
   std::vector<std::uint64_t> words_;
+};
+
+/// A row set flowing between plan nodes in whichever representation the
+/// producer found natural: a sorted vector (sparse index results) or a
+/// whole-universe bitmap (block-scan masks). The vectorized execution path
+/// (PlanNode::ExecuteLazy) passes these across adjacent set-operation nodes
+/// so a chain of Intersect/Union/Not stays word-parallel end to end instead
+/// of round-tripping through sorted vectors at every node boundary; the set
+/// denoted is identical either way, which is what keeps the vectorized path
+/// byte-identical to the scalar one.
+struct LazyRowSet {
+  /// Engaged = dense (bitmap) representation; `rows` is meaningful
+  /// otherwise.
+  std::optional<RowBitmap> bitmap;
+  RowSet rows;
+
+  static LazyRowSet FromRows(RowSet r);
+  static LazyRowSet FromBitmap(RowBitmap bm);
+
+  bool is_bitmap() const { return bitmap.has_value(); }
+  std::size_t Count() const;
+
+  /// Materializes the sorted, duplicate-free vector form (consuming).
+  RowSet ToRows() &&;
+
+  /// In-place algebra over universe [0, n). A bitmap∩vector mix stays
+  /// sparse (the result is a subset of the vector side); bitmap∪anything
+  /// stays dense; vector∪vector promotes to a bitmap only past the
+  /// kDenseDivisor density threshold.
+  void IntersectWith(LazyRowSet other, std::size_t universe);
+  void UnionWith(LazyRowSet other, std::size_t universe);
+  void ComplementWithin(std::size_t universe);
 };
 
 /// Inputs at least this dense (combined size * kDenseDivisor >= universe)

@@ -33,11 +33,18 @@ struct ExecStats {
   std::size_t index_lookups = 0;  ///< hash/sorted/ngram probes
   std::size_t rows_verified = 0;  ///< per-row predicate checks
   std::size_t full_scans = 0;     ///< predicates that fell back to scanning
+  /// Block-at-a-time work (vectorized path only): rows entering residual
+  /// filters and 1024-row blocks actually evaluated (all-zero selection
+  /// masks are skipped without touching their predicates).
+  std::size_t rows_visited = 0;
+  std::size_t blocks_visited = 0;
 
   ExecStats& operator+=(const ExecStats& other) {
     index_lookups += other.index_lookups;
     rows_verified += other.rows_verified;
     full_scans += other.full_scans;
+    rows_visited += other.rows_visited;
+    blocks_visited += other.blocks_visited;
     return *this;
   }
 };

@@ -85,6 +85,7 @@ RowId ColumnStore::Append(const Record& record) {
     }
 
     if (!numeric) {
+      const auto span_begin = static_cast<std::uint32_t>(col.elem_codes.size());
       // Pre-tokenize: a TextList cell contributes its trimmed non-empty
       // ';'-members, a categorical cell its single verbatim value. This is
       // the one place list splitting happens; probes read code spans.
@@ -102,6 +103,12 @@ RowId ColumnStore::Append(const Record& record) {
       }
       col.elem_offsets.push_back(
           static_cast<std::uint32_t>(col.elem_codes.size()));
+      // First intern of a distinct value (dict just grew): remember its
+      // element span — every later row with this code repeats it exactly.
+      if (col.dict_spans.size() < col.dict.size()) {
+        col.dict_spans.emplace_back(
+            span_begin, static_cast<std::uint32_t>(col.elem_codes.size()));
+      }
     }
   }
   ++num_rows_;

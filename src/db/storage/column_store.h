@@ -83,6 +83,27 @@ class ColumnStore {
     return cols_[attr].codes[row];
   }
 
+  /// The whole per-row code vector of a column (kNullCode at NULL rows) —
+  /// the block kernels stream this directly instead of per-row dict_code
+  /// calls.
+  const std::vector<std::uint32_t>& code_column(std::size_t attr) const {
+    return cols_[attr].codes;
+  }
+
+  /// Element-code span of one DISTINCT cell value: rows sharing a
+  /// dictionary code share the exact element sequence (elements derive
+  /// only from the cell's text), recorded once when the value is first
+  /// interned. Lets predicate evaluation build per-distinct-cell match
+  /// tables in O(dictionary) instead of walking per-row spans. Only text
+  /// columns have spans; `code` must be a real code (not kNullCode).
+  std::pair<const std::uint32_t*, const std::uint32_t*> DictElementSpan(
+      std::size_t attr, std::uint32_t code) const {
+    const Column& col = cols_[attr];
+    const auto& span = col.dict_spans[code];
+    const std::uint32_t* base = col.elem_codes.data();
+    return {base + span.first, base + span.second};
+  }
+
   /// Distinct cell values of a column, in first-appearance order.
   const std::vector<Value>& dictionary(std::size_t attr) const {
     return cols_[attr].dict;
@@ -145,6 +166,9 @@ class ColumnStore {
     std::unordered_map<std::string, std::uint32_t> elem_lookup;
     std::vector<std::uint32_t> elem_codes;    ///< pooled spans
     std::vector<std::uint32_t> elem_offsets;  ///< size num_rows+1
+    /// Per DICTIONARY code: [begin, end) into elem_codes of the element
+    /// sequence every row with that code shares (captured at first intern).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> dict_spans;
 
     // Numeric columns: packed scan layout.
     std::vector<double> packed;  ///< NaN at NULL rows
