@@ -39,14 +39,38 @@ inline void PrintRule() {
   std::printf("---------------------------------------------------------------\n");
 }
 
+/// Schema version of the BENCH_*.json artifacts. Bump when a field is
+/// renamed or its meaning changes, so downstream perf-trajectory tooling
+/// can tell incompatible artifacts apart instead of silently misreading.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
+/// The `git describe` of the sources these benches were configured from
+/// (stamped by CMake; "unknown" outside a git checkout).
+inline const char* BenchGitDescribe() {
+#ifdef CQADS_GIT_DESCRIBE
+  return CQADS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Flat-object JSON emitter for the CI perf artifacts: every bench writes
 /// one BENCH_<name>.json into the working directory so the workflow can
 /// upload the perf trajectory per commit. Numbers print with enough
 /// precision to diff; strings are assumed not to need escaping (bench
 /// labels only).
+///
+/// Every artifact is stamped with `bench`, `bench_schema_version`, and
+/// `git_describe` up front — benches only add their measurements, so the
+/// provenance fields cannot drift apart across bench binaries.
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    Add("bench", name_);
+    Add("bench_schema_version", static_cast<std::size_t>(
+                                    kBenchJsonSchemaVersion));
+    Add("git_describe", std::string(BenchGitDescribe()));
+  }
 
   void Add(const std::string& key, double value) {
     char buf[64];

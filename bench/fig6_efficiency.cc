@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "core/ask_types.h"
+#include "core/cqads_engine.h"
 #include "eval/experiments.h"
 
 int main(int argc, char** argv) {
@@ -93,15 +94,46 @@ int main(int argc, char** argv) {
   const double scalar_secs = ask_all(&scalar_answers);
   world->mutable_engine().SetOptions(planner_options);
 
+  // Persistent-snapshot parity: save the engine, boot a second engine from
+  // the file (mmap + zero-copy adoption), and serve the whole stream from
+  // it. Any byte difference vs the freshly built engine is a serde bug.
+  const std::string snap_path = "BENCH_fig6_parity.snap";
+  std::vector<std::string> snapshot_answers;
+  double snapshot_secs = 0.0;
+  {
+    Status st = world->engine().SaveSnapshot(snap_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    auto reloaded = core::CqadsEngine::OpenSnapshot(snap_path);
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   reloaded.status().ToString().c_str());
+      return 1;
+    }
+    auto start = Clock::now();
+    for (const auto& [domain, text] : stream) {
+      auto r = reloaded.value()->AskInDomain(domain, text);
+      snapshot_answers.push_back(
+          r.ok() ? core::CanonicalAskResultString(r.value()) : "ERROR");
+    }
+    snapshot_secs = std::chrono::duration<double>(Clock::now() - start).count();
+    std::remove(snap_path.c_str());
+  }
+
   std::size_t mismatches = 0;
   std::size_t partitioned_mismatches = 0;
   std::size_t substrate_mismatches = 0;
   std::size_t vector_mismatches = 0;
+  std::size_t snapshot_mismatches = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     if (seed_answers[i] != planned_answers[i]) ++mismatches;
     if (seed_answers[i] != partitioned_answers[i]) ++partitioned_mismatches;
     if (seed_answers[i] != legacy_answers[i]) ++substrate_mismatches;
     if (seed_answers[i] != scalar_answers[i]) ++vector_mismatches;
+    if (seed_answers[i] != snapshot_answers[i]) ++snapshot_mismatches;
   }
 
   bench::PrintHeader("planner vs seed executor (full ask path)");
@@ -117,11 +149,13 @@ int main(int argc, char** argv) {
               stream.size() / legacy_secs, seed_secs / legacy_secs);
   std::printf("scalar (no vec kernels) : %8.1f q/s   speedup %.2fx\n",
               stream.size() / scalar_secs, seed_secs / scalar_secs);
+  std::printf("reloaded snapshot       : %8.1f q/s   speedup %.2fx\n",
+              stream.size() / snapshot_secs, seed_secs / snapshot_secs);
   std::printf(
       "canonical answer mismatches: planner=%zu partitioned=%zu "
-      "substrate=%zu vector=%zu\n",
+      "substrate=%zu vector=%zu snapshot=%zu\n",
       mismatches, partitioned_mismatches, substrate_mismatches,
-      vector_mismatches);
+      vector_mismatches, snapshot_mismatches);
 
   // ---- the paper figure ----------------------------------------------
   auto result = eval::RunEfficiency(*world, questions, 661);
@@ -148,23 +182,25 @@ int main(int argc, char** argv) {
   json.Add("partitioned_qps", stream.size() / partitioned_secs);
   json.Add("legacy_substrate_qps", stream.size() / legacy_secs);
   json.Add("scalar_kernels_qps", stream.size() / scalar_secs);
+  json.Add("snapshot_qps", stream.size() / snapshot_secs);
   json.Add("planner_mismatches", mismatches);
   json.Add("partitioned_mismatches", partitioned_mismatches);
   json.Add("substrate_mismatches", substrate_mismatches);
   json.Add("vector_mismatches", vector_mismatches);
+  json.Add("snapshot_mismatches", snapshot_mismatches);
   for (const auto& [name, ms] : result.avg_ms) {
     json.Add("avg_ms_" + name, ms);
   }
   json.Write();
 
   if (mismatches + partitioned_mismatches + substrate_mismatches +
-          vector_mismatches >
+          vector_mismatches + snapshot_mismatches >
       0) {
     std::printf(
         "FAIL: answers differ from the seed executor (planner=%zu, "
-        "partitioned=%zu, substrate=%zu, vector=%zu)\n",
+        "partitioned=%zu, substrate=%zu, vector=%zu, snapshot=%zu)\n",
         mismatches, partitioned_mismatches, substrate_mismatches,
-        vector_mismatches);
+        vector_mismatches, snapshot_mismatches);
     return 1;
   }
   return 0;

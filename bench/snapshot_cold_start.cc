@@ -1,0 +1,190 @@
+// Cold start: booting from a persistent snapshot vs rebuilding from source
+// data. The snapshot path is open()+mmap()+adopt — no datagen, no lexicon
+// compile, no index build, no classifier training — so it should be orders
+// of magnitude faster. CI runs --quick and gates a conservative ≥5x floor
+// (the measured margin is far larger; the floor only guards regressions
+// against runner noise).
+//
+// Methodology: build the world once and save a snapshot; then time
+//   (a) full rebuild: World::Build (datagen -> lexicon -> indexes ->
+//       classifier) + first 100 answers,
+//   (b) snapshot boot: CqadsEngine::OpenSnapshot + the same 100 answers.
+// Where permitted, the snapshot's pages are dropped from the page cache
+// (posix_fadvise DONTNEED) before the timed open, so (b) pays real I/O,
+// not a warm-cache replay. Both paths answer the identical question list
+// and the answers are canonical-byte-compared (exit non-zero on mismatch).
+//
+// Usage: snapshot_cold_start [--quick]
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ask_types.h"
+#include "core/cqads_engine.h"
+#include "datagen/world.h"
+#include "eval/experiments.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-effort page-cache eviction for the snapshot file. Needs no
+/// privileges (unlike drop_caches); a failure only makes the cold-start
+/// number more conservative, so it is ignored.
+void DropCaches(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqads;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  datagen::WorldOptions options;
+  options.seed = 20111130;
+  options.ads_per_domain = quick ? 200 : 500;
+  options.sessions_per_domain = quick ? 600 : 1500;
+  options.corpus_docs_per_domain = quick ? 60 : 150;
+
+  // ---- one untimed build: the snapshot source and the question list -----
+  const std::string path = "BENCH_snapshot_cold_start.snap";
+  std::vector<std::pair<std::string, std::string>> stream;  // domain, text
+  {
+    auto source = datagen::World::Build(options);
+    if (!source.ok()) {
+      std::fprintf(stderr, "world build failed: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    Status st = source.value()->engine().SaveSnapshot(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto questions =
+        eval::GenerateSurveyQuestions(*source.value(), 20, 14, 660);
+    for (const auto& [domain, qs] : questions) {
+      for (const auto& q : qs) {
+        if (stream.size() >= 100) break;
+        stream.emplace_back(domain, q.text);
+      }
+    }
+  }  // the source world is freed here: both timed paths start from nothing
+
+  // ---- (a) full rebuild + first 100 answers -----------------------------
+  std::vector<std::string> rebuild_answers;
+  const auto rebuild_start = Clock::now();
+  double rebuild_first_secs = 0.0;
+  {
+    auto world = datagen::World::Build(options);
+    if (!world.ok()) {
+      std::fprintf(stderr, "rebuild failed\n");
+      return 1;
+    }
+    bool first = true;
+    for (const auto& [domain, text] : stream) {
+      auto r = world.value()->engine().AskInDomain(domain, text);
+      rebuild_answers.push_back(
+          r.ok() ? core::CanonicalAskResultString(r.value()) : "ERROR");
+      if (first) {
+        rebuild_first_secs = SecondsSince(rebuild_start);
+        first = false;
+      }
+    }
+  }
+  const double rebuild_secs = SecondsSince(rebuild_start);
+
+  // ---- (b) snapshot open + the same 100 answers -------------------------
+  DropCaches(path);
+  std::vector<std::string> snapshot_answers;
+  const auto open_start = Clock::now();
+  double open_secs = 0.0, snapshot_first_secs = 0.0;
+  {
+    auto engine = core::CqadsEngine::OpenSnapshot(path);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    open_secs = SecondsSince(open_start);
+    bool first = true;
+    for (const auto& [domain, text] : stream) {
+      auto r = engine.value()->AskInDomain(domain, text);
+      snapshot_answers.push_back(
+          r.ok() ? core::CanonicalAskResultString(r.value()) : "ERROR");
+      if (first) {
+        snapshot_first_secs = SecondsSince(open_start);
+        first = false;
+      }
+    }
+  }
+  const double snapshot_secs = SecondsSince(open_start);
+
+  // ---- parity gate ------------------------------------------------------
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (rebuild_answers[i] != snapshot_answers[i]) ++mismatches;
+  }
+
+  // Cold start = time to the FIRST answer (the metric a restarting serving
+  // process cares about); the 100-question tail shows steady-state parity.
+  const double speedup_first = rebuild_first_secs / snapshot_first_secs;
+  const double speedup_total = rebuild_secs / snapshot_secs;
+
+  bench::PrintHeader("snapshot cold start vs full rebuild");
+  std::printf("questions                : %zu\n", stream.size());
+  std::printf("rebuild -> first answer  : %8.3f s\n", rebuild_first_secs);
+  std::printf("snapshot open            : %8.4f s\n", open_secs);
+  std::printf("snapshot -> first answer : %8.4f s   speedup %.1fx\n",
+              snapshot_first_secs, speedup_first);
+  std::printf("rebuild total (100 q)    : %8.3f s\n", rebuild_secs);
+  std::printf("snapshot total (100 q)   : %8.3f s   speedup %.1fx\n",
+              snapshot_secs, speedup_total);
+  std::printf("canonical mismatches     : %zu\n", mismatches);
+
+  bench::BenchJson json("snapshot");
+  json.Add("questions", stream.size());
+  json.Add("rebuild_first_answer_secs", rebuild_first_secs);
+  json.Add("snapshot_open_secs", open_secs);
+  json.Add("snapshot_first_answer_secs", snapshot_first_secs);
+  json.Add("rebuild_total_secs", rebuild_secs);
+  json.Add("snapshot_total_secs", snapshot_secs);
+  json.Add("cold_start_speedup", speedup_first);
+  json.Add("mismatches", mismatches);
+  json.Write();
+
+  std::remove(path.c_str());
+
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu canonical answer mismatches between snapshot "
+                 "and rebuilt engines\n",
+                 mismatches);
+    return 1;
+  }
+  // Conservative CI floor: the acceptance target is >=10x; gate at 5x so
+  // runner noise cannot flake the job while a real regression still fails.
+  if (speedup_first < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: cold-start speedup %.1fx is below the 5x floor\n",
+                 speedup_first);
+    return 1;
+  }
+  std::printf("cold-start floor (>=5x): PASS\n");
+  return 0;
+}

@@ -19,6 +19,10 @@
 #include "classify/beta_binomial.h"
 #include "text/token.h"
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::classify {
 
 /// Tokenize + stopword-drop + Porter-stem, the feature pipeline used for
@@ -75,6 +79,8 @@ class QuestionClassifier {
   std::size_t vocabulary_size() const { return vocab_.size(); }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   struct ClassModel {
     double log_prior = 0.0;
     // Multinomial: log P(w|c) with Laplace smoothing.

@@ -1,0 +1,92 @@
+// Owning-or-view array of trivially-copyable elements: the storage type
+// behind every large read-side POD array that a persistent snapshot can
+// adopt zero-copy (trie node/edge arrays, CSR similarity rows, column code
+// vectors, packed doubles, null bitmaps).
+//
+// Two modes, one read API:
+//   * OWNING (the build side): wraps a std::vector<T>. Builders mutate
+//     through vec()/push_back exactly as before; freezing is implicit —
+//     the engine snapshot layer already guarantees structures stop mutating
+//     before they are shared.
+//   * VIEW (the mapped side): points into an externally-owned buffer —
+//     in practice a snapshot::MappedArena — and keeps that owner alive
+//     through a shared_ptr<const void>, the same aliasing-ownership pattern
+//     DomainRuntime uses for its components. No bytes are copied; N serving
+//     processes mapping one snapshot file share the physical pages.
+//
+// The read API mirrors const std::vector<T> (data/size/operator[]/begin/
+// end/empty/back), so swapping a member from std::vector<T> to PodVec<T>
+// leaves const consumers untouched. Iterators are raw pointers.
+//
+// Thread-safety: const methods are safe concurrently; mutation must stop
+// before sharing (unchanged from the std::vector members this replaces).
+#ifndef CQADS_COMMON_POD_VEC_H_
+#define CQADS_COMMON_POD_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cqads::common {
+
+template <typename T>
+class PodVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PodVec holds raw bytes; T must be trivially copyable");
+
+ public:
+  PodVec() = default;
+  /*implicit*/ PodVec(std::vector<T> v) : own_(std::move(v)) {}  // NOLINT
+
+  PodVec(PodVec&&) = default;
+  PodVec& operator=(PodVec&&) = default;
+  PodVec(const PodVec&) = default;
+  PodVec& operator=(const PodVec&) = default;
+
+  /// A zero-copy view of `size` elements at `data`, keeping `owner` (the
+  /// mapped arena) alive for the view's lifetime. `data` must be suitably
+  /// aligned for T — the snapshot reader validates alignment before
+  /// constructing views.
+  static PodVec View(const T* data, std::size_t size,
+                     std::shared_ptr<const void> owner) {
+    PodVec v;
+    v.view_ = data;
+    v.view_size_ = size;
+    v.owner_ = std::move(owner);
+    return v;
+  }
+
+  bool is_view() const { return view_ != nullptr; }
+
+  // --- read API (both modes) --------------------------------------------
+  const T* data() const { return view_ ? view_ : own_.data(); }
+  std::size_t size() const { return view_ ? view_size_ : own_.size(); }
+  bool empty() const { return size() == 0; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+  const T& back() const { return data()[size() - 1]; }
+  const T& front() const { return data()[0]; }
+
+  // --- build-side mutation (owning mode only) ---------------------------
+  /// The underlying vector, for builders. Must not be called on a view.
+  std::vector<T>& vec() {
+    assert(view_ == nullptr && "mutating a mapped PodVec view");
+    return own_;
+  }
+  void push_back(const T& v) { vec().push_back(v); }
+  void reserve(std::size_t n) { vec().reserve(n); }
+
+ private:
+  std::vector<T> own_;
+  const T* view_ = nullptr;
+  std::size_t view_size_ = 0;
+  std::shared_ptr<const void> owner_;
+};
+
+}  // namespace cqads::common
+
+#endif  // CQADS_COMMON_POD_VEC_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,9 @@ enum class StatusCode {
   /// Admission control shed the request: the serving queue was saturated
   /// and executing it would only have made every queued request late.
   kOverloaded,
+  /// Stored bytes failed validation (bad magic, checksum mismatch,
+  /// truncation, out-of-bounds encoding) — the artifact is unusable.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -68,6 +71,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -55,6 +55,19 @@ void CqadsEngine::SetWordSimilarity(const wordsim::WsMatrix* ws) {
   SwapSnapshotLocked();
 }
 
+Status CqadsEngine::SaveSnapshot(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builder_.SaveSnapshot(path);
+}
+
+Result<std::unique_ptr<CqadsEngine>> CqadsEngine::OpenSnapshot(
+    const std::string& path) {
+  auto builder = EngineBuilder::OpenSnapshot(path);
+  if (!builder.ok()) return builder.status();
+  return std::unique_ptr<CqadsEngine>(
+      new CqadsEngine(std::move(builder).value()));
+}
+
 void CqadsEngine::SetOptions(Options options) {
   std::lock_guard<std::mutex> lock(mu_);
   builder_.set_options(options);

@@ -82,6 +82,20 @@ class CqadsEngine {
   /// Shared word-correlation matrix for Feat_Sim. Must outlive the engine.
   void SetWordSimilarity(const wordsim::WsMatrix* ws);
 
+  // --- persistent snapshots ----------------------------------------------
+
+  /// Serializes the complete built state into one relocatable mmap-format
+  /// file (EngineBuilder::SaveSnapshot). Fails with FailedPrecondition when
+  /// any domain has a pending ingest delta — CompactDomain first.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Boots an engine from a SaveSnapshot file in near O(1): large POD
+  /// arrays are adopted zero-copy out of a shared read-only mapping. N
+  /// processes opening the same file share its page-cache pages. Answers
+  /// are byte-identical to the engine that saved the file.
+  static Result<std::unique_ptr<CqadsEngine>> OpenSnapshot(
+      const std::string& path);
+
   /// Replaces the engine-wide knobs and swaps in a fresh snapshot (cheap:
   /// domain runtimes are shared). The version bump means prepared-cache
   /// entries — including memoized plans — parsed under the old options are
@@ -140,6 +154,10 @@ class CqadsEngine {
   std::vector<std::string> Domains() const;
 
  private:
+  /// Adopts a loaded builder (the OpenSnapshot path).
+  explicit CqadsEngine(EngineBuilder builder)
+      : builder_(std::move(builder)), snapshot_(builder_.Build()) {}
+
   /// Rebuilds the snapshot from the builder. Caller holds mu_.
   void SwapSnapshotLocked();
 

@@ -26,6 +26,10 @@
 #include "trie/flat_trie.h"
 #include "trie/keyword_trie.h"
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::core {
 
 class DomainLexicon {
@@ -75,6 +79,12 @@ class DomainLexicon {
   std::vector<std::string> ValuesOf(std::size_t attr) const;
 
  private:
+  /// Snapshot serde restores terms_/flat_trie_/entries_/categorical_values_
+  /// directly, rewires schema_ to the loaded table, and rebuilds the
+  /// pointer trie_ from the flat trie (FindShorthand walks trie_ at serve
+  /// time, so it cannot stay empty).
+  friend struct cqads::snapshot::SerdeAccess;
+
   DomainLexicon() = default;
 
   std::int32_t AddEntry(TaggedItem item);

@@ -246,6 +246,7 @@ EngineSnapshot::Ptr EngineBuilder::Build() {
   snap->classifier_ = classifier_;
   snap->classifier_trained_ = classifier_trained_;
   snap->ws_ = ws_;
+  snap->owned_ws_ = owned_ws_;
   return snap;
 }
 

@@ -49,6 +49,10 @@
 #include "text/token.h"
 #include "wordsim/ws_matrix.h"
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::core {
 
 /// Everything the engine keeps per registered domain. Immutable once the
@@ -142,6 +146,10 @@ class EngineSnapshot {
   classify::QuestionClassifier classifier_;
   bool classifier_trained_ = false;
   const wordsim::WsMatrix* ws_ = nullptr;
+  /// Set when the WS matrix is engine-owned (loaded from a persistent
+  /// snapshot) rather than caller-owned: keeps ws_ alive for this
+  /// snapshot's lifetime.
+  std::shared_ptr<const wordsim::WsMatrix> owned_ws_;
 };
 
 /// Accumulates domains, classifier training, and the ingest deltas, then
@@ -186,7 +194,33 @@ class EngineBuilder {
 
   /// Shared word-correlation matrix for Feat_Sim. Must outlive every
   /// snapshot built afterwards.
-  void SetWordSimilarity(const wordsim::WsMatrix* ws) { ws_ = ws; }
+  void SetWordSimilarity(const wordsim::WsMatrix* ws) {
+    ws_ = ws;
+    owned_ws_.reset();
+  }
+
+  /// Owned variant: the builder (and every snapshot built afterwards) keeps
+  /// the matrix alive. Used by the persistent-snapshot load path, where
+  /// there is no caller-owned matrix to point at.
+  void SetWordSimilarityOwned(std::shared_ptr<const wordsim::WsMatrix> ws) {
+    owned_ws_ = std::move(ws);
+    ws_ = owned_ws_.get();
+  }
+
+  // --- persistent snapshots (src/snapshot/engine_io.cc) ------------------
+
+  /// Serializes the complete built state (domains, classifier, WS matrix,
+  /// options) into one relocatable mmap-format file. Fails with
+  /// FailedPrecondition when any domain has a pending ingest delta —
+  /// compact first; a snapshot always represents a fully-merged base.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Reloads a SaveSnapshot file via mmap: large POD arrays (trie nodes,
+  /// CSR rows, column codes/doubles/bitmaps/postings) are adopted zero-copy
+  /// out of the shared read-only mapping; string dictionaries are
+  /// materialized once per open. The returned builder owns everything it
+  /// serves from (tables, lexicons, WS matrix) plus the mapping itself.
+  static Result<EngineBuilder> OpenSnapshot(const std::string& path);
 
   /// Labelled ad texts of every registered domain (exposed so benches can
   /// train alternative classifiers on identical data).
@@ -219,6 +253,8 @@ class EngineBuilder {
   }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   /// Builds a full runtime around `table` (every component fresh).
   Result<std::shared_ptr<DomainRuntime>> MakeRuntime(
       const db::Table* table, std::shared_ptr<const db::Table> owned,
@@ -239,6 +275,9 @@ class EngineBuilder {
   classify::QuestionClassifier classifier_;
   bool classifier_trained_ = false;
   const wordsim::WsMatrix* ws_ = nullptr;
+  /// Engine-owned WS matrix (persistent-snapshot load path); null when the
+  /// caller owns the matrix via SetWordSimilarity.
+  std::shared_ptr<const wordsim::WsMatrix> owned_ws_;
 };
 
 }  // namespace cqads::core

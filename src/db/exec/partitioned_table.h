@@ -28,6 +28,10 @@
 #include "common/status.h"
 #include "db/table.h"
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::db::exec {
 
 class PartitionedTable {
@@ -49,6 +53,8 @@ class PartitionedTable {
   RowId base_of(std::size_t p) const { return bases_[p]; }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   PartitionedTable() = default;
 
   const Table* base_ = nullptr;

@@ -12,13 +12,14 @@ double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
 }  // namespace
 
-Histogram Histogram::Build(const std::vector<double>& values,
+Histogram Histogram::Build(const double* values, std::size_t count,
                            std::size_t buckets) {
   Histogram hist;
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   std::uint64_t n = 0;
-  for (double v : values) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = values[i];
     if (std::isnan(v)) continue;
     lo = std::min(lo, v);
     hi = std::max(hi, v);
@@ -30,7 +31,8 @@ Histogram Histogram::Build(const std::vector<double>& values,
   hist.total = n;
   hist.counts.assign(std::max<std::size_t>(1, buckets), 0);
   const double width = hi - lo;
-  for (double v : values) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = values[i];
     if (std::isnan(v)) continue;
     std::size_t b = 0;
     if (width > 0.0) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/pod_vec.h"
 #include "db/query.h"
 #include "db/schema.h"
 #include "db/storage/column_store.h"
@@ -27,9 +28,18 @@ struct Histogram {
   std::uint64_t total = 0;  ///< non-null values histogrammed
 
   /// Builds from raw values (NaNs — the packed-column null marker — are
-  /// skipped).
-  static Histogram Build(const std::vector<double>& values,
+  /// skipped). Pointer+count form so callers can pass any contiguous
+  /// layout (std::vector, PodVec, a mapped span).
+  static Histogram Build(const double* values, std::size_t count,
                          std::size_t buckets = kDefaultBuckets);
+  static Histogram Build(const std::vector<double>& values,
+                         std::size_t buckets = kDefaultBuckets) {
+    return Build(values.data(), values.size(), buckets);
+  }
+  static Histogram Build(const common::PodVec<double>& values,
+                         std::size_t buckets = kDefaultBuckets) {
+    return Build(values.data(), values.size(), buckets);
+  }
 
   /// Estimated fraction of values falling in [range_lo, range_hi], with
   /// linear interpolation inside partially-covered edge buckets. In [0,1].

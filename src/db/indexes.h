@@ -12,6 +12,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::db {
 
 using RowId = std::uint32_t;
@@ -35,6 +39,7 @@ class HashIndex {
   std::size_t key_count() const { return postings_.size(); }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
   std::unordered_map<std::string, RowSet> postings_;
 };
 
@@ -54,6 +59,7 @@ class SortedIndex {
   bool empty() const { return entries_.empty(); }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
   std::vector<std::pair<double, RowId>> entries_;
   bool sealed_ = false;
 };
@@ -79,6 +85,7 @@ class NGramIndex {
   std::size_t gram_count() const { return postings_.size(); }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
   std::unordered_map<std::string, RowSet> postings_;
 };
 

@@ -1,5 +1,6 @@
 #include "db/storage/column_store.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -66,16 +67,21 @@ std::uint32_t ColumnStore::InternElement(Column* col, std::string element) {
 }
 
 RowId ColumnStore::Append(const Record& record) {
+  // A store restored from a mapped snapshot has view-mode columns and no
+  // intern tables; Table::Insert guards this with a FailedPrecondition
+  // before ever reaching here.
+  assert(!frozen_ && "Append on a snapshot-loaded (frozen) ColumnStore");
   const RowId row = static_cast<RowId>(num_rows_);
   for (std::size_t a = 0; a < cols_.size(); ++a) {
     Column& col = cols_[a];
     const Value& v = record[a];
     const bool numeric = kinds_[a] == DataKind::kNumeric;
 
-    if (col.null_bits.size() * 64 <= row) col.null_bits.push_back(0);
+    auto& null_bits = col.null_bits.vec();
+    if (null_bits.size() * 64 <= row) null_bits.push_back(0);
     if (v.is_null()) {
       col.codes.push_back(kNullCode);
-      col.null_bits[row / 64] |= std::uint64_t{1} << (row % 64);
+      null_bits[row / 64] |= std::uint64_t{1} << (row % 64);
       if (numeric) {
         col.packed.push_back(std::numeric_limits<double>::quiet_NaN());
       }
@@ -106,8 +112,8 @@ RowId ColumnStore::Append(const Record& record) {
       // First intern of a distinct value (dict just grew): remember its
       // element span — every later row with this code repeats it exactly.
       if (col.dict_spans.size() < col.dict.size()) {
-        col.dict_spans.emplace_back(
-            span_begin, static_cast<std::uint32_t>(col.elem_codes.size()));
+        col.dict_spans.push_back(DictSpan{
+            span_begin, static_cast<std::uint32_t>(col.elem_codes.size())});
       }
     }
   }

@@ -32,9 +32,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/pod_vec.h"
 #include "db/indexes.h"
 #include "db/schema.h"
 #include "db/value.h"
+
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
 
 namespace cqads::db {
 
@@ -86,7 +91,7 @@ class ColumnStore {
   /// The whole per-row code vector of a column (kNullCode at NULL rows) —
   /// the block kernels stream this directly instead of per-row dict_code
   /// calls.
-  const std::vector<std::uint32_t>& code_column(std::size_t attr) const {
+  const common::PodVec<std::uint32_t>& code_column(std::size_t attr) const {
     return cols_[attr].codes;
   }
 
@@ -101,7 +106,7 @@ class ColumnStore {
     const Column& col = cols_[attr];
     const auto& span = col.dict_spans[code];
     const std::uint32_t* base = col.elem_codes.data();
-    return {base + span.first, base + span.second};
+    return {base + span.begin, base + span.end};
   }
 
   /// Distinct cell values of a column, in first-appearance order.
@@ -139,7 +144,7 @@ class ColumnStore {
 
   /// Packed values of a numeric column (NaN at NULL rows). Empty for text
   /// columns.
-  const std::vector<double>& numeric_column(std::size_t attr) const {
+  const common::PodVec<double>& numeric_column(std::size_t attr) const {
     return cols_[attr].packed;
   }
 
@@ -148,30 +153,47 @@ class ColumnStore {
   }
 
   /// Word of the column's null bitmap (bit r%64 of word r/64 set = NULL).
-  const std::vector<std::uint64_t>& null_bitmap(std::size_t attr) const {
+  const common::PodVec<std::uint64_t>& null_bitmap(std::size_t attr) const {
     return cols_[attr].null_bits;
   }
 
+  /// True once the store has been restored from a mapped snapshot: the
+  /// per-column intern tables (dict_lookup/elem_lookup) are not rebuilt, so
+  /// Append is forbidden. Ingest goes through DeltaStore heap generations.
+  bool frozen() const { return frozen_; }
+
+  /// Element-code span of one distinct dictionary entry, as a POD struct
+  /// (std::pair is not trivially copyable, so spans could not be written
+  /// verbatim into snapshots).
+  struct DictSpan {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   struct Column {
     std::vector<Value> dict;              ///< distinct values, stable order
     std::vector<std::string> rendered;    ///< canonical text (numeric cols)
     std::unordered_map<std::string, std::uint32_t> dict_lookup;
-    std::vector<std::uint32_t> codes;     ///< per row; kNullCode = NULL
-    std::vector<std::uint64_t> null_bits; ///< 1 bit per row, 1 = NULL
+    // PodVec members: heap-owned while appending, zero-copy views into a
+    // mapped snapshot after a load.
+    common::PodVec<std::uint32_t> codes;     ///< per row; kNullCode = NULL
+    common::PodVec<std::uint64_t> null_bits; ///< 1 bit per row, 1 = NULL
 
     // Text columns: pre-tokenized elements.
     std::vector<std::string> elem_dict;
     std::vector<std::string> elem_norms;  ///< NormalizeForShorthand per entry
     std::unordered_map<std::string, std::uint32_t> elem_lookup;
-    std::vector<std::uint32_t> elem_codes;    ///< pooled spans
-    std::vector<std::uint32_t> elem_offsets;  ///< size num_rows+1
+    common::PodVec<std::uint32_t> elem_codes;    ///< pooled spans
+    common::PodVec<std::uint32_t> elem_offsets;  ///< size num_rows+1
     /// Per DICTIONARY code: [begin, end) into elem_codes of the element
     /// sequence every row with that code shares (captured at first intern).
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> dict_spans;
+    common::PodVec<DictSpan> dict_spans;
 
     // Numeric columns: packed scan layout.
-    std::vector<double> packed;  ///< NaN at NULL rows
+    common::PodVec<double> packed;  ///< NaN at NULL rows
   };
 
   std::uint32_t InternValue(Column* col, const Value& v, bool numeric);
@@ -180,6 +202,7 @@ class ColumnStore {
   std::vector<DataKind> kinds_;  ///< per-column physical kind
   std::vector<Column> cols_;
   std::size_t num_rows_ = 0;
+  bool frozen_ = false;
 };
 
 }  // namespace cqads::db

@@ -5,6 +5,11 @@
 namespace cqads::db {
 
 Result<RowId> Table::Insert(Record record) {
+  if (store_.frozen()) {
+    return Status::FailedPrecondition(
+        "table was loaded from a mapped snapshot and is read-only; "
+        "route new ads through DeltaStore ingest");
+  }
   CQADS_RETURN_NOT_OK(ValidateRecord(schema_, record));
   const RowId id = store_.Append(record);
   indexes_built_ = false;

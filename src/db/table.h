@@ -18,6 +18,10 @@
 #include "db/storage/column_store.h"
 #include "db/value.h"
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::db {
 
 class Table {
@@ -89,6 +93,8 @@ class Table {
   Result<std::pair<double, double>> NumericRange(std::size_t attr) const;
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   Schema schema_;
   ColumnStore store_;
   std::vector<HashIndex> hash_indexes_;      // per attribute (may be unused)

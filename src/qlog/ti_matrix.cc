@@ -77,19 +77,21 @@ TiMatrix TiMatrix::Build(const QueryLog& log) {
   // (first < second), and ids are lexicographic, so each row's neighbor
   // list comes out sorted without an extra sort.
   m.pair_count_ = m.features_.size();
-  m.row_begin_.assign(m.dict_.size() + 1, 0);
+  auto& row_begin = m.row_begin_.vec();
+  auto& neighbor = m.neighbor_.vec();
+  auto& sim_col = m.sim_.vec();
+  row_begin.assign(m.dict_.size() + 1, 0);
   for (const auto& [key, f] : m.features_) {
     (void)f;
-    ++m.row_begin_[m.dict_.Find(key.first) + 1];
-    ++m.row_begin_[m.dict_.Find(key.second) + 1];
+    ++row_begin[m.dict_.Find(key.first) + 1];
+    ++row_begin[m.dict_.Find(key.second) + 1];
   }
-  for (std::size_t i = 1; i < m.row_begin_.size(); ++i) {
-    m.row_begin_[i] += m.row_begin_[i - 1];
+  for (std::size_t i = 1; i < row_begin.size(); ++i) {
+    row_begin[i] += row_begin[i - 1];
   }
-  m.neighbor_.resize(m.row_begin_.back());
-  m.sim_.resize(m.row_begin_.back());
-  std::vector<std::uint32_t> fill(m.row_begin_.begin(),
-                                  m.row_begin_.end() - 1);
+  neighbor.resize(row_begin.back());
+  sim_col.resize(row_begin.back());
+  std::vector<std::uint32_t> fill(row_begin.begin(), row_begin.end() - 1);
   for (const auto& [key, f] : m.features_) {
     double sim = 0.0;
     if (max_mod > 0) sim += f.mod_count / max_mod;
@@ -107,10 +109,10 @@ TiMatrix TiMatrix::Build(const QueryLog& log) {
 
     const text::TermId a = m.dict_.Find(key.first);
     const text::TermId b = m.dict_.Find(key.second);
-    m.neighbor_[fill[a]] = b;
-    m.sim_[fill[a]++] = sim;
-    m.neighbor_[fill[b]] = a;
-    m.sim_[fill[b]++] = sim;
+    neighbor[fill[a]] = b;
+    sim_col[fill[a]++] = sim;
+    neighbor[fill[b]] = a;
+    sim_col[fill[b]++] = sim;
   }
   return m;
 }

@@ -29,8 +29,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/pod_vec.h"
 #include "qlog/query_log.h"
 #include "text/term_dict.h"
+
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
 
 namespace cqads::qlog {
 
@@ -102,15 +107,18 @@ class TiMatrix {
   std::vector<std::tuple<std::string, std::string, double>> AllPairs() const;
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   using Key = std::pair<std::string, std::string>;  // lexicographic order
   static Key MakeKey(std::string_view a, std::string_view b);
 
   text::TermDict dict_;
   /// CSR over value ids; per-row neighbors ascending (== lexicographic).
-  /// Each unordered pair is stored in both rows.
-  std::vector<std::uint32_t> row_begin_;
-  std::vector<text::TermId> neighbor_;
-  std::vector<double> sim_;
+  /// Each unordered pair is stored in both rows. PodVec: heap-built in
+  /// Build(), zero-copy mapped views when loaded from a snapshot.
+  common::PodVec<std::uint32_t> row_begin_;
+  common::PodVec<text::TermId> neighbor_;
+  common::PodVec<double> sim_;
   std::size_t pair_count_ = 0;
   /// Raw accumulators, kept string-keyed: Features()/diagnostics only.
   std::map<Key, PairFeatures> features_;

@@ -1,0 +1,224 @@
+// Byte-stream primitives of the snapshot format.
+//
+// ByteWriter appends into a growable buffer: little-endian scalars,
+// length-prefixed strings, and 64-byte-aligned POD arrays (the alignment
+// every adoptable array needs so a page-aligned mmap base yields correctly
+// aligned element pointers).
+//
+// ByteReader is the untrusted-input counterpart: every read is bounds-
+// checked against the section it was handed and fails with a DataLoss
+// Status instead of walking off the mapping — the corruption tests feed it
+// deliberately damaged bytes. ReadArray returns a pointer INTO the source
+// buffer (zero-copy); callers wrap it in a PodVec view that keeps the
+// mapped arena alive.
+#ifndef CQADS_SNAPSHOT_IO_H_
+#define CQADS_SNAPSHOT_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqads::snapshot {
+
+/// Alignment of adoptable arrays within a section (and of section payloads
+/// within the file). 64 covers every element type we store and keeps
+/// adopted arrays cache-line aligned.
+inline constexpr std::size_t kArrayAlign = 64;
+
+class ByteWriter {
+ public:
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<unsigned char>& buffer() const { return buf_; }
+  std::vector<unsigned char> TakeBuffer() { return std::move(buf_); }
+
+  void WriteBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  template <typename T>
+  void WritePod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(&v, sizeof(T));
+  }
+
+  void WriteU8(std::uint8_t v) { WritePod(v); }
+  void WriteU32(std::uint32_t v) { WritePod(v); }
+  void WriteU64(std::uint64_t v) { WritePod(v); }
+  void WriteDouble(double v) { WritePod(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    WriteBytes(s.data(), s.size());
+  }
+
+  /// Zero-pads to the next multiple of `align` (relative to buffer start;
+  /// sections are placed at kArrayAlign-multiple file offsets, so in-buffer
+  /// alignment carries over to the file and the mapping).
+  void AlignTo(std::size_t align) {
+    while (buf_.size() % align != 0) buf_.push_back(0);
+  }
+
+  /// Length-prefixed, kArrayAlign-aligned POD array — the adoptable layout.
+  template <typename T>
+  void WriteArray(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(count);
+    AlignTo(kArrayAlign);
+    WriteBytes(data, count * sizeof(T));
+  }
+
+  /// Unaligned length-prefixed POD array, for arrays that are COPIED at
+  /// load (index postings, attr ranges) — skips the 64-byte padding the
+  /// adoptable layout pays.
+  template <typename T>
+  void WritePacked(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(count);
+    WriteBytes(data, count * sizeof(T));
+  }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+
+  Status ReadBytes(void* out, std::size_t n) {
+    CQADS_RETURN_NOT_OK(Need(n));
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(out, sizeof(T));
+  }
+
+  Status ReadU8(std::uint8_t* out) { return ReadPod(out); }
+  Status ReadU32(std::uint32_t* out) { return ReadPod(out); }
+  Status ReadU64(std::uint64_t* out) { return ReadPod(out); }
+  Status ReadDouble(double* out) { return ReadPod(out); }
+  Status ReadBool(bool* out) {
+    std::uint8_t v = 0;
+    CQADS_RETURN_NOT_OK(ReadU8(&v));
+    if (v > 1) return Corrupt("bool field out of range");
+    *out = v != 0;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out) {
+    std::uint64_t n = 0;
+    CQADS_RETURN_NOT_OK(ReadU64(&n));
+    CQADS_RETURN_NOT_OK(Need(n));
+    out->assign(reinterpret_cast<const char*>(data_ + pos_),
+                static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return Status::OK();
+  }
+
+  Status SkipAlignment(std::size_t align) {
+    while (pos_ % align != 0) {
+      if (pos_ >= size_) return Corrupt("truncated inside alignment padding");
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  /// Zero-copy array read: validates the length prefix, alignment padding,
+  /// and bounds, then returns a pointer into the source buffer. `*count`
+  /// receives the element count. The pointed-at bytes live as long as the
+  /// buffer this reader was constructed over (the mapped arena).
+  template <typename T>
+  Status ReadArray(const T** out, std::size_t* count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t n = 0;
+    CQADS_RETURN_NOT_OK(ReadU64(&n));
+    CQADS_RETURN_NOT_OK(SkipAlignment(kArrayAlign));
+    if (n > (size_ - pos_) / sizeof(T)) {
+      return Corrupt("array length exceeds section bounds");
+    }
+    if (reinterpret_cast<std::uintptr_t>(data_ + pos_) % alignof(T) != 0) {
+      return Corrupt("array misaligned for element type");
+    }
+    *out = reinterpret_cast<const T*>(data_ + pos_);
+    *count = static_cast<std::size_t>(n);
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    return Status::OK();
+  }
+
+  /// Copying array read, for small arrays that stay heap-owned.
+  template <typename T>
+  Status ReadArrayCopy(std::vector<T>* out) {
+    const T* p = nullptr;
+    std::size_t n = 0;
+    CQADS_RETURN_NOT_OK(ReadArray(&p, &n));
+    out->assign(p, p + n);
+    return Status::OK();
+  }
+
+  /// Counterpart of WritePacked: bounds-checked copy of an unaligned array
+  /// (memcpy, so source alignment is irrelevant).
+  template <typename T>
+  Status ReadPacked(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::uint64_t n = 0;
+    CQADS_RETURN_NOT_OK(ReadU64(&n));
+    if (n > (size_ - pos_) / sizeof(T)) {
+      return Corrupt("array length exceeds section bounds");
+    }
+    out->resize(static_cast<std::size_t>(n));
+    if (n > 0) {
+      std::memcpy(out->data(), data_ + pos_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+    }
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
+    return Status::OK();
+  }
+
+  /// A length-guarded count for follow-up per-element loops: fails when
+  /// `count * min_element_bytes` cannot fit in the remaining bytes, so a
+  /// corrupted count cannot drive a multi-gigabyte allocation loop.
+  Status ReadCount(std::uint64_t* count, std::size_t min_element_bytes) {
+    CQADS_RETURN_NOT_OK(ReadU64(count));
+    const std::size_t min_bytes = min_element_bytes == 0 ? 1 : min_element_bytes;
+    if (*count > remaining() / min_bytes) {
+      return Corrupt("element count exceeds section bounds");
+    }
+    return Status::OK();
+  }
+
+  Status Corrupt(const std::string& what) const {
+    return Status::DataLoss("snapshot corrupt (" + context_ + " @" +
+                            std::to_string(pos_) + "): " + what);
+  }
+
+ private:
+  Status Need(std::uint64_t n) {
+    if (n > size_ - pos_) return Corrupt("truncated read");
+    return Status::OK();
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace cqads::snapshot
+
+#endif  // CQADS_SNAPSHOT_IO_H_

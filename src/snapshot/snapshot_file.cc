@@ -1,0 +1,276 @@
+#include "snapshot/snapshot_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "snapshot/xxhash64.h"
+
+namespace cqads::snapshot {
+
+namespace {
+
+std::uint64_t PadTo(std::uint64_t n, std::uint64_t align) {
+  return (n + align - 1) / align * align;
+}
+
+std::uint64_t HeaderChecksum(FileHeader h) {
+  h.header_checksum = 0;
+  return XxHash64(&h, sizeof(h));
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for '" + path +
+                          "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer ---
+
+void SnapshotFileWriter::AddSection(const std::string& name,
+                                    std::vector<unsigned char> payload) {
+  assert(name.size() <= kMaxSectionName && "section name too long");
+  for (const auto& [existing, bytes] : sections_) {
+    (void)bytes;
+    assert(existing != name && "duplicate section name");
+  }
+  sections_.emplace_back(name, std::move(payload));
+}
+
+Result<std::uint64_t> SnapshotFileWriter::Finish(const std::string& path) {
+  // Lay out: header, TOC, then payloads each starting at a kArrayAlign
+  // multiple so in-section array alignment carries through the mapping.
+  std::vector<SectionEntry> toc(sections_.size());
+  std::uint64_t cursor =
+      PadTo(sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry),
+            kArrayAlign);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const auto& [name, payload] = sections_[i];
+    SectionEntry& e = toc[i];
+    std::memset(&e, 0, sizeof(e));
+    std::memcpy(e.name, name.data(), name.size());
+    e.offset = cursor;
+    e.length = payload.size();
+    e.padded_length = PadTo(payload.size(), kArrayAlign);
+    cursor += e.padded_length;
+  }
+  const std::uint64_t file_size = cursor;
+
+  // Checksum payloads including their trailing zero padding, so every file
+  // byte is covered and padding tampering is detected too. The padding is
+  // materialized into the payload buffer first: XXH64 of the padded span
+  // must be one hash (seed-chaining is not concatenation-equivalent), and
+  // the padded buffer is what gets written anyway.
+  const std::vector<unsigned char> pad(kArrayAlign, 0);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    auto& payload = sections_[i].second;
+    payload.resize(static_cast<std::size_t>(toc[i].padded_length), 0);
+    toc[i].checksum = XxHash64(payload.data(), payload.size());
+  }
+
+  // The TOC checksum covers the SectionEntry block AND the zero padding up
+  // to the first section offset — otherwise that gap would be the one file
+  // region no checksum sees.
+  const std::size_t toc_bytes = toc.size() * sizeof(SectionEntry);
+  std::vector<unsigned char> toc_block(static_cast<std::size_t>(
+      PadTo(sizeof(FileHeader) + toc_bytes, kArrayAlign) -
+      sizeof(FileHeader)));
+  std::memcpy(toc_block.data(), toc.data(), toc_bytes);
+
+  FileHeader header{};
+  header.magic = kMagic;
+  header.endian_mark = kEndianMark;
+  header.format_version = kFormatVersion;
+  header.file_size = file_size;
+  header.toc_offset = sizeof(FileHeader);
+  header.section_count = sections_.size();
+  header.toc_checksum = XxHash64(toc_block.data(), toc_block.size());
+  header.header_checksum = HeaderChecksum(header);
+
+  // Write to a temp sibling then rename: opens never observe partial files.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Errno("fopen", tmp);
+  auto write_all = [&](const void* data, std::size_t n) {
+    return n == 0 || std::fwrite(data, 1, n, f) == n;
+  };
+  bool ok = write_all(&header, sizeof(header)) &&
+            write_all(toc.data(), toc.size() * sizeof(SectionEntry));
+  std::uint64_t written = sizeof(header) + toc.size() * sizeof(SectionEntry);
+  for (std::size_t i = 0; ok && i < sections_.size(); ++i) {
+    const std::uint64_t lead_pad = toc[i].offset - written;
+    ok = write_all(pad.data(), lead_pad) &&
+         write_all(sections_[i].second.data(), sections_[i].second.size());
+    written = toc[i].offset + toc[i].padded_length;
+  }
+  if (ok && written < file_size) {
+    ok = write_all(pad.data(), file_size - written);
+    written = file_size;
+  }
+  ok = ok && std::fflush(f) == 0;
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Errno("write", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Errno("rename", path);
+  }
+  return file_size;
+}
+
+// ----------------------------------------------------------------- arena ---
+
+MappedArena::~MappedArena() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+Result<std::shared_ptr<MappedArena>> MappedArena::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::DataLoss("snapshot '" + path + "' is empty");
+  }
+  // PROT_READ + MAP_SHARED: read-only pages shared across every process
+  // mapping this file — the multi-process serving story in one flag.
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                      MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) return Errno("mmap", path);
+  return std::shared_ptr<MappedArena>(
+      new MappedArena(addr, static_cast<std::size_t>(st.st_size)));
+}
+
+// ------------------------------------------------------------------ open ---
+
+Result<SnapshotFile> SnapshotFile::Open(const std::string& path,
+                                        const OpenOptions& options) {
+  auto arena_r = MappedArena::Map(path);
+  if (!arena_r.ok()) return arena_r.status();
+  std::shared_ptr<MappedArena> arena = std::move(arena_r).value();
+  const unsigned char* base = arena->data();
+  const std::size_t size = arena->size();
+  auto corrupt = [&](const std::string& what) {
+    return Status::DataLoss("snapshot '" + path + "': " + what);
+  };
+
+  if (size < sizeof(FileHeader)) {
+    return corrupt("file shorter than header (" + std::to_string(size) +
+                   " bytes)");
+  }
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+
+  if (header.magic != kMagic) {
+    // Distinguish the byte-swapped magic (a wrong-endian writer or a
+    // byte-swap-corrupted header) from arbitrary garbage.
+    std::uint64_t swapped = __builtin_bswap64(header.magic);
+    if (swapped == kMagic) {
+      return corrupt("magic is byte-swapped: written on an opposite-endian "
+                     "host; snapshots are not endian-portable");
+    }
+    return corrupt("bad magic (not a cqads snapshot)");
+  }
+  if (header.endian_mark != kEndianMark) {
+    return corrupt("endian mark mismatch: file written on an "
+                   "opposite-endian host");
+  }
+  if (header.format_version != kFormatVersion) {
+    return corrupt("format version skew: file is v" +
+                   std::to_string(header.format_version) +
+                   ", this build reads v" + std::to_string(kFormatVersion) +
+                   " — rebuild the snapshot");
+  }
+  if (HeaderChecksum(header) != header.header_checksum) {
+    return corrupt("header checksum mismatch");
+  }
+  if (header.file_size != size) {
+    return corrupt("size mismatch: header says " +
+                   std::to_string(header.file_size) + " bytes, file has " +
+                   std::to_string(size) + " (truncated or appended)");
+  }
+  if (header.toc_offset != sizeof(FileHeader)) {
+    return corrupt("unexpected TOC offset");
+  }
+  if (header.section_count >
+      (size - sizeof(FileHeader)) / sizeof(SectionEntry)) {
+    return corrupt("TOC extends past end of file");
+  }
+
+  const auto* toc =
+      reinterpret_cast<const SectionEntry*>(base + header.toc_offset);
+  const std::size_t toc_bytes = header.section_count * sizeof(SectionEntry);
+  // The checksum region runs to the first kArrayAlign boundary past the
+  // TOC, covering the zero gap before the first section payload.
+  const std::size_t toc_padded =
+      PadTo(sizeof(FileHeader) + toc_bytes, kArrayAlign) - sizeof(FileHeader);
+  if (toc_padded > size - sizeof(FileHeader)) {
+    return corrupt("TOC extends past end of file");
+  }
+  if (XxHash64(base + header.toc_offset, toc_padded) != header.toc_checksum) {
+    return corrupt("TOC checksum mismatch");
+  }
+
+  SnapshotFile file;
+  file.arena_ = std::move(arena);
+  file.header_ = header;
+  file.sections_.reserve(header.section_count);
+  for (std::uint64_t i = 0; i < header.section_count; ++i) {
+    const SectionEntry& e = toc[i];
+    if (e.name[kMaxSectionName] != '\0') {
+      return corrupt("section name not NUL-terminated");
+    }
+    if (e.offset % kArrayAlign != 0) {
+      return corrupt("section '" + std::string(e.name) + "' misaligned");
+    }
+    if (e.padded_length < e.length || e.offset > size ||
+        e.padded_length > size - e.offset) {
+      return corrupt("section '" + std::string(e.name) +
+                     "' extends past end of file");
+    }
+    if (options.verify_checksums &&
+        XxHash64(base + e.offset, e.padded_length) != e.checksum) {
+      return corrupt("section '" + std::string(e.name) +
+                     "' checksum mismatch");
+    }
+    file.sections_.push_back(Section{std::string(e.name), base + e.offset,
+                                     e.length, e.checksum, e.offset});
+  }
+  return file;
+}
+
+Result<const SnapshotFile::Section*> SnapshotFile::Find(
+    const std::string& name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return Status::DataLoss("snapshot has no section '" + name +
+                          "' — incompatible writer");
+}
+
+Result<ByteReader> SnapshotFile::Reader(const std::string& name) const {
+  auto section = Find(name);
+  if (!section.ok()) return section.status();
+  const Section* s = section.value();
+  return ByteReader(s->data, static_cast<std::size_t>(s->length), s->name);
+}
+
+}  // namespace cqads::snapshot

@@ -29,6 +29,10 @@
 #include <string_view>
 #include <unordered_map>
 
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
+
 namespace cqads::text {
 
 /// Dense id of an interned term. Ids are assigned in intern order, so a
@@ -88,6 +92,10 @@ class TermDict {
   std::size_t ApproxMemoryBytes() const;
 
  private:
+  /// Snapshot serde restores entries (with their cached derived forms)
+  /// directly — no Porter re-stemming at load — then rebuilds index_.
+  friend struct cqads::snapshot::SerdeAccess;
+
   struct Entry {
     std::string text;
     std::string stem;

@@ -30,16 +30,19 @@ FlatTrie FlatTrie::Compile(const KeywordTrie& source) {
 std::uint32_t FlatTrie::BuildNode(const std::vector<BuildKey>& keys,
                                   std::size_t lo, std::size_t hi,
                                   std::size_t depth) {
-  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
-  nodes_.emplace_back();
+  auto& nodes = nodes_.vec();
+  auto& edges = edges_.vec();
+  auto& handles = handles_.vec();
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes.size());
+  nodes.emplace_back();
 
   // The keyword equal to this node's path, if any, sorts first in the range.
   if (lo < hi && keys[lo].keyword.size() == depth) {
-    nodes_[id].handle_begin = static_cast<std::uint32_t>(handles_.size());
-    nodes_[id].handle_count =
+    nodes[id].handle_begin = static_cast<std::uint32_t>(handles.size());
+    nodes[id].handle_count =
         static_cast<std::uint32_t>(keys[lo].handles.size());
-    handles_.insert(handles_.end(), keys[lo].handles.begin(),
-                    keys[lo].handles.end());
+    handles.insert(handles.end(), keys[lo].handles.begin(),
+                   keys[lo].handles.end());
     ++lo;
   }
 
@@ -61,15 +64,18 @@ std::uint32_t FlatTrie::BuildNode(const std::vector<BuildKey>& keys,
 
   // Reserve this node's contiguous edge span BEFORE recursing, so child
   // subtrees (which append their own edges) cannot interleave with it.
-  const std::uint32_t edge_begin = static_cast<std::uint32_t>(edges_.size());
-  nodes_[id].edge_begin = edge_begin;
-  nodes_[id].edge_count = static_cast<std::uint16_t>(children.size());
+  const std::uint32_t edge_begin = static_cast<std::uint32_t>(edges.size());
+  nodes[id].edge_begin = edge_begin;
+  nodes[id].edge_count = static_cast<std::uint16_t>(children.size());
   for (const ChildRange& child : children) {
-    edges_.push_back(Edge{0, child.label});
+    edges.push_back(Edge{0, child.label});
   }
   for (std::size_t k = 0; k < children.size(); ++k) {
-    edges_[edge_begin + k].target =
+    // Recursion appends nodes/edges; re-take the reference afterwards in
+    // case the vector reallocated.
+    const std::uint32_t target =
         BuildNode(keys, children[k].lo, children[k].hi, depth + 1);
+    edges_.vec()[edge_begin + k].target = target;
   }
   return id;
 }

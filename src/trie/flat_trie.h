@@ -26,7 +26,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/pod_vec.h"
 #include "trie/keyword_trie.h"
+
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
 
 namespace cqads::trie {
 
@@ -108,6 +113,11 @@ class FlatTrie {
   }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
+  // Node and Edge are written verbatim into persistent snapshots, so their
+  // padding is explicit and zero-initialized — the file bytes must be
+  // deterministic, not whatever the allocator left behind.
   struct Node {
     std::uint32_t edge_begin = 0;    ///< index into edges_
     std::uint32_t handle_begin = 0;  ///< index into handles_
@@ -118,11 +128,15 @@ class FlatTrie {
     std::uint32_t handle_count = 0;
     /// At most one edge per distinct byte value.
     std::uint16_t edge_count = 0;
+    std::uint16_t pad = 0;
   };
+  static_assert(sizeof(Node) == 16);
   struct Edge {
     std::uint32_t target = 0;
     char label = 0;
+    char pad[3] = {0, 0, 0};
   };
+  static_assert(sizeof(Edge) == 8);
 
   struct BuildKey {
     std::string keyword;
@@ -132,9 +146,11 @@ class FlatTrie {
   std::uint32_t BuildNode(const std::vector<BuildKey>& keys, std::size_t lo,
                           std::size_t hi, std::size_t depth);
 
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  std::vector<std::int32_t> handles_;
+  // PodVec: heap-owned when compiled in-process, zero-copy views into a
+  // mapped snapshot when loaded from disk.
+  common::PodVec<Node> nodes_;
+  common::PodVec<Edge> edges_;
+  common::PodVec<std::int32_t> handles_;
   std::size_t keyword_count_ = 0;
 };
 

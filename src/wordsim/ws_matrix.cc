@@ -68,26 +68,28 @@ WsMatrix WsMatrix::Build(const std::vector<std::string>& corpus,
   // CSR build: count degrees (each pair contributes to both rows), then
   // fill. The raw map iterates (a, b) with a < b ascending, so per-row
   // neighbor order comes out sorted without an extra sort.
-  m.row_begin_.assign(m.dict_.size() + 1, 0);
+  auto& row_begin = m.row_begin_.vec();
+  auto& neighbor = m.neighbor_.vec();
+  auto& sim_col = m.sim_.vec();
+  row_begin.assign(m.dict_.size() + 1, 0);
   if (max_raw > 0.0) {
     for (const auto& [key, w] : raw) {
-      ++m.row_begin_[key.first + 1];
-      ++m.row_begin_[key.second + 1];
+      ++row_begin[key.first + 1];
+      ++row_begin[key.second + 1];
     }
-    for (std::size_t i = 1; i < m.row_begin_.size(); ++i) {
-      m.row_begin_[i] += m.row_begin_[i - 1];
+    for (std::size_t i = 1; i < row_begin.size(); ++i) {
+      row_begin[i] += row_begin[i - 1];
     }
-    m.neighbor_.resize(m.row_begin_.back());
-    m.sim_.resize(m.row_begin_.back());
-    std::vector<std::uint32_t> fill(m.row_begin_.begin(),
-                                    m.row_begin_.end() - 1);
+    neighbor.resize(row_begin.back());
+    sim_col.resize(row_begin.back());
+    std::vector<std::uint32_t> fill(row_begin.begin(), row_begin.end() - 1);
     for (const auto& [key, w] : raw) {
       const double sim = w / max_raw;
       m.max_sim_ = std::max(m.max_sim_, sim);
-      m.neighbor_[fill[key.first]] = key.second;
-      m.sim_[fill[key.first]++] = sim;
-      m.neighbor_[fill[key.second]] = key.first;
-      m.sim_[fill[key.second]++] = sim;
+      neighbor[fill[key.first]] = key.second;
+      sim_col[fill[key.first]++] = sim;
+      neighbor[fill[key.second]] = key.first;
+      sim_col[fill[key.second]++] = sim;
     }
   }
   return m;

@@ -23,7 +23,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/pod_vec.h"
 #include "text/term_dict.h"
+
+namespace cqads::snapshot {
+struct SerdeAccess;
+}
 
 namespace cqads::wordsim {
 
@@ -95,14 +100,17 @@ class WsMatrix {
   const text::TermDict& term_dict() const { return dict_; }
 
  private:
+  friend struct cqads::snapshot::SerdeAccess;
+
   text::TermDict dict_;
   /// CSR: row_begin_[id] .. row_begin_[id+1] index the (neighbor, sim)
   /// arrays; each row's neighbors are sorted ascending (== lexicographic,
   /// since ids are). Each unordered pair is stored twice, once per
-  /// direction, so lookups never canonicalize a key.
-  std::vector<std::uint32_t> row_begin_;
-  std::vector<text::TermId> neighbor_;
-  std::vector<double> sim_;
+  /// direction, so lookups never canonicalize a key. PodVec: heap-built in
+  /// Build(), zero-copy mapped views when loaded from a snapshot.
+  common::PodVec<std::uint32_t> row_begin_;
+  common::PodVec<text::TermId> neighbor_;
+  common::PodVec<double> sim_;
   std::size_t pair_count_ = 0;
   double max_sim_ = 0.0;
 };

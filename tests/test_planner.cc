@@ -64,7 +64,7 @@ TEST(HistogramTest, SkipsNaNAndHandlesSingleValue) {
 }
 
 TEST(HistogramTest, EmptyColumn) {
-  Histogram h = Histogram::Build({});
+  Histogram h = Histogram::Build(std::vector<double>{});
   EXPECT_EQ(h.total, 0u);
   EXPECT_DOUBLE_EQ(h.EstimateRangeFraction(0, 1), 0.0);
 }
