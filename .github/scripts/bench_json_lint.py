@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Lint the BENCH_*.json perf artifacts before CI uploads them.
+
+Every bench binary emits one BENCH_<name>.json; downstream perf-trajectory
+tooling indexes them by commit. A malformed artifact (truncated write, a
+bench that forgot the schema stamp, a NaN that serialized as garbage) would
+poison that history silently — so the workflow runs this gate between the
+bench smoke step and the artifact upload.
+
+Contract, per file:
+  * parses as a JSON object
+  * "bench" is a non-empty string
+  * "bench_schema_version" is an integer >= 1
+  * "git_describe" is a non-empty string
+  * at least one OTHER member is a finite number (a bench that measured
+    nothing has no business uploading an artifact)
+
+Usage: bench_json_lint.py FILE [FILE...]
+Exits non-zero listing every violation; prints a per-file OK line otherwise.
+Stdlib only.
+"""
+
+import json
+import math
+import sys
+
+
+def lint(path):
+    """Returns a list of violation messages for one artifact (empty = OK)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return ["unreadable or invalid JSON: %s" % exc]
+
+    if not isinstance(doc, dict):
+        return ["top-level value is %s, expected an object" % type(doc).__name__]
+
+    problems = []
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append('"bench" must be a non-empty string, got %r' % (bench,))
+    version = doc.get("bench_schema_version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        problems.append(
+            '"bench_schema_version" must be an integer >= 1, got %r' % (version,)
+        )
+    describe = doc.get("git_describe")
+    if not isinstance(describe, str) or not describe:
+        problems.append(
+            '"git_describe" must be a non-empty string, got %r' % (describe,)
+        )
+
+    metrics = [
+        key
+        for key, value in doc.items()
+        if key != "bench_schema_version"
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    ]
+    if not metrics:
+        problems.append("no numeric metric found beyond the schema stamp")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: bench_json_lint.py FILE [FILE...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        problems = lint(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print("FAIL %s: %s" % (path, problem))
+        else:
+            print("ok   %s" % path)
+    if failures:
+        print("%d of %d artifacts failed the lint" % (failures, len(argv) - 1))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,185 @@
+// cqads_serverd: the serving daemon — boots an engine from a persistent
+// snapshot (near O(1): mmap + adopt) and serves it over TCP and/or a
+// Unix-domain socket with the length-prefixed JSON protocol. This is the
+// deployment shape the snapshot + network layers exist for: build and
+// train once, save, then start N serving processes that share the
+// snapshot's page-cache pages and answer within per-request budgets.
+//
+//   cqads_serverd --snapshot engine.snap --unix /tmp/cqads.sock
+//   cqads_serverd --snapshot engine.snap --tcp 7421 --workers 8
+//                 --budget-ms 25 --max-queue 64
+//   cqads_serverd --demo --tcp 0        (no snapshot: builds a small
+//                                        in-memory world and serves it —
+//                                        a self-contained smoke target)
+//
+// SIGINT/SIGTERM stop the daemon cleanly: listeners close, in-flight
+// requests drain, and the final stats dump (the same JSON "statsz" serves)
+// goes to stdout.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/cqads_engine.h"
+#include "datagen/world.h"
+#include "serve/net/net_server.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cqads_serverd (--snapshot <path> | --demo) [options]\n"
+      "  --snapshot <path>   boot the engine from a saved snapshot\n"
+      "  --demo              build a small demo world instead (no file)\n"
+      "  --unix <path>       listen on a Unix-domain socket\n"
+      "  --tcp <port>        listen on 127.0.0.1:<port> (0 = ephemeral)\n"
+      "  --workers <n>       serving worker threads (default 4)\n"
+      "  --budget-ms <ms>    default per-request budget when the request\n"
+      "                      carries none (default: none)\n"
+      "  --max-queue <n>     admission bound; excess load is shed with\n"
+      "                      status \"overloaded\" (default: unbounded)\n");
+  return 2;
+}
+
+// Signal handling: the handler only writes one byte to a self-pipe; the
+// main thread blocks in poll() on the read end and runs the actual
+// shutdown outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  // Best effort; a full pipe already means a wake-up is pending.
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqads;
+
+  std::string snapshot_path;
+  bool demo = false;
+  serve::net::NetServer::Options options;
+  options.tcp_port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      snapshot_path = v;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.unix_path = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.tcp_port = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.serve.num_workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--budget-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.serve.default_budget = std::chrono::microseconds(
+          static_cast<std::int64_t>(std::atof(v) * 1000.0));
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.serve.max_queue = static_cast<std::size_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (snapshot_path.empty() == !demo) return Usage();  // exactly one source
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    std::fprintf(stderr, "no listener: pass --unix and/or --tcp\n");
+    return Usage();
+  }
+
+  // Engine source: a snapshot file (the production path) or a freshly
+  // built demo world (self-contained smoke testing).
+  std::unique_ptr<core::CqadsEngine> snapshot_engine;
+  std::unique_ptr<datagen::World> demo_world;
+  const core::CqadsEngine* engine = nullptr;
+  if (!snapshot_path.empty()) {
+    auto opened = core::CqadsEngine::OpenSnapshot(snapshot_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "snapshot open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    snapshot_engine = std::move(opened).value();
+    engine = snapshot_engine.get();
+    std::printf("engine booted from %s\n", snapshot_path.c_str());
+  } else {
+    datagen::WorldOptions world_options;
+    world_options.seed = 20111130;
+    world_options.ads_per_domain = 120;
+    world_options.sessions_per_domain = 360;
+    world_options.corpus_docs_per_domain = 40;
+    auto world = datagen::World::Build(world_options);
+    if (!world.ok()) {
+      std::fprintf(stderr, "demo world build failed: %s\n",
+                   world.status().ToString().c_str());
+      return 1;
+    }
+    demo_world = std::move(world).value();
+    engine = &demo_world->engine();
+    std::printf("demo world built (%zu ads/domain)\n",
+                world_options.ads_per_domain);
+  }
+
+  auto server = serve::net::NetServer::Start(engine, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("listening on unix:%s\n", options.unix_path.c_str());
+  }
+  if (options.tcp_port >= 0) {
+    std::printf("listening on tcp:%s:%u\n", options.tcp_host.c_str(),
+                server.value()->tcp_port());
+  }
+  std::fflush(stdout);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  struct pollfd wait_fd {};
+  wait_fd.fd = g_signal_pipe[0];
+  wait_fd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&wait_fd, 1, -1);
+    if (rc > 0) break;
+    // poll itself may be interrupted by the very signal we are waiting
+    // for; retry — the self-pipe byte is what actually terminates us.
+    if (rc < 0 && errno != EINTR) break;
+  }
+
+  std::printf("\nshutting down...\n");
+  server.value()->Stop();
+  std::printf("%s\n", server.value()->StatsJson().c_str());
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// A log-linear latency histogram (HdrHistogram-style): power-of-two major
+// buckets, each split into 16 linear sub-buckets, so relative quantile
+// error is bounded at ~3% across the whole microsecond-to-minutes range
+// with a few KB of fixed memory and an O(1) branch-free Record. The
+// network-serving bench records every completion here and reports
+// p50/p99/p999 without keeping (or sorting) per-request arrays; Merge folds
+// per-thread histograms into one.
+//
+// Not internally synchronized: record into one instance per thread and
+// Merge, or guard externally.
+#ifndef CQADS_COMMON_HISTOGRAM_H_
+#define CQADS_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace cqads {
+
+class LatencyHistogram {
+ public:
+  /// Resolution: 2^kMajors major buckets x kSubBuckets linear sub-buckets.
+  /// Values are microseconds; anything >= 2^kMajors us (~18 minutes) clamps
+  /// into the top bucket.
+  static constexpr int kMajors = 30;
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+
+  void Record(double micros) {
+    if (micros < 0.0) micros = 0.0;
+    const std::uint64_t v = static_cast<std::uint64_t>(micros);
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    sum_micros_ += micros;
+    max_micros_ = std::max(max_micros_, micros);
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_micros_ += other.sum_micros_;
+    max_micros_ = std::max(max_micros_, other.max_micros_);
+  }
+
+  std::uint64_t count() const { return count_; }
+  double max_micros() const { return max_micros_; }
+  double mean_micros() const {
+    return count_ > 0 ? sum_micros_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value (microseconds) at quantile q in [0,1]: the midpoint of the
+  /// bucket holding the q-th recorded sample. 0 when empty.
+  double PercentileMicros(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample, 1-based; q=1 must land on the last one.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return BucketMidpoint(i);
+    }
+    return max_micros_;
+  }
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    // Major bucket = position of the highest set bit; sub-bucket = the next
+    // kSubBits bits below it.
+    const int high = 63 - __builtin_clzll(v);
+    const int major = std::min(high, kMajors - 1);
+    const std::uint64_t sub = (v >> (major - kSubBits)) & (kSubBuckets - 1);
+    return static_cast<std::size_t>(major - kSubBits) * kSubBuckets +
+           static_cast<std::size_t>(sub) + kSubBuckets;
+  }
+
+  static double BucketMidpoint(std::size_t index) {
+    if (index < kSubBuckets) return static_cast<double>(index) + 0.5;
+    const std::size_t major = (index - kSubBuckets) / kSubBuckets + kSubBits;
+    const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+    const double base = std::ldexp(1.0, static_cast<int>(major));
+    const double width = std::ldexp(1.0, static_cast<int>(major) - kSubBits);
+    return base + (static_cast<double>(sub) + 0.5) * width;
+  }
+
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + static_cast<std::size_t>(kMajors - kSubBits) * kSubBuckets;
+
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_micros_ = 0.0;
+  double max_micros_ = 0.0;
+};
+
+}  // namespace cqads
+
+#endif  // CQADS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,177 @@
+#include "common/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cqads::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    // EINTR on close is unrecoverable by retry on Linux (the fd is gone
+    // either way); just drop it.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> TcpListen(const std::string& host, std::uint16_t port,
+                     std::uint16_t* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty()) {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) return Errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<Fd> TcpConnect(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect " + host + ":" + std::to_string(port));
+  const int one = 1;
+  // Best-effort: a kernel without TCP_NODELAY support only costs latency.
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+namespace {
+
+Result<sockaddr_un> UnixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: " +
+                                   path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Result<Fd> UnixListen(const std::string& path) {
+  auto addr = UnixAddr(path);
+  if (!addr.ok()) return addr.status();
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    return Errno("bind " + path);
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) return Errno("listen " + path);
+  return fd;
+}
+
+Result<Fd> UnixConnect(const std::string& path) {
+  auto addr = UnixAddr(path);
+  if (!addr.ok()) return addr.status();
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                   sizeof(addr.value()));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect " + path);
+  return fd;
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want =
+      non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write yields EPIPE here
+    // instead of killing the process with SIGPIPE.
+    const ssize_t written = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return Status::OK();
+}
+
+Result<bool> ReadFull(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // orderly close at a frame boundary
+      return Status::DataLoss("connection closed mid-frame (" +
+                              std::to_string(got) + "/" + std::to_string(n) +
+                              " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace cqads::net

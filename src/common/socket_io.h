@@ -1,0 +1,88 @@
+// POSIX socket helpers for the network serving layer: an RAII fd, TCP and
+// Unix-domain listen/connect, non-blocking mode, and exact-count blocking
+// I/O with EINTR retry. Everything returns Status/Result — no exceptions,
+// no errno leaking past this header. Linux/POSIX only (the serving daemon's
+// target); nothing here is included by the engine core.
+#ifndef CQADS_COMMON_SOCKET_IO_H_
+#define CQADS_COMMON_SOCKET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cqads::net {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Transfers ownership out (the destructor then does nothing).
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listens on host:port (host empty = all interfaces). `port` 0 binds an
+/// ephemeral port; on success *bound_port holds the actual port either way.
+/// SO_REUSEADDR is set so restarting a daemon never races TIME_WAIT.
+Result<Fd> TcpListen(const std::string& host, std::uint16_t port,
+                     std::uint16_t* bound_port);
+
+/// Blocking connect to host:port. TCP_NODELAY is set — request/response
+/// frames are latency-bound, not bandwidth-bound.
+Result<Fd> TcpConnect(const std::string& host, std::uint16_t port);
+
+/// Listens on a Unix-domain socket path (an existing socket file at `path`
+/// is unlinked first — stale sockets from a crashed daemon never block a
+/// restart). Path length is capped by sockaddr_un.
+Result<Fd> UnixListen(const std::string& path);
+
+/// Blocking connect to a Unix-domain socket path.
+Result<Fd> UnixConnect(const std::string& path);
+
+/// Toggles O_NONBLOCK.
+Status SetNonBlocking(int fd, bool non_blocking);
+
+/// Writes exactly `n` bytes (blocking fd), retrying partial writes and
+/// EINTR. EPIPE/ECONNRESET surface as a Status — callers treat a dead peer
+/// as a normal serving event, so SIGPIPE is suppressed per-call
+/// (MSG_NOSIGNAL).
+Status WriteFull(int fd, const void* data, std::size_t n);
+
+/// Reads exactly `n` bytes (blocking fd), retrying EINTR.
+///   true   -> all n bytes read
+///   false  -> clean EOF before the FIRST byte (orderly peer close)
+/// EOF mid-count is an error (a truncated frame, not an orderly close).
+Result<bool> ReadFull(int fd, void* data, std::size_t n);
+
+}  // namespace cqads::net
+
+#endif  // CQADS_COMMON_SOCKET_IO_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/json.h"
 #include "core/pipeline.h"
 
 namespace cqads::serve {
@@ -212,13 +213,20 @@ std::vector<Result<core::AskResult>> ConcurrentServer::AskBatch(
 void ConcurrentServer::AskAsync(
     std::string question, Deadline deadline,
     std::function<void(Result<core::AskResult>)> done) const {
+  AskAsyncInDomain("", std::move(question), deadline, std::move(done));
+}
+
+void ConcurrentServer::AskAsyncInDomain(
+    std::string domain, std::string question, Deadline deadline,
+    std::function<void(Result<core::AskResult>)> done) const {
   deadline = EffectiveDeadline(deadline);
   if (!Admit()) {
     done(Status::Overloaded("serving queue saturated"));
     return;
   }
   const auto enqueued = Deadline::Clock::now();
-  pool_->Submit([this, question = std::move(question), deadline, enqueued,
+  pool_->Submit([this, domain = std::move(domain),
+                 question = std::move(question), deadline, enqueued,
                  done = std::move(done)] {
     DequeueStarted(enqueued);
     if (deadline.expired()) {
@@ -227,10 +235,42 @@ void ConcurrentServer::AskAsync(
       done(Status::DeadlineExceeded("request expired in serving queue"));
       return;
     }
-    auto result = AskImpl("", question, deadline);
+    auto result = AskImpl(domain, question, deadline);
     RecordOutcome(result);
     done(std::move(result));
   });
+}
+
+std::string ConcurrentServer::StatsJson() const {
+  const Stats s = stats();
+  const PreparedQueryCache::Stats c = cache_->stats();
+  JsonValue v = JsonValue::Object();
+  auto num = [](std::uint64_t n) {
+    return JsonValue::Number(static_cast<double>(n));
+  };
+  v.Set("answered", num(s.answered));
+  v.Set("degraded", num(s.degraded));
+  v.Set("deadline_exceeded", num(s.deadline_exceeded));
+  v.Set("shed", num(s.shed));
+  v.Set("expired_in_queue", num(s.expired_in_queue));
+  v.Set("errors", num(s.errors));
+  v.Set("dequeued", num(s.dequeued));
+  v.Set("queue_depth", num(queue_depth()));
+  v.Set("max_queue_age_micros", JsonValue::Number(s.max_queue_age_micros));
+  v.Set("mean_queue_age_micros",
+        JsonValue::Number(s.dequeued > 0
+                              ? s.total_queue_age_micros /
+                                    static_cast<double>(s.dequeued)
+                              : 0.0));
+  v.Set("cache_hits", num(c.hits));
+  v.Set("cache_misses", num(c.misses));
+  v.Set("cache_evictions", num(c.evictions));
+  v.Set("cache_entries", num(c.entries));
+  v.Set("num_workers", num(pool_->num_threads()));
+  v.Set("max_queue", num(options_.max_queue));
+  v.Set("default_budget_micros",
+        num(static_cast<std::uint64_t>(options_.default_budget.count())));
+  return v.Dump();
 }
 
 }  // namespace cqads::serve

@@ -133,9 +133,25 @@ class ConcurrentServer {
   void AskAsync(std::string question, Deadline deadline,
                 std::function<void(Result<core::AskResult>)> done) const;
 
+  /// As AskAsync, within a known domain (skips classification). An empty
+  /// domain classifies — this is the single async entry point the network
+  /// front-end routes both "ask" and "ask_in_domain" through.
+  void AskAsyncInDomain(std::string domain, std::string question,
+                        Deadline deadline,
+                        std::function<void(Result<core::AskResult>)> done)
+      const;
+
   PreparedQueryCache::Stats cache_stats() const { return cache_->stats(); }
   /// Outcome counters; see Stats.
   Stats stats() const;
+  /// One JSON object with every counter a fleet scraper wants: the four-
+  /// outcome classification, error count, queue depth/age telemetry
+  /// (max and mean admission->dequeue wait), prepared-cache hit/miss/
+  /// eviction/resident numbers, and the serving configuration (workers,
+  /// max_queue, default budget). Served by the network front-end as the
+  /// "statsz" control method; also useful for logs. Relaxed-atomic reads —
+  /// a concurrent snapshot may be slightly torn, like stats().
+  std::string StatsJson() const;
   /// Requests admitted but not yet finished dequeuing (the admission
   /// controller's live queue depth).
   std::size_t queue_depth() const {

@@ -1,0 +1,70 @@
+#include "serve/net/net_client.h"
+
+#include <utility>
+
+namespace cqads::serve::net {
+
+Result<NetClient> NetClient::ConnectTcp(const std::string& host,
+                                        std::uint16_t port) {
+  auto fd = cqads::net::TcpConnect(host, port);
+  if (!fd.ok()) return fd.status();
+  return NetClient(std::move(fd).value());
+}
+
+Result<NetClient> NetClient::ConnectUnix(const std::string& path) {
+  auto fd = cqads::net::UnixConnect(path);
+  if (!fd.ok()) return fd.status();
+  return NetClient(std::move(fd).value());
+}
+
+Status NetClient::Send(const Request& request) {
+  if (!fd_.valid()) return Status::FailedPrecondition("client closed");
+  std::string frame;
+  AppendFrame(EncodeRequest(request), &frame);
+  return cqads::net::WriteFull(fd_.get(), frame.data(), frame.size());
+}
+
+Result<Response> NetClient::Receive() {
+  if (!fd_.valid()) return Status::FailedPrecondition("client closed");
+  std::string payload;
+  while (true) {
+    const FrameDecoder::Next next = decoder_.Pop(&payload);
+    if (next == FrameDecoder::Next::kFrame) {
+      auto response = DecodeResponse(payload);
+      if (!response.ok()) return response.status();
+      return std::move(response).value();
+    }
+    if (next == FrameDecoder::Next::kError) {
+      return Status::DataLoss("framing error from server: " +
+                              decoder_.error());
+    }
+    // Read frame bytes in two exact-count steps (header, then payload) so
+    // the blocking read never waits for more than the wire owes us.
+    char header[4];
+    auto got = cqads::net::ReadFull(fd_.get(), header, sizeof(header));
+    if (!got.ok()) return got.status();
+    if (!got.value()) return Status::NotFound("connection closed");
+    decoder_.Feed(header, sizeof(header));
+    // Let the decoder validate the length; an oversized declaration fails
+    // on the next Pop without ever allocating the claimed size.
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<unsigned char>(header[i]);
+    }
+    if (len == 0 || len > kMaxFrameBytes) continue;  // Pop reports kError
+    std::string body(len, '\0');
+    got = cqads::net::ReadFull(fd_.get(), body.data(), body.size());
+    if (!got.ok()) return got.status();
+    if (!got.value()) {
+      return Status::DataLoss("connection closed mid-frame");
+    }
+    decoder_.Feed(body.data(), body.size());
+  }
+}
+
+Result<Response> NetClient::Call(const Request& request) {
+  CQADS_RETURN_NOT_OK(Send(request));
+  return Receive();
+}
+
+}  // namespace cqads::serve::net

@@ -1,0 +1,60 @@
+// Client side of the network serving protocol, used by the open-loop load
+// generator (bench/net_serve.cc), the daemon's smoke checks, and the
+// end-to-end tests. One NetClient = one persistent connection (TCP or
+// Unix-domain).
+//
+// Two usage shapes:
+//   * Sequential: Call() sends one request and blocks for its response —
+//     with a single request outstanding, responses arrive in order.
+//   * Pipelined: one thread Send()s while another thread Receive()s.
+//     Responses may arrive out of request order (the server completes
+//     concurrently); correlate by Request::id. Sends and receives travel
+//     opposite directions on the socket, so one sender thread plus one
+//     receiver thread need no locking; multiple senders on one client do.
+#ifndef CQADS_SERVE_NET_NET_CLIENT_H_
+#define CQADS_SERVE_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/socket_io.h"
+#include "common/status.h"
+#include "serve/net/protocol.h"
+
+namespace cqads::serve::net {
+
+class NetClient {
+ public:
+  static Result<NetClient> ConnectTcp(const std::string& host,
+                                      std::uint16_t port);
+  static Result<NetClient> ConnectUnix(const std::string& path);
+
+  NetClient(NetClient&&) = default;
+  NetClient& operator=(NetClient&&) = default;
+
+  /// Writes one framed request (blocking until fully written).
+  Status Send(const Request& request);
+
+  /// Blocks for the next response frame. An orderly server close at a
+  /// frame boundary returns kNotFound("connection closed"); a close
+  /// mid-frame, an oversized frame, or malformed JSON returns the
+  /// corresponding error.
+  Result<Response> Receive();
+
+  /// Send + Receive. Only meaningful with no other request outstanding.
+  Result<Response> Call(const Request& request);
+
+  /// Shuts the connection down (further Send/Receive fail).
+  void Close() { fd_.Close(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  explicit NetClient(cqads::net::Fd fd) : fd_(std::move(fd)) {}
+
+  cqads::net::Fd fd_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cqads::serve::net
+
+#endif  // CQADS_SERVE_NET_NET_CLIENT_H_

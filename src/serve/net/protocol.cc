@@ -1,0 +1,175 @@
+#include "serve/net/protocol.h"
+
+#include <cstring>
+
+#include "common/json.h"
+
+namespace cqads::serve::net {
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(len & 0xFF);
+  prefix[1] = static_cast<char>((len >> 8) & 0xFF);
+  prefix[2] = static_cast<char>((len >> 16) & 0xFF);
+  prefix[3] = static_cast<char>((len >> 24) & 0xFF);
+  out->append(prefix, 4);
+  out->append(payload.data(), payload.size());
+}
+
+FrameDecoder::Next FrameDecoder::Pop(std::string* payload) {
+  if (failed_) return Next::kError;
+  if (buffer_.size() < 4) return Next::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data());
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len == 0) {
+    failed_ = true;
+    error_ = "zero-length frame";
+    return Next::kError;
+  }
+  if (len > max_frame_bytes_) {
+    failed_ = true;
+    error_ = "frame of " + std::to_string(len) + " bytes exceeds cap of " +
+             std::to_string(max_frame_bytes_);
+    return Next::kError;
+  }
+  if (buffer_.size() < 4u + len) return Next::kNeedMore;
+  payload->assign(buffer_, 4, len);
+  buffer_.erase(0, 4u + len);
+  return Next::kFrame;
+}
+
+const char* WireStatusName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+  }
+  return "internal";
+}
+
+StatusCode WireStatusCode(std::string_view name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded, StatusCode::kOverloaded,
+      StatusCode::kDataLoss,
+  };
+  for (StatusCode code : kCodes) {
+    if (name == WireStatusName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string EncodeRequest(const Request& request) {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Number(static_cast<double>(request.id)));
+  v.Set("method", JsonValue::Str(request.method));
+  if (!request.domain.empty()) {
+    v.Set("domain", JsonValue::Str(request.domain));
+  }
+  if (!request.question.empty()) {
+    v.Set("question", JsonValue::Str(request.question));
+  }
+  if (request.budget_ms != 0.0) {
+    v.Set("budget_ms", JsonValue::Number(request.budget_ms));
+  }
+  return v.Dump();
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  Request request;
+  const double id = v.GetNumber("id", 0.0);
+  if (id < 0.0) return Status::InvalidArgument("negative request id");
+  request.id = static_cast<std::uint64_t>(id);
+  request.method = v.GetString("method");
+  if (request.method.empty()) {
+    return Status::InvalidArgument("request has no method");
+  }
+  request.domain = v.GetString("domain");
+  request.question = v.GetString("question");
+  request.budget_ms = v.GetNumber("budget_ms", 0.0);
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Number(static_cast<double>(response.id)));
+  v.Set("status", JsonValue::Str(response.status));
+  if (!response.error.empty()) {
+    v.Set("error", JsonValue::Str(response.error));
+  }
+  if (response.degraded) v.Set("degraded", JsonValue::Bool(true));
+  if (!response.domain.empty()) {
+    v.Set("domain", JsonValue::Str(response.domain));
+  }
+  if (!response.canonical.empty()) {
+    v.Set("canonical", JsonValue::Str(response.canonical));
+  }
+  if (!response.stats_json.empty()) {
+    // The stats dump is itself JSON; nest it as a real object (not a
+    // quoted blob) so scrapers address fields as response.stats.answered.
+    auto stats = JsonValue::Parse(response.stats_json);
+    v.Set("stats", stats.ok() ? std::move(stats).value()
+                              : JsonValue::Str(response.stats_json));
+  }
+  return v.Dump();
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  auto parsed = JsonValue::Parse(payload);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (!v.is_object()) {
+    return Status::InvalidArgument("response is not a JSON object");
+  }
+  Response response;
+  const double id = v.GetNumber("id", 0.0);
+  if (id < 0.0) return Status::InvalidArgument("negative response id");
+  response.id = static_cast<std::uint64_t>(id);
+  response.status = v.GetString("status");
+  if (response.status.empty()) {
+    return Status::InvalidArgument("response has no status");
+  }
+  response.error = v.GetString("error");
+  response.degraded = v.GetBool("degraded", false);
+  response.domain = v.GetString("domain");
+  response.canonical = v.GetString("canonical");
+  if (const JsonValue* stats = v.Find("stats"); stats != nullptr) {
+    response.stats_json = stats->Dump();
+  }
+  return response;
+}
+
+}  // namespace cqads::serve::net

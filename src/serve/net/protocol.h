@@ -1,0 +1,121 @@
+// Wire protocol of the network serving front-end: length-prefixed binary
+// framing with a JSON request/response codec inside each frame.
+//
+// Framing. A frame is a 4-byte little-endian payload length followed by
+// exactly that many payload bytes. Length 0 and lengths above the
+// negotiated cap are protocol violations: once the byte stream disagrees
+// with the framing there is no way to resynchronize, so the server closes
+// the connection (a malformed JSON PAYLOAD, by contrast, leaves the framing
+// intact and costs only an error response). FrameDecoder is incremental —
+// feed it whatever read() returned, pop complete frames; it is the single
+// implementation both server and client use, so partial reads split at any
+// byte boundary reassemble identically everywhere (test_net_protocol sweeps
+// every split).
+//
+// Requests (one JSON object per frame):
+//   {"id":7,"method":"ask","question":"red honda under 9000","budget_ms":25}
+//   {"id":8,"method":"ask_in_domain","domain":"cars","question":"..."}
+//   {"id":9,"method":"statsz"}          server + cache + queue telemetry
+//   {"id":0,"method":"ping"}            liveness / receiver unblocking
+// budget_ms > 0 sets the request deadline (arrival + budget, propagated
+// into the engine's Deadline/CancelToken machinery); 0/absent = no
+// deadline; < 0 = an already-expired deadline (deterministic test hook for
+// the expired-in-queue path).
+//
+// Responses:
+//   {"id":7,"status":"ok","degraded":false,"domain":"cars",
+//    "canonical":"<CanonicalAskResultString>"}
+//   {"id":8,"status":"deadline_exceeded","error":"..."}
+//   {"id":9,"status":"ok","stats":{...}}
+// `status` is the lowercase StatusCode name ("ok", "deadline_exceeded",
+// "overloaded", "invalid_argument", ...). `canonical` carries the full
+// canonical answer serialization so clients can assert byte-identity with
+// in-process Ask — the parity gate the net_serve bench enforces. Responses
+// to one connection may arrive out of request order (the server executes
+// concurrently); `id` is the correlator.
+#ifndef CQADS_SERVE_NET_PROTOCOL_H_
+#define CQADS_SERVE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cqads::serve::net {
+
+/// Default frame-payload cap. Requests are questions (bytes to KB) and
+/// responses are answer tables (KB); 16 MiB is far above anything legal,
+/// close below anything an attacker would like the server to buffer.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Appends one frame (length prefix + payload) to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Incremental frame reassembly over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the transport.
+  void Feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  enum class Next {
+    kFrame,     ///< *payload holds one complete frame's payload
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< framing violation (zero/oversized length) — close the
+                ///< connection; error() says why
+  };
+
+  /// Extracts the next complete frame, if any. Call until it stops
+  /// returning kFrame. After kError the decoder stays in the error state.
+  Next Pop(std::string* payload);
+
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (tests assert tight buffering).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+  std::string buffer_;
+  std::string error_;
+  bool failed_ = false;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string method;    ///< "ask", "ask_in_domain", "statsz", "ping"
+  std::string domain;    ///< ask_in_domain only
+  std::string question;  ///< ask / ask_in_domain
+  double budget_ms = 0.0;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string status = "ok";  ///< lowercase StatusCode name
+  std::string error;          ///< message when status != "ok"
+  bool degraded = false;
+  std::string domain;
+  std::string canonical;   ///< CanonicalAskResultString (ask methods, ok)
+  std::string stats_json;  ///< nested "stats" object, as JSON text (statsz)
+
+  bool ok() const { return status == "ok"; }
+};
+
+std::string EncodeRequest(const Request& request);
+/// Strict decode of an untrusted request payload: must be a JSON object
+/// with a string "method"; unknown members are ignored (forward compat).
+Result<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// "ok", "deadline_exceeded", ... — the lowercase wire form of a code.
+const char* WireStatusName(StatusCode code);
+/// Inverse of WireStatusName; kInternal for unknown names.
+StatusCode WireStatusCode(std::string_view name);
+
+}  // namespace cqads::serve::net
+
+#endif  // CQADS_SERVE_NET_PROTOCOL_H_
