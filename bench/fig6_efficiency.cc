@@ -92,6 +92,16 @@ int main(int argc, char** argv) {
   world->mutable_engine().SetOptions(scalar_options);
   std::vector<std::string> scalar_answers;
   const double scalar_secs = ask_all(&scalar_answers);
+
+  // Top-k rank parity: the stream once more with pruned top-k partial
+  // ranking forced OFF (the serial collect-all + full-sort oracle). Every
+  // mode above ranked through the bounded top-k path (the default), so any
+  // byte difference here is a pruning/merge bug.
+  core::EngineOptions fullsort_options;
+  fullsort_options.use_topk_rank = false;
+  world->mutable_engine().SetOptions(fullsort_options);
+  std::vector<std::string> fullsort_answers;
+  const double fullsort_secs = ask_all(&fullsort_answers);
   world->mutable_engine().SetOptions(planner_options);
 
   // Persistent-snapshot parity: save the engine, boot a second engine from
@@ -127,12 +137,14 @@ int main(int argc, char** argv) {
   std::size_t partitioned_mismatches = 0;
   std::size_t substrate_mismatches = 0;
   std::size_t vector_mismatches = 0;
+  std::size_t topk_mismatches = 0;
   std::size_t snapshot_mismatches = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     if (seed_answers[i] != planned_answers[i]) ++mismatches;
     if (seed_answers[i] != partitioned_answers[i]) ++partitioned_mismatches;
     if (seed_answers[i] != legacy_answers[i]) ++substrate_mismatches;
     if (seed_answers[i] != scalar_answers[i]) ++vector_mismatches;
+    if (seed_answers[i] != fullsort_answers[i]) ++topk_mismatches;
     if (seed_answers[i] != snapshot_answers[i]) ++snapshot_mismatches;
   }
 
@@ -149,13 +161,15 @@ int main(int argc, char** argv) {
               stream.size() / legacy_secs, seed_secs / legacy_secs);
   std::printf("scalar (no vec kernels) : %8.1f q/s   speedup %.2fx\n",
               stream.size() / scalar_secs, seed_secs / scalar_secs);
+  std::printf("full-sort rank (no topk): %8.1f q/s   speedup %.2fx\n",
+              stream.size() / fullsort_secs, seed_secs / fullsort_secs);
   std::printf("reloaded snapshot       : %8.1f q/s   speedup %.2fx\n",
               stream.size() / snapshot_secs, seed_secs / snapshot_secs);
   std::printf(
       "canonical answer mismatches: planner=%zu partitioned=%zu "
-      "substrate=%zu vector=%zu snapshot=%zu\n",
+      "substrate=%zu vector=%zu topk=%zu snapshot=%zu\n",
       mismatches, partitioned_mismatches, substrate_mismatches,
-      vector_mismatches, snapshot_mismatches);
+      vector_mismatches, topk_mismatches, snapshot_mismatches);
 
   // ---- the paper figure ----------------------------------------------
   auto result = eval::RunEfficiency(*world, questions, 661);
@@ -182,11 +196,13 @@ int main(int argc, char** argv) {
   json.Add("partitioned_qps", stream.size() / partitioned_secs);
   json.Add("legacy_substrate_qps", stream.size() / legacy_secs);
   json.Add("scalar_kernels_qps", stream.size() / scalar_secs);
+  json.Add("fullsort_rank_qps", stream.size() / fullsort_secs);
   json.Add("snapshot_qps", stream.size() / snapshot_secs);
   json.Add("planner_mismatches", mismatches);
   json.Add("partitioned_mismatches", partitioned_mismatches);
   json.Add("substrate_mismatches", substrate_mismatches);
   json.Add("vector_mismatches", vector_mismatches);
+  json.Add("topk_mismatches", topk_mismatches);
   json.Add("snapshot_mismatches", snapshot_mismatches);
   for (const auto& [name, ms] : result.avg_ms) {
     json.Add("avg_ms_" + name, ms);
@@ -194,13 +210,14 @@ int main(int argc, char** argv) {
   json.Write();
 
   if (mismatches + partitioned_mismatches + substrate_mismatches +
-          vector_mismatches + snapshot_mismatches >
+          vector_mismatches + topk_mismatches + snapshot_mismatches >
       0) {
     std::printf(
         "FAIL: answers differ from the seed executor (planner=%zu, "
-        "partitioned=%zu, substrate=%zu, vector=%zu, snapshot=%zu)\n",
+        "partitioned=%zu, substrate=%zu, vector=%zu, topk=%zu, "
+        "snapshot=%zu)\n",
         mismatches, partitioned_mismatches, substrate_mismatches,
-        vector_mismatches, snapshot_mismatches);
+        vector_mismatches, topk_mismatches, snapshot_mismatches);
     return 1;
   }
   return 0;

@@ -1,0 +1,270 @@
+// Rank-stage scaling: cold partial ranking over a >=100k-row domain, the
+// pruned morsel-parallel top-k path (EngineOptions::use_topk_rank, default)
+// against the frozen serial collect-all + full-sort oracle.
+//
+// The table is generated clustered — rows grouped by (make, model), prices
+// ascending within a group — the shape real ad feeds have (listings arrive
+// batched by seller and segment), and the shape block-max pruning exploits:
+// a 1024-row block then covers a narrow slice of the score-relevant value
+// range, so once the shared top-k threshold rises, whole blocks bound below
+// it and are skipped unscored. Questions are numeric-target and N-1 shapes
+// whose exact answer set is (near) empty, so every ask runs the §4.3.1
+// partial-ranking stage over the full table.
+//
+// Gates (CI): pruned-parallel speedup >= 1.3x over serial, nonzero skipped
+// blocks, and byte-identical answers between the two paths. Non-zero exit
+// on any violation. Emits BENCH_rank_scale.json.
+//
+// Usage: rank_scale [--quick]
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/ask_types.h"
+#include "core/cqads_engine.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "qlog/ti_matrix.h"
+#include "serve/worker_pool.h"
+
+namespace {
+
+using namespace cqads;
+
+db::Schema CarSchema() {
+  using db::AttrType;
+  using db::Attribute;
+  using db::DataKind;
+  auto cat = [](std::string name, AttrType t,
+                std::vector<std::string> aliases = {}) {
+    Attribute a;
+    a.name = std::move(name);
+    a.attr_type = t;
+    a.data_kind = DataKind::kCategorical;
+    a.aliases = std::move(aliases);
+    return a;
+  };
+  db::Attribute year;
+  year.name = "year";
+  year.attr_type = AttrType::kTypeIII;
+  year.data_kind = DataKind::kNumeric;
+  year.aliases = {"year"};
+  db::Attribute price;
+  price.name = "price";
+  price.attr_type = AttrType::kTypeIII;
+  price.data_kind = DataKind::kNumeric;
+  price.unit_keywords = {"dollars", "dollar", "usd"};
+  price.aliases = {"price", "cost"};
+  db::Attribute mileage;
+  mileage.name = "mileage";
+  mileage.attr_type = AttrType::kTypeIII;
+  mileage.data_kind = DataKind::kNumeric;
+  mileage.unit_keywords = {"miles", "mi"};
+  mileage.aliases = {"mileage"};
+  db::Attribute features;
+  features.name = "features";
+  features.attr_type = AttrType::kTypeII;
+  features.data_kind = DataKind::kTextList;
+  return db::Schema("cars",
+                    {cat("make", AttrType::kTypeI, {"maker"}),
+                     cat("model", AttrType::kTypeI), year, price, mileage,
+                     cat("color", AttrType::kTypeII, {"color"}),
+                     cat("transmission", AttrType::kTypeII),
+                     cat("doors", AttrType::kTypeII),
+                     cat("drivetrain", AttrType::kTypeII), features});
+}
+
+/// Clustered fleet: (make, model) groups in sequence, prices ascending
+/// inside each group's band, the categorical attributes cycling.
+db::Table BuildFleet(std::size_t rows) {
+  struct MakeModel {
+    const char* make;
+    const char* model;
+  };
+  static constexpr MakeModel kPairs[] = {
+      {"honda", "accord"},  {"honda", "civic"},   {"toyota", "camry"},
+      {"toyota", "corolla"}, {"ford", "focus"},   {"ford", "mustang"},
+      {"chevy", "malibu"},  {"bmw", "m3"},        {"mazda", "mazda3"},
+      {"jeep", "cherokee"},
+  };
+  static constexpr const char* kColors[] = {"blue", "red",    "white", "black",
+                                            "silver", "green", "gold"};
+  static constexpr const char* kFeatures[] = {
+      "cd player;power steering", "gps;leather seats", "bluetooth;usb",
+      "cruise control", "backup camera;sunroof"};
+  constexpr std::size_t kNumPairs = sizeof(kPairs) / sizeof(kPairs[0]);
+
+  db::Table table(CarSchema());
+  Rng rng(20111130);
+  const std::size_t per_pair = rows / kNumPairs;
+  for (std::size_t p = 0; p < kNumPairs; ++p) {
+    const double band_lo = 2000.0 + 4000.0 * static_cast<double>(p);
+    const std::size_t n = p + 1 == kNumPairs ? rows - per_pair * p : per_pair;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double frac = static_cast<double>(i) / static_cast<double>(n);
+      db::Record r;
+      r.push_back(db::Value::Text(kPairs[p].make));
+      r.push_back(db::Value::Text(kPairs[p].model));
+      r.push_back(db::Value::Real(
+          2000.0 + static_cast<double>(rng.UniformInt(0, 12))));
+      // Ascending within the band, cents jitter keeping values unique-ish
+      // (so numeric-target questions have ~no exact matches and partial
+      // ranking always triggers).
+      r.push_back(db::Value::Real(band_lo + 4000.0 * frac +
+                                  rng.UniformReal(0.0, 0.99)));
+      r.push_back(db::Value::Real(
+          static_cast<double>(rng.UniformInt(10, 180)) * 1000.0));
+      r.push_back(db::Value::Text(kColors[i % 7]));
+      r.push_back(db::Value::Text(i % 3 == 0 ? "manual" : "automatic"));
+      r.push_back(db::Value::Text(i % 2 == 0 ? "4 door" : "2 door"));
+      r.push_back(db::Value::Text(i % 5 == 0 ? "4 wheel drive"
+                                             : "2 wheel drive"));
+      r.push_back(db::Value::Text(kFeatures[i % 5]));
+      if (!table.Insert(std::move(r)).ok()) std::abort();
+    }
+  }
+  table.BuildIndexes();
+  return table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::size_t rows = quick ? 40000 : 150000;
+  const std::size_t iters = quick ? 2 : 3;
+
+  db::Table table = BuildFleet(rows);
+  core::CqadsEngine engine;
+  if (!engine.AddDomain(&table, qlog::TiMatrix()).ok()) {
+    std::fprintf(stderr, "AddDomain failed\n");
+    return 1;
+  }
+
+  // Single-condition numeric targets (full-table sweep) plus N-1 shapes
+  // with one heavy relaxation pass; every target is chosen to have ~zero
+  // exact matches so the rank stage runs cold over the whole domain.
+  const std::vector<std::string> candidates = {
+      "3000 dollars",
+      "9000 dollars",
+      "17500 dollars",
+      "26000 dollars",
+      "41000 dollars",
+      "150 dollars",
+      "honda civic 9000 dollars",
+      "toyota camry 11500 dollars",
+      "bmw m3 31000 dollars",
+      "blue mazda mazda3 36000 dollars",
+  };
+
+  // Keep only the questions whose ask actually exercised the top-k rank
+  // sweep (exact answers below the partial trigger).
+  std::vector<std::string> questions;
+  for (const auto& q : candidates) {
+    auto r = engine.AskInDomain("cars", q);
+    if (!r.ok()) continue;
+    if (r.value().stats.rank_blocks_visited +
+            r.value().stats.rank_blocks_skipped >
+        0) {
+      questions.push_back(q);
+    }
+  }
+  if (questions.empty()) {
+    std::fprintf(stderr, "FAIL: no rank-triggering questions survived\n");
+    return 1;
+  }
+
+  auto ask_all = [&](std::vector<std::string>* canon, db::ExecStats* stats) {
+    auto start = Clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      for (const auto& q : questions) {
+        auto r = engine.AskInDomain("cars", q);
+        if (!r.ok()) {
+          canon->push_back("ERROR: " + r.status().ToString());
+          continue;
+        }
+        if (stats != nullptr) *stats += r.value().stats;
+        canon->push_back(core::CanonicalAskResultString(r.value()));
+      }
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  // Serial full-sort oracle.
+  core::EngineOptions serial_options;
+  serial_options.use_topk_rank = false;
+  engine.SetOptions(serial_options);
+  std::vector<std::string> serial_answers;
+  const double serial_secs = ask_all(&serial_answers, nullptr);
+
+  // Pruned, morsel-parallel top-k.
+  serve::WorkerPool pool(4);
+  core::EngineOptions topk_options;  // defaults: use_topk_rank = true
+  topk_options.exec_runner = &pool;
+  topk_options.exec_parallelism = 4;
+  engine.SetOptions(topk_options);
+  std::vector<std::string> topk_answers;
+  db::ExecStats topk_stats;
+  const double topk_secs = ask_all(&topk_answers, &topk_stats);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < serial_answers.size(); ++i) {
+    if (serial_answers[i] != topk_answers[i]) ++mismatches;
+  }
+
+  const double speedup = serial_secs / topk_secs;
+  const std::size_t asks = questions.size() * iters;
+
+  cqads::bench::PrintHeader("rank_scale: pruned top-k vs serial full sort");
+  std::printf("rows: %zu   rank questions: %zu   iterations: %zu\n", rows,
+              questions.size(), iters);
+  std::printf("serial full-sort rank   : %8.1f ms/ask\n",
+              1000.0 * serial_secs / static_cast<double>(asks));
+  std::printf("pruned parallel top-k   : %8.1f ms/ask   speedup %.2fx\n",
+              1000.0 * topk_secs / static_cast<double>(asks), speedup);
+  std::printf("blocks visited=%zu skipped=%zu (%.1f%%)   rows pruned=%zu   "
+              "threshold updates=%zu\n",
+              topk_stats.rank_blocks_visited, topk_stats.rank_blocks_skipped,
+              100.0 * static_cast<double>(topk_stats.rank_blocks_skipped) /
+                  static_cast<double>(topk_stats.rank_blocks_visited +
+                                      topk_stats.rank_blocks_skipped),
+              topk_stats.rank_rows_pruned,
+              topk_stats.rank_threshold_updates);
+  std::printf("answer mismatches vs serial oracle: %zu\n", mismatches);
+
+  cqads::bench::BenchJson json("rank_scale");
+  json.Add("rows", rows);
+  json.Add("questions", questions.size());
+  json.Add("iterations", iters);
+  json.Add("serial_ms_per_ask",
+           1000.0 * serial_secs / static_cast<double>(asks));
+  json.Add("topk_ms_per_ask", 1000.0 * topk_secs / static_cast<double>(asks));
+  json.Add("speedup", speedup);
+  json.Add("rank_blocks_visited", topk_stats.rank_blocks_visited);
+  json.Add("rank_blocks_skipped", topk_stats.rank_blocks_skipped);
+  json.Add("rank_rows_pruned", topk_stats.rank_rows_pruned);
+  json.Add("rank_threshold_updates", topk_stats.rank_threshold_updates);
+  json.Add("mismatches", mismatches);
+  json.Write();
+
+  constexpr double kSpeedupFloor = 1.3;
+  if (mismatches > 0) {
+    std::printf("FAIL: %zu answer mismatches vs the serial oracle\n",
+                mismatches);
+    return 1;
+  }
+  if (topk_stats.rank_blocks_skipped == 0) {
+    std::printf("FAIL: block-max pruning skipped nothing\n");
+    return 1;
+  }
+  if (speedup < kSpeedupFloor) {
+    std::printf("FAIL: speedup %.2fx below the %.1fx floor\n", speedup,
+                kSpeedupFloor);
+    return 1;
+  }
+  return 0;
+}

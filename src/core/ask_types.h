@@ -60,6 +60,15 @@ struct EngineOptions {
   /// vector parity gate and the differential tests pin it); only the work
   /// differs.
   bool use_vector_kernels = true;
+  /// Rank partial answers through the bounded top-k path: a size-answer_cap
+  /// accumulator with block-max score pruning (per-1024-row-block upper
+  /// bounds from RankBounds) and morsel-parallel sweeps on exec_runner,
+  /// replacing collect-all + full sort. Requires use_term_substrate (the
+  /// id-keyed SimScorer); with the substrate off the serial full-sort path
+  /// runs regardless. When false, the serial path runs — answers are
+  /// byte-identical either way (the fig6 top-k parity gate and
+  /// tests/test_topk_rank.cc pin it); only the work differs.
+  bool use_topk_rank = true;
   /// Horizontal partitioning: rows per ColumnStore partition. Each domain's
   /// store is sharded into fixed-size row partitions (own dictionaries,
   /// postings, null bitmaps, per-partition stats) and compiled plans run

@@ -73,6 +73,7 @@ Result<std::shared_ptr<DomainRuntime>> EngineBuilder::MakeRuntime(
   }
   rt->ti_matrix = std::move(ti);
   rt->attr_ranges = ComputeAttrRanges(*table);
+  rt->rank_bounds = db::exec::RankBounds::Build(*table);
   return rt;
 }
 

@@ -40,6 +40,7 @@
 #include "db/exec/parallel_plan.h"
 #include "db/exec/partitioned_table.h"
 #include "db/exec/planner.h"
+#include "db/exec/rank_bounds.h"
 #include "db/exec/table_stats.h"
 #include "db/executor.h"
 #include "db/storage/delta_store.h"
@@ -94,6 +95,10 @@ struct DomainRuntime {
   std::shared_ptr<const db::DeltaStore> delta;
   std::shared_ptr<const qlog::TiMatrix> ti_matrix;
   std::vector<double> attr_ranges;  ///< Eq. 4 normalization
+  /// Per-block code/value summaries of `table` for top-k rank pruning
+  /// (EngineOptions::use_topk_rank). Rebuilt whenever the base table
+  /// changes (registration, compaction, snapshot load); never serialized.
+  std::shared_ptr<const db::exec::RankBounds> rank_bounds;
 
   /// The delta when it actually changes answers, nullptr otherwise.
   const db::DeltaStore* live_delta() const {

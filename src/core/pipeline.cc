@@ -1,12 +1,20 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <memory>
 #include <optional>
 
 #include "common/failpoint.h"
 #include "db/exec/delta_exec.h"
+#include "db/exec/morsel.h"
+#include "db/exec/rank_bounds.h"
+#include "db/exec/rowset_ops.h"
+#include "db/exec/topk.h"
 #include "db/sql_writer.h"
 #include "text/tokenizer.h"
 
@@ -116,6 +124,101 @@ Result<db::QueryResult> RunQuery(const EngineSnapshot& s,
   if (src.plan != nullptr) return src.plan->Execute(src.vectorize);
   return db::ExecuteQuery(*rt.table, query);
 }
+
+// ---------------------------------------------------------------------------
+// Top-k rank machinery (EngineOptions::use_topk_rank). The serial
+// collect-all + sort path below stays frozen as the differential oracle.
+// ---------------------------------------------------------------------------
+
+/// Below this many rows to score, computing per-block bounds (a per-code
+/// representative sweep over the attribute dictionary) can cost more than
+/// the scoring it would save, so the sweep runs unpruned.
+constexpr std::size_t kMinRankRowsForBounds = 1024;
+
+/// Raises the shared pruning threshold to at least `v` (lock-free CAS-max).
+/// Monotone: the threshold only grows, and every published value is some
+/// worker's local k-th-best — a lower bound on the global k-th-best (the
+/// global top-k draws from MORE candidates, so its k-th entry scores at
+/// least as high). A stale read therefore only prunes less, never more;
+/// correctness never depends on propagation timing, so relaxed ordering
+/// suffices.
+inline void RaiseThreshold(std::atomic<double>* threshold, double v,
+                           std::size_t* updates) {
+  double cur = threshold->load(std::memory_order_relaxed);
+  while (v > cur) {
+    if (threshold->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      ++*updates;
+      return;
+    }
+  }
+}
+
+/// Per-worker scoring state for the parallel rank sweeps. SimScorer is not
+/// thread-safe (its memo tables mutate), so each concurrently-running morsel
+/// body borrows a slot — scorer, top-k accumulator, scratch buffers, local
+/// counters — through a lock-free free-bitmask. At most `parallelism` bodies
+/// run at once (the caller plus the helpers it enlisted each drain morsels
+/// sequentially), so with `parallelism` slots Acquire always finds one free
+/// after a bounded retry. Slot 0 aliases the request's own scorer: its memo
+/// is pre-warmed by ComputeBlockBounds and serves the serial portions
+/// (delta rows, inline execution) without a second instance.
+class RankSlots {
+ public:
+  struct Slot {
+    explicit Slot(std::size_t k) : topk(k) {}
+    SimScorer* scorer = nullptr;
+    std::unique_ptr<SimScorer> owned;  ///< slots past 0 own their scorer
+    db::exec::TopK topk;
+    std::vector<db::RowId> rows;       ///< gather scratch
+    std::vector<double> rank, unit;    ///< ScoreBlock outputs
+    std::size_t blocks_visited = 0;
+    std::size_t blocks_skipped = 0;
+    std::size_t rows_pruned = 0;
+    std::size_t threshold_updates = 0;
+  };
+
+  RankSlots(std::size_t n, const db::Schema& schema,
+            const std::vector<MatchUnit>& units, const SimilarityContext& sim,
+            SimScorer* request_scorer, std::size_t k)
+      : free_mask_(n >= 64 ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << n) - 1) {
+    slots_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_.push_back(std::make_unique<Slot>(k));
+      if (i == 0) {
+        slots_[i]->scorer = request_scorer;
+      } else {
+        slots_[i]->owned = std::make_unique<SimScorer>(schema, units, sim);
+        slots_[i]->scorer = slots_[i]->owned.get();
+      }
+    }
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  Slot& slot(std::size_t i) { return *slots_[i]; }
+
+  /// Borrows a free slot. Acquire ordering pairs with Release so the
+  /// previous holder's memo writes are visible to the new one.
+  std::size_t Acquire() {
+    for (;;) {
+      std::uint64_t m = free_mask_.load(std::memory_order_relaxed);
+      if (m == 0) continue;  // transient: some holder is about to release
+      std::size_t i = 0;
+      while ((m & (std::uint64_t{1} << i)) == 0) ++i;
+      if (free_mask_.compare_exchange_weak(m, m & ~(std::uint64_t{1} << i),
+                                           std::memory_order_acquire)) {
+        return i;
+      }
+    }
+  }
+  void Release(std::size_t i) {
+    free_mask_.fetch_or(std::uint64_t{1} << i, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> free_mask_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
 
 }  // namespace
 
@@ -378,8 +481,8 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   const std::size_t base_rows = rt.table->num_rows();
   const std::size_t total_rows =
       base_rows + (delta != nullptr ? delta->num_rows() : 0);
-  std::vector<bool> already(total_rows, false);
-  for (const auto& a : out.answers) already[a.row] = true;
+  db::exec::RowBitmap already(total_rows);
+  for (const auto& a : out.answers) already.Set(a.row);
 
   // Scoring over the global id space: base rows read the column store,
   // delta rows their row-major record — identical semantics either way
@@ -420,6 +523,255 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
   // and ship below — and marks the result degraded instead of failing a
   // request whose exact answers are already correct.
   const ExecControl control = ctx->control();
+
+  // ---- Pruned, morsel-parallel top-k selection ----------------------------
+  // Only the first (answer_cap - exact) partials can ship, so ranking is a
+  // bounded top-k selection, not a full sort. Per-worker TopK accumulators
+  // (db/exec/topk.h) merge deterministically; per-block score upper bounds
+  // (db/exec/rank_bounds.h + SimScorer::ComputeBlockBounds) let whole 1024-
+  // row blocks be skipped once the shared threshold rises above their best
+  // possible score; both sweeps fan out on the exec morsel scheduler.
+  // Requires the id-keyed SimScorer; the string-keyed oracle path keeps the
+  // serial shape below.
+  if (options.use_topk_rank && scorer.has_value()) {
+    const std::size_t cap = options.answer_cap;
+    const std::size_t k =
+        out.answers.size() < cap ? cap - out.answers.size() : 0;
+    const db::exec::RankBounds* rb = rt.rank_bounds.get();
+
+    db::exec::TaskRunner* runner = options.exec_runner;
+    std::size_t par = options.exec_parallelism;
+    if (runner == nullptr || par <= 1) {
+      runner = nullptr;
+      par = 1;
+    }
+    RankSlots slots(std::min<std::size_t>(par, 64), rt.table->schema(), units,
+                    sim, &*scorer, k);
+    std::atomic<double> shared_threshold{slots.slot(0).topk.threshold()};
+    const double exact_part = static_cast<double>(units.size()) - 1.0;
+    std::vector<double> ub;  // per-block unit-similarity upper bounds
+    bool degraded = false;
+
+    auto score_and_push = [&](RankSlots::Slot& sl, std::size_t dropped,
+                              bool require_positive) {
+      const std::size_t n = sl.rows.size();
+      if (n == 0) return;
+      sl.rank.resize(n);
+      sl.unit.resize(n);
+      if (options.use_vector_kernels) {
+        sl.scorer->ScoreBlock(*rt.table, sl.rows.data(), n, dropped,
+                              sl.rank.data(), sl.unit.data());
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          PartialScore p = sl.scorer->Score(*rt.table, sl.rows[i], dropped);
+          sl.rank[i] = p.rank_sim;
+          sl.unit[i] = p.unit_sim;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (require_positive && sl.unit[i] <= 0.0) continue;
+        if (sl.topk.Push(sl.rank[i], sl.rows[i],
+                         static_cast<std::uint32_t>(dropped)) &&
+            sl.topk.full()) {
+          RaiseThreshold(&shared_threshold, sl.topk.threshold(),
+                         &sl.threshold_updates);
+        }
+      }
+      sl.rows.clear();
+    };
+    // Delta rows are row-major; scored serially on the caller after the
+    // parallel base sweep finished (slot 0 is then free, and its scorer is
+    // the request scorer).
+    auto push_delta_row = [&](db::RowId row, std::size_t dropped,
+                              bool require_positive) {
+      PartialScore p = scorer->Score(rt.table->schema(),
+                                     delta->record(row - base_rows), dropped);
+      if (require_positive && p.unit_sim <= 0.0) return;
+      RankSlots::Slot& sl = slots.slot(0);
+      if (sl.topk.Push(p.rank_sim, row, static_cast<std::uint32_t>(dropped)) &&
+          sl.topk.full()) {
+        RaiseThreshold(&shared_threshold, sl.topk.threshold(),
+                       &sl.threshold_updates);
+      }
+    };
+
+    if (units.size() >= 2) {
+      // N-1 relaxation passes stay SEQUENTIAL and dedup in row order — the
+      // first pass that reaches a row owns its measure label, exactly like
+      // the serial path. Only the scoring inside a pass fans out.
+      std::vector<db::RowId> cand_base, cand_delta;
+      for (std::size_t dropped = 0; dropped < units.size(); ++dropped) {
+        if (control.Expired()) {
+          degraded = true;
+          break;
+        }
+        const db::exec::PartitionedPlan* part_plan =
+            dropped < parsed.relaxed_part_plans.size()
+                ? parsed.relaxed_part_plans[dropped].get()
+                : nullptr;
+        const db::exec::PhysicalPlan* plan =
+            dropped < parsed.relaxed_plans.size()
+                ? parsed.relaxed_plans[dropped].get()
+                : nullptr;
+        auto rel =
+            RunQuery(s, rt, MakeRelaxedQuery(parsed, dropped, total_rows),
+                     part_plan, plan, nullptr, &control);
+        if (!rel.ok()) {
+          if (rel.status().code() == StatusCode::kDeadlineExceeded) {
+            degraded = true;
+            break;
+          }
+          continue;
+        }
+        out.stats += rel.value().stats;
+        cand_base.clear();
+        cand_delta.clear();
+        for (db::RowId row : rel.value().rows) {
+          if (already.Test(row)) continue;
+          already.Set(row);
+          (row < base_rows ? cand_base : cand_delta).push_back(row);
+        }
+        const bool prunable =
+            rb != nullptr && cand_base.size() >= kMinRankRowsForBounds &&
+            scorer->ComputeBlockBounds(*rt.table, *rb, dropped, &ub);
+        constexpr std::size_t kChunkRows = 2048;
+        const std::size_t n_chunks =
+            (cand_base.size() + kChunkRows - 1) / kChunkRows;
+        const bool par_pass = runner != nullptr &&
+                              cand_base.size() >=
+                                  db::exec::kMinRowsForParallelExec;
+        auto body = [&, dropped](std::size_t c) {
+          const std::size_t s_idx = slots.Acquire();
+          RankSlots::Slot& sl = slots.slot(s_idx);
+          sl.rows.clear();
+          const std::size_t lo = c * kChunkRows;
+          const std::size_t hi =
+              std::min(lo + kChunkRows, cand_base.size());
+          std::size_t i = lo;
+          while (i < hi) {
+            // Candidates arrive in row order, so same-block runs are
+            // contiguous; prune run-at-a-time against the shared threshold.
+            const std::size_t b = cand_base[i] / db::exec::kRankBlockRows;
+            std::size_t j = i + 1;
+            while (j < hi && cand_base[j] / db::exec::kRankBlockRows == b) {
+              ++j;
+            }
+            if (prunable &&
+                exact_part + ub[b] <
+                    shared_threshold.load(std::memory_order_relaxed)) {
+              ++sl.blocks_skipped;
+              sl.rows_pruned += j - i;
+            } else {
+              ++sl.blocks_visited;
+              sl.rows.insert(sl.rows.end(), cand_base.begin() + i,
+                             cand_base.begin() + j);
+            }
+            i = j;
+          }
+          score_and_push(sl, dropped, /*require_positive=*/false);
+          slots.Release(s_idx);
+        };
+        if (!db::exec::RunMorsels(n_chunks, par_pass ? par : 1,
+                                  par_pass ? runner : nullptr, body,
+                                  &control)) {
+          degraded = true;
+          break;
+        }
+        for (db::RowId row : cand_delta) {
+          push_delta_row(row, dropped, /*require_positive=*/false);
+        }
+      }
+    } else {
+      // Single-condition full-table sweep, block-at-a-time. A block whose
+      // bound cannot reach the threshold (STRICT compare — an equal-score
+      // smaller-row candidate can still displace the k-th entry) or cannot
+      // produce a positive similarity is skipped without gathering a row.
+      const bool prunable = rb != nullptr &&
+                            base_rows >= kMinRankRowsForBounds &&
+                            scorer->ComputeBlockBounds(*rt.table, *rb, 0, &ub);
+      const std::size_t nb =
+          (base_rows + db::exec::kRankBlockRows - 1) /
+          db::exec::kRankBlockRows;
+      constexpr std::size_t kBlocksPerMorsel = 4;
+      const std::size_t n_morsels =
+          (nb + kBlocksPerMorsel - 1) / kBlocksPerMorsel;
+      const bool par_sweep =
+          runner != nullptr &&
+          base_rows >= db::exec::kMinRowsForParallelExec;
+      auto body = [&](std::size_t m) {
+        const std::size_t s_idx = slots.Acquire();
+        RankSlots::Slot& sl = slots.slot(s_idx);
+        const std::size_t b_lo = m * kBlocksPerMorsel;
+        const std::size_t b_hi = std::min(b_lo + kBlocksPerMorsel, nb);
+        for (std::size_t b = b_lo; b < b_hi; ++b) {
+          const db::RowId r_lo =
+              static_cast<db::RowId>(b * db::exec::kRankBlockRows);
+          const db::RowId r_hi = static_cast<db::RowId>(
+              std::min((b + 1) * db::exec::kRankBlockRows, base_rows));
+          if (prunable) {
+            const double t =
+                shared_threshold.load(std::memory_order_relaxed);
+            if (ub[b] <= 0.0 || ub[b] < t) {
+              ++sl.blocks_skipped;
+              sl.rows_pruned += r_hi - r_lo;
+              continue;
+            }
+          }
+          ++sl.blocks_visited;
+          sl.rows.clear();
+          for (db::RowId r = r_lo; r < r_hi; ++r) {
+            if (!already.Test(r) && is_live(r)) sl.rows.push_back(r);
+          }
+          score_and_push(sl, 0, /*require_positive=*/true);
+        }
+        slots.Release(s_idx);
+      };
+      if (!db::exec::RunMorsels(n_morsels, par_sweep ? par : 1,
+                                par_sweep ? runner : nullptr, body,
+                                &control)) {
+        degraded = true;
+      }
+      if (delta != nullptr && !degraded) {
+        for (db::RowId row = base_rows; row < total_rows; ++row) {
+          if ((row - base_rows) % 512 == 0 && control.Expired()) {
+            degraded = true;
+            break;
+          }
+          if (already.Test(row) || !is_live(row)) continue;
+          push_delta_row(row, 0, /*require_positive=*/true);
+        }
+      }
+    }
+
+    // Deterministic merge: the union of per-worker top-ks contains the
+    // global top-k (see db/exec/topk.h), so re-selecting over the union
+    // reproduces the serial answer regardless of morsel schedule.
+    db::exec::TopK merged(k);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      RankSlots::Slot& sl = slots.slot(i);
+      merged.Merge(std::move(sl.topk));
+      out.stats.rank_blocks_visited += sl.blocks_visited;
+      out.stats.rank_blocks_skipped += sl.blocks_skipped;
+      out.stats.rank_rows_pruned += sl.rows_pruned;
+      out.stats.rank_threshold_updates += sl.threshold_updates;
+    }
+    for (const auto& e : merged.Take()) {
+      out.answers.push_back(
+          Answer{e.row, false, e.score, scorer->unit_measure(e.tag)});
+    }
+    if (degraded) out.degraded = true;
+    if (!out.explain.empty()) {
+      const db::ExecStats& st = out.stats;
+      out.explain +=
+          "rank: blocks_visited=" + std::to_string(st.rank_blocks_visited) +
+          " blocks_skipped=" + std::to_string(st.rank_blocks_skipped) +
+          " rows_pruned=" + std::to_string(st.rank_rows_pruned) +
+          " threshold_updates=" +
+          std::to_string(st.rank_threshold_updates) + "\n";
+    }
+    return Status::OK();
+  }
+
   std::vector<Answer> partials;
   // Batched Eq. 5 (SimScorer::ScoreBlock) for base-table candidates: the
   // RowRef adapter, code-tuple memo, and measure string are hoisted out of
@@ -471,8 +823,8 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
       }
       out.stats += rel.value().stats;
       for (db::RowId row : rel.value().rows) {
-        if (already[row]) continue;
-        already[row] = true;
+        if (already.Test(row)) continue;
+        already.Set(row);
         if (batch_scoring && row < base_rows) {
           batch.push_back(row);
           continue;
@@ -492,7 +844,7 @@ Status RankStage::Run(const EngineSnapshot& s, QueryContext* ctx) const {
         out.degraded = true;
         break;
       }
-      if (already[row] || !is_live(row)) continue;
+      if (already.Test(row) || !is_live(row)) continue;
       if (batch_scoring && row < base_rows) {
         batch.push_back(row);
         if (batch.size() >= kScoreBatchRows) {

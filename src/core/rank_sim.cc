@@ -532,6 +532,126 @@ void SimScorer::ScoreBlock(const db::Table& table, const db::RowId* rows,
   }
 }
 
+namespace {
+
+/// How large a single-attribute dictionary may be before per-code bound
+/// computation stops paying for itself (each code costs one representative-
+/// row scoring call plus a slot in the range-max table).
+constexpr std::size_t kMaxDictForRankBounds = 4096;
+
+/// O(1) range-max over a fixed double array (sparse table, power-of-two
+/// jumps). Built once per (request, unit); queried once per block.
+class RangeMax {
+ public:
+  explicit RangeMax(std::vector<double> base) {
+    levels_.push_back(std::move(base));
+    for (std::size_t span = 1; span * 2 <= levels_[0].size(); span *= 2) {
+      const std::vector<double>& prev = levels_.back();
+      std::vector<double> next(prev.size() - span);
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        next[i] = std::max(prev[i], prev[i + span]);
+      }
+      levels_.push_back(std::move(next));
+    }
+  }
+
+  /// Max over [lo, hi] inclusive; lo <= hi < size.
+  double Query(std::size_t lo, std::size_t hi) const {
+    std::size_t level = 0, span = 1;
+    while (span * 2 <= hi - lo + 1) {
+      span *= 2;
+      ++level;
+    }
+    return std::max(levels_[level][lo], levels_[level][hi + 1 - span]);
+  }
+
+ private:
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace
+
+bool SimScorer::ComputeBlockBounds(const db::Table& table,
+                                   const db::exec::RankBounds& bounds,
+                                   std::size_t dropped_unit,
+                                   std::vector<double>* out_bounds) {
+  const UnitSim& unit = units_[dropped_unit];
+  const std::size_t nb = bounds.num_blocks();
+
+  const MatchUnit::Kind kind = unit.unit->kind;
+  if (kind == MatchUnit::Kind::kTypeIII ||
+      kind == MatchUnit::Kind::kAmbiguous) {
+    // Numeric: per-cond exact bound at the target clamped into the block's
+    // value range; non-numeric cells contribute 0 (UnitSimImpl skips them),
+    // so value-less blocks bound at 0.
+    out_bounds->assign(nb, 0.0);
+    for (const CondSim& cs : unit.conds) {
+      const Condition& c = *cs.cond;
+      const std::size_t attr = c.attr == kNoAttr ? unit.unit->attr : c.attr;
+      const auto& ab = bounds.attr(attr);
+      if (ab.val_min.empty()) continue;  // text column: never numeric
+      const double target =
+          c.op == db::CompareOp::kBetween ? (c.lo + c.hi) / 2.0 : c.lo;
+      const double range =
+          attr < ctx_->attr_ranges.size() ? ctx_->attr_ranges[attr] : 0.0;
+      for (std::size_t b = 0; b < nb; ++b) {
+        if (ab.val_min[b] > ab.val_max[b]) continue;  // no numeric values
+        const double peak = std::clamp(target, ab.val_min[b], ab.val_max[b]);
+        (*out_bounds)[b] =
+            std::max((*out_bounds)[b], NumSim(target, peak, range));
+      }
+    }
+    return true;
+  }
+
+  // Identity / Type II: pure function of the code on the single read
+  // attribute. Wider units (composite identities) are not decomposable
+  // into per-code bounds — no pruning for them.
+  if (unit.read_attrs.size() != 1) return false;
+  const std::size_t attr = unit.read_attrs[0];
+  const auto& ab = bounds.attr(attr);
+  const std::size_t dict_size = ab.first_row_of_code.size();
+  if (dict_size > kMaxDictForRankBounds) return false;
+
+  RowRef ref;
+  ref.schema = &table.schema();
+  ref.table = &table;
+  auto& memo = unit_memo_[dropped_unit];
+
+  std::vector<double> code_sims(dict_size, 0.0);
+  for (std::size_t c = 0; c < dict_size; ++c) {
+    const db::RowId rep = ab.first_row_of_code[c];
+    if (rep == db::exec::kNoRankRow) continue;  // code in no row: unreachable
+    auto it = memo.find(c);
+    if (it == memo.end()) {
+      ref.row = rep;
+      it = memo.emplace(c, UnitSimImpl(ref, unit)).first;
+    }
+    code_sims[c] = it->second;
+  }
+  double null_sim = 0.0;
+  if (ab.first_null_row != db::exec::kNoRankRow) {
+    const std::uint64_t null_key = db::ColumnStore::kNullCode;
+    auto it = memo.find(null_key);
+    if (it == memo.end()) {
+      ref.row = ab.first_null_row;
+      it = memo.emplace(null_key, UnitSimImpl(ref, unit)).first;
+    }
+    null_sim = it->second;
+  }
+
+  const RangeMax range_max(std::move(code_sims));
+  out_bounds->assign(nb, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    double bound = ab.has_null[b] ? null_sim : 0.0;
+    if (ab.code_min[b] <= ab.code_max[b]) {
+      bound = std::max(bound, range_max.Query(ab.code_min[b], ab.code_max[b]));
+    }
+    (*out_bounds)[b] = bound;
+  }
+  return true;
+}
+
 PartialScore SimScorer::Score(const db::Schema& schema,
                               const db::Record& record,
                               std::size_t dropped_unit) {

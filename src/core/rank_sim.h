@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/boolean_assembler.h"
+#include "db/exec/rank_bounds.h"
 #include "db/table.h"
 #include "qlog/ti_matrix.h"
 #include "text/term_dict.h"
@@ -113,6 +114,30 @@ class SimScorer {
   void ScoreBlock(const db::Table& table, const db::RowId* rows,
                   std::size_t n, std::size_t dropped_unit, double* rank_sims,
                   double* unit_sims);
+
+  /// Per-1024-row-block upper bounds on one dropped unit's similarity
+  /// (Eq. 5's unit term alone, in [0, 1]), for block-max top-k pruning.
+  /// Fills out_bounds[b] for every block of `bounds` and returns true when
+  /// the bounds are informative; returns false (out_bounds untouched) when
+  /// this unit cannot be bounded better than the trivial 1.0 — it reads
+  /// more than one attribute, or the attribute's dictionary is too large
+  /// for the per-code sweep to pay for itself.
+  ///
+  /// Derivation (the byte-identity argument): a unit reading ONE attribute
+  /// has a similarity that is a pure function of the row's dictionary code
+  /// there (same code -> same cell -> same elements — the ScoreBlock memo
+  /// invariant), so maxing the representative-row similarities over the
+  /// block's [code_min, code_max] superset bounds every row in the block;
+  /// NULL cells are bounded via the column's first-NULL representative.
+  /// Numeric units are bounded exactly: Num_Sim (Eq. 4) is unimodal in the
+  /// record value, peaking where the value equals the question's target, so
+  /// the block's bound is Num_Sim at the target clamped into the block's
+  /// [val_min, val_max]. Representative-row similarities are inserted into
+  /// the ScoreBlock memo, so visited blocks never recompute them.
+  bool ComputeBlockBounds(const db::Table& table,
+                          const db::exec::RankBounds& bounds,
+                          std::size_t dropped_unit,
+                          std::vector<double>* out_bounds);
 
   /// The Table 2 measure label of one unit (identical for every row a
   /// ScoreBlock call scores).

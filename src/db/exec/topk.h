@@ -1,0 +1,118 @@
+// Bounded top-k selection for the rank stage. Replaces collect-all +
+// std::sort with a size-k binary heap ordered by the rank stage's exact
+// total order
+//
+//   better(a, b)  =  a.score > b.score  ||  (a.score == b.score && a.row < b.row)
+//
+// so the k entries kept are precisely the first k entries the full sort
+// would emit — that identity (not approximation) is what lets the pruned
+// path stay byte-identical to the serial oracle.
+//
+// Tie-safety: threshold() is the k-th BEST score once the heap is full. A
+// candidate block may be skipped only when its score upper bound is
+// STRICTLY below the threshold — a candidate scoring exactly threshold()
+// can still displace the current k-th entry when its row id is smaller, so
+// bound == threshold must be visited. WouldAccept encodes the full
+// (score, row) rule for per-candidate checks.
+//
+// Determinism under parallel merge: each worker keeps its own TopK over the
+// subset of candidates it scored. Any member of the global top-k is, within
+// its worker's subset, competing against fewer candidates — so it survives
+// into that worker's local top-k. The union of local top-ks therefore
+// contains the global top-k, and sorting the union with the same total
+// order reproduces it independent of morsel schedule.
+//
+// Not thread-safe; one instance per worker, merged by the caller.
+#ifndef CQADS_DB_EXEC_TOPK_H_
+#define CQADS_DB_EXEC_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "db/indexes.h"
+
+namespace cqads::db::exec {
+
+/// One kept candidate. `tag` is caller payload (the rank stage stores the
+/// dropped-unit index so the Table 2 measure label can be rebuilt after the
+/// merge without re-scoring).
+struct TopKEntry {
+  double score = 0.0;
+  RowId row = 0;
+  std::uint32_t tag = 0;
+};
+
+/// The rank order. True when `a` precedes `b` in the final answer list.
+inline bool TopKBetter(const TopKEntry& a, const TopKEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.row < b.row;
+}
+
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// The k-th best score when full, -inf otherwise (+inf for the k == 0
+  /// degenerate, where everything prunes). Valid pruning uses
+  /// bound < threshold() STRICTLY (see header comment).
+  double threshold() const {
+    if (k_ == 0) return std::numeric_limits<double>::infinity();
+    return full() ? heap_.front().score
+                  : -std::numeric_limits<double>::infinity();
+  }
+
+  /// Whether a (score, row) candidate would enter the heap. Exact rule:
+  /// when full, it must beat the current k-th entry under TopKBetter.
+  bool WouldAccept(double score, RowId row) const {
+    if (k_ == 0) return false;
+    if (!full()) return true;
+    const TopKEntry& worst = heap_.front();
+    if (score != worst.score) return score > worst.score;
+    return row < worst.row;
+  }
+
+  /// Inserts if the candidate belongs in the current top k. Returns true
+  /// when the k-th threshold tightened (heap filled or worst evicted) —
+  /// the caller's cue to publish a new shared pruning threshold.
+  bool Push(double score, RowId row, std::uint32_t tag) {
+    if (!WouldAccept(score, row)) return false;
+    if (full()) {
+      std::pop_heap(heap_.begin(), heap_.end(), TopKBetter);
+      heap_.back() = TopKEntry{score, row, tag};
+      std::push_heap(heap_.begin(), heap_.end(), TopKBetter);
+      return true;
+    }
+    heap_.push_back(TopKEntry{score, row, tag});
+    std::push_heap(heap_.begin(), heap_.end(), TopKBetter);
+    return full();
+  }
+
+  /// Destructive extraction in answer order (best first).
+  std::vector<TopKEntry> Take() {
+    std::sort(heap_.begin(), heap_.end(), TopKBetter);
+    return std::move(heap_);
+  }
+
+  /// Folds another accumulator's entries into this one (deterministic:
+  /// the result depends only on the multiset of pushed entries).
+  void Merge(TopK&& other) {
+    for (const TopKEntry& e : other.heap_) Push(e.score, e.row, e.tag);
+    other.heap_.clear();
+  }
+
+ private:
+  std::size_t k_;
+  /// Max-heap under TopKBetter: front() is the WORST kept entry (the one
+  /// every later candidate must beat).
+  std::vector<TopKEntry> heap_;
+};
+
+}  // namespace cqads::db::exec
+
+#endif  // CQADS_DB_EXEC_TOPK_H_

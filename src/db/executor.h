@@ -38,6 +38,15 @@ struct ExecStats {
   /// masks are skipped without touching their predicates).
   std::size_t rows_visited = 0;
   std::size_t blocks_visited = 0;
+  /// Top-k rank-stage work (EngineOptions::use_topk_rank only): 1024-row
+  /// candidate blocks actually scored vs skipped because their block-max
+  /// score bound fell below the running k-th threshold, rows inside skipped
+  /// blocks that were never scored, and successful raises of the shared
+  /// threshold (top-k heap fills/evictions that tightened pruning).
+  std::size_t rank_blocks_visited = 0;
+  std::size_t rank_blocks_skipped = 0;
+  std::size_t rank_rows_pruned = 0;
+  std::size_t rank_threshold_updates = 0;
 
   ExecStats& operator+=(const ExecStats& other) {
     index_lookups += other.index_lookups;
@@ -45,6 +54,10 @@ struct ExecStats {
     full_scans += other.full_scans;
     rows_visited += other.rows_visited;
     blocks_visited += other.blocks_visited;
+    rank_blocks_visited += other.rank_blocks_visited;
+    rank_blocks_skipped += other.rank_blocks_skipped;
+    rank_rows_pruned += other.rank_rows_pruned;
+    rank_threshold_updates += other.rank_threshold_updates;
     return *this;
   }
 };

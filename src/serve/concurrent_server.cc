@@ -62,6 +62,23 @@ void ConcurrentServer::RecordOutcome(
     } else {
       answered_.fetch_add(1, std::memory_order_relaxed);
     }
+    const db::ExecStats& st = result.value().stats;
+    if (st.rank_blocks_visited > 0) {
+      rank_blocks_visited_.fetch_add(st.rank_blocks_visited,
+                                     std::memory_order_relaxed);
+    }
+    if (st.rank_blocks_skipped > 0) {
+      rank_blocks_skipped_.fetch_add(st.rank_blocks_skipped,
+                                     std::memory_order_relaxed);
+    }
+    if (st.rank_rows_pruned > 0) {
+      rank_rows_pruned_.fetch_add(st.rank_rows_pruned,
+                                  std::memory_order_relaxed);
+    }
+    if (st.rank_threshold_updates > 0) {
+      rank_threshold_updates_.fetch_add(st.rank_threshold_updates,
+                                        std::memory_order_relaxed);
+    }
     return;
   }
   switch (result.status().code()) {
@@ -90,6 +107,13 @@ ConcurrentServer::Stats ConcurrentServer::stats() const {
   s.total_queue_age_micros =
       static_cast<double>(total_queue_age_us_.load(std::memory_order_relaxed));
   s.dequeued = dequeued_.load(std::memory_order_relaxed);
+  s.rank_blocks_visited =
+      rank_blocks_visited_.load(std::memory_order_relaxed);
+  s.rank_blocks_skipped =
+      rank_blocks_skipped_.load(std::memory_order_relaxed);
+  s.rank_rows_pruned = rank_rows_pruned_.load(std::memory_order_relaxed);
+  s.rank_threshold_updates =
+      rank_threshold_updates_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -262,6 +286,10 @@ std::string ConcurrentServer::StatsJson() const {
                               ? s.total_queue_age_micros /
                                     static_cast<double>(s.dequeued)
                               : 0.0));
+  v.Set("rank_blocks_visited", num(s.rank_blocks_visited));
+  v.Set("rank_blocks_skipped", num(s.rank_blocks_skipped));
+  v.Set("rank_rows_pruned", num(s.rank_rows_pruned));
+  v.Set("rank_threshold_updates", num(s.rank_threshold_updates));
   v.Set("cache_hits", num(c.hits));
   v.Set("cache_misses", num(c.misses));
   v.Set("cache_evictions", num(c.evictions));

@@ -84,6 +84,13 @@ class ConcurrentServer {
     double max_queue_age_micros = 0.0;    ///< worst admission->dequeue wait
     double total_queue_age_micros = 0.0;  ///< sum over dequeued requests
     std::uint64_t dequeued = 0;           ///< divisor for the mean age
+    /// Top-k rank-stage work across every OK request (db::ExecStats rank
+    /// counters summed): how much the block-max pruning actually saves in
+    /// production traffic, not just in the bench.
+    std::uint64_t rank_blocks_visited = 0;
+    std::uint64_t rank_blocks_skipped = 0;
+    std::uint64_t rank_rows_pruned = 0;
+    std::uint64_t rank_threshold_updates = 0;
   };
 
   /// The engine must outlive the server. The server never mutates it;
@@ -192,6 +199,10 @@ class ConcurrentServer {
   mutable std::atomic<std::uint64_t> max_queue_age_us_{0};   ///< integer µs
   mutable std::atomic<std::uint64_t> total_queue_age_us_{0};
   mutable std::atomic<std::uint64_t> dequeued_{0};
+  mutable std::atomic<std::uint64_t> rank_blocks_visited_{0};
+  mutable std::atomic<std::uint64_t> rank_blocks_skipped_{0};
+  mutable std::atomic<std::uint64_t> rank_rows_pruned_{0};
+  mutable std::atomic<std::uint64_t> rank_threshold_updates_{0};
 };
 
 }  // namespace cqads::serve

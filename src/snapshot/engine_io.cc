@@ -209,6 +209,7 @@ Result<core::EngineBuilder> SerdeAccess::LoadEngine(const std::string& path) {
 
     rt->ti_matrix = std::move(ti);
     rt->attr_ranges = std::move(attr_ranges);
+    rt->rank_bounds = db::exec::RankBounds::Build(*rt->table);
     builder.runtimes_.emplace(domains[i], std::move(rt));
   }
 

@@ -1,0 +1,522 @@
+// The bounded top-k rank path (EngineOptions::use_topk_rank): TopK heap
+// semantics (exact (score desc, row asc) order, tie-safe threshold, k = 0
+// degenerate, schedule-independent merge), RankBounds block metadata,
+// randomized engine-level byte-parity of pruned/parallel ranking against
+// the frozen serial full-sort oracle across all eight datagen domains,
+// score-tie boundaries at answer_cap, delta rows + tombstones across a
+// compaction, deadline-degraded sweeps, rank counters through ExecStats and
+// ConcurrentServer::StatsJson, and the TSan leg racing morsel-parallel rank
+// against ingest/retire/compaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cqads_engine.h"
+#include "core/pipeline.h"
+#include "datagen/domain_spec.h"
+#include "datagen/question_gen.h"
+#include "datagen/world.h"
+#include "db/exec/rank_bounds.h"
+#include "db/exec/topk.h"
+#include "serve/concurrent_server.h"
+#include "serve/worker_pool.h"
+#include "test_fixtures.h"
+
+namespace cqads {
+namespace {
+
+using db::RowId;
+using db::exec::TopK;
+using db::exec::TopKEntry;
+
+// ------------------------------------------------------------- TopK unit
+
+TEST(TopKTest, KeepsExactlyTheFullSortPrefix) {
+  // Random scores with deliberate duplicates: the heap's survivors must be
+  // byte-for-byte the first k entries of the full (score desc, row asc)
+  // sort.
+  Rng rng(42);
+  for (std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{30}}) {
+    std::vector<TopKEntry> all;
+    TopK topk(k);
+    for (RowId row = 0; row < 500; ++row) {
+      const double score =
+          static_cast<double>(rng.UniformInt(0, 24)) / 10.0;
+      all.push_back(TopKEntry{score, row, 0});
+      topk.Push(score, row, 0);
+    }
+    std::sort(all.begin(), all.end(), db::exec::TopKBetter);
+    all.resize(std::min(k, all.size()));
+    const std::vector<TopKEntry> got = topk.Take();
+    ASSERT_EQ(got.size(), all.size()) << "k=" << k;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].score, all[i].score) << "k=" << k << " i=" << i;
+      EXPECT_EQ(got[i].row, all[i].row) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(TopKTest, TieAtThresholdAdmitsSmallerRowOnly) {
+  TopK topk(2);
+  EXPECT_FALSE(topk.full());
+  topk.Push(1.0, 10, 0);
+  topk.Push(1.0, 20, 0);
+  ASSERT_TRUE(topk.full());
+  EXPECT_EQ(topk.threshold(), 1.0);
+  // Equal score: admitted iff the row id is smaller than the current k-th's
+  // — the reason block pruning must use bound < threshold STRICTLY.
+  EXPECT_TRUE(topk.WouldAccept(1.0, 5));
+  EXPECT_FALSE(topk.WouldAccept(1.0, 20));
+  EXPECT_FALSE(topk.WouldAccept(1.0, 25));
+  EXPECT_FALSE(topk.WouldAccept(0.999, 0));
+  ASSERT_TRUE(topk.Push(1.0, 5, 0));
+  const auto got = topk.Take();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].row, 5u);
+  EXPECT_EQ(got[1].row, 10u);
+}
+
+TEST(TopKTest, ZeroCapacityAcceptsNothingAndPrunesEverything) {
+  TopK topk(0);
+  EXPECT_FALSE(topk.WouldAccept(100.0, 0));
+  EXPECT_FALSE(topk.Push(100.0, 0, 0));
+  EXPECT_EQ(topk.threshold(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(topk.Take().empty());
+}
+
+TEST(TopKTest, MergeIsScheduleIndependent) {
+  // Split one candidate stream across W "workers" in many different ways;
+  // the merged top-k must always equal the single-accumulator result.
+  Rng rng(7);
+  std::vector<TopKEntry> all;
+  for (RowId row = 0; row < 300; ++row) {
+    all.push_back(
+        TopKEntry{static_cast<double>(rng.UniformInt(0, 11)) / 4.0, row, 0});
+  }
+  constexpr std::size_t kK = 10;
+  TopK reference(kK);
+  for (const auto& e : all) reference.Push(e.score, e.row, e.tag);
+  const auto want = reference.Take();
+
+  for (std::size_t workers : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      Rng assign(1000 + salt);
+      std::vector<TopK> locals(workers, TopK(kK));
+      for (const auto& e : all) {
+        locals[static_cast<std::size_t>(
+                   assign.UniformInt(0, static_cast<std::int64_t>(workers) - 1))]
+            .Push(e.score, e.row, e.tag);
+      }
+      TopK merged(kK);
+      for (auto& l : locals) merged.Merge(std::move(l));
+      const auto got = merged.Take();
+      ASSERT_EQ(got.size(), want.size()) << workers << " " << salt;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].score, want[i].score) << workers << " " << salt;
+        EXPECT_EQ(got[i].row, want[i].row) << workers << " " << salt;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- RankBounds unit
+
+TEST(RankBoundsTest, MiniCarBlockMetadata) {
+  db::Table table = testing::MiniCarTable();  // 13 rows => one block
+  auto bounds = db::exec::RankBounds::Build(table);
+  ASSERT_NE(bounds, nullptr);
+  EXPECT_EQ(bounds->num_rows(), 13u);
+  EXPECT_EQ(bounds->num_blocks(), 1u);
+  EXPECT_EQ(bounds->block_end(0), 13u);
+
+  // Attribute 0 ("make", text): one block whose code range covers every
+  // row's code, with a representative row per dictionary code.
+  const auto& make = bounds->attr(0);
+  ASSERT_EQ(make.code_min.size(), 1u);
+  ASSERT_LE(make.code_min[0], make.code_max[0]);
+  const auto& codes = table.store().code_column(0);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    ASSERT_GE(codes[r], make.code_min[0]);
+    ASSERT_LE(codes[r], make.code_max[0]);
+  }
+  for (std::uint32_t c = 0; c < make.first_row_of_code.size(); ++c) {
+    const RowId rep = make.first_row_of_code[c];
+    if (rep == db::exec::kNoRankRow) continue;
+    EXPECT_EQ(codes[rep], c);
+  }
+
+  // Attribute 2 ("year", numeric): the block's value envelope is the
+  // column's true min/max.
+  const auto& year = bounds->attr(2);
+  ASSERT_EQ(year.val_min.size(), 1u);
+  const auto& vals = table.store().numeric_column(2);
+  double lo = vals[0], hi = vals[0];
+  for (RowId r = 1; r < table.num_rows(); ++r) {
+    lo = std::min(lo, vals[r]);
+    hi = std::max(hi, vals[r]);
+  }
+  EXPECT_EQ(year.val_min[0], lo);
+  EXPECT_EQ(year.val_max[0], hi);
+}
+
+// --------------------------------------- world-backed differential suite
+
+class TopKRankParityTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::WorldOptions options;
+    options.seed = 20111130;
+    options.ads_per_domain = 120;
+    options.sessions_per_domain = 200;
+    options.corpus_docs_per_domain = 40;
+    auto built = datagen::World::Build(options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    world_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static datagen::World* world_;
+};
+
+datagen::World* TopKRankParityTest::world_ = nullptr;
+
+/// Asks every question under `on` then under `off` and requires canonical
+/// byte-identity pair by pair.
+void ExpectAskParity(core::CqadsEngine& engine, const std::string& domain,
+                     const std::vector<datagen::GeneratedQuestion>& questions,
+                     const core::EngineOptions& on,
+                     const core::EngineOptions& off, const char* label) {
+  auto canon = [&](const std::string& text) {
+    auto r = engine.AskInDomain(domain, text);
+    return r.ok() ? core::CanonicalAskResultString(r.value())
+                  : "ERROR: " + r.status().ToString();
+  };
+  std::vector<std::string> on_answers;
+  engine.SetOptions(on);
+  for (const auto& q : questions) on_answers.push_back(canon(q.text));
+  engine.SetOptions(off);
+  for (std::size_t i = 0; i < questions.size(); ++i) {
+    EXPECT_EQ(on_answers[i], canon(questions[i].text))
+        << label << " " << domain << " q" << i << ": " << questions[i].text;
+  }
+  engine.SetOptions(core::EngineOptions());
+}
+
+// The pruned top-k path answers byte-identically to the frozen serial
+// full-sort oracle — vectorized and scalar.
+TEST_P(TopKRankParityTest, AskByteIdenticalTopKOnAndOff) {
+  const std::string& domain = GetParam();
+  const auto* spec = world_->spec(domain);
+  ASSERT_NE(spec, nullptr);
+  Rng rng(555);
+  auto questions = datagen::GenerateQuestions(
+      *spec, *world_->table(domain), 60, datagen::QuestionGenOptions(), &rng);
+
+  core::EngineOptions on;  // defaults: use_topk_rank = true
+  core::EngineOptions off;
+  off.use_topk_rank = false;
+  ExpectAskParity(world_->mutable_engine(), domain, questions, on, off,
+                  "vectorized");
+
+  core::EngineOptions on_scalar = on;
+  on_scalar.use_vector_kernels = false;
+  core::EngineOptions off_scalar = off;
+  off_scalar.use_vector_kernels = false;
+  ExpectAskParity(world_->mutable_engine(), domain, questions, on_scalar,
+                  off_scalar, "scalar");
+}
+
+// Partial ranking does real work on this stream, and the new ExecStats
+// counters see it (blocks visited whenever the top-k sweep ran).
+TEST_P(TopKRankParityTest, RankCountersAccumulate) {
+  const std::string& domain = GetParam();
+  const auto* spec = world_->spec(domain);
+  ASSERT_NE(spec, nullptr);
+  Rng rng(901);
+  auto questions = datagen::GenerateQuestions(
+      *spec, *world_->table(domain), 40, datagen::QuestionGenOptions(), &rng);
+
+  auto& engine = world_->mutable_engine();
+  engine.SetOptions(core::EngineOptions());
+  std::size_t blocks_visited = 0;
+  std::size_t ranked_questions = 0;
+  for (const auto& q : questions) {
+    auto r = engine.AskInDomain(domain, q.text);
+    if (!r.ok()) continue;
+    blocks_visited += r.value().stats.rank_blocks_visited;
+    const auto& answers = r.value().answers;
+    const bool has_partial =
+        std::any_of(answers.begin(), answers.end(),
+                    [](const core::Answer& a) { return !a.exact; });
+    if (has_partial) {
+      ++ranked_questions;
+      EXPECT_LE(answers.size(),
+                static_cast<std::size_t>(core::EngineOptions().answer_cap));
+    }
+  }
+  if (ranked_questions > 0) EXPECT_GT(blocks_visited, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, TopKRankParityTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> names;
+      for (const auto& spec : datagen::AllDomainSpecs()) {
+        names.push_back(spec.schema.domain());
+      }
+      return names;
+    }()));
+
+// ----------------------------------- tie boundaries + delta / tombstones
+
+db::Record CarRecord(const char* make, const char* model, double year,
+                     double price, double mileage, const char* color,
+                     const char* transmission, const char* doors,
+                     const char* drivetrain, const char* features) {
+  db::Record r;
+  r.push_back(db::Value::Text(make));
+  r.push_back(db::Value::Text(model));
+  r.push_back(db::Value::Real(year));
+  r.push_back(db::Value::Real(price));
+  r.push_back(db::Value::Real(mileage));
+  r.push_back(db::Value::Text(color));
+  r.push_back(db::Value::Text(transmission));
+  r.push_back(db::Value::Text(doors));
+  r.push_back(db::Value::Text(drivetrain));
+  r.push_back(db::Value::Text(features));
+  return r;
+}
+
+/// Engine over many duplicated MiniCar rows: scores tie in large groups, so
+/// the answer_cap boundary lands inside a tie run — the adversarial case
+/// for threshold pruning (an equal-score smaller-row candidate must still
+/// displace the k-th entry).
+class TieBoundaryTest : public ::testing::Test {
+ protected:
+  TieBoundaryTest() : table_(testing::MiniCarSchema()) {
+    const db::Table proto = testing::MiniCarTable();
+    for (int copy = 0; copy < 20; ++copy) {  // 260 rows, ties everywhere
+      for (RowId r = 0; r < proto.num_rows(); ++r) {
+        EXPECT_TRUE(table_.Insert(proto.row(r)).ok());
+      }
+    }
+    table_.BuildIndexes();
+    EXPECT_TRUE(engine_.AddDomain(&table_, qlog::TiMatrix()).ok());
+    EXPECT_TRUE(engine_.TrainClassifier().ok());
+  }
+
+  std::string CanonicalAsk(const std::string& q) {
+    auto r = engine_.AskInDomain("cars", q);
+    return r.ok() ? core::CanonicalAskResultString(r.value())
+                  : "ERROR: " + r.status().ToString();
+  }
+
+  void ExpectParity(const std::vector<std::string>& questions) {
+    core::EngineOptions off;
+    off.use_topk_rank = false;
+    std::vector<std::string> want;
+    engine_.SetOptions(off);
+    for (const auto& q : questions) want.push_back(CanonicalAsk(q));
+    engine_.SetOptions(core::EngineOptions());
+    for (std::size_t i = 0; i < questions.size(); ++i) {
+      EXPECT_EQ(CanonicalAsk(questions[i]), want[i]) << questions[i];
+    }
+  }
+
+  db::Table table_;
+  core::CqadsEngine engine_;
+};
+
+TEST_F(TieBoundaryTest, CapFallsInsideTieRuns) {
+  // Single-condition questions sweep the whole table; multi-unit questions
+  // relax N-1. With 20 copies of every row, either way the 30-answer cap
+  // cuts through a run of identical scores where only row ids decide.
+  ExpectParity({
+      "blue car",
+      "honda",
+      "manual transmission",
+      "blue honda with cd player",
+      "cheap toyota under 9000 dollars",
+      "red car with leather seats",
+      "4 door automatic with gps",
+  });
+}
+
+TEST_F(TieBoundaryTest, DeltaRowsAndTombstonesStayByteIdentical) {
+  // Grow a delta (new best-scoring candidates above base_rows), tombstone
+  // base rows mid-tie-run, and re-check parity before AND after compaction:
+  // the pruned path must handle live deltas, retired masks, and the
+  // post-compaction rebuilt table identically to the oracle.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine_
+                    .IngestAd("cars", CarRecord("honda", "fit", 2011, 9500,
+                                                40000, "blue", "automatic",
+                                                "4 door", "2 wheel drive",
+                                                "cd player;bluetooth"))
+                    .ok());
+  }
+  ASSERT_TRUE(engine_.RetireAd("cars", 0).ok());
+  ASSERT_TRUE(engine_.RetireAd("cars", 13).ok());
+  ASSERT_TRUE(engine_.RetireAd("cars", 26).ok());
+  const std::vector<std::string> questions = {
+      "blue car", "honda", "blue honda with cd player", "manual red car"};
+  ExpectParity(questions);
+
+  ASSERT_TRUE(engine_.CompactDomain("cars").ok());
+  ExpectParity(questions);
+}
+
+// ------------------------------------------- parallel sweeps (big domain)
+
+class BigDomainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One domain, enough rows that the rank sweeps clear
+    // kMinRowsForParallelExec and actually fan out on the runner.
+    datagen::WorldOptions options;
+    options.seed = 20111130;
+    options.ads_per_domain = 9000;
+    options.sessions_per_domain = 300;
+    options.corpus_docs_per_domain = 40;
+    options.domains = {"cars"};
+    auto built = datagen::World::Build(options);
+    ASSERT_TRUE(built.ok()) << built.status();
+    world_ = built.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static datagen::World* world_;
+};
+
+datagen::World* BigDomainTest::world_ = nullptr;
+
+TEST_F(BigDomainTest, MorselParallelRankMatchesSerialOracle) {
+  const auto* spec = world_->spec("cars");
+  ASSERT_NE(spec, nullptr);
+  Rng rng(321);
+  auto questions = datagen::GenerateQuestions(
+      *spec, *world_->table("cars"), 25, datagen::QuestionGenOptions(), &rng);
+
+  serve::WorkerPool pool(4);
+  core::EngineOptions parallel_on;
+  parallel_on.exec_runner = &pool;
+  parallel_on.exec_parallelism = 4;
+  core::EngineOptions serial_off;
+  serial_off.use_topk_rank = false;
+  ExpectAskParity(world_->mutable_engine(), "cars", questions, parallel_on,
+                  serial_off, "parallel");
+}
+
+// The CI TSan leg: morsel-parallel pruned ranking racing ingest, retire,
+// compaction, and snapshot swaps. Each request pins its snapshot, per-worker
+// scorer slots keep SimScorer single-threaded, and the shared threshold is
+// the only cross-worker rank state — nothing may race.
+TEST_F(BigDomainTest, ParallelRankSurvivesConcurrentMutation) {
+  auto& engine = world_->mutable_engine();
+  serve::WorkerPool exec_pool(3);
+  core::EngineOptions options;
+  options.exec_runner = &exec_pool;
+  options.exec_parallelism = 3;
+  engine.SetOptions(options);
+
+  const auto* spec = world_->spec("cars");
+  Rng rng(654);
+  auto questions = datagen::GenerateQuestions(
+      *spec, *world_->table("cars"), 12, datagen::QuestionGenOptions(), &rng);
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    const db::Record seed_record = world_->table("cars")->row(0);
+    int iteration = 0;
+    while (!stop_writer.load()) {
+      auto id = engine.IngestAd("cars", seed_record);
+      if (id.ok() && iteration % 2 == 0) {
+        (void)engine.RetireAd("cars", id.value());
+      }
+      if (++iteration % 4 == 0) (void)engine.CompactDomain("cars");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  serve::ConcurrentServer::Options server_options;
+  server_options.num_workers = 3;
+  serve::ConcurrentServer server(&engine, server_options);
+  std::atomic<int> done{0};
+  std::atomic<int> errors{0};
+  constexpr int kAsks = 60;
+  for (int i = 0; i < kAsks; ++i) {
+    server.AskAsyncInDomain("cars", questions[i % questions.size()].text,
+                            Deadline::Infinite(),
+                            [&](Result<core::AskResult> r) {
+                              if (!r.ok()) errors.fetch_add(1);
+                              done.fetch_add(1);
+                            });
+  }
+  const auto timeout =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (done.load() < kAsks &&
+         std::chrono::steady_clock::now() < timeout) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop_writer.store(true);
+  writer.join();
+  ASSERT_EQ(done.load(), kAsks);
+  EXPECT_EQ(errors.load(), 0);
+  engine.SetOptions(core::EngineOptions());
+}
+
+// -------------------------------------- degraded sweeps + server counters
+
+TEST_F(BigDomainTest, DeadlinedSweepsDegradeOrExpireNeverError) {
+  auto& engine = world_->mutable_engine();
+  engine.SetOptions(core::EngineOptions());
+  const auto* spec = world_->spec("cars");
+  Rng rng(987);
+  auto questions = datagen::GenerateQuestions(
+      *spec, *world_->table("cars"), 20, datagen::QuestionGenOptions(), &rng);
+
+  serve::ConcurrentServer server(&engine);
+  std::size_t issued = 0;
+  for (const auto budget :
+       {std::chrono::microseconds(0), std::chrono::microseconds(80),
+        std::chrono::microseconds(400), std::chrono::microseconds(5000)}) {
+    for (const auto& q : questions) {
+      auto r = server.AskInDomain("cars", q.text, Deadline::After(budget));
+      ++issued;
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << q.text;
+      } else if (!r.value().degraded) {
+        // Fully answered despite the budget: the answer must obey the cap.
+        EXPECT_LE(r.value().answers.size(),
+                  static_cast<std::size_t>(core::EngineOptions().answer_cap));
+      }
+    }
+  }
+  const auto s = server.stats();
+  EXPECT_EQ(s.answered + s.degraded + s.deadline_exceeded + s.errors, issued);
+  EXPECT_EQ(s.errors, 0u);
+
+  // Rank work surfaced through StatsJson (the fleet-scrape satellite):
+  // the keys exist and the visited counter reflects the ranking above.
+  const std::string json = server.StatsJson();
+  EXPECT_NE(json.find("\"rank_blocks_visited\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rank_blocks_skipped\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rank_rows_pruned\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rank_threshold_updates\""), std::string::npos)
+      << json;
+  EXPECT_EQ(s.rank_blocks_visited > 0,
+            json.find("\"rank_blocks_visited\":0") == std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqads
